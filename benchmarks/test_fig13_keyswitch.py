@@ -1,0 +1,67 @@
+"""Figure 13 + Section 7.4: keyswitching technique comparison.
+
+Shapes pinned:
+
+* batching (the keyswitch pass) improves input-broadcast keyswitching;
+* Cinnamon's algorithms move substantially less data than CiFHER
+  (paper: 2.25x reduction with batching; we require > 2x);
+* speedups grow from 256 to 512 GB/s links and saturate at 1024 GB/s;
+* program parallelism on top of the pass gives the best configuration
+  (paper: 4.18x over sequential at 256 GB/s).
+"""
+
+import pytest
+
+from repro.experiments import fig13_keyswitch
+
+
+@pytest.fixture(scope="module")
+def result(fast):
+    return fig13_keyswitch.run(fast=fast)
+
+
+def test_fig13_keyswitch(once, fast):
+    out = once(fig13_keyswitch.run, fast=fast)
+    print("\n" + fig13_keyswitch.format_result(out))
+    comparison = fig13_keyswitch.section_7_4_comparison(out)
+    print("Section 7.4:", {k: round(v, 2) for k, v in comparison.items()})
+
+
+class TestShapes:
+    def test_pass_improves_input_broadcast(self, result):
+        speed = result["speedup_over_sequential"]
+        for link, value in speed["Input Broadcast + Pass"].items():
+            assert value > speed["Input Broadcast"][link]
+
+    def test_cinnamon_moves_less_data_than_cifher(self, result):
+        comm = result["communication"]
+        ratio = comm["CiFHER"]["comm_limbs"] / \
+            comm["Cinnamon Keyswitch + Pass"]["comm_limbs"]
+        assert ratio > 2.0  # paper: 2.25x
+
+    def test_bandwidth_scaling_saturates(self, result):
+        speed = result["speedup_over_sequential"]["Cinnamon Keyswitch + Pass"]
+        links = sorted(speed)
+        assert speed[links[1]] > speed[links[0]]  # 512 beats 256
+        if len(links) >= 3:  # full grid: 1024 adds little over 512
+            gain = speed[links[2]] / speed[links[1]]
+            assert gain < 1.2
+
+    def test_program_parallelism_is_best_config(self, result):
+        speed = result["speedup_over_sequential"]
+        best = "Cinnamon Keyswitch + Pass + Program Parallelism"
+        for link in speed[best]:
+            others = [speed[label][link] for label in speed if label != best]
+            assert speed[best][link] >= max(others) * 0.95
+
+    def test_parallelization_profitable_at_low_bandwidth(self, result):
+        """At 256 GB/s the full Cinnamon stack beats sequential by > 3x."""
+        speed = result["speedup_over_sequential"]
+        best = "Cinnamon Keyswitch + Pass + Program Parallelism"
+        first = sorted(speed[best])[0]
+        assert speed[best][first] > 3.0
+
+    def test_cinnamon_beats_cifher(self, result):
+        comparison = fig13_keyswitch.section_7_4_comparison(result)
+        assert comparison["speedup_vs_cifher"] > 1.2
+        assert comparison["comm_reduction"] > 2.0

@@ -1,0 +1,37 @@
+"""Figure 14: Bootstrap-13 vs Bootstrap-21 scaling.
+
+Shape: the shallow Bootstrap-13 flattens beyond 4 chips, while the deeper
+Bootstrap-21 (≈2x the compute) keeps scaling to 8/12 chips.
+"""
+
+import pytest
+
+from repro.experiments import fig14_bootstrap_scaling
+
+
+@pytest.fixture(scope="module")
+def result(fast):
+    return fig14_bootstrap_scaling.run(fast=fast)
+
+
+def test_fig14_bootstrap_scaling(once, fast):
+    out = once(fig14_bootstrap_scaling.run, fast=fast)
+    print("\n" + fig14_bootstrap_scaling.format_result(out))
+
+
+class TestShapes:
+    def test_both_variants_speed_up_at_four_chips(self, result):
+        assert result["bootstrap-13"][4] > 3.0
+        assert result["bootstrap-21"][4] > 3.0
+
+    def test_bootstrap21_scales_further(self, result):
+        gain13 = result["bootstrap-13"][8] / result["bootstrap-13"][4]
+        gain21 = result["bootstrap-21"][8] / result["bootstrap-21"][4]
+        assert gain21 > gain13
+
+    def test_bootstrap13_flattens(self, result):
+        assert result["bootstrap-13"][8] / result["bootstrap-13"][4] < 1.6
+
+    def test_twelve_chips_monotone(self, result):
+        if 12 in result["bootstrap-21"]:
+            assert result["bootstrap-21"][12] >= result["bootstrap-21"][8] * 0.95

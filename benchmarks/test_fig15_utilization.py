@@ -1,0 +1,35 @@
+"""Figure 15: compute/memory/network utilization."""
+
+import pytest
+
+from repro.experiments import fig15_utilization
+
+
+@pytest.fixture(scope="module")
+def result(fast):
+    return fig15_utilization.run(fast=fast)
+
+
+def test_fig15_utilization(once, fast):
+    out = once(fig15_utilization.run, fast=fast)
+    print("\n" + fig15_utilization.format_result(out))
+
+
+class TestShapes:
+    def test_cinnamon4_keeps_resources_busy(self, result):
+        """Paper: ~60% utilization across resources on Cinnamon-4."""
+        boot = result["bootstrap/Cinnamon-4"]
+        assert boot["memory"] > 0.3
+        assert boot["compute"] > 0.15
+        assert boot["network"] > 0.05
+
+    def test_utilization_bounded(self, result):
+        for key, row in result.items():
+            for resource, value in row.items():
+                assert 0.0 <= value <= 1.0, (key, resource)
+
+    def test_bert_utilization_drops_at_twelve_chips(self, result):
+        """Section 7.6: the narrow program sections stop scaling."""
+        u8 = result["bert-base-128/Cinnamon-8"]
+        u12 = result["bert-base-128/Cinnamon-12"]
+        assert u12["compute"] <= u8["compute"] * 1.05

@@ -1,0 +1,39 @@
+"""Figure 16: halve/double resource sensitivity on Cinnamon-4."""
+
+import pytest
+
+from repro.experiments import fig16_sensitivity
+from repro.experiments.common import geomean
+
+
+@pytest.fixture(scope="module")
+def result(fast):
+    return fig16_sensitivity.run(fast=fast)
+
+
+def test_fig16_sensitivity(once, fast):
+    out = once(fig16_sensitivity.run, fast=fast)
+    print("\n" + fig16_sensitivity.format_result(out))
+
+
+class TestShapes:
+    def test_halving_hurts_more_than_doubling_helps(self, result):
+        """The chips are balanced (Section 7.6): halving costs ~20-40%,
+        doubling buys only ~2-20%."""
+        rows = result["Cinnamon-4"]
+        halve_losses = [1 - rows[r][0.5] for r in rows]
+        double_gains = [rows[r][2.0] - 1 for r in rows]
+        assert geomean([1 + loss for loss in halve_losses]) - 1 > \
+            geomean([1 + gain for gain in double_gains]) - 1
+
+    def test_halving_any_resource_slows_down(self, result):
+        for resource, by_factor in result["Cinnamon-4"].items():
+            assert by_factor[0.5] < 1.0, resource
+
+    def test_doubling_never_hurts_much(self, result):
+        for resource, by_factor in result["Cinnamon-4"].items():
+            assert by_factor[2.0] > 0.95, resource
+
+    def test_doubling_gains_are_modest(self, result):
+        for resource, by_factor in result["Cinnamon-4"].items():
+            assert by_factor[2.0] < 1.6, resource

@@ -1,0 +1,20 @@
+"""Figure 1: ML model growth vs FHE accelerator on-chip caches."""
+
+from repro.experiments import fig1_scaling
+
+
+def test_fig1_model_growth(once):
+    result = once(fig1_scaling.run)
+    print("\n" + fig1_scaling.format_result(result))
+
+    models = result["models"]
+    accelerators = result["accelerators"]
+    # Models grow by orders of magnitude across the window...
+    params = [row["parameters"] for row in models.values()]
+    assert max(params) / min(params) > 1e5
+    # ...while accelerator caches stay within one order of magnitude.
+    caches = [row["cache_mb"] for row in accelerators.values()]
+    assert max(caches) / min(caches) < 10
+    # BERT-Base alone overflows every accelerator's cache when encrypted.
+    bert_mb = models["BERT-Base"]["encrypted_mb"]
+    assert all(bert_mb > row["cache_mb"] for row in accelerators.values())

@@ -1,0 +1,46 @@
+"""Figure 6: parallel bootstraps vs cache capacity and compute."""
+
+import pytest
+
+from repro.experiments import fig6_motivation
+
+
+@pytest.fixture(scope="module")
+def result(fast):
+    return fig6_motivation.run(fast=fast)
+
+
+def test_fig6_motivation(once, fast):
+    out = once(fig6_motivation.run, fast=fast)
+    print("\n" + fig6_motivation.format_result(out))
+
+
+class TestShapes:
+    def _grid(self, result):
+        counts = sorted({k[0] for k in result})
+        caches = sorted({k[1] for k in result})
+        clusters = sorted({k[2] for k in result})
+        return counts, caches, clusters
+
+    def test_more_bootstraps_cost_more(self, result):
+        counts, caches, clusters = self._grid(result)
+        for cache in caches:
+            for c in clusters:
+                times = [result[(n, cache, c)] for n in counts]
+                assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_cache_helps_parallel_bootstraps_more(self, result):
+        """Growing the cache buys more at high bootstrap counts (shared
+        metadata reuse) than for a single bootstrap."""
+        counts, caches, clusters = self._grid(result)
+        small, big = caches[0], caches[-1]
+        c = clusters[0]
+        single_gain = result[(counts[0], small, c)] / result[(counts[0], big, c)]
+        multi_gain = result[(counts[-1], small, c)] / result[(counts[-1], big, c)]
+        assert multi_gain >= single_gain * 0.98
+
+    def test_compute_helps_at_large_cache(self, result):
+        counts, caches, clusters = self._grid(result)
+        big = caches[-1]
+        n = counts[-1]
+        assert result[(n, big, 8)] < result[(n, big, 4)]

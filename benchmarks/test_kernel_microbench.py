@@ -1,0 +1,78 @@
+"""Microbenchmarks of the functional FHE kernels (pytest-benchmark).
+
+Not a paper figure — these time this repository's own numpy kernels (NTT,
+base conversion, keyswitching, rotation) so regressions in the substrate
+are visible.  They also ground the CPU-baseline story: even at N = 4096 a
+single keyswitch costs milliseconds on a CPU, versus the ~microseconds an
+accelerator-class design spends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fhe import CKKSContext, make_params
+from repro.fhe.keyswitch import keyswitch
+from repro.fhe.ntt import intt, ntt
+from repro.fhe.primes import generate_primes
+from repro.fhe.rns import base_convert
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    params = make_params(ring_degree=4096, levels=8, prime_bits=28,
+                         num_digits=3)
+    return CKKSContext(params, seed=1)
+
+
+class TestNttBench:
+    @pytest.mark.parametrize("n", [1024, 4096])
+    def test_forward_ntt(self, benchmark, n):
+        p = generate_primes(1, 28, n)[0]
+        a = np.random.default_rng(0).integers(0, p, n, dtype=np.uint64)
+        ntt(a, p)  # warm the table cache
+        out = benchmark(ntt, a, p)
+        assert np.array_equal(intt(out, p), a)
+
+
+class TestBaseConversionBench:
+    def test_bconv_4096(self, benchmark):
+        n = 4096
+        primes = generate_primes(8, 28, n)
+        source, target = primes[:3], primes[3:]
+        rng = np.random.default_rng(1)
+        limbs = np.stack([rng.integers(0, q, n, dtype=np.uint64)
+                          for q in source])
+        base_convert(limbs, source, target)  # warm the plan cache
+        out = benchmark(base_convert, limbs, source, target)
+        assert out.shape == (5, n)
+
+
+class TestKeyswitchBench:
+    def test_keyswitch_4096(self, benchmark, ctx):
+        params = ctx.params
+        d = ctx.keychain.rng.uniform_poly(params.moduli, params.ring_degree)
+        evk = ctx.keychain.relin_key(params.max_level)
+        f0, f1 = benchmark(keyswitch, d, evk, params)
+        assert f0.level == params.max_level
+
+
+class TestHomomorphicOpBench:
+    def test_rotation(self, benchmark, ctx):
+        from repro.fhe import Evaluator
+
+        ev = Evaluator(ctx)
+        z = np.linspace(-1, 1, ctx.params.slot_count)
+        ct = ctx.encrypt_values(z)
+        out = benchmark(ev.rotate, ct, 5)
+        res = ctx.decrypt_values(out).real
+        assert np.max(np.abs(res - np.roll(z, -5))) < 1e-3
+
+    def test_multiplication(self, benchmark, ctx):
+        from repro.fhe import Evaluator
+
+        ev = Evaluator(ctx)
+        z = np.linspace(-1, 1, ctx.params.slot_count)
+        ct = ctx.encrypt_values(z)
+        out = benchmark(ev.mul, ct, ct)
+        res = ctx.decrypt_values(out).real
+        assert np.max(np.abs(res - z * z)) < 1e-3

@@ -1,0 +1,23 @@
+"""Table 1: component-wise area breakdown (22nm)."""
+
+from repro.experiments import table1_area
+
+
+def test_table1_area(once):
+    result = once(table1_area.run)
+    print("\n" + table1_area.format_result(result))
+
+    # The analytical model must land on the published totals.
+    assert abs(result["total_mm2"] - result["paper_total_mm2"]) < 0.5
+    assert abs(result["fu_total_mm2"] - result["paper_fu_total_mm2"]) < 0.1
+    # NTT is the largest functional unit; the BCU is second.
+    components = result["components_mm2"]
+    ordered = sorted(components, key=components.get, reverse=True)
+    assert ordered[0] == "ntt"
+    assert ordered[1] == "bconv"
+    # Section 4.7: the input-proportional BCU shrinks multipliers ~9x and
+    # buffers ~4.7x versus CraterLake's output-buffered design.
+    bcu = result["bcu_comparison"]
+    assert bcu["craterlake"]["multipliers"] / bcu["cinnamon"]["multipliers"] > 9
+    assert bcu["craterlake"]["buffer_mb"] / bcu["cinnamon"]["buffer_mb"] > 4
+    assert bcu["cinnamon"]["buffer_ports"] < bcu["craterlake"]["buffer_ports"]

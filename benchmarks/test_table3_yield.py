@@ -1,0 +1,18 @@
+"""Table 3: manufacturing yield and tape-out cost."""
+
+from repro.experiments import table3_yield
+
+
+def test_table3_yield(once):
+    result = once(table3_yield.run)
+    print("\n" + table3_yield.format_result(result))
+
+    # Every yield cell within 2 points of the published column.
+    for name, row in result.items():
+        assert abs(row["yield_pct"] - row["paper_yield_pct"]) < 2.0, name
+    # The headline: Cinnamon's small die yields ~2.1x the monolithic chip.
+    assert result["Cinnamon"]["yield_pct"] / \
+        result["Cinnamon-M"]["yield_pct"] > 2.0
+    # ...and the small-chip strategy cuts tape-out cost ~7x.
+    assert result["Cinnamon-M"]["tapeout_cost"] / \
+        result["Cinnamon"]["tapeout_cost"] > 7

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Full CKKS bootstrapping on real encrypted data.
+
+A ciphertext with an exhausted multiplicative budget (level 1) is
+refreshed through the complete pipeline — ModRaise, CoeffToSlot, EvalMod,
+SlotToCoeff — and then *used*: the refreshed ciphertext is squared twice,
+something the exhausted one could never do.
+
+Takes ~10 s (pure-Python CKKS at N = 256).
+
+Run:  python examples/bootstrap_demo.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.fhe import CKKSContext, Evaluator, make_params
+from repro.fhe.bootstrap import Bootstrapper
+
+
+def main():
+    params = make_params(ring_degree=256, levels=18, prime_bits=28,
+                         num_digits=3, secret_hamming_weight=32)
+    context = CKKSContext(params, seed=9)
+    bootstrapper = Bootstrapper(context)
+    evaluator = Evaluator(context)
+
+    rng = np.random.default_rng(1)
+    values = rng.uniform(-0.9, 0.9, params.slot_count)
+
+    exhausted = bootstrapper.encrypt_for_bootstrap(values)
+    print(f"[before]  level {exhausted.level}: multiplicative budget gone "
+          f"(any multiplication would fail)")
+
+    start = time.perf_counter()
+    refreshed = bootstrapper.bootstrap(exhausted)
+    elapsed = time.perf_counter() - start
+    error = np.max(np.abs(context.decrypt_values(refreshed).real - values))
+    print(f"[boot]    refreshed to level {refreshed.level} in {elapsed:.1f}s; "
+          f"value error {error:.2e}")
+
+    # Spend the refreshed budget.
+    squared = evaluator.square(refreshed)
+    fourth = evaluator.square(squared)
+    result = context.decrypt_values(fourth).real
+    err = np.max(np.abs(result - values ** 4))
+    print(f"[after]   computed x^4 on the refreshed ciphertext "
+          f"(level {fourth.level}), error {err:.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Reproduction of "Cinnamon: A Framework for Scale-Out Encrypted AI"
+(ASPLOS 2025).
+
+Public surface:
+
+* :mod:`repro.fhe` — functional RNS-CKKS (parameters, contexts, evaluator,
+  parallel keyswitching, bootstrapping);
+* :mod:`repro.core` — the Cinnamon DSL, compiler, ISA, and emulator;
+* :mod:`repro.sim` — the cycle-level scale-out simulator;
+* :mod:`repro.arch` — area/yield/cost models;
+* :mod:`repro.workloads` — the paper's benchmark programs;
+* :mod:`repro.experiments` — table/figure regeneration harnesses.
+"""
+
+__version__ = "1.0.0"
+
+from . import fhe  # noqa: F401  (cheap; pulls numpy only)
+
+__all__ = ["fhe", "__version__"]

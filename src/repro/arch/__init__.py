@@ -1,0 +1,29 @@
+"""Area, power, yield, and cost models (Sections 5, 7.2).
+
+The paper obtained component areas from RTL synthesis in a commercial 22nm
+PDK; this package substitutes an analytical model *calibrated to the
+published Table 1 numbers* and exposes the same knobs (lane counts, buffer
+sizes, unit multiplicities), so the cost and performance-per-dollar
+analyses (Table 3, Figure 12) can be regenerated and perturbed.
+"""
+
+from .area import ChipAreaModel, CINNAMON_AREA, CINNAMON_M_AREA, \
+    craterlake_bcu_comparison
+from .yield_model import YieldModel, ACCELERATOR_DIES, die_yield, dies_per_wafer
+from .cost import performance_per_dollar, tapeout_cost
+from .power import PowerModel, machine_watts
+
+__all__ = [
+    "ChipAreaModel",
+    "CINNAMON_AREA",
+    "CINNAMON_M_AREA",
+    "craterlake_bcu_comparison",
+    "YieldModel",
+    "ACCELERATOR_DIES",
+    "die_yield",
+    "dies_per_wafer",
+    "performance_per_dollar",
+    "tapeout_cost",
+    "PowerModel",
+    "machine_watts",
+]

@@ -1,0 +1,150 @@
+"""Chip area model calibrated to the paper's Table 1 (22nm synthesis).
+
+Component areas scale from the published per-unit numbers: logic area
+scales linearly with lane count, SRAM with capacity, PHYs with count.  The
+space-optimized base conversion unit (Section 4.7) is modeled explicitly:
+its multiplier count and buffer capacity are proportional to the *input*
+limb bound instead of the output limb count, which is what shrinks it from
+CraterLake's 158 mm^2 (at CraterLake's scale) to 14.12 mm^2 here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+# Table 1, per single Cinnamon chip at 22nm, in mm^2.
+TABLE1_COMPONENTS = {
+    "ntt": 34.08,
+    "bconv": 14.12,
+    "rotation": 2.48,
+    "add": 0.40,
+    "mul": 2.55,
+    "transpose": 3.56,
+    "prng": 5.72,
+    "barrett": 1.04,
+    "rns_resolve": 1.33,
+}
+TABLE1_FU_TOTAL = 82.55       # 2x add, 2x mul, 2x prng, 1x remaining
+TABLE1_BCU_BUFFERS_MM2 = 11.44
+TABLE1_BCU_BUFFERS_MB = 2.85
+TABLE1_REGISTER_FILE_MM2 = 80.9
+TABLE1_REGISTER_FILE_MB = 56.0
+TABLE1_HBM_PHY_MM2 = 38.64 / 4   # per stack
+TABLE1_NET_PHY_MM2 = 9.66 / 2    # per PHY
+TABLE1_TOTAL = 223.18
+
+# Derived densities.  Small SRAM arrays (BCU buffers) are less dense than
+# the big register-file macros, so each gets its own mm^2/MB figure.
+SRAM_MM2_PER_MB = TABLE1_REGISTER_FILE_MM2 / TABLE1_REGISTER_FILE_MB
+BCU_SRAM_MM2_PER_MB = TABLE1_BCU_BUFFERS_MM2 / TABLE1_BCU_BUFFERS_MB
+# Residual between the per-component sum and the published FU total:
+# cluster glue/interconnect logic, scaled with lane count like other logic.
+_COMPONENT_SUM = (
+    TABLE1_COMPONENTS["ntt"] + TABLE1_COMPONENTS["bconv"]
+    + TABLE1_COMPONENTS["rotation"] + TABLE1_COMPONENTS["transpose"]
+    + TABLE1_COMPONENTS["barrett"] + TABLE1_COMPONENTS["rns_resolve"]
+    + 2 * (TABLE1_COMPONENTS["add"] + TABLE1_COMPONENTS["mul"]
+           + TABLE1_COMPONENTS["prng"])
+)
+GLUE_LOGIC_MM2 = TABLE1_FU_TOTAL - _COMPONENT_SUM
+
+# CraterLake's output-buffered base conversion unit, for the Section 4.7
+# comparison: per cluster it needs multipliers and double-ported buffers
+# proportional to the maximum *output* limb count.
+CRATERLAKE_BCU_MULTIPLIERS_PER_CLUSTER = 15_000
+CINNAMON_BCU_MULTIPLIERS_PER_CLUSTER = 1_600
+CRATERLAKE_BCU_BUFFER_MB_PER_CLUSTER = 3.31
+CINNAMON_BCU_BUFFER_MB_PER_CLUSTER = 0.71
+
+
+@dataclass
+class ChipAreaModel:
+    """Analytical chip area as a function of the architecture knobs."""
+
+    clusters: int = 4
+    lanes_per_cluster: int = 256
+    register_file_mb: float = 56.0
+    hbm_stacks: int = 4
+    network_phys: int = 2
+    fu_multiplicity: Dict[str, int] = field(default_factory=lambda: {
+        "add": 2, "mul": 2, "prng": 2,
+        "ntt": 1, "bconv": 1, "rotation": 1, "transpose": 1,
+        "barrett": 1, "rns_resolve": 1,
+    })
+    bconv_lanes_per_cluster: int = 128
+    bconv_buffer_mb: float = TABLE1_BCU_BUFFERS_MB
+
+    # ------------------------------------------------------------------ #
+
+    def _lane_scale(self) -> float:
+        """Logic scales with total vector lanes relative to the baseline."""
+        return (self.clusters * self.lanes_per_cluster) / (4 * 256)
+
+    def functional_unit_area(self) -> float:
+        scale = self._lane_scale()
+        total = 0.0
+        for name, base in TABLE1_COMPONENTS.items():
+            count = self.fu_multiplicity.get(name, 1)
+            unit = base * scale
+            if name == "bconv":
+                # BCU logic scales with its own (halved) lane count.
+                unit = base * (self.clusters * self.bconv_lanes_per_cluster) \
+                    / (4 * 128)
+            total += count * unit
+        return total + GLUE_LOGIC_MM2 * scale
+
+    def sram_area(self) -> float:
+        return (self.register_file_mb * SRAM_MM2_PER_MB
+                + self.bconv_buffer_mb * BCU_SRAM_MM2_PER_MB)
+
+    def phy_area(self) -> float:
+        return (self.hbm_stacks * TABLE1_HBM_PHY_MM2
+                + self.network_phys * TABLE1_NET_PHY_MM2)
+
+    def total_area(self) -> float:
+        return self.functional_unit_area() + self.sram_area() + self.phy_area()
+
+    def breakdown(self) -> Dict[str, float]:
+        return {
+            "functional_units": self.functional_unit_area(),
+            "register_file": self.register_file_mb * SRAM_MM2_PER_MB,
+            "bcu_buffers": self.bconv_buffer_mb * BCU_SRAM_MM2_PER_MB,
+            "hbm_phys": self.hbm_stacks * TABLE1_HBM_PHY_MM2,
+            "network_phys": self.network_phys * TABLE1_NET_PHY_MM2,
+        }
+
+
+#: The baseline Cinnamon chip (must reproduce Table 1's 223.18 mm^2).
+CINNAMON_AREA = ChipAreaModel()
+
+#: The monolithic Cinnamon-M chip of Section 6.1 (~719.78 mm^2).
+CINNAMON_M_AREA = ChipAreaModel(
+    clusters=8,
+    register_file_mb=224.0,
+    hbm_stacks=8,
+    network_phys=0,
+    fu_multiplicity={
+        "add": 5, "mul": 5, "prng": 2,
+        "ntt": 2, "bconv": 1, "rotation": 1, "transpose": 2,
+        "barrett": 1, "rns_resolve": 1,
+    },
+    bconv_lanes_per_cluster=128,
+    bconv_buffer_mb=2 * TABLE1_BCU_BUFFERS_MB,
+)
+
+
+def craterlake_bcu_comparison() -> Dict[str, Dict[str, float]]:
+    """Section 4.7's BCU resource comparison (per cluster)."""
+    return {
+        "craterlake": {
+            "multipliers": CRATERLAKE_BCU_MULTIPLIERS_PER_CLUSTER,
+            "buffer_mb": CRATERLAKE_BCU_BUFFER_MB_PER_CLUSTER,
+            "buffer_ports": 2,
+        },
+        "cinnamon": {
+            "multipliers": CINNAMON_BCU_MULTIPLIERS_PER_CLUSTER,
+            "buffer_mb": CINNAMON_BCU_BUFFER_MB_PER_CLUSTER,
+            "buffer_ports": 1,
+        },
+    }

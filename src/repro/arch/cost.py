@@ -1,0 +1,52 @@
+"""Tape-out cost and performance-per-dollar (Section 7.2, Figure 12).
+
+Performance-per-dollar for a benchmark is ``1 / (time * cost)`` normalized
+to a reference design.  Costs use Table 3's yield-normalized tape-out
+estimates; the yield model in :mod:`repro.arch.yield_model` regenerates the
+yield column those estimates rest on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .yield_model import ACCELERATOR_DIES, TABLE3_TAPEOUT_COST
+
+
+def tapeout_cost(design: str) -> float:
+    """Yield-normalized tape-out cost in dollars (Table 3)."""
+    if design not in TABLE3_TAPEOUT_COST:
+        raise KeyError(f"no cost data for design {design!r}")
+    return TABLE3_TAPEOUT_COST[design]
+
+
+def performance_per_dollar(
+    times: Dict[str, float],
+    costs: Dict[str, float] = None,
+    baseline: str = None,
+) -> Dict[str, float]:
+    """Relative performance-per-dollar across designs.
+
+    ``times`` maps design name to execution time (seconds) on a benchmark;
+    ``costs`` defaults to Table 3 tape-out costs.  The result is normalized
+    so ``baseline`` (default: the first design) is 1.0.
+    """
+    if not times:
+        raise ValueError("no designs given")
+    costs = costs or TABLE3_TAPEOUT_COST
+    raw = {}
+    for design, seconds in times.items():
+        if seconds <= 0:
+            raise ValueError(f"non-positive time for {design!r}")
+        cost = costs.get(design)
+        if cost is None:
+            raise KeyError(f"no cost for design {design!r}")
+        raw[design] = 1.0 / (seconds * cost)
+    if baseline is None:
+        baseline = next(iter(times))
+    ref = raw[baseline]
+    return {design: value / ref for design, value in raw.items()}
+
+
+def chips_for_design(design: str) -> int:
+    return ACCELERATOR_DIES[design].chips_per_system

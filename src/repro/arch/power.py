@@ -1,0 +1,69 @@
+"""Chip power model, calibrated to the paper's 190 W per Cinnamon chip.
+
+Section 5 reports a total chip power of 190 W at 1 GHz in 22nm.  We
+apportion it with the usual accelerator split — dynamic logic power
+proportional to functional-unit area and activity, SRAM power to capacity
+and access rate, HBM/network PHY power to bandwidth utilization — and
+calibrate the coefficients so the default chip at the paper's ~60%
+utilization draws 190 W.  The model then answers the questions the
+architecture sweeps ask: how power moves with lane count, register-file
+size, and utilization (Figure 16's knobs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .area import CINNAMON_AREA, ChipAreaModel
+
+PAPER_CHIP_WATTS = 190.0
+_REFERENCE_UTILIZATION = {"compute": 0.6, "memory": 0.6, "network": 0.6}
+
+# Power density / interface-power coefficients (calibrated below).
+LOGIC_W_PER_MM2_ACTIVE = 1.4603          # dynamic power density of busy logic
+SRAM_W_PER_MB = 0.5679                   # leakage + access energy
+HBM_W_PER_GBPS = 0.04868                 # PHY + DRAM I/O per GB/s utilized
+LINK_W_PER_GBPS = 0.04056
+STATIC_FRACTION = 0.25                 # leakage floor of the logic
+
+
+@dataclass
+class PowerModel:
+    """Power of one chip as a function of area knobs and utilization."""
+
+    area: ChipAreaModel = None
+    hbm_gbps: float = 2048.0
+    link_gbps: float = 512.0
+
+    def __post_init__(self):
+        if self.area is None:
+            self.area = CINNAMON_AREA
+
+    def breakdown(self, utilization: Dict[str, float] = None) -> Dict[str, float]:
+        util = dict(_REFERENCE_UTILIZATION)
+        if utilization:
+            util.update(utilization)
+        logic_area = self.area.functional_unit_area()
+        sram_mb = self.area.register_file_mb + self.area.bconv_buffer_mb
+        logic = logic_area * LOGIC_W_PER_MM2_ACTIVE * (
+            STATIC_FRACTION + (1 - STATIC_FRACTION) * util["compute"]
+        )
+        sram = sram_mb * SRAM_W_PER_MB
+        hbm = self.hbm_gbps * HBM_W_PER_GBPS * util["memory"]
+        network = self.link_gbps * LINK_W_PER_GBPS * util["network"]
+        return {"logic": logic, "sram": sram, "hbm": hbm, "network": network}
+
+    def total_watts(self, utilization: Dict[str, float] = None) -> float:
+        return sum(self.breakdown(utilization).values())
+
+
+def calibration_error() -> float:
+    """Relative error of the default chip vs the paper's 190 W."""
+    watts = PowerModel().total_watts()
+    return abs(watts - PAPER_CHIP_WATTS) / PAPER_CHIP_WATTS
+
+
+def machine_watts(num_chips: int, utilization: Dict[str, float] = None) -> float:
+    """Whole-machine power (chips only; interposer/host excluded)."""
+    return num_chips * PowerModel().total_watts(utilization)

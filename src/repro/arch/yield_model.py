@@ -1,0 +1,121 @@
+"""Manufacturing yield and die cost (Section 7.2, Table 3).
+
+Uses the negative-binomial defect model of Stow et al. with the paper's
+(optimistic) assumptions: defect density ``D0 = 0.2 / cm^2`` and clustering
+parameter ``alpha = 3``:
+
+    yield = (1 + A * D0 / alpha) ** (-alpha)
+
+Dies per 300 mm wafer use the standard wafer-fit approximation; wafer
+prices per process node come from the public data the paper cites
+(EuroPractice 22nm, MuseSemi 7/14nm equivalents) expressed as $/mm^2 of
+wafer area.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+DEFECT_DENSITY_PER_CM2 = 0.2
+CLUSTERING_ALPHA = 3.0
+WAFER_DIAMETER_MM = 300.0
+
+# Wafer price expressed as $/mm^2 of *die* area at full yield, matching
+# Table 3's "Wafer Price ($/mm^2)" column.
+WAFER_PRICE_PER_MM2 = {
+    "7nm": 57500 / 1e3,
+    "14nm": 23000 / 1e3,
+    "22nm": 10500 / 1e3,
+}
+# Table 3 reports the price column in $/mm^2 directly; keep the published
+# integers accessible for the table regeneration.
+TABLE3_PRICE_COLUMN = {"7nm": 57500, "14nm": 23000, "22nm": 10500}
+
+
+def die_yield(area_mm2: float, d0: float = DEFECT_DENSITY_PER_CM2,
+              alpha: float = CLUSTERING_ALPHA) -> float:
+    """Negative-binomial yield for one die of ``area_mm2``."""
+    if area_mm2 <= 0:
+        raise ValueError("die area must be positive")
+    area_cm2 = area_mm2 / 100.0
+    return (1.0 + area_cm2 * d0 / alpha) ** (-alpha)
+
+
+def dies_per_wafer(area_mm2: float,
+                   diameter_mm: float = WAFER_DIAMETER_MM) -> int:
+    """Gross dies per round wafer (edge-loss approximation)."""
+    if area_mm2 <= 0:
+        raise ValueError("die area must be positive")
+    if math.sqrt(area_mm2) >= diameter_mm:
+        return 0
+    gross = (math.pi * (diameter_mm / 2) ** 2) / area_mm2 \
+        - (math.pi * diameter_mm) / math.sqrt(2 * area_mm2)
+    return max(0, int(gross))
+
+
+@dataclass(frozen=True)
+class AcceleratorDie:
+    """One accelerator's die description (Table 3 row)."""
+
+    name: str
+    area_mm2: float
+    process: str
+    chips_per_system: int = 1
+
+    @property
+    def yield_fraction(self) -> float:
+        return die_yield(self.area_mm2)
+
+    @property
+    def price_per_mm2(self) -> float:
+        return TABLE3_PRICE_COLUMN[self.process] / 1e3
+
+    def yielded_die_cost(self) -> float:
+        """$ per *good* die: raw silicon cost divided by yield."""
+        raw = self.area_mm2 * self.price_per_mm2
+        return raw / self.yield_fraction
+
+    def system_cost(self) -> float:
+        return self.yielded_die_cost() * self.chips_per_system
+
+
+class YieldModel:
+    """Convenience wrapper mirroring Table 3's columns."""
+
+    def __init__(self, dies: Dict[str, AcceleratorDie] = None):
+        self.dies = dies or dict(ACCELERATOR_DIES)
+
+    def table(self) -> Dict[str, Dict[str, float]]:
+        out = {}
+        for name, die in self.dies.items():
+            out[name] = {
+                "area_mm2": die.area_mm2,
+                "process": die.process,
+                "yield_pct": 100.0 * die.yield_fraction,
+                "price_per_mm2": TABLE3_PRICE_COLUMN[die.process],
+                "yielded_die_cost": die.yielded_die_cost(),
+            }
+        return out
+
+
+# Table 3's rows.  Tape-out NRE costs in the paper's "Yield Normalized
+# Cost" column are dominated by mask-set/NRE estimates; we reproduce them
+# as published constants (see repro.arch.cost.tapeout_cost).
+ACCELERATOR_DIES: Dict[str, AcceleratorDie] = {
+    "ARK": AcceleratorDie("ARK", 418.3, "7nm"),
+    "CiFHER": AcceleratorDie("CiFHER", 47.08, "7nm", chips_per_system=16),
+    "CraterLake": AcceleratorDie("CraterLake", 472.0, "14nm"),
+    "Cinnamon-M": AcceleratorDie("Cinnamon-M", 719.78, "22nm"),
+    "Cinnamon": AcceleratorDie("Cinnamon", 223.18, "22nm", chips_per_system=4),
+}
+
+# Published "Yield Normalized Cost" column ($), Table 3.
+TABLE3_TAPEOUT_COST = {
+    "ARK": 50e6,
+    "CiFHER": 3.5e6,
+    "CraterLake": 25e6,
+    "Cinnamon-M": 25e6,
+    "Cinnamon": 3.5e6,
+}

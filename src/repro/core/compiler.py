@@ -1,0 +1,120 @@
+"""The Cinnamon compiler driver.
+
+Pipeline (Figure 7):
+
+    DSL program
+      -> bootstrap expansion        (ct level; inlines bootstrap op graphs)
+      -> keyswitch pass             (pattern detection, algorithm selection)
+      -> alignment + scale inference
+      -> polynomial IR              (ciphertexts -> component polynomials)
+      -> limb IR                    (limb partitioning, keyswitch expansion,
+                                     explicit communication)
+      -> Cinnamon ISA               (per-chip streams, Belady registers)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .dsl.program import CinnamonProgram
+from .ir import ctpasses
+from .ir.limb_ir import LimbProgram, lower_to_limb
+from .ir.passes import KeyswitchPass
+from .ir.poly_ir import PolyProgram, lower_to_poly
+
+
+@dataclass
+class CompilerOptions:
+    """Machine layout and optimization switches.
+
+    ``num_chips`` is the whole machine; ``chips_per_stream`` carves it into
+    stream groups (defaults to an even split across the program's streams).
+    ``keyswitch_policy`` and ``enable_batching`` drive the keyswitch pass
+    (Section 7.3's configurations).  ``registers_per_chip`` sizes the
+    register file for allocation (224 x 256 KB limbs = 56 MB by default).
+    """
+
+    num_chips: int = 4
+    chips_per_stream: Optional[int] = None
+    keyswitch_policy: str = "cinnamon"
+    enable_batching: bool = True
+    num_digits: Optional[int] = None
+    registers_per_chip: int = 224
+    bootstrap_plan: object = None  # BootstrapPlan; default chosen per params
+    regenerate_evalkeys: bool = True  # PRNG unit regenerates evk 'a' limbs
+    enable_optimizations: bool = True  # ct-level CSE + DCE
+
+
+@dataclass
+class CompiledProgram:
+    """Everything the simulator, emulator, and benchmarks consume."""
+
+    name: str
+    options: CompilerOptions
+    ct_program: CinnamonProgram
+    poly_program: PolyProgram
+    limb_program: LimbProgram
+    isa: object = None  # IsaModule when emit_isa was requested
+    pass_stats: object = None
+    comm_summary: dict = None  # filled by callers that release the limb IR
+
+    @property
+    def instruction_count(self) -> int:
+        return 0 if self.isa is None else self.isa.instruction_count
+
+
+class CinnamonCompiler:
+    """Compiles DSL programs for a Cinnamon machine configuration."""
+
+    def __init__(self, params, options: CompilerOptions = None):
+        """``params`` is a :class:`repro.fhe.CKKSParams` (functional, enables
+        emulation) or :class:`repro.fhe.ArchParams` (symbolic, N = 64K).
+        """
+        self.params = params
+        self.options = options or CompilerOptions()
+
+    def compile(self, program: CinnamonProgram,
+                emit_isa: bool = True) -> CompiledProgram:
+        opts = self.options
+        prog = self._expand_bootstraps(program)
+        if opts.enable_optimizations:
+            from .ir.optimize import optimize
+
+            prog = optimize(prog)
+        ks_pass = KeyswitchPass(opts.keyswitch_policy, opts.enable_batching)
+        prog = ks_pass.run(prog)
+        prog = ctpasses.insert_alignment(prog)
+        if hasattr(self.params, "moduli"):
+            ctpasses.infer_scales(prog, self.params)
+        poly = lower_to_poly(prog)
+        limb = lower_to_limb(
+            poly, self.params, opts.num_chips,
+            chips_per_stream=opts.chips_per_stream,
+            num_digits=opts.num_digits,
+            regenerate_evalkeys=opts.regenerate_evalkeys,
+        )
+        compiled = CompiledProgram(
+            name=program.name,
+            options=opts,
+            ct_program=prog,
+            poly_program=poly,
+            limb_program=limb,
+            pass_stats=ks_pass.stats,
+        )
+        if emit_isa:
+            from .isa.codegen import generate_isa
+
+            compiled.isa = generate_isa(
+                limb, opts.num_chips, opts.registers_per_chip)
+        return compiled
+
+    # ------------------------------------------------------------------ #
+
+    def _expand_bootstraps(self, program: CinnamonProgram) -> CinnamonProgram:
+        if any(op.opcode == "bootstrap" for op in program.ops):
+            from .ir.bootstrap_graph import expand_bootstraps
+
+            return expand_bootstraps(program, self.params,
+                                     plan=self.options.bootstrap_plan)
+        return program

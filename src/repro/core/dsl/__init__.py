@@ -1,0 +1,11 @@
+"""The Cinnamon DSL: Python-embedded FHE programs with parallel streams."""
+
+from .program import CinnamonProgram, CiphertextHandle, PlaintextHandle
+from .streams import StreamPool
+
+__all__ = [
+    "CinnamonProgram",
+    "CiphertextHandle",
+    "PlaintextHandle",
+    "StreamPool",
+]

@@ -1,0 +1,259 @@
+"""Program capture for the Cinnamon DSL.
+
+A :class:`CinnamonProgram` records ciphertext-level operations into a DAG as
+ordinary Python code executes — handles overload the arithmetic operators,
+so FHE programs read like numpy code (Figure 7 step 1 of the paper):
+
+    prog = CinnamonProgram("dot", level=8)
+    a = prog.input("a")
+    b = prog.input("b")
+    c = a * b
+    for r in (1, 2, 4):
+        c = c + c.rotate(r)
+    prog.output("c", c)
+
+Each operation records the *stream* it belongs to (see
+:mod:`repro.core.dsl.streams`); the compiler places streams on chip groups.
+Levels are tracked statically: they determine limb counts, digit structure,
+and therefore everything the limb IR and the simulator see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+# Ciphertext-level opcodes.
+INPUT = "input"
+OUTPUT = "output"
+ADD = "add"
+SUB = "sub"
+NEGATE = "negate"
+MUL = "mul"                # ct x ct: tensor + relinearize + rescale
+MUL_PLAIN = "mul_plain"    # ct x pt: multiply + rescale
+ADD_PLAIN = "add_plain"
+ROTATE = "rotate"
+CONJUGATE = "conjugate"
+RESCALE = "rescale"        # explicit extra rescale (rarely needed)
+BOOTSTRAP = "bootstrap"
+
+_LEVEL_CONSUMING = {MUL, MUL_PLAIN, RESCALE}
+# auto_bootstrap refreshes operands at or below this level.
+_LOW_WATERMARK = 2
+
+
+@dataclass(slots=True)
+class CtOp:
+    """One node of the ciphertext-level DAG."""
+
+    id: int
+    opcode: str
+    inputs: Tuple[int, ...]
+    level: int  # level of the result
+    stream: int
+    attrs: dict = field(default_factory=dict)
+
+    def __repr__(self):
+        ins = ",".join(f"%{i}" for i in self.inputs)
+        return f"%{self.id} = {self.opcode}({ins}) L{self.level} s{self.stream}"
+
+
+class CiphertextHandle:
+    """A ciphertext value inside a captured program."""
+
+    __slots__ = ("program", "op_id", "level")
+
+    def __init__(self, program: "CinnamonProgram", op_id: int, level: int):
+        self.program = program
+        self.op_id = op_id
+        self.level = level
+
+    # -- operator sugar -------------------------------------------------- #
+
+    def _emit(self, opcode, others=(), level=None, **attrs):
+        return self.program._record(opcode, (self,) + tuple(others),
+                                    level=level, **attrs)
+
+    def __add__(self, other):
+        if isinstance(other, PlaintextHandle):
+            return self._emit(ADD_PLAIN, attrs_pt=None, plaintext=other.name)
+        if isinstance(other, (int, float, complex)):
+            return self._emit(ADD_PLAIN, constant=other)
+        return self._emit(ADD, (other,))
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        if isinstance(other, (int, float, complex)):
+            return self._emit(ADD_PLAIN, constant=-other)
+        return self._emit(SUB, (other,))
+
+    def __neg__(self):
+        return self._emit(NEGATE)
+
+    def __mul__(self, other):
+        if isinstance(other, PlaintextHandle):
+            return self._emit(MUL_PLAIN, plaintext=other.name)
+        if isinstance(other, (int, float, complex)):
+            return self._emit(MUL_PLAIN, constant=other)
+        return self._emit(MUL, (other,))
+
+    __rmul__ = __mul__
+
+    def rotate(self, amount: int) -> "CiphertextHandle":
+        """Cyclically shift slots left by ``amount``."""
+        return self._emit(ROTATE, rotation=int(amount))
+
+    def conjugate(self) -> "CiphertextHandle":
+        return self._emit(CONJUGATE)
+
+    def rescale(self) -> "CiphertextHandle":
+        return self._emit(RESCALE)
+
+    def bootstrap(self) -> "CiphertextHandle":
+        """Refresh the multiplicative budget (expanded by the compiler)."""
+        return self._emit(BOOTSTRAP)
+
+    def __repr__(self):
+        return f"<ct %{self.op_id} L{self.level}>"
+
+
+class PlaintextHandle:
+    """A named plaintext operand; values are bound at emulation time."""
+
+    __slots__ = ("name", "level")
+
+    def __init__(self, name: str, level: Optional[int] = None):
+        self.name = name
+        self.level = level
+
+    def __repr__(self):
+        return f"<pt {self.name}>"
+
+
+class CinnamonProgram:
+    """A captured ciphertext-level FHE program."""
+
+    def __init__(self, name: str, level: int, bootstrap_output_level: int = None,
+                 auto_bootstrap: bool = False):
+        """``level`` is the level of fresh inputs; ``bootstrap_output_level``
+        is the level ciphertexts re-enter computation with after a
+        bootstrap (the paper's ``l_eff + 1``; defaults to ``level``).
+
+        With ``auto_bootstrap``, operands whose budget would be exhausted
+        are refreshed automatically (DaCapo-style bootstrap placement,
+        the trade-off Section 7.5 points to): programs can be written
+        depth-obliviously and the recorder inserts ``bootstrap`` ops where
+        needed.
+        """
+        if level < 1:
+            raise ValueError("input level must be >= 1")
+        self.name = name
+        self.input_level = level
+        self.bootstrap_output_level = bootstrap_output_level or level
+        self.auto_bootstrap = auto_bootstrap
+        self.ops: List[CtOp] = []
+        self.inputs: Dict[str, int] = {}
+        self.outputs: Dict[str, int] = {}
+        self.plaintexts: Dict[str, Optional[int]] = {}
+        self.num_streams = 1
+        self._current_stream = 0
+
+    # ------------------------------------------------------------------ #
+    # Recording
+
+    def _record(self, opcode: str, operands: Sequence[CiphertextHandle] = (),
+                level: int = None, **attrs) -> CiphertextHandle:
+        for operand in operands:
+            if operand.program is not self:
+                raise ValueError("cannot mix handles from different programs")
+        if level is None:
+            level = self._result_level(opcode, operands, attrs)
+        if level < 1 and self.auto_bootstrap and opcode != BOOTSTRAP:
+            # Refresh the shallowest operands until the op has budget.
+            operands = tuple(
+                op.bootstrap() if op.level <= _LOW_WATERMARK else op
+                for op in operands
+            )
+            level = self._result_level(opcode, operands, attrs)
+        if level < 1:
+            raise ValueError(
+                f"multiplicative budget exhausted at op {len(self.ops)} "
+                f"({opcode}); insert a bootstrap"
+            )
+        if "plaintext" in attrs and attrs["plaintext"] is not None:
+            self.plaintexts.setdefault(attrs["plaintext"], level)
+        attrs = {k: v for k, v in attrs.items() if v is not None and k != "attrs_pt"}
+        op = CtOp(
+            id=len(self.ops),
+            opcode=opcode,
+            inputs=tuple(o.op_id for o in operands),
+            level=level,
+            stream=self._current_stream,
+            attrs=attrs,
+        )
+        self.ops.append(op)
+        return CiphertextHandle(self, op.id, level)
+
+    def _result_level(self, opcode, operands, attrs) -> int:
+        if opcode == INPUT:
+            return attrs.get("level") or self.input_level
+        if opcode == BOOTSTRAP:
+            return self.bootstrap_output_level
+        base = min(o.level for o in operands)
+        if opcode in _LEVEL_CONSUMING:
+            return base - 1
+        return base
+
+    # ------------------------------------------------------------------ #
+    # Program interface
+
+    def input(self, name: str, level: int = None) -> CiphertextHandle:
+        if name in self.inputs:
+            raise ValueError(f"duplicate input {name!r}")
+        handle = self._record(INPUT, level=level or self.input_level, name=name)
+        self.inputs[name] = handle.op_id
+        return handle
+
+    def plaintext(self, name: str) -> PlaintextHandle:
+        """Declare a named plaintext operand (bound at emulation time)."""
+        return PlaintextHandle(name)
+
+    def output(self, name: str, value: CiphertextHandle):
+        if name in self.outputs:
+            raise ValueError(f"duplicate output {name!r}")
+        self._record(OUTPUT, (value,), level=value.level, name=name)
+        self.outputs[name] = value.op_id
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+
+    def op(self, op_id: int) -> CtOp:
+        return self.ops[op_id]
+
+    def count(self, opcode: str) -> int:
+        return sum(1 for op in self.ops if op.opcode == opcode)
+
+    @property
+    def keyswitch_count(self) -> int:
+        """Ops that will lower to a keyswitch (mul, rotate, conjugate)."""
+        return sum(1 for op in self.ops
+                   if op.opcode in (MUL, ROTATE, CONJUGATE))
+
+    def users(self) -> Dict[int, List[int]]:
+        """Map op id -> ids of ops consuming its result."""
+        table: Dict[int, List[int]] = {op.id: [] for op in self.ops}
+        for op in self.ops:
+            for src in op.inputs:
+                table[src].append(op.id)
+        return table
+
+    def __repr__(self):
+        return (
+            f"CinnamonProgram({self.name!r}, ops={len(self.ops)}, "
+            f"streams={self.num_streams})"
+        )
+
+    def dump(self) -> str:
+        """Readable listing of the captured DAG (for tests and debugging)."""
+        return "\n".join(repr(op) for op in self.ops)

@@ -1,0 +1,56 @@
+"""Concurrent execution streams — program-level parallelism.
+
+Streams are the DSL's unit of program-level parallelism (Section 4.2): the
+programmer writes a stream function indexed by ``stream_id``, and
+:class:`StreamPool` runs it once per stream while tagging every recorded
+operation with its stream.  The compiler later places each stream on its
+own chip group and parallelizes within the group at the limb level —
+composing both forms of parallelism (Figure 7 steps 5-6).
+
+    def stream_fn(stream_id):
+        x = prog.input(f"x{stream_id}")
+        y = prog.input(f"y{stream_id}")
+        prog.output(f"z{stream_id}", x * y)
+
+    StreamPool(prog, num_streams=2, fn=stream_fn)
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable
+
+from .program import CinnamonProgram
+
+
+@contextmanager
+def stream_scope(program: CinnamonProgram, stream_id: int):
+    """Tag all operations recorded inside the scope with ``stream_id``."""
+    if stream_id < 0:
+        raise ValueError("stream id must be non-negative")
+    previous = program._current_stream
+    program._current_stream = stream_id
+    program.num_streams = max(program.num_streams, stream_id + 1)
+    try:
+        yield
+    finally:
+        program._current_stream = previous
+
+
+class StreamPool:
+    """Instantiate ``num_streams`` concurrent streams of a stream function.
+
+    Mirrors the paper's ``CinnamonStreamPool``: the function body is traced
+    once per stream id.  Capture is sequential (tracing is deterministic);
+    *execution* concurrency comes from the compiler's stream placement.
+    """
+
+    def __init__(self, program: CinnamonProgram, num_streams: int,
+                 fn: Callable[[int], None]):
+        if num_streams < 1:
+            raise ValueError("need at least one stream")
+        self.program = program
+        self.num_streams = num_streams
+        for stream_id in range(num_streams):
+            with stream_scope(program, stream_id):
+                fn(stream_id)

@@ -1,0 +1,18 @@
+"""Cinnamon compiler intermediate representations and passes."""
+
+from .poly_ir import PolyProgram, lower_to_poly
+from .limb_ir import LimbProgram, lower_to_limb
+from .passes import KeyswitchPass, KS_SEQUENTIAL, KS_CIFHER, KS_INPUT_BROADCAST, \
+    KS_OUTPUT_AGGREGATION
+
+__all__ = [
+    "PolyProgram",
+    "lower_to_poly",
+    "LimbProgram",
+    "lower_to_limb",
+    "KeyswitchPass",
+    "KS_SEQUENTIAL",
+    "KS_CIFHER",
+    "KS_INPUT_BROADCAST",
+    "KS_OUTPUT_AGGREGATION",
+]

@@ -1,0 +1,246 @@
+"""Ciphertext-level expansion of bootstrap ops.
+
+``handle.bootstrap()`` records a single DSL op; before polynomial lowering
+the compiler inlines it into the actual bootstrapping op graph (Han-Ki
+structure, as accelerated by ARK/CraterLake and used in the paper's
+Bootstrap benchmark):
+
+* **ModRaise** to the top of the chain;
+* **CoeffToSlot**: ``stages`` homomorphic BSGS matrix multiplications with
+  sparse FFT-factor matrices (radix-``r`` - each stage has ~``2r-1``
+  diagonals), then conjugations to extract the real parts;
+* **EvalMod**: Chebyshev evaluation of the scaled sine (baby-step/giant-
+  step powers plus the block recombination);
+* **SlotToCoeff**: ``stages`` more BSGS matmuls.
+
+The expansion emits real DSL ops (rotations, plaintext muls, adds), so the
+keyswitch pass sees bootstrapping's hoistable rotation batches and
+rotate-aggregate trees exactly as it would in the paper's compiler.  The
+plaintext operands (FFT factors, Chebyshev coefficients) are bound by name;
+they are compiled symbolically and the *functional* bootstrap is validated
+separately by :mod:`repro.fhe.bootstrap` (see DESIGN.md section 5).
+
+Two presets reproduce the paper's Section 7.5 configurations:
+``BOOTSTRAP_13`` refreshes 13 usable levels; ``BOOTSTRAP_21`` refreshes 21
+(a deeper chain with nearly twice the compute).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from ..dsl.program import CinnamonProgram, CiphertextHandle, CtOp
+
+MOD_RAISE = "mod_raise"
+
+
+@dataclass(frozen=True)
+class BootstrapPlan:
+    """Level budget and transform structure of one bootstrap variant."""
+
+    name: str
+    top_level: int            # chain length after ModRaise (paper: 51)
+    output_level: int         # levels handed back to the application + 1
+    cts_stages: int = 3
+    cts_radix: int = 32
+    eval_mod_degree: int = 63
+    eval_mod_doublings: int = 2
+
+    @property
+    def consumed_levels(self) -> int:
+        return self.top_level - self.output_level
+
+    def eval_mod_levels(self) -> int:
+        baby = 1 << max(1, math.ceil(math.log2(math.sqrt(self.eval_mod_degree + 1))))
+        giants = max(0, int(math.log2(max(1, self.eval_mod_degree // baby))))
+        recombine = max(1, giants)
+        return int(math.log2(baby)) + giants + recombine + self.eval_mod_doublings
+
+
+# The paper's Bootstrap benchmark: raise to l=51, consume 36, leave 13+1.
+BOOTSTRAP_13 = BootstrapPlan("bootstrap-13", top_level=51, output_level=14)
+# Section 7.5's deeper variant: refresh 21 levels with ~2x the compute.
+BOOTSTRAP_21 = BootstrapPlan(
+    "bootstrap-21", top_level=59, output_level=22,
+    cts_stages=4, cts_radix=32, eval_mod_degree=127, eval_mod_doublings=3)
+
+
+def expand_bootstraps(prog: CinnamonProgram, params,
+                      plan: BootstrapPlan = None) -> CinnamonProgram:
+    """Inline every ``bootstrap`` op with the plan's op graph."""
+    plan = plan or default_plan(params)
+    if plan.top_level > params.max_level:
+        raise ValueError(
+            f"bootstrap plan needs {plan.top_level} levels; parameters have "
+            f"{params.max_level}"
+        )
+    out = CinnamonProgram(prog.name, prog.input_level, plan.output_level)
+    out.num_streams = prog.num_streams
+    mapping = {}
+    counter = [0]
+    for op in prog.ops:
+        if op.opcode == "bootstrap":
+            out._current_stream = op.stream
+            source = CiphertextHandle(out, mapping[op.inputs[0]],
+                                      out.ops[mapping[op.inputs[0]]].level)
+            result = append_bootstrap(out, source, plan, tag=counter[0])
+            counter[0] += 1
+            mapping[op.id] = result.op_id
+            continue
+        clone = CtOp(
+            id=len(out.ops),
+            opcode=op.opcode,
+            inputs=tuple(mapping[i] for i in op.inputs),
+            level=op.level,
+            stream=op.stream,
+            attrs=dict(op.attrs),
+        )
+        out.ops.append(clone)
+        mapping[op.id] = clone.id
+        if op.opcode == "input":
+            out.inputs[op.attrs["name"]] = clone.id
+        elif op.opcode == "output":
+            out.outputs[op.attrs["name"]] = clone.inputs[0]
+    out._current_stream = 0
+    return out
+
+
+def default_plan(params) -> BootstrapPlan:
+    if params.max_level >= BOOTSTRAP_13.top_level:
+        return BOOTSTRAP_13
+    # Scaled-down plan for functional parameter sets in tests.  The mini
+    # pipeline consumes ~8 levels (1 CtS + 1 unpack + ~4 EvalMod + 1 pack
+    # + 1 StC), so it needs a chain of at least 10.
+    top = params.max_level
+    if top < 10:
+        raise ValueError(
+            f"bootstrap expansion needs at least 10 levels, got {top}"
+        )
+    return BootstrapPlan("bootstrap-mini", top_level=top,
+                         output_level=2,
+                         cts_stages=1, cts_radix=4,
+                         eval_mod_degree=7, eval_mod_doublings=0)
+
+
+def append_bootstrap(prog: CinnamonProgram, ct: CiphertextHandle,
+                     plan: BootstrapPlan, tag: int) -> CiphertextHandle:
+    """Emit the bootstrap op graph; returns the refreshed handle."""
+    raised = _mod_raise(prog, ct, plan.top_level)
+    t_lo, t_hi = _coeff_to_slot(prog, raised, plan)
+    m_lo = _eval_mod(prog, t_lo, plan, "em")
+    m_hi = _eval_mod(prog, t_hi, plan, "em")  # same sine coefficients
+    result = _slot_to_coeff(prog, m_lo, m_hi, plan)
+    if result.level < plan.output_level:
+        raise ValueError(
+            f"bootstrap plan {plan.name!r} output level {plan.output_level} "
+            f"exceeds the {result.level} levels its own pipeline leaves"
+        )
+    if result.level > plan.output_level:
+        result = prog._record("mod_switch", (result,),
+                              level=plan.output_level)
+    return result
+
+
+def _mod_raise(prog: CinnamonProgram, ct: CiphertextHandle,
+               top_level: int) -> CiphertextHandle:
+    if ct.level > 1:
+        # Budget-exhausted entry: drop the remaining limbs before raising
+        # (real pipelines enter the raise at the single base modulus).
+        ct = prog._record("mod_switch", (ct,), level=1)
+    return prog._record(MOD_RAISE, (ct,), level=top_level)
+
+
+def _bsgs_matmul(prog: CinnamonProgram, ct: CiphertextHandle,
+                 num_diagonals: int, pt_prefix: str) -> CiphertextHandle:
+    """One BSGS diagonal matmul; the source of bootstrap's rotations."""
+    n1 = 1 << max(0, math.ceil(math.log2(math.sqrt(num_diagonals))))
+    n2 = math.ceil(num_diagonals / n1)
+    rotated = {0: ct}
+    for i in range(1, n1):
+        rotated[i] = ct.rotate(i)  # hoistable batch (pattern 1)
+    outer_terms: List[CiphertextHandle] = []
+    d = 0
+    for j in range(n2):
+        inner = None
+        for i in range(n1):
+            if d >= num_diagonals:
+                break
+            term = rotated[i] * prog.plaintext(f"{pt_prefix}_d{d}")
+            inner = term if inner is None else inner + term
+            d += 1
+        if inner is None:
+            continue
+        if j:
+            inner = inner.rotate(j * n1)  # rotate-aggregate (pattern 2)
+        outer_terms.append(inner)
+    acc = outer_terms[0]
+    for term in outer_terms[1:]:
+        acc = acc + term
+    return acc
+
+
+def _coeff_to_slot(prog, ct, plan: BootstrapPlan):
+    x = ct
+    for stage in range(plan.cts_stages):
+        x = _bsgs_matmul(prog, x, 2 * plan.cts_radix - 1,
+                         f"bs_cts{stage}")
+    # Real-part extraction for the two coefficient halves.
+    conj = x.conjugate()
+    t_lo = x + conj
+    t_hi = (x - conj) * prog.plaintext("bs_imag_unpack")
+    return t_lo, t_hi
+
+
+def _eval_mod(prog, ct, plan: BootstrapPlan, tag):
+    degree = plan.eval_mod_degree
+    baby = 1 << max(1, math.ceil(math.log2(math.sqrt(degree + 1))))
+    powers = {1: ct}
+    for i in range(2, baby + 1):
+        half = i // 2
+        other = i - half
+        prod = powers[half] * powers[other]
+        doubled = prod + prod
+        powers[i] = doubled + (-1.0) if half == other else doubled - powers[1]
+    g = baby
+    while 2 * g <= degree:
+        sq = powers[g] * powers[g]
+        doubled = sq + sq
+        powers[2 * g] = doubled + (-1.0)
+        g *= 2
+    # Block recombination: one plaintext-weighted baby sum per giant block,
+    # then a multiply by the giant power (Paterson-Stockmeyer shape).
+    blocks = []
+    num_blocks = math.ceil((degree + 1) / baby)
+    for blk in range(num_blocks):
+        acc = None
+        for i in range(1, baby + 1):
+            term = powers[i] * prog.plaintext(f"bs_em_{tag}_b{blk}_{i}")
+            acc = term if acc is None else acc + term
+        blocks.append(acc)
+    result = blocks[0]
+    giant = baby
+    for blk in blocks[1:]:
+        result = result + blk * powers[min(giant, g)]
+        giant = min(giant * 2, g)
+    # Double-angle steps to stretch the approximation interval.
+    for _ in range(plan.eval_mod_doublings):
+        sq = result * result
+        result = (sq + sq) + (-1.0)
+    return result
+
+
+def _slot_to_coeff(prog, m_lo, m_hi, plan: BootstrapPlan):
+    combined = m_lo + m_hi * prog.plaintext("bs_imag_pack")
+    x = combined
+    for stage in range(plan.cts_stages):
+        x = _bsgs_matmul(prog, x, 2 * plan.cts_radix - 1,
+                         f"bs_stc{stage}")
+    return x
+
+
+# Public aliases: the BSGS matmul and Chebyshev-evaluation op-graph
+# builders double as generic workload kernels (repro.workloads uses them).
+bsgs_matmul_ops = _bsgs_matmul
+eval_poly_ops = _eval_mod

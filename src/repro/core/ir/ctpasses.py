@@ -1,0 +1,137 @@
+"""Ciphertext-level compiler passes.
+
+Two passes run on the captured DSL program before polynomial lowering:
+
+* :func:`insert_alignment` — makes level alignment explicit.  The
+  functional evaluator spends one of the limbs being dropped on a
+  scale-correcting constant multiplication (``match_level``); the compiler
+  materializes the same operation so the emulator reproduces evaluator
+  semantics exactly.
+* :func:`infer_scales` — replays the evaluator's exact-scale bookkeeping
+  statically, annotating every op with the scale of its result and every
+  plaintext operand with the encoding scale the memory image must use.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..dsl import program as ct
+from ..dsl.program import CinnamonProgram, CtOp
+
+
+def insert_alignment(prog: CinnamonProgram) -> CinnamonProgram:
+    """Rewrite the program so every multi-operand op has equal-level inputs.
+
+    Returns a new program; ops needing alignment gain a preceding
+    ``mul_plain`` of the constant 1.0 flagged with ``align=True`` (the
+    scale-inference pass assigns it the exact correcting plaintext scale).
+    """
+    out = CinnamonProgram(prog.name, prog.input_level,
+                          prog.bootstrap_output_level)
+    out.num_streams = prog.num_streams
+    mapping: List[int] = []  # old id -> new id
+
+    def align(new_id: int, level: int, target: int, stream: int) -> int:
+        while level > target:
+            op = CtOp(
+                id=len(out.ops),
+                opcode=ct.MUL_PLAIN,
+                inputs=(new_id,),
+                level=level - 1,
+                stream=stream,
+                attrs={"constant": 1.0, "align": True},
+            )
+            out.ops.append(op)
+            new_id = op.id
+            level -= 1
+        return new_id
+
+    multi_operand = (ct.ADD, ct.SUB, ct.MUL, "rotate_sum")
+    for op in prog.ops:
+        new_inputs = tuple(mapping[i] for i in op.inputs)
+        if op.opcode in multi_operand and len(op.inputs) >= 2:
+            levels = [prog.ops[i].level for i in op.inputs]
+            target = min(levels)
+            new_inputs = tuple(
+                align(new_id, lvl, target, op.stream)
+                for new_id, lvl in zip(new_inputs, levels)
+            )
+        clone = CtOp(
+            id=len(out.ops),
+            opcode=op.opcode,
+            inputs=new_inputs,
+            level=op.level,
+            stream=op.stream,
+            attrs=dict(op.attrs),
+        )
+        out.ops.append(clone)
+        mapping.append(clone.id)
+        if op.opcode == ct.INPUT:
+            out.inputs[op.attrs["name"]] = clone.id
+        elif op.opcode == ct.OUTPUT:
+            out.outputs[op.attrs["name"]] = clone.inputs[0]
+        if "plaintext" in op.attrs:
+            out.plaintexts.setdefault(op.attrs["plaintext"], op.level)
+    return out
+
+
+def infer_scales(prog: CinnamonProgram, params) -> None:
+    """Annotate ops with exact result scales (requires concrete CKKSParams).
+
+    Mirrors :class:`repro.fhe.evaluator.Evaluator`:
+
+    * fresh inputs sit on the level invariant;
+    * ct-ct multiplication multiplies scales and rescales by the consumed
+      prime;
+    * plaintext multiplications encode the plaintext at
+      ``S_target * q / s`` so the product rescales onto the invariant;
+    * rotations/conjugations/adds keep the scale.
+
+    Plaintext encoding scales land in ``op.attrs["pt_scale"]``.
+    """
+    for op in prog.ops:
+        if op.opcode == ct.INPUT:
+            op.attrs["scale"] = params.scale_at_level(op.level)
+        elif op.opcode == ct.BOOTSTRAP:
+            op.attrs["scale"] = params.scale_at_level(op.level)
+        elif op.opcode in (ct.ADD, ct.SUB):
+            scales = [prog.ops[i].attrs["scale"] for i in op.inputs]
+            # Per-level invariant scales agree to within a few ppm (greedy
+            # prime assignment); anything beyond 0.1% signals a real bug.
+            if abs(scales[0] - scales[1]) > 1e-3 * scales[0]:
+                raise ValueError(
+                    f"op %{op.id}: operand scales diverge after alignment"
+                )
+            op.attrs["scale"] = scales[0]
+        elif op.opcode in (ct.NEGATE, ct.ROTATE, ct.CONJUGATE, ct.OUTPUT,
+                           "rotate_sum", "mod_switch"):
+            op.attrs["scale"] = prog.ops[op.inputs[0]].attrs["scale"]
+        elif op.opcode == "mod_raise":
+            # ModRaise re-declares the scale as q0 * s: an exact division of
+            # the raised plaintext by q0 (see repro.fhe.bootstrap).
+            s = prog.ops[op.inputs[0]].attrs["scale"]
+            op.attrs["scale"] = s * params.moduli[0]
+        elif op.opcode == ct.ADD_PLAIN:
+            s = prog.ops[op.inputs[0]].attrs["scale"]
+            op.attrs["scale"] = s
+            op.attrs["pt_scale"] = s
+        elif op.opcode == ct.MUL:
+            s = 1.0
+            for i in op.inputs:
+                s *= prog.ops[i].attrs["scale"]
+            q = params.moduli[op.level]  # prime consumed by the rescale
+            op.attrs["scale"] = s / q
+        elif op.opcode == ct.MUL_PLAIN:
+            s = prog.ops[op.inputs[0]].attrs["scale"]
+            q = params.moduli[op.level]
+            target = params.scale_at_level(op.level)
+            pt_scale = target * q / s
+            op.attrs["pt_scale"] = pt_scale
+            op.attrs["scale"] = target
+        elif op.opcode == ct.RESCALE:
+            s = prog.ops[op.inputs[0]].attrs["scale"]
+            q = params.moduli[op.level]
+            op.attrs["scale"] = s / q
+        else:
+            raise ValueError(f"unknown opcode {op.opcode!r}")

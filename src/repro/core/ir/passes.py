@@ -1,0 +1,253 @@
+"""The Cinnamon keyswitch compiler pass (Section 4.3.1).
+
+Detects the two program patterns whose communication the paper's parallel
+keyswitching algorithms can batch, selects the algorithm per keyswitch, and
+rewrites/annotates the ciphertext-level program:
+
+* **Pattern 1 — many rotations of one ciphertext** (hoisting-friendly):
+  all rotations sharing a source are tagged with one *input-broadcast
+  batch*: the limb lowering broadcasts the source limbs and hoists the
+  digit decomposition once, so the whole batch costs **1 broadcast**.
+* **Pattern 2 — rotations feeding an aggregation tree**: the add tree is
+  fused into a single ``rotate_sum`` op tagged *output-aggregation*: each
+  chip accumulates its local partial keyswitch outputs and the batch ends
+  with **2 aggregations** total.
+
+Keyswitches outside either pattern default to input-broadcast (1 broadcast
+each).  A ``cifher`` policy reproduces the CiFHER baseline: broadcast-based
+keyswitching at every base conversion, where only the mod-up broadcast can
+be batched and every keyswitch still pays 2 mod-down broadcasts (the O(r)
+behaviour of Section 7.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from ..dsl import program as ct
+from ..dsl.program import CinnamonProgram, CtOp
+
+# Algorithm tags attached to keyswitch-carrying ops.
+KS_SEQUENTIAL = "sequential"
+KS_CIFHER = "cifher"
+KS_INPUT_BROADCAST = "input_broadcast"
+KS_OUTPUT_AGGREGATION = "output_aggregation"
+
+# Fused op introduced by pattern 2.
+ROTATE_SUM = "rotate_sum"
+
+
+@dataclass
+class KeyswitchPassStats:
+    """What the pass found and how much communication it removed.
+
+    Event counts use the paper's units: a broadcast or aggregation of one
+    polynomial's limbs is one event.  ``events_unbatched`` is the cost had
+    every keyswitch paid its own communication; ``events_batched`` is the
+    cost after batching.
+    """
+
+    keyswitches: int = 0
+    pattern1_batches: int = 0
+    pattern1_members: int = 0
+    pattern2_batches: int = 0
+    pattern2_members: int = 0
+    events_unbatched: int = 0
+    events_batched: int = 0
+
+    @property
+    def reduction(self) -> float:
+        if self.events_batched == 0:
+            return 1.0
+        return self.events_unbatched / self.events_batched
+
+
+class KeyswitchPass:
+    """Annotates/rewrites a ciphertext program with keyswitch algorithms."""
+
+    def __init__(self, policy: str = "cinnamon", enable_batching: bool = True):
+        """``policy``:
+
+        * ``"cinnamon"`` — choose input-broadcast or output-aggregation per
+          pattern (the paper's *Cinnamon Keyswitch + Pass*).
+        * ``"input_broadcast"`` — input-broadcast everywhere (no pattern-2
+          fusion); with batching this is *Input Broadcast + Pass*.
+        * ``"cifher"`` — the CiFHER baseline.
+        * ``"sequential"`` — no parallel keyswitching (single-chip runs).
+        """
+        if policy not in (KS_SEQUENTIAL, KS_CIFHER, KS_INPUT_BROADCAST, "cinnamon"):
+            raise ValueError(f"unknown keyswitch policy {policy!r}")
+        self.policy = policy
+        self.enable_batching = enable_batching
+        self.stats = KeyswitchPassStats()
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, prog: CinnamonProgram) -> CinnamonProgram:
+        self.stats = KeyswitchPassStats()
+        self._seen_batches = set()
+        if self.policy == "cinnamon" and self.enable_batching:
+            prog = self._fuse_rotate_sums(prog)
+        self._annotate(prog)
+        return prog
+
+    # ------------------------------------------------------------------ #
+    # Pattern 2: rotation + aggregation trees -> fused rotate_sum
+
+    def _fuse_rotate_sums(self, prog: CinnamonProgram) -> CinnamonProgram:
+        users = prog.users()
+        consumed: Set[int] = set()    # add-tree interior nodes to delete
+        fused_roots: Dict[int, List[Tuple[int, int]]] = {}  # root -> leaves
+
+        def gather_leaves(op_id: int, acc: List[int], interior: Set[int]) -> None:
+            op = prog.ops[op_id]
+            for src in op.inputs:
+                src_op = prog.ops[src]
+                if src_op.opcode == ct.ADD and len(users[src]) == 1:
+                    gather_leaves(src, acc, interior)
+                    interior.add(src)
+                else:
+                    acc.append(src)
+
+        # Roots: ADD ops not feeding another single-use ADD.
+        for op in prog.ops:
+            if op.opcode != ct.ADD:
+                continue
+            feeds_tree = any(
+                prog.ops[u].opcode == ct.ADD for u in users[op.id]
+            ) and len(users[op.id]) == 1
+            if feeds_tree:
+                continue
+            leaves: List[int] = []
+            interior: Set[int] = set()
+            gather_leaves(op.id, leaves, interior)
+            rotated = [
+                leaf for leaf in leaves
+                if prog.ops[leaf].opcode == ct.ROTATE and len(users[leaf]) == 1
+            ]
+            if len(rotated) >= 2:
+                consumed |= interior
+                members = []
+                for leaf in leaves:
+                    leaf_op = prog.ops[leaf]
+                    if leaf_op.opcode == ct.ROTATE and len(users[leaf]) == 1:
+                        members.append((leaf_op.inputs[0], leaf_op.attrs["rotation"]))
+                        consumed.add(leaf)
+                    else:
+                        members.append((leaf, 0))
+                fused_roots[op.id] = members
+                self.stats.pattern2_batches += 1
+                self.stats.pattern2_members += len(members)
+
+        if not fused_roots:
+            return prog
+
+        # Rebuild the program with fused nodes in place of the trees.
+        out = CinnamonProgram(prog.name, prog.input_level,
+                              prog.bootstrap_output_level)
+        out.num_streams = prog.num_streams
+        out.plaintexts = dict(prog.plaintexts)
+        mapping: Dict[int, int] = {}
+        for op in prog.ops:
+            if op.id in consumed:
+                continue
+            if op.id in fused_roots:
+                members = fused_roots[op.id]
+                new_op = CtOp(
+                    id=len(out.ops),
+                    opcode=ROTATE_SUM,
+                    inputs=tuple(mapping[src] for src, _ in members),
+                    level=op.level,
+                    stream=op.stream,
+                    attrs={
+                        "rotations": tuple(r for _, r in members),
+                        "ks_algorithm": KS_OUTPUT_AGGREGATION,
+                        "ks_batch": f"oa{op.id}",
+                    },
+                )
+            else:
+                new_op = CtOp(
+                    id=len(out.ops),
+                    opcode=op.opcode,
+                    inputs=tuple(mapping[i] for i in op.inputs),
+                    level=op.level,
+                    stream=op.stream,
+                    attrs=dict(op.attrs),
+                )
+            out.ops.append(new_op)
+            mapping[op.id] = new_op.id
+            if op.opcode == ct.INPUT:
+                out.inputs[op.attrs["name"]] = new_op.id
+            elif op.opcode == ct.OUTPUT:
+                out.outputs[op.attrs["name"]] = new_op.inputs[0]
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Pattern 1 + defaults
+
+    def _annotate(self, prog: CinnamonProgram) -> None:
+        default = {
+            "cinnamon": KS_INPUT_BROADCAST,
+            KS_INPUT_BROADCAST: KS_INPUT_BROADCAST,
+            KS_CIFHER: KS_CIFHER,
+            KS_SEQUENTIAL: KS_SEQUENTIAL,
+        }[self.policy]
+
+        # Group rotations/conjugations by (source, level) for hoisting.
+        groups: Dict[Tuple[int, int], List[CtOp]] = {}
+        for op in prog.ops:
+            if op.opcode in (ct.ROTATE, ct.CONJUGATE) and \
+                    "ks_algorithm" not in op.attrs:
+                groups.setdefault((op.inputs[0], op.level), []).append(op)
+
+        batch_counter = 0
+        for (src, _level), members in groups.items():
+            if (
+                self.enable_batching
+                and len(members) >= 2
+                and default in (KS_INPUT_BROADCAST, KS_CIFHER)
+            ):
+                batch = f"ib{batch_counter}"
+                batch_counter += 1
+                self.stats.pattern1_batches += 1
+                self.stats.pattern1_members += len(members)
+                for op in members:
+                    op.attrs["ks_algorithm"] = default
+                    op.attrs["ks_batch"] = batch
+            else:
+                for op in members:
+                    op.attrs["ks_algorithm"] = default
+
+        for op in prog.ops:
+            if op.opcode == ct.MUL:
+                op.attrs.setdefault("ks_algorithm", default)
+            if op.opcode in (ct.MUL, ct.ROTATE, ct.CONJUGATE) or \
+                    op.opcode == ROTATE_SUM:
+                self._count_events(op)
+
+    def _count_events(self, op: CtOp) -> None:
+        stats = self.stats
+        algorithm = op.attrs.get("ks_algorithm", KS_SEQUENTIAL)
+        if op.opcode == ROTATE_SUM:
+            r = len([x for x in op.attrs["rotations"] if x != 0])
+            stats.keyswitches += r
+            stats.events_unbatched += 2 * r  # unbatched output aggregation
+            stats.events_batched += 2
+            return
+        stats.keyswitches += 1
+        if algorithm == KS_SEQUENTIAL:
+            return
+        per_ks = 3 if algorithm == KS_CIFHER else 1
+        stats.events_unbatched += per_ks
+        if "ks_batch" in op.attrs:
+            # Batches share the single mod-up broadcast; CiFHER members
+            # still pay their 2 mod-down broadcasts each (Section 7.4).
+            if algorithm == KS_CIFHER:
+                stats.events_batched += 2
+            key = op.attrs["ks_batch"]
+            if key not in self._seen_batches:
+                self._seen_batches.add(key)
+                stats.events_batched += 1
+        else:
+            stats.events_batched += per_ks

@@ -1,0 +1,215 @@
+"""The polynomial-level IR (Figure 7 step 2).
+
+Ciphertexts are expanded to their component polynomials: a ciphertext add
+becomes two polynomial adds, a ciphertext multiplication becomes the
+tensor-product polynomials plus a keyswitch of the quadratic component,
+and a rotation becomes two automorphisms plus a keyswitch.  Keyswitches
+remain *macro ops* at this level (``pks``); the limb IR expands them
+according to the algorithm the keyswitch pass selected.
+
+Ops produce exactly one polynomial.  Keyswitches, which produce a pair,
+are represented as two ``pks`` nodes sharing a ``ks_id`` — the limb
+lowering expands each keyswitch group exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..dsl import program as ct
+from ..dsl.program import CinnamonProgram
+from .passes import ROTATE_SUM
+
+P_INPUT = "pinput"
+P_OUTPUT = "poutput"
+P_PLAIN = "pplain"
+P_ADD = "padd"
+P_SUB = "psub"
+P_NEG = "pneg"
+P_MUL = "pmul"
+P_AUTO = "pauto"
+P_KS = "pks"          # keyswitch component; attrs: ks_id, component, kind
+P_ROTSUM = "protsum"  # fused rotate+aggregate component
+P_RESCALE = "prescale"
+P_DROP = "pdrop"
+P_MODRAISE = "pmodraise"
+
+
+@dataclass(slots=True)
+class PolyOp:
+    id: int
+    opcode: str
+    inputs: Tuple[int, ...]
+    level: int
+    stream: int
+    attrs: dict = field(default_factory=dict)
+
+    def __repr__(self):
+        ins = ",".join(f"%{i}" for i in self.inputs)
+        extra = ""
+        if self.opcode == P_KS:
+            extra = f" ks{self.attrs['ks_id']}.{self.attrs['component']}"
+        return f"%{self.id} = {self.opcode}({ins}) L{self.level}{extra}"
+
+
+class PolyProgram:
+    """A polynomial-level program plus ciphertext -> polynomial mapping."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.ops: List[PolyOp] = []
+        self.ct_map: Dict[int, Tuple[int, int]] = {}
+        self.outputs: Dict[str, Tuple[int, int]] = {}
+        self.num_streams = 1
+        self._ks_counter = 0
+
+    def emit(self, opcode: str, inputs: Tuple[int, ...], level: int,
+             stream: int, **attrs) -> int:
+        op = PolyOp(len(self.ops), opcode, inputs, level, stream, attrs)
+        self.ops.append(op)
+        return op.id
+
+    def new_ks_id(self) -> int:
+        self._ks_counter += 1
+        return self._ks_counter - 1
+
+    def count(self, opcode: str) -> int:
+        return sum(1 for op in self.ops if op.opcode == opcode)
+
+    @property
+    def keyswitch_count(self) -> int:
+        seen = set()
+        for op in self.ops:
+            if op.opcode == P_KS:
+                seen.add(op.attrs["ks_id"])
+            elif op.opcode == P_ROTSUM and op.attrs["component"] == 0:
+                seen.update(
+                    f"rs{op.attrs['rs_id']}.{i}"
+                    for i, r in enumerate(op.attrs["rotations"])
+                    if r != 0
+                )
+        return len(seen)
+
+    def dump(self) -> str:
+        return "\n".join(repr(op) for op in self.ops)
+
+
+def lower_to_poly(prog: CinnamonProgram) -> PolyProgram:
+    """Lower a (pass-processed, aligned, scale-inferred) ct program."""
+    poly = PolyProgram(prog.name)
+    poly.num_streams = prog.num_streams
+    out = poly  # alias for brevity
+
+    def components(ct_id: int) -> Tuple[int, int]:
+        return poly.ct_map[ct_id]
+
+    for op in prog.ops:
+        s = op.stream
+        lvl = op.level
+        a = op.attrs
+        if op.opcode == ct.INPUT:
+            p0 = out.emit(P_INPUT, (), lvl, s, name=a["name"], component=0)
+            p1 = out.emit(P_INPUT, (), lvl, s, name=a["name"], component=1)
+        elif op.opcode == ct.OUTPUT:
+            c0, c1 = components(op.inputs[0])
+            out.emit(P_OUTPUT, (c0,), lvl, s, name=a["name"], component=0)
+            out.emit(P_OUTPUT, (c1,), lvl, s, name=a["name"], component=1)
+            out.outputs[a["name"]] = (c0, c1)
+            continue
+        elif op.opcode in (ct.ADD, ct.SUB):
+            opcode = P_ADD if op.opcode == ct.ADD else P_SUB
+            (a0, a1), (b0, b1) = components(op.inputs[0]), components(op.inputs[1])
+            p0 = out.emit(opcode, (a0, b0), lvl, s)
+            p1 = out.emit(opcode, (a1, b1), lvl, s)
+        elif op.opcode == ct.NEGATE:
+            a0, a1 = components(op.inputs[0])
+            p0 = out.emit(P_NEG, (a0,), lvl, s)
+            p1 = out.emit(P_NEG, (a1,), lvl, s)
+        elif op.opcode == ct.ADD_PLAIN:
+            a0, a1 = components(op.inputs[0])
+            pt = out.emit(P_PLAIN, (), lvl, s,
+                          plaintext=a.get("plaintext"),
+                          constant=a.get("constant"),
+                          pt_scale=a.get("pt_scale"))
+            p0 = out.emit(P_ADD, (a0, pt), lvl, s)
+            p1 = a1
+        elif op.opcode == ct.MUL_PLAIN:
+            a0, a1 = components(op.inputs[0])
+            in_level = prog.ops[op.inputs[0]].level
+            pt = out.emit(P_PLAIN, (), in_level, s,
+                          plaintext=a.get("plaintext"),
+                          constant=a.get("constant"),
+                          pt_scale=a.get("pt_scale"),
+                          align=a.get("align", False))
+            m0 = out.emit(P_MUL, (a0, pt), in_level, s)
+            m1 = out.emit(P_MUL, (a1, pt), in_level, s)
+            p0 = out.emit(P_RESCALE, (m0,), lvl, s)
+            p1 = out.emit(P_RESCALE, (m1,), lvl, s)
+        elif op.opcode == ct.MUL:
+            (a0, a1), (b0, b1) = components(op.inputs[0]), components(op.inputs[1])
+            in_level = prog.ops[op.inputs[0]].level
+            d0 = out.emit(P_MUL, (a0, b0), in_level, s)
+            t1 = out.emit(P_MUL, (a0, b1), in_level, s)
+            t2 = out.emit(P_MUL, (a1, b0), in_level, s)
+            d1 = out.emit(P_ADD, (t1, t2), in_level, s)
+            d2 = out.emit(P_MUL, (a1, b1), in_level, s)
+            ks_id = out.new_ks_id()
+            ks_attrs = dict(kind="relin",
+                            ks_id=ks_id,
+                            algorithm=a.get("ks_algorithm", "sequential"),
+                            batch=a.get("ks_batch"))
+            ks0 = out.emit(P_KS, (d2,), in_level, s, component=0, **ks_attrs)
+            ks1 = out.emit(P_KS, (d2,), in_level, s, component=1, **ks_attrs)
+            sum0 = out.emit(P_ADD, (d0, ks0), in_level, s)
+            sum1 = out.emit(P_ADD, (d1, ks1), in_level, s)
+            p0 = out.emit(P_RESCALE, (sum0,), lvl, s)
+            p1 = out.emit(P_RESCALE, (sum1,), lvl, s)
+        elif op.opcode in (ct.ROTATE, ct.CONJUGATE):
+            a0, a1 = components(op.inputs[0])
+            galois = a.get("galois")
+            if galois is None:
+                galois = ("rotation", a["rotation"]) if op.opcode == ct.ROTATE \
+                    else ("conjugation", None)
+            r0 = out.emit(P_AUTO, (a0,), lvl, s, galois=galois)
+            ks_id = out.new_ks_id()
+            ks_attrs = dict(kind=("galois", galois),
+                            ks_id=ks_id,
+                            algorithm=a.get("ks_algorithm", "sequential"),
+                            batch=a.get("ks_batch"),
+                            galois=galois)
+            ks0 = out.emit(P_KS, (a1,), lvl, s, component=0, **ks_attrs)
+            ks1 = out.emit(P_KS, (a1,), lvl, s, component=1, **ks_attrs)
+            p0 = out.emit(P_ADD, (r0, ks0), lvl, s)
+            p1 = ks1
+        elif op.opcode == ROTATE_SUM:
+            comps = [components(i) for i in op.inputs]
+            flat = tuple(p for pair in comps for p in pair)
+            rs_id = out.new_ks_id()
+            rs_attrs = dict(rotations=a["rotations"],
+                            rs_id=rs_id,
+                            algorithm=a.get("ks_algorithm"),
+                            batch=a.get("ks_batch"))
+            p0 = out.emit(P_ROTSUM, flat, lvl, s, component=0, **rs_attrs)
+            p1 = out.emit(P_ROTSUM, flat, lvl, s, component=1, **rs_attrs)
+        elif op.opcode == ct.RESCALE:
+            a0, a1 = components(op.inputs[0])
+            p0 = out.emit(P_RESCALE, (a0,), lvl, s)
+            p1 = out.emit(P_RESCALE, (a1,), lvl, s)
+        elif op.opcode == "mod_switch":
+            a0, a1 = components(op.inputs[0])
+            p0 = out.emit(P_DROP, (a0,), lvl, s)
+            p1 = out.emit(P_DROP, (a1,), lvl, s)
+        elif op.opcode == "mod_raise":
+            a0, a1 = components(op.inputs[0])
+            p0 = out.emit(P_MODRAISE, (a0,), lvl, s)
+            p1 = out.emit(P_MODRAISE, (a1,), lvl, s)
+        elif op.opcode == ct.BOOTSTRAP:
+            raise ValueError(
+                "bootstrap ops must be expanded before polynomial lowering "
+                "(the compiler's expand_bootstraps pass does this)"
+            )
+        else:
+            raise ValueError(f"cannot lower ct opcode {op.opcode!r}")
+        poly.ct_map[op.id] = (p0, p1)
+    return poly

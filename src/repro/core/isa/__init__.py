@@ -1,0 +1,13 @@
+"""The Cinnamon ISA: vector instructions over limbs, codegen, emulation."""
+
+from .instructions import Instruction
+from .codegen import generate_isa
+from .emulator import IsaEmulator, MemoryImage, build_memory_image
+
+__all__ = [
+    "Instruction",
+    "generate_isa",
+    "IsaEmulator",
+    "MemoryImage",
+    "build_memory_image",
+]

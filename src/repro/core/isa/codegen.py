@@ -1,0 +1,148 @@
+"""Limb IR -> per-chip Cinnamon ISA streams.
+
+The limb IR is already in dependency order (the lowering emits ops
+topologically), so code generation is a partitioning problem: route each
+limb op to its chip's stream, split point-to-point moves into a send and a
+receive, and expand collectives into one ``col`` contribution instruction
+per participating chip plus the per-limb ``rcv`` ops the lowering emitted.
+Belady's MIN then maps SSA values onto the physical register file,
+inserting loads/stores as early as possible (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from ..ir import limb_ir as lir
+from .instructions import COL, MOV, RCV, SND, Instruction
+from .regalloc import AbstractInstruction, AllocationStats, allocate_registers
+
+_OPCODE_MAP = {
+    lir.L_ADD: "vadd",
+    lir.L_SUB: "vsub",
+    lir.L_NEG: "vneg",
+    lir.L_MUL: "vmul",
+    lir.L_MULC: "vmulc",
+    lir.L_NTT: "vntt",
+    lir.L_INTT: "vintt",
+    lir.L_AUTO: "vauto",
+    lir.L_RSV: "vrsv",
+    lir.L_BCONV: "vbcv",
+    lir.L_LOAD: "ld",
+    lir.L_PRNG: "vprng",
+    lir.L_STORE: "st",
+}
+
+
+class IsaModule:
+    """Register-allocated per-chip instruction streams."""
+
+    def __init__(self, streams: Dict[int, List[Instruction]],
+                 alloc_stats: Dict[int, AllocationStats]):
+        self.streams = streams
+        self.alloc_stats = alloc_stats
+
+    def __getitem__(self, chip: int) -> List[Instruction]:
+        return self.streams[chip]
+
+    def __iter__(self):
+        return iter(self.streams)
+
+    @property
+    def instruction_count(self) -> int:
+        return sum(len(s) for s in self.streams.values())
+
+    def count(self, opcode: str) -> int:
+        return sum(
+            1 for stream in self.streams.values()
+            for ins in stream if ins.opcode == opcode
+        )
+
+
+def generate_isa(limb: lir.LimbProgram, num_chips: int,
+                 registers_per_chip: int) -> IsaModule:
+    """Generate register-allocated instruction streams, one per chip."""
+    abstract: Dict[int, List[AbstractInstruction]] = {
+        c: [] for c in range(num_chips)
+    }
+    load_symbols: Dict[int, Dict[int, str]] = {c: {} for c in range(num_chips)}
+    producer_chip: Dict[int, int] = {}
+
+    # Expected contribution counts per (cid, tag) for aggregations.
+    expected: Dict[Tuple[int, str], int] = defaultdict(int)
+    for op in limb.ops:
+        if op.opcode == lir.L_COMM:
+            for tag in op.attrs["tags"]:
+                expected[(op.attrs["cid"], tag)] += 1
+
+    for op in limb.ops:
+        attrs = dict(op.attrs)
+        attrs["limb_op"] = op.id
+        if op.opcode == lir.L_COMM:
+            cid = op.attrs["cid"]
+            group = op.attrs["group"]
+            tags = op.attrs["tags"]
+            # One contribution instruction per participating chip.
+            per_chip_sends: Dict[int, List[Tuple[int, str]]] = {
+                c: [] for c in group
+            }
+            for value, tag in zip(op.inputs, tags):
+                per_chip_sends[producer_chip[value]].append((value, tag))
+            for chip in group:
+                sends = per_chip_sends[chip]
+                abstract[chip].append(AbstractInstruction(
+                    COL,
+                    defines=None,
+                    uses=tuple(v for v, _ in sends),
+                    attrs={
+                        "cid": cid,
+                        "kind": op.attrs["kind"],
+                        "tags": tuple(t for _, t in sends),
+                        "group": group,
+                        "limb_op": op.id,
+                        "bytes": op.attrs["limbs_moved"],
+                    },
+                ))
+            continue
+        if op.opcode == lir.L_RECV:
+            cid = op.attrs["cid"]
+            tag = op.attrs["tag"]
+            attrs["expected"] = expected[(cid, tag)]
+            abstract[op.chip].append(AbstractInstruction(
+                RCV, defines=op.id, uses=(), attrs=attrs))
+            producer_chip[op.id] = op.chip
+            continue
+        if op.opcode == lir.L_MOV:
+            src = op.inputs[0]
+            src_chip = op.attrs["from_chip"]
+            abstract[src_chip].append(AbstractInstruction(
+                SND, defines=None, uses=(src,),
+                attrs={"key": op.id, "to_chip": op.chip, "limb_op": op.id}))
+            abstract[op.chip].append(AbstractInstruction(
+                MOV, defines=op.id, uses=(),
+                attrs={"key": op.id, "from_chip": src_chip, "limb_op": op.id,
+                       "prime": op.attrs.get("prime")}))
+            producer_chip[op.id] = op.chip
+            continue
+        opcode = _OPCODE_MAP[op.opcode]
+        defines = None if op.opcode == lir.L_STORE else op.id
+        abstract[op.chip].append(AbstractInstruction(
+            opcode, defines=defines, uses=tuple(op.inputs), attrs=attrs))
+        if op.opcode != lir.L_STORE:
+            producer_chip[op.id] = op.chip
+        if op.opcode in (lir.L_LOAD, lir.L_PRNG):
+            load_symbols[op.chip][op.id] = (opcode, op.attrs["symbol"])
+
+    streams: Dict[int, List[Instruction]] = {}
+    stats: Dict[int, AllocationStats] = {}
+    for chip, entries in abstract.items():
+        if not entries:
+            streams[chip] = []
+            stats[chip] = AllocationStats()
+            continue
+        instructions, chip_stats = allocate_registers(
+            entries, registers_per_chip, load_symbols[chip])
+        streams[chip] = instructions
+        stats[chip] = chip_stats
+    return IsaModule(streams, stats)

@@ -1,0 +1,80 @@
+"""Cinnamon ISA instruction definitions.
+
+Every register holds one limb: a 28-bit-wide vector of ``N`` elements
+(Section 4.6), so all instructions operate on a uniform vector size.
+Scalar-operand variants (``vmulc``) avoid expanding scalars to vectors.
+Inter-chip communication is exposed as collective instructions (``col`` to
+contribute, ``rcv`` to materialize a delivered limb), mirroring the
+broadcast/aggregation primitives of the interconnect (Section 4.5).
+
+========  ========================================  =====================
+opcode    meaning                                    functional unit
+========  ========================================  =====================
+vadd      rd <- ra + rb (mod q)                      add
+vsub      rd <- ra - rb (mod q)                      add
+vneg      rd <- -ra (mod q)                          add
+vmul      rd <- ra * rb (mod q)                      multiply
+vmulc     rd <- ra * scalar (mod q)                  multiply
+vntt      rd <- NTT(ra)                              NTT
+vintt     rd <- INTT(ra)                             NTT
+vauto     rd <- permute(ra) (eval-domain galois)     transpose/rotation
+vrsv      rd <- centered re-reduction q_a -> q_b     RNS resolve + Barrett
+vbcv      rd <- base-conversion MAC over srcs        BCU
+vprng     rd <- regenerate pseudorandom limb         PRNG
+ld        rd <- HBM[symbol]                          memory
+st        HBM[symbol] <- ra                          memory
+snd/mov   point-to-point limb transfer               network
+col       contribute limbs to collective #cid        network
+rcv       rd <- limb `tag` from collective #cid      network
+========  ========================================  =====================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+VADD = "vadd"
+VSUB = "vsub"
+VNEG = "vneg"
+VMUL = "vmul"
+VMULC = "vmulc"
+VNTT = "vntt"
+VINTT = "vintt"
+VAUTO = "vauto"
+VRSV = "vrsv"
+VBCV = "vbcv"
+VPRNG = "vprng"
+LD = "ld"
+ST = "st"
+SND = "snd"
+MOV = "mov"
+COL = "col"
+RCV = "rcv"
+
+COMPUTE = (VADD, VSUB, VNEG, VMUL, VMULC, VNTT, VINTT, VAUTO, VRSV,
+           VBCV, VPRNG)
+MEMORY = (LD, ST)
+NETWORK = (SND, MOV, COL, RCV)
+
+
+@dataclass(slots=True)
+class Instruction:
+    """One Cinnamon ISA instruction on one chip.
+
+    ``dest``/``srcs`` are register indices; ``attrs`` carries the limb-op
+    metadata (prime, scalar, galois element, symbol, collective info) the
+    emulator and simulator need.
+    """
+
+    opcode: str
+    dest: Optional[int] = None
+    srcs: Tuple[int, ...] = ()
+    attrs: dict = field(default_factory=dict)
+
+    def __repr__(self):
+        d = f"r{self.dest} <- " if self.dest is not None else ""
+        s = ",".join(f"r{r}" for r in self.srcs)
+        sym = self.attrs.get("symbol")
+        extra = f" [{sym}]" if sym else ""
+        return f"{self.opcode} {d}{s}{extra}"

@@ -1,0 +1,34 @@
+"""Figure 11: speedup of every architecture normalized to the CPU."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from . import table2_performance
+
+
+def run(fast: bool = True) -> Dict[str, Dict[str, float]]:
+    table = table2_performance.run(fast=fast)
+    speedups: Dict[str, Dict[str, float]] = {}
+    for benchmark, row in table.items():
+        cpu = row["CPU"]
+        speedups[benchmark] = {
+            system: (cpu / seconds) if seconds else None
+            for system, seconds in row.items()
+            if system != "CPU" and seconds is not None
+        }
+    return speedups
+
+
+def headline_bert_speedup(fast: bool = True) -> float:
+    """The abstract's 36,600x claim: BERT on Cinnamon-12 vs the CPU."""
+    return run(fast=fast)["bert-base-128"]["Cinnamon-12"]
+
+
+def format_result(result: Dict[str, Dict[str, float]]) -> str:
+    lines = ["Figure 11: speedup over the 48-core CPU (log scale)", ""]
+    for benchmark, row in result.items():
+        lines.append(benchmark)
+        for system, speedup in row.items():
+            lines.append(f"  {system:12s} {speedup:>12.0f}x")
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Figure 12: relative performance-per-dollar.
+
+Combines Table 2 execution times with Table 3 yield-normalized tape-out
+costs.  The paper's headline: Cinnamon-4 delivers ~5x the perf-per-dollar
+of monolithic designs (CraterLake) and ~2.7x of chiplet designs (CiFHER)
+on bootstrap and the small models; for BERT every Cinnamon configuration
+beats the monolithic Cinnamon-M.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..arch.cost import performance_per_dollar
+from ..arch.yield_model import TABLE3_TAPEOUT_COST
+from . import table2_performance
+
+# System -> (cost key in Table 3, system cost multiplier).  Cinnamon-8/12
+# deploy 2x/3x the silicon of the 4-chip baseline system.
+COST_KEY = {
+    "Cinnamon-M": ("Cinnamon-M", 1.0),
+    "Cinnamon-4": ("Cinnamon", 1.0),
+    "Cinnamon-8": ("Cinnamon", 2.0),
+    "Cinnamon-12": ("Cinnamon", 3.0),
+    "CraterLake": ("CraterLake", 1.0),
+    "CiFHER": ("CiFHER", 1.0),
+    "ARK": ("ARK", 1.0),
+}
+
+
+def run(fast: bool = True) -> Dict[str, Dict[str, float]]:
+    table = table2_performance.run(fast=fast)
+    out: Dict[str, Dict[str, float]] = {}
+    for benchmark, row in table.items():
+        times = {
+            system: seconds
+            for system, seconds in row.items()
+            if system in COST_KEY and seconds is not None
+        }
+        costs = {
+            system: TABLE3_TAPEOUT_COST[COST_KEY[system][0]]
+            * COST_KEY[system][1]
+            for system in times
+        }
+        baseline = "CraterLake" if "CraterLake" in times else "Cinnamon-M"
+        out[benchmark] = performance_per_dollar(times, costs, baseline)
+    return out
+
+
+def format_result(result: Dict[str, Dict[str, float]]) -> str:
+    lines = ["Figure 12: relative performance-per-dollar", ""]
+    for benchmark, row in result.items():
+        lines.append(benchmark)
+        for system, rel in sorted(row.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {system:12s} {rel:>8.2f}x")
+    return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Figure 13 + Section 7.4: keyswitching techniques on Cinnamon-4.
+
+Bootstrap speedups over a single-chip *Sequential* baseline for:
+
+* ``CiFHER``                      — broadcast-everywhere keyswitching;
+* ``Input Broadcast``             — Cinnamon algorithm #1, no batching;
+* ``Input Broadcast + Pass``      — with the compiler's reorder/batch pass;
+* ``Cinnamon Keyswitch + Pass``   — pass selects IB or output aggregation;
+* ``+ Program Parallelism``       — plus two streams of two chips each;
+
+each at 256 / 512 / 1024 GB/s link bandwidth.  Also computes Section 7.4's
+communication comparison (broadcast/aggregation events and data volume,
+Cinnamon vs CiFHER with batching).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..sim.config import CINNAMON_1, CINNAMON_4
+from .common import compile_bootstrap, simulate
+
+CONFIGS = (
+    ("CiFHER", dict(keyswitch_policy="cifher", enable_batching=False)),
+    ("Input Broadcast", dict(keyswitch_policy="input_broadcast",
+                             enable_batching=False)),
+    ("Input Broadcast + Pass", dict(keyswitch_policy="input_broadcast",
+                                    enable_batching=True)),
+    ("Cinnamon Keyswitch + Pass", dict(keyswitch_policy="cinnamon",
+                                       enable_batching=True)),
+    ("Cinnamon Keyswitch + Pass + Program Parallelism",
+     dict(keyswitch_policy="cinnamon", enable_batching=True,
+          num_streams=2, chips_per_stream=2)),
+)
+
+LINK_GBPS = (256.0, 512.0, 1024.0)
+
+
+def run(fast: bool = True) -> Dict[str, object]:
+    baseline = simulate(compile_bootstrap(1), CINNAMON_1)
+    link_points = (LINK_GBPS[0], LINK_GBPS[1]) if fast else LINK_GBPS
+    configs = CONFIGS if not fast else CONFIGS
+    speedups: Dict[str, Dict[float, float]] = {}
+    comm: Dict[str, dict] = {}
+    for label, options in configs:
+        compiled = compile_bootstrap(4, **options)
+        comm[label] = dict(compiled.comm_summary)
+        comm[label]["pass_reduction"] = compiled.pass_stats.reduction
+        streams = options.get("num_streams", 1)
+        speedups[label] = {}
+        for gbps in link_points:
+            machine = CINNAMON_4.scaled(link_gbps=gbps)
+            result = simulate(compiled, machine, tag=f"link{gbps}")
+            # Program-parallel configs complete `streams` bootstraps per
+            # run; speedup is per-bootstrap throughput.
+            speedups[label][gbps] = streams * baseline.cycles / result.cycles
+    return {
+        "baseline_ms": baseline.milliseconds,
+        "speedup_over_sequential": speedups,
+        "communication": comm,
+    }
+
+
+def section_7_4_comparison(result: Dict[str, object]) -> Dict[str, float]:
+    """Cinnamon vs CiFHER (both with batching where applicable)."""
+    comm = result["communication"]
+    cif = comm["CiFHER"]
+    cin = comm["Cinnamon Keyswitch + Pass"]
+    speed = result["speedup_over_sequential"]
+    first_link = sorted(speed["CiFHER"])[0]
+    return {
+        "comm_reduction":
+            cif["comm_limbs"] / max(1, cin["comm_limbs"]),
+        "speedup_vs_cifher":
+            speed["Cinnamon Keyswitch + Pass"][first_link]
+            / speed["CiFHER"][first_link],
+        "speedup_vs_cifher_with_program_parallelism":
+            speed["Cinnamon Keyswitch + Pass + Program Parallelism"][first_link]
+            / speed["CiFHER"][first_link],
+    }
+
+
+def format_result(result: Dict[str, object]) -> str:
+    lines = [
+        "Figure 13: keyswitching techniques, bootstrap on Cinnamon-4",
+        f"(sequential single-chip baseline: {result['baseline_ms']:.2f} ms)",
+        "",
+    ]
+    for label, by_link in result["speedup_over_sequential"].items():
+        cells = "  ".join(f"{gbps:.0f}GB/s: {s:.2f}x"
+                          for gbps, s in sorted(by_link.items()))
+        lines.append(f"  {label:50s} {cells}")
+    lines.append("")
+    lines.append("Communication per bootstrap:")
+    for label, row in result["communication"].items():
+        lines.append(
+            f"  {label:50s} bcast={row['broadcast_events']:>5d} "
+            f"aggr={row['aggregate_events']:>3d} limbs={row['comm_limbs']:>6d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Figure 14 / Section 7.5: Bootstrap-13 vs Bootstrap-21 scaling.
+
+Speedup of each bootstrap variant on Cinnamon-4/8/12 over the single-chip
+sequential run of the same variant.  The deeper Bootstrap-21 keeps scaling
+to 8/12 chips (it has ~2x the compute to parallelize) while Bootstrap-13
+flattens — the paper's argument that limb-level parallelism opens the
+bootstrap frequency/cost trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.ir.bootstrap_graph import BOOTSTRAP_13, BOOTSTRAP_21
+from ..sim.config import CINNAMON_1, config_for
+from .common import compile_bootstrap, simulate
+
+CHIP_COUNTS = (4, 8, 12)
+
+
+def run(fast: bool = True) -> Dict[str, Dict[int, float]]:
+    """Single-bootstrap *latency* speedup: one ciphertext, limb-level
+    parallelism spread across the whole machine.  (Independent-stream
+    throughput would scale trivially; the figure is about how far one
+    refresh can be parallelized.)"""
+    chip_counts = (4, 8) if fast else CHIP_COUNTS
+    out: Dict[str, Dict[int, float]] = {}
+    for plan in (BOOTSTRAP_13, BOOTSTRAP_21):
+        baseline = simulate(compile_bootstrap(1, plan=plan), CINNAMON_1)
+        speedups = {}
+        for chips in chip_counts:
+            compiled = compile_bootstrap(chips, plan=plan)
+            result = simulate(compiled, config_for(chips))
+            speedups[chips] = baseline.cycles / result.cycles
+        out[plan.name] = speedups
+    return out
+
+
+def format_result(result: Dict[str, Dict[int, float]]) -> str:
+    lines = ["Figure 14: bootstrap variants, speedup over 1 chip", ""]
+    for plan, row in result.items():
+        cells = "  ".join(f"{c} chips: {s:.2f}x" for c, s in sorted(row.items()))
+        lines.append(f"  {plan:14s} {cells}")
+    return "\n".join(lines)

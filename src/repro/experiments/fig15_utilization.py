@@ -1,0 +1,28 @@
+"""Figure 15: compute / memory-bandwidth / network utilization.
+
+Cinnamon-4 across all four benchmarks (averaged), plus BERT on Cinnamon-8
+and Cinnamon-12 — where compute and memory utilization start dropping as
+the serial program sections stop scaling (Section 7.6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from . import table2_performance
+
+
+def run(fast: bool = True) -> Dict[str, Dict[str, float]]:
+    return table2_performance.utilization_data(fast=fast)
+
+
+def format_result(result: Dict[str, Dict[str, float]]) -> str:
+    lines = ["Figure 15: utilization", ""]
+    lines.append(f"{'benchmark/machine':30s} {'compute':>8s} {'memory':>8s} "
+                 f"{'network':>8s}")
+    for key, row in result.items():
+        lines.append(
+            f"{key:30s} {row['compute']:>8.2f} {row['memory']:>8.2f} "
+            f"{row['network']:>8.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Figure 16: sensitivity to halving/doubling machine resources.
+
+For each resource (register file, link bandwidth, memory bandwidth, vector
+width), the bootstrap benchmark is re-run on Cinnamon-4 with that resource
+halved and doubled; Figure 16 reports the speedup relative to the default
+configuration.  (The paper sweeps Cinnamon-4 over the geomean of all four
+benchmarks and 8/12 over BERT; since all workload kernels are bootstrap-
+dominated, the bootstrap sweep carries the shape.  ``fast=False`` also
+sweeps Cinnamon-8/12.)
+
+Expected shape: halving any resource costs ~20-40%, doubling buys only
+~2-20% — the chips are balanced (Section 7.6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..sim.config import CINNAMON_4, config_for
+from .common import compile_bootstrap, simulate
+
+RESOURCES = ("register_file", "link_bandwidth", "memory_bandwidth",
+             "vector_width")
+FACTORS = (0.5, 2.0)
+
+
+def _machine_with(machine, resource: str, factor: float):
+    chip = machine.chip
+    if resource == "register_file":
+        return machine.scaled(register_file_mb=chip.register_file_mb * factor)
+    if resource == "link_bandwidth":
+        return machine.scaled(link_gbps=chip.link_gbps * factor)
+    if resource == "memory_bandwidth":
+        return machine.scaled(hbm_gbps=chip.hbm_gbps * factor)
+    if resource == "vector_width":
+        return machine.scaled(
+            lanes_per_cluster=int(chip.lanes_per_cluster * factor))
+    raise ValueError(f"unknown resource {resource!r}")
+
+
+def run(fast: bool = True) -> Dict[str, Dict[str, Dict[float, float]]]:
+    machines = {"Cinnamon-4": CINNAMON_4}
+    if not fast:
+        machines["Cinnamon-8"] = config_for(8)
+        machines["Cinnamon-12"] = config_for(12)
+    out: Dict[str, Dict[str, Dict[float, float]]] = {}
+    for name, machine in machines.items():
+        streams = max(1, machine.num_chips // 4)
+        compiled = compile_bootstrap(
+            machine.num_chips, num_streams=streams,
+            chips_per_stream=min(4, machine.num_chips))
+        base = simulate(compiled, machine)
+        rows: Dict[str, Dict[float, float]] = {}
+        for resource in RESOURCES:
+            rows[resource] = {}
+            for factor in FACTORS:
+                if resource == "register_file":
+                    # Register-file size changes what the compiler can hold
+                    # resident: recompile with the scaled register count.
+                    scaled_machine = _machine_with(machine, resource, factor)
+                    scaled_compiled = compile_bootstrap(
+                        machine.num_chips, num_streams=streams,
+                        chips_per_stream=min(4, machine.num_chips),
+                        registers_per_chip=max(32, int(224 * factor)))
+                    result = simulate(scaled_compiled, scaled_machine,
+                                      tag=f"rf{factor}")
+                else:
+                    scaled_machine = _machine_with(machine, resource, factor)
+                    result = simulate(compiled, scaled_machine,
+                                      tag=f"{resource}{factor}")
+                rows[resource][factor] = base.cycles / result.cycles
+        out[name] = rows
+    return out
+
+
+def format_result(result) -> str:
+    lines = ["Figure 16: sensitivity (speedup vs default; 1.0 = no change)",
+             ""]
+    for machine, rows in result.items():
+        lines.append(machine)
+        for resource, by_factor in rows.items():
+            cells = "  ".join(f"x{f}: {s:.2f}" for f, s in sorted(by_factor.items()))
+            lines.append(f"  {resource:18s} {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Figure 1: growth of ML models vs on-chip cache of FHE architectures.
+
+A data figure: model parameter counts explode across years while FHE
+accelerators' on-chip caches plateau in the hundreds of megabytes.  The
+series below are curated from the cited literature; ``run`` also appends
+the equivalent *cache demand* of encrypting each model's activations
+(ciphertext expansion at N = 64K), making the divergence quantitative.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+# (year, parameters)
+ML_MODELS = {
+    "ResNet-20": (2016, 0.27e6),
+    "ResNet-50": (2016, 25.6e6),
+    "BERT-Base": (2018, 110e6),
+    "BERT-Large": (2018, 340e6),
+    "GPT-2": (2019, 1.5e9),
+    "GPT-3": (2020, 175e9),
+    "PaLM": (2022, 540e9),
+}
+
+# (year, on-chip cache MB)
+FHE_ACCELERATORS = {
+    "F1": (2021, 64),
+    "BTS": (2022, 512),
+    "CraterLake": (2022, 256),
+    "ARK": (2022, 512),
+    "SHARP": (2023, 198),
+    "CiFHER (package)": (2024, 368),
+    "Cinnamon (per chip)": (2025, 56),
+}
+
+CIPHERTEXT_MB = 20.0  # one fresh N=64K ciphertext (Section 3.2)
+SLOTS_PER_CIPHERTEXT = 32768
+
+
+def run(fast: bool = True) -> Dict[str, dict]:
+    models = {
+        name: {
+            "year": year,
+            "parameters": params,
+            "activation_ciphertexts": max(1, int(params // SLOTS_PER_CIPHERTEXT)),
+            "encrypted_mb": max(1, int(params // SLOTS_PER_CIPHERTEXT))
+            * CIPHERTEXT_MB,
+        }
+        for name, (year, params) in ML_MODELS.items()
+    }
+    accelerators = {
+        name: {"year": year, "cache_mb": cache}
+        for name, (year, cache) in FHE_ACCELERATORS.items()
+    }
+    return {"models": models, "accelerators": accelerators}
+
+
+def format_result(result: Dict[str, dict]) -> str:
+    lines = ["Figure 1: model growth vs FHE accelerator caches", ""]
+    lines.append(f"{'model':24s} {'year':>5s} {'params':>10s} {'enc. MB':>12s}")
+    for name, row in result["models"].items():
+        lines.append(
+            f"{name:24s} {row['year']:>5d} {row['parameters']:>10.2e} "
+            f"{row['encrypted_mb']:>12.0f}"
+        )
+    lines.append("")
+    lines.append(f"{'accelerator':24s} {'year':>5s} {'cache MB':>9s}")
+    for name, row in result["accelerators"].items():
+        lines.append(f"{name:24s} {row['year']:>5d} {row['cache_mb']:>9d}")
+    return "\n".join(lines)

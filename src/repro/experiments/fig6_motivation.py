@@ -1,0 +1,63 @@
+"""Figure 6: parallel bootstraps vs cache capacity and compute.
+
+The motivation study (Section 3.1): a *single* chip with 1 TB/s HBM runs
+1..8 bootstraps; on-chip cache is swept from 64 MB to 2 GB and compute
+from 4 to 8 clusters.  Expected shape:
+
+* small caches degrade linearly with bootstrap count (metadata — shared
+  plaintext matrices and evaluation keys — spills and re-streams);
+* ~1 GB fits the shared metadata, so parallel bootstraps stop paying for
+  it (5.6x at 8 bootstraps going 256 MB -> 1 GB, vs 1.28x for one);
+* beyond the cache sweet spot, extra compute gives further speedups.
+
+Register-file capacity doubles as the cache here: Belady allocation with a
+larger file keeps the shared metadata resident across bootstraps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..sim.config import CINNAMON_1
+from .common import compile_bootstrap, simulate
+
+CACHES_MB = (64, 128, 256, 1024, 2048)
+BOOTSTRAPS = (1, 2, 4, 8)
+CLUSTERS = (4, 8)
+LIMB_MB = 0.25  # one N=64K limb register
+
+
+def run(fast: bool = True) -> Dict[Tuple[int, int, int], float]:
+    """Returns ``{(bootstraps, cache_mb, clusters): milliseconds}``."""
+    caches = (64, 256, 1024) if fast else CACHES_MB
+    bootstraps = (1, 2) if fast else BOOTSTRAPS
+    clusters = CLUSTERS
+    out: Dict[Tuple[int, int, int], float] = {}
+    for count in bootstraps:
+        for cache_mb in caches:
+            registers = max(32, int(cache_mb / LIMB_MB))
+            compiled = compile_bootstrap(
+                1, num_streams=count, chips_per_stream=1,
+                registers_per_chip=registers)
+            for n_clusters in clusters:
+                machine = CINNAMON_1.scaled(
+                    clusters=n_clusters,
+                    register_file_mb=float(cache_mb),
+                    hbm_gbps=1024.0,  # the study's 1 TB/s single chip
+                )
+                result = simulate(compiled, machine,
+                                  tag=f"fig6-{cache_mb}-{n_clusters}")
+                out[(count, cache_mb, n_clusters)] = result.milliseconds
+    return out
+
+
+def format_result(result) -> str:
+    lines = ["Figure 6: bootstraps x cache x compute on one chip (ms)", ""]
+    keys = sorted(result)
+    for key in keys:
+        count, cache, clusters = key
+        lines.append(
+            f"  {count} bootstrap(s), {cache:>5d} MB, {clusters} clusters: "
+            f"{result[key]:8.2f} ms"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Table 1: component-wise area breakdown of a Cinnamon chip."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..arch.area import (
+    CINNAMON_AREA,
+    TABLE1_COMPONENTS,
+    TABLE1_FU_TOTAL,
+    TABLE1_TOTAL,
+    craterlake_bcu_comparison,
+)
+
+
+def run(fast: bool = True) -> Dict[str, object]:
+    model = CINNAMON_AREA
+    return {
+        "components_mm2": dict(TABLE1_COMPONENTS),
+        "fu_total_mm2": model.functional_unit_area(),
+        "breakdown": model.breakdown(),
+        "total_mm2": model.total_area(),
+        "paper_fu_total_mm2": TABLE1_FU_TOTAL,
+        "paper_total_mm2": TABLE1_TOTAL,
+        "bcu_comparison": craterlake_bcu_comparison(),
+    }
+
+
+def format_result(result: Dict[str, object]) -> str:
+    lines = ["Table 1: Cinnamon chip area breakdown (mm^2, 22nm)", ""]
+    for name, area in result["components_mm2"].items():
+        lines.append(f"  {name:14s} {area:8.2f}")
+    lines.append(f"  {'FU total':14s} {result['fu_total_mm2']:8.2f} "
+                 f"(paper {result['paper_fu_total_mm2']:.2f})")
+    for name, area in result["breakdown"].items():
+        lines.append(f"  {name:14s} {area:8.2f}")
+    lines.append(f"  {'TOTAL':14s} {result['total_mm2']:8.2f} "
+                 f"(paper {result['paper_total_mm2']:.2f})")
+    bcu = result["bcu_comparison"]
+    lines.append("")
+    lines.append("Section 4.7 BCU comparison (per cluster):")
+    for design, row in bcu.items():
+        lines.append(
+            f"  {design:11s} multipliers={row['multipliers']:>6.0f} "
+            f"buffers={row['buffer_mb']:.2f} MB ports={row['buffer_ports']}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Table 3: manufacturing yield and tape-out cost of FHE architectures."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..arch.yield_model import ACCELERATOR_DIES, TABLE3_TAPEOUT_COST, YieldModel
+
+# Published yield column for shape comparison.
+PAPER_YIELD_PCT = {
+    "ARK": 48.0,
+    "CiFHER": 90.0,
+    "CraterLake": 44.0,
+    "Cinnamon-M": 31.0,
+    "Cinnamon": 66.0,
+}
+
+
+def run(fast: bool = True) -> Dict[str, dict]:
+    table = YieldModel().table()
+    for name, row in table.items():
+        row["tapeout_cost"] = TABLE3_TAPEOUT_COST[name]
+        row["paper_yield_pct"] = PAPER_YIELD_PCT[name]
+        row["chips_per_system"] = ACCELERATOR_DIES[name].chips_per_system
+    return table
+
+
+def format_result(result: Dict[str, dict]) -> str:
+    lines = ["Table 3: yield and estimated tape-out cost", ""]
+    lines.append(f"{'design':12s} {'mm^2':>8s} {'node':>5s} {'yield%':>7s} "
+                 f"{'(paper)':>8s} {'$/mm^2':>7s} {'NRE $':>8s}")
+    for name, row in result.items():
+        lines.append(
+            f"{name:12s} {row['area_mm2']:>8.1f} {row['process']:>5s} "
+            f"{row['yield_pct']:>7.1f} {row['paper_yield_pct']:>8.1f} "
+            f"{row['price_per_mm2']:>7.0f} {row['tapeout_cost']:>8.1e}"
+        )
+    return "\n".join(lines)

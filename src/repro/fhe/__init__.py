@@ -1,0 +1,34 @@
+"""Functional RNS-CKKS substrate.
+
+This subpackage is a from-scratch, numpy-backed implementation of the CKKS
+fully homomorphic encryption scheme (Cheon-Kim-Kim-Song) in the RNS/double-
+CRT representation used by FHE accelerators: limb-decomposed polynomials,
+negacyclic NTTs, approximate base conversion, hybrid digit keyswitching,
+and bootstrapping.  It is the executable ground truth against which the
+Cinnamon compiler, ISA emulator, and parallel keyswitching algorithms are
+validated.
+"""
+
+from .params import ArchParams, CKKSParams, make_params, toy_params
+from .polynomial import RnsPolynomial
+from .ciphertext import Ciphertext
+from .encoding import CKKSEncoder, Plaintext
+from .keys import EvalKey, KeyChain, PublicKey, SecretKey
+from .evaluator import CKKSContext, Evaluator
+
+__all__ = [
+    "ArchParams",
+    "CKKSParams",
+    "make_params",
+    "toy_params",
+    "RnsPolynomial",
+    "Ciphertext",
+    "CKKSEncoder",
+    "Plaintext",
+    "EvalKey",
+    "KeyChain",
+    "PublicKey",
+    "SecretKey",
+    "CKKSContext",
+    "Evaluator",
+]

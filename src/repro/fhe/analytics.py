@@ -1,0 +1,81 @@
+"""Encrypted analytics kernels: the "private database analytics" use case.
+
+The paper motivates FHE with private analytics alongside ML (Section 1).
+This module provides the standard encrypted aggregate kernels over packed
+vectors — sums, means, inner products, variance, min/max-style polynomial
+comparisons — each built from the evaluator's rotate-and-sum trees and
+polynomial evaluation, i.e. exactly the op patterns Cinnamon's keyswitch
+pass accelerates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ciphertext import Ciphertext
+from .evaluator import Evaluator
+from .polyeval import ChebyshevEvaluator
+
+
+def encrypted_sum(ev: Evaluator, ct: Ciphertext, count: int) -> Ciphertext:
+    """Sum of slots ``0..count-1``, replicated into every slot.
+
+    ``count`` must be a power of two dividing the slot count; the input's
+    remaining slots must be zero (standard packing discipline).
+    """
+    slots = ev.params.slot_count
+    if count & (count - 1) or count > slots:
+        raise ValueError("count must be a power of two within the slot count")
+    # With the tail slots zeroed, the total over all slots equals the
+    # prefix sum; the log-depth tree replicates it into every slot.
+    return ev.rotate_and_sum(ct, slots)
+
+
+def encrypted_mean(ev: Evaluator, ct: Ciphertext, count: int) -> Ciphertext:
+    return ev.mul_scalar(encrypted_sum(ev, ct, count), 1.0 / count)
+
+
+def encrypted_inner_product(ev: Evaluator, a: Ciphertext, b: Ciphertext,
+                            count: int) -> Ciphertext:
+    """<a, b> over the first ``count`` slots, replicated everywhere."""
+    return encrypted_sum(ev, ev.mul(a, b), count)
+
+
+def encrypted_variance(ev: Evaluator, ct: Ciphertext, count: int) -> Ciphertext:
+    """Population variance of slots ``0..count-1`` (replicated).
+
+    Var[x] = E[x^2] - E[x]^2: one square, two reductions, one subtract —
+    consumes three levels.
+    """
+    mean = encrypted_mean(ev, ct, count)
+    mean_sq = ev.square(mean)
+    second_moment = encrypted_mean(ev, ev.square(ct), count)
+    return ev.sub(second_moment, mean_sq)
+
+
+def encrypted_soft_threshold(ev: Evaluator, ct: Ciphertext,
+                             threshold: float, sharpness: float = 8.0,
+                             degree: int = 15) -> Ciphertext:
+    """Smooth indicator ``sigmoid(sharpness * (x - threshold))``.
+
+    The polynomial stand-in for comparisons in encrypted filtering/count
+    queries; values must lie in ``[-1, 1]``.
+    """
+    cheb = ChebyshevEvaluator(ev)
+
+    def fn(x):
+        return 1.0 / (1.0 + np.exp(-sharpness * (x - threshold)))
+
+    return cheb.evaluate_function(ct, fn, degree=degree, interval=(-1.0, 1.0))
+
+
+def encrypted_count_above(ev: Evaluator, ct: Ciphertext, count: int,
+                          threshold: float, sharpness: float = 8.0) -> Ciphertext:
+    """Approximate count of slots above ``threshold`` (replicated).
+
+    The analytics staple "SELECT COUNT(*) WHERE x > t", computed as the
+    sum of soft indicators.  Requires the unused slots to be far below the
+    threshold (standard padding with -1).
+    """
+    indicator = encrypted_soft_threshold(ev, ct, threshold, sharpness)
+    return encrypted_sum(ev, indicator, count)

@@ -1,0 +1,64 @@
+"""CKKS ciphertexts.
+
+A ciphertext is a list of polynomials (length 2 normally, 3 after an
+un-relinearized multiplication) over the active prime basis, plus the
+encoding scale of the underlying plaintext.  Decryption evaluates
+``sum_k c_k * s^k``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .polynomial import RnsPolynomial
+
+
+class Ciphertext:
+    """An encryption of a packed vector under the CKKS scheme."""
+
+    __slots__ = ("polys", "scale")
+
+    def __init__(self, polys: List[RnsPolynomial], scale: float):
+        if not polys:
+            raise ValueError("ciphertext needs at least one polynomial")
+        basis = polys[0].basis
+        for p in polys[1:]:
+            if p.basis != basis:
+                raise ValueError("all ciphertext polynomials must share a basis")
+        self.polys = list(polys)
+        self.scale = float(scale)
+
+    @property
+    def degree(self) -> int:
+        """Number of polynomial components (2 = canonical, 3 = pre-relin)."""
+        return len(self.polys)
+
+    @property
+    def level(self) -> int:
+        """Number of RNS limbs remaining (the multiplicative budget proxy)."""
+        return self.polys[0].level
+
+    @property
+    def basis(self):
+        return self.polys[0].basis
+
+    @property
+    def ring_degree(self) -> int:
+        return self.polys[0].ring_degree
+
+    def copy(self) -> "Ciphertext":
+        return Ciphertext([p.copy() for p in self.polys], self.scale)
+
+    def at_level(self, level: int) -> "Ciphertext":
+        """Drop limbs down to ``level`` (modulus switching without scaling)."""
+        if level == self.level:
+            return self
+        return Ciphertext([p.drop_limbs(level) for p in self.polys], self.scale)
+
+    def __repr__(self):
+        return (
+            f"Ciphertext(degree={self.degree}, level={self.level}, "
+            f"scale=2^{np.log2(self.scale):.1f})"
+        )

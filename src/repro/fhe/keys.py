@@ -1,0 +1,164 @@
+"""Key material: secret/public keys and digit-decomposition evaluation keys.
+
+Keyswitching uses the hybrid (RNS-digit) construction: to switch a
+polynomial multiplying key ``s_src`` to key ``s``, the limbs of the active
+basis ``Q`` are split into ``d`` digits ``D_i`` (with products ``Q_i``), and
+the evaluation key for digit ``i`` encrypts
+
+    P * g_i * s_src,   g_i = (Q/Q_i) * [(Q/Q_i)^{-1}]_{Q_i}  (mod Q)
+
+over the extended basis ``Q u P``.  The CRT factors ``g_i`` depend on the
+*active* modulus ``Q`` — i.e. on the ciphertext level and on the digit
+partition — so :class:`KeyChain` generates evaluation keys per
+``(purpose, level, partition)`` and caches them.  (Hardware FHE stacks bake
+a single partition per level into the compiled program; the cache mirrors
+that while keeping the functional library exact at every level.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .modmath import mod_inv
+from .params import CKKSParams
+from .polynomial import EVAL, RnsPolynomial
+from .rns import basis_product
+from .sampling import FheRng
+
+Partition = Tuple[Tuple[int, ...], ...]
+
+
+class SecretKey:
+    """Ternary secret key; embeddable into any RNS basis on demand."""
+
+    def __init__(self, coeffs: np.ndarray, rng: FheRng):
+        self.coeffs = coeffs
+        self._rng = rng
+        self._cache: Dict[Tuple[int, ...], RnsPolynomial] = {}
+
+    def poly(self, basis: Sequence[int]) -> RnsPolynomial:
+        key = tuple(int(p) for p in basis)
+        poly = self._cache.get(key)
+        if poly is None:
+            poly = self._rng.small_poly(self.coeffs, key, domain=EVAL)
+            self._cache[key] = poly
+        return poly
+
+
+class PublicKey:
+    """Encryption key ``(b, a)`` with ``b = -a*s + e`` over the full chain."""
+
+    def __init__(self, b: RnsPolynomial, a: RnsPolynomial):
+        self.b = b
+        self.a = a
+
+    def at_level(self, level: int) -> "PublicKey":
+        return PublicKey(self.b.drop_limbs(level), self.a.drop_limbs(level))
+
+
+class EvalKey:
+    """Digit-decomposition switching key.
+
+    ``digits[i] = (b_i, a_i)`` over the basis ``Q_level u P``, with
+    ``b_i = -a_i*s + e_i + P*g_i*s_src``.  ``partition`` records the limb
+    indices of each digit.
+    """
+
+    def __init__(self, digits: List[Tuple[RnsPolynomial, RnsPolynomial]],
+                 partition: Partition, level: int):
+        self.digits = digits
+        self.partition = partition
+        self.level = level
+
+    @property
+    def num_digits(self) -> int:
+        return len(self.digits)
+
+
+class KeyChain:
+    """Generates and caches all key material for one parameter set."""
+
+    def __init__(self, params: CKKSParams, seed: int = 2025):
+        self.params = params
+        self.rng = FheRng(seed)
+        self.secret = SecretKey(
+            self.rng.ternary_secret(params.ring_degree, params.secret_hamming_weight),
+            self.rng,
+        )
+        self._public: PublicKey = None
+        self._eval_cache: Dict[tuple, EvalKey] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def public_key(self) -> PublicKey:
+        if self._public is None:
+            params = self.params
+            basis = params.moduli
+            a = self.rng.uniform_poly(basis, params.ring_degree)
+            e = self.rng.error_poly(basis, params.ring_degree, params.error_std)
+            s = self.secret.poly(basis)
+            b = -(a * s) + e
+            self._public = PublicKey(b, a)
+        return self._public
+
+    # ------------------------------------------------------------------ #
+    # Evaluation keys
+
+    def _source_poly(self, purpose, basis: Sequence[int]) -> RnsPolynomial:
+        """The key polynomial ``s_src`` being switched away from.
+
+        ``purpose`` is ``"relin"`` (``s_src = s^2``) or ``("galois", k)``
+        (``s_src = s(X^k)``).
+        """
+        s = self.secret.poly(basis)
+        if purpose == "relin":
+            return s * s
+        if isinstance(purpose, tuple) and purpose[0] == "galois":
+            return s.automorphism(purpose[1])
+        raise ValueError(f"unknown evaluation-key purpose {purpose!r}")
+
+    def switching_key(self, purpose, level: int, partition: Partition = None) -> EvalKey:
+        """Fetch (generating if needed) the switching key for ``purpose``.
+
+        ``partition`` defaults to the contiguous digit partition of the
+        parameter set at this level.
+        """
+        params = self.params
+        if partition is None:
+            partition = params.digit_partition(level)
+        partition = tuple(tuple(int(i) for i in digit) for digit in partition)
+        cache_key = (purpose, level, partition)
+        evk = self._eval_cache.get(cache_key)
+        if evk is not None:
+            return evk
+
+        active = params.basis_at_level(level)
+        extended = active + params.extension_moduli
+        q_total = basis_product(active)
+        p_total = basis_product(params.extension_moduli)
+        s = self.secret.poly(extended)
+        s_src = self._source_poly(purpose, extended)
+
+        digits = []
+        for digit in partition:
+            digit_primes = [active[i] for i in digit]
+            q_digit = basis_product(digit_primes)
+            q_hat = q_total // q_digit
+            g = (q_hat * mod_inv(q_hat % q_digit, q_digit)) % q_total
+            factor = [(p_total % r) * (g % r) % r for r in extended]
+            a = self.rng.uniform_poly(extended, params.ring_degree)
+            e = self.rng.error_poly(extended, params.ring_degree, params.error_std)
+            b = -(a * s) + e + s_src.scalar_mul_rns(factor)
+            digits.append((b, a))
+        evk = EvalKey(digits, partition, level)
+        self._eval_cache[cache_key] = evk
+        return evk
+
+    def relin_key(self, level: int, partition: Partition = None) -> EvalKey:
+        return self.switching_key("relin", level, partition)
+
+    def galois_key(self, galois_element: int, level: int,
+                   partition: Partition = None) -> EvalKey:
+        return self.switching_key(("galois", galois_element), level, partition)

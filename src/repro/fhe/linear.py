@@ -1,0 +1,192 @@
+"""Homomorphic linear algebra: diagonal-method matrix-vector products.
+
+The workhorse of encrypted ML — and of bootstrapping's CoeffToSlot /
+SlotToCoeff — is the square matrix-vector product over the slots:
+
+    y = M @ x   ==>   y = sum_d diag_d(M) * rot(x, d)
+
+The baby-step/giant-step (BSGS) variant factors the ``n`` rotations into
+``n1`` inner ("baby") and ``n2`` outer ("giant") rotations with
+``n = n1 * n2``, reducing the keyswitch count from ``n`` to about
+``n1 + n2`` — this is the BSGS pattern whose communication the Cinnamon
+keyswitch pass collapses to O(1) broadcasts/aggregations (Section 4.3.1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+import numpy as np
+
+from .ciphertext import Ciphertext
+from .evaluator import Evaluator
+
+
+def matrix_diagonals(matrix: np.ndarray) -> Dict[int, np.ndarray]:
+    """Extract the generalized diagonals ``diag_d[i] = M[i, (i+d) % n]``.
+
+    Zero diagonals are omitted (sparse transform matrices like the
+    bootstrapping DFT factors have very few nonzero diagonals).
+    """
+    n = matrix.shape[0]
+    if matrix.shape != (n, n):
+        raise ValueError("matrix must be square")
+    diagonals: Dict[int, np.ndarray] = {}
+    rows = np.arange(n)
+    for d in range(n):
+        diag = matrix[rows, (rows + d) % n]
+        if np.any(np.abs(diag) > 1e-14):
+            diagonals[d] = diag
+    return diagonals
+
+
+def plain_matvec_reference(matrix: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Oracle for the slot semantics of :func:`bsgs_matvec`."""
+    return matrix @ x
+
+
+def bsgs_matvec(
+    ev: Evaluator,
+    ct: Ciphertext,
+    matrix: np.ndarray = None,
+    diagonals: Dict[int, np.ndarray] = None,
+    baby_steps: int = None,
+    pt_scale: float = None,
+    rescales: int = 1,
+) -> Ciphertext:
+    """Homomorphic ``y = M @ x`` over the first ``n`` slots.
+
+    ``n`` (the matrix dimension) must divide the slot count.  The input is
+    assumed to be replicated modulo ``n`` across the slots when ``n`` is
+    smaller than the slot count (encrypt ``np.tile(x, slots//n)``), which
+    makes plain ``np.roll``-style rotation semantics exact.
+
+    Either a dense ``matrix`` or a precomputed ``diagonals`` dict may be
+    given.  Uses hoisted rotations for the baby steps — exactly the
+    "multiple rotations on one ciphertext" pattern the Cinnamon compiler
+    optimizes with input-broadcast keyswitching.
+
+    ``pt_scale`` overrides the diagonal encoding scale and ``rescales``
+    sets how many limbs the product consumes (bootstrapping's CoeffToSlot
+    uses a wide plaintext scale with two rescales to bridge its
+    non-standard ciphertext scale back onto the level invariant).
+    """
+    if diagonals is None:
+        if matrix is None:
+            raise ValueError("need a matrix or its diagonals")
+        diagonals = matrix_diagonals(np.asarray(matrix, dtype=np.complex128))
+    if not diagonals:
+        raise ValueError("matrix has no nonzero diagonals")
+    n = len(next(iter(diagonals.values())))
+    slots = ev.params.slot_count
+    if slots % n:
+        raise ValueError(f"matrix dimension {n} must divide slot count {slots}")
+
+    if baby_steps is None:
+        baby_steps = 1 << max(0, math.ceil(math.log2(math.sqrt(n))))
+    n1 = min(baby_steps, n)
+    n2 = math.ceil(n / n1)
+
+    # Group diagonals by giant step: d = j*n1 + i.
+    groups: Dict[int, Dict[int, np.ndarray]] = {}
+    for d, diag in diagonals.items():
+        j, i = divmod(d, n1)
+        groups.setdefault(j, {})[i] = diag
+
+    needed_babies = sorted({i for g in groups.values() for i in g})
+    rotated = ev.rotate_hoisted(ct, needed_babies)
+
+    result = None
+    for j in sorted(groups):
+        inner = None
+        for i, diag in groups[j].items():
+            # Giant-step correction: rot(diag * rot(x, d), 0) decomposes as
+            # rot_{j*n1}( rot_{-j*n1}(diag) * rot_i(x) ).
+            adjusted = np.roll(diag, j * n1)
+            tiled = np.tile(adjusted, slots // n)
+            term = ev.mul_values(rotated[i], tiled, rescale=False,
+                                 pt_scale=pt_scale)
+            inner = term if inner is None else ev.add(inner, term)
+        inner = ev.rescale(inner)
+        if j:
+            inner = ev.rotate(inner, j * n1)
+        result = inner if result is None else ev.add(result, inner)
+    for _ in range(rescales - 1):
+        result = ev.rescale(result)
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# Encrypted matrix-matrix multiplication (Jiang-Kim-Lauter-Song / E2DM).
+#
+# Both operands are d x d matrices packed row-major into d^2 slots.  The
+# algorithm first applies the sigma/tau permutations (diagonal matmuls),
+# then accumulates d column/row-shifted Hadamard products:
+#
+#     C = sum_k colshift_k(sigma(A)) * rowshift_k(tau(B))
+#
+# Depth: one plaintext matmul + one masking multiply + one ciphertext
+# multiply -- the standard transformer matmul kernel in FHE [65].
+
+
+def _sigma_permutation(d: int) -> np.ndarray:
+    """sigma(A)[i, j] = A[i, (i + j) mod d] as a d^2 x d^2 0/1 matrix."""
+    n = d * d
+    m = np.zeros((n, n))
+    for i in range(d):
+        for j in range(d):
+            m[i * d + j, i * d + (i + j) % d] = 1.0
+    return m
+
+
+def _tau_permutation(d: int) -> np.ndarray:
+    """tau(B)[i, j] = B[(i + j) mod d, j] as a d^2 x d^2 0/1 matrix."""
+    n = d * d
+    m = np.zeros((n, n))
+    for i in range(d):
+        for j in range(d):
+            m[i * d + j, ((i + j) % d) * d + j] = 1.0
+    return m
+
+
+def _column_shift_masks(d: int, k: int, slots: int):
+    """Masks splitting a column rotation by k into its two wrap parts."""
+    n = d * d
+    keep = np.zeros(n)
+    wrap = np.zeros(n)
+    for i in range(d):
+        for j in range(d):
+            if j < d - k:
+                keep[i * d + j] = 1.0
+            else:
+                wrap[i * d + j] = 1.0
+    reps = slots // n
+    return np.tile(keep, reps), np.tile(wrap, reps)
+
+
+def encrypted_matmul(ev: Evaluator, ct_a: Ciphertext, ct_b: Ciphertext,
+                     d: int) -> Ciphertext:
+    """Homomorphic ``C = A @ B`` for row-major packed d x d matrices.
+
+    Inputs must be packed with :func:`repro.fhe.packing.tile_vector` over
+    ``d*d`` entries (``d*d`` must divide the slot count).  Consumes three
+    multiplicative levels.
+    """
+    slots = ev.params.slot_count
+    n = d * d
+    if slots % n:
+        raise ValueError(f"matrix of {n} entries must divide {slots} slots")
+    a0 = bsgs_matvec(ev, ct_a, matrix=_sigma_permutation(d))
+    b0 = bsgs_matvec(ev, ct_b, matrix=_tau_permutation(d))
+    acc = ev.mul(a0, b0)
+    for k in range(1, d):
+        keep, wrap = _column_shift_masks(d, k, slots)
+        shifted = ev.add(
+            ev.mul_values(ev.rotate(a0, k), keep),
+            ev.mul_values(ev.rotate(a0, k - d), wrap),
+        )
+        b_k = ev.rotate(b0, d * k)
+        b_k = ev.mul_values(b_k, np.ones(slots))  # align level with shifted
+        acc = ev.add(acc, ev.mul(shifted, b_k))
+    return acc

@@ -1,0 +1,83 @@
+"""Slot-packing utilities for encrypted ML data layouts.
+
+CKKS programs live or die by their packing discipline: rotations only make
+sense relative to how data was laid out in the slots.  These helpers
+implement the standard layouts used by the workloads (and by the paper's
+benchmarks):
+
+* **tiled vectors** — a length-``n`` vector replicated ``slots/n`` times,
+  so rotations wrap within the vector (what :func:`repro.fhe.linear
+  .bsgs_matvec` expects);
+* **row-major matrices** — for matrix-vector products via rotate-and-sum;
+* **zero-padded prefixes** — for the analytics reductions;
+* **multi-vector batching** — several independent vectors in one
+  ciphertext, with helpers to extract each.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+def tile_vector(values: Sequence[float], slot_count: int) -> np.ndarray:
+    """Replicate a vector across the slots (rotation-friendly layout)."""
+    values = np.asarray(values)
+    n = len(values)
+    if slot_count % n:
+        raise ValueError(f"vector length {n} must divide {slot_count} slots")
+    return np.tile(values, slot_count // n)
+
+
+def pad_prefix(values: Sequence[float], slot_count: int,
+               fill: float = 0.0) -> np.ndarray:
+    """Place a vector in the leading slots, padding the tail with ``fill``."""
+    values = np.asarray(values, dtype=np.complex128 if
+                        np.iscomplexobj(values) else np.float64)
+    if len(values) > slot_count:
+        raise ValueError(f"{len(values)} values exceed {slot_count} slots")
+    out = np.full(slot_count, fill, dtype=values.dtype)
+    out[: len(values)] = values
+    return out
+
+
+def pack_matrix_rows(matrix: np.ndarray, slot_count: int) -> np.ndarray:
+    """Row-major flattening of a matrix into the leading slots."""
+    matrix = np.asarray(matrix)
+    flat = matrix.reshape(-1)
+    return pad_prefix(flat, slot_count)
+
+
+def batch_vectors(vectors: List[Sequence[float]], slot_count: int) -> np.ndarray:
+    """Pack independent equal-length vectors back to back.
+
+    Vector ``i`` occupies slots ``[i*stride, (i+1)*stride)`` where
+    ``stride`` is the (power-of-two) vector length — the layout under
+    which per-vector rotations are ``rotate(k)`` composed with masking.
+    """
+    if not vectors:
+        raise ValueError("no vectors given")
+    stride = len(vectors[0])
+    if stride & (stride - 1):
+        raise ValueError("vector length must be a power of two")
+    if any(len(v) != stride for v in vectors):
+        raise ValueError("vectors must share a length")
+    if stride * len(vectors) > slot_count:
+        raise ValueError("batch does not fit in the slots")
+    out = np.zeros(slot_count)
+    for i, vec in enumerate(vectors):
+        out[i * stride:(i + 1) * stride] = vec
+    return out
+
+
+def extract_vector(slots: np.ndarray, index: int, stride: int) -> np.ndarray:
+    """Inverse of :func:`batch_vectors` for decoded slot arrays."""
+    return np.asarray(slots)[index * stride:(index + 1) * stride]
+
+
+def batch_mask(index: int, stride: int, slot_count: int) -> np.ndarray:
+    """Multiplicative 0/1 mask selecting one vector of a batch."""
+    mask = np.zeros(slot_count)
+    mask[index * stride:(index + 1) * stride] = 1.0
+    return mask

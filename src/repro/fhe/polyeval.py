@@ -1,0 +1,191 @@
+"""Homomorphic polynomial evaluation in the Chebyshev basis.
+
+Bootstrapping's EvalMod step and the transformer activation functions
+(GELU/softmax/tanh approximations) both reduce to evaluating a fixed
+polynomial on a ciphertext.  High-degree approximations are numerically
+stable only in the Chebyshev basis, and level consumption must be
+logarithmic in the degree, so we implement the baby-step/giant-step (BSGS)
+recursive scheme of Han-Ki:
+
+* baby steps ``T_1 .. T_k`` and giant steps ``T_2k, T_4k, ...`` are built
+  with the double/addition identities (``T_{2i} = 2*T_i^2 - 1``,
+  ``T_{i+j} = 2*T_i*T_j - T_{i-j}``), consuming ``O(log d)`` levels;
+* the polynomial is recursively divided by giant-step Chebyshev
+  polynomials (``p = q * T_g + r``) so every ciphertext-ciphertext
+  multiplication pairs a quotient with a precomputed ``T_g``.
+
+Rotation-heavy linear algebra lives in :mod:`repro.fhe.linear`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from .ciphertext import Ciphertext
+from .evaluator import Evaluator
+
+
+def chebyshev_coefficients(
+    fn: Callable[[np.ndarray], np.ndarray], degree: int, interval=( -1.0, 1.0)
+) -> np.ndarray:
+    """Chebyshev-basis coefficients of ``fn`` on ``interval``.
+
+    Fits at the Chebyshev nodes of the interval, which is numerically exact
+    for polynomial interpolation of the given degree.
+    """
+    lo, hi = interval
+    nodes = np.cos(np.pi * (np.arange(degree + 1) + 0.5) / (degree + 1))
+    x = 0.5 * (hi - lo) * nodes + 0.5 * (hi + lo)
+    y = fn(x)
+    return np.polynomial.chebyshev.chebfit(nodes, y, degree)
+
+
+def chebyshev_divmod(coeffs: Sequence[float], n: int):
+    """Divide a Chebyshev-basis polynomial by ``T_n``.
+
+    Returns ``(q, r)`` (both Chebyshev-basis coefficient lists) with
+    ``p = q * T_n + r`` and ``deg r < n``, using
+    ``T_i = 2*T_{i-n}*T_n - T_{|i-2n|}``.
+    """
+    c = list(coeffs)
+    d = len(c) - 1
+    if d < n:
+        return [0.0], c
+    q = [0.0] * (d - n + 1)
+    for i in range(d, n, -1):
+        q[i - n] += 2.0 * c[i]
+        c[abs(i - 2 * n)] -= c[i]
+        c[i] = 0.0
+    q[0] += c[n]
+    c[n] = 0.0
+    return q, c[:n]
+
+
+def _trim(coeffs: Sequence[float]) -> List[float]:
+    c = list(coeffs)
+    while len(c) > 1 and c[-1] == 0.0:
+        c.pop()
+    return c
+
+
+class ChebyshevEvaluator:
+    """Evaluates Chebyshev-basis polynomials on ciphertexts via BSGS."""
+
+    def __init__(self, evaluator: Evaluator):
+        self.ev = evaluator
+
+    # ------------------------------------------------------------------ #
+
+    def _build_power_table(self, x: Ciphertext, degree: int, baby: int):
+        """Precompute baby steps ``T_0..T_baby`` and giants ``T_{2^j*baby}``."""
+        ev = self.ev
+        table: Dict[int, Ciphertext] = {1: x}
+        # Babies via addition formulas, keeping depth logarithmic.
+        for i in range(2, baby + 1):
+            if i in table:
+                continue
+            half = i // 2
+            other = i - half
+            prod = ev.mul(table[half], table[other])
+            t_i = ev.add(prod, prod)  # 2*T_a*T_b
+            diff = abs(half - other)
+            if diff == 0:
+                t_i = ev.add_scalar(t_i, -1.0)  # T_{2a} = 2*T_a^2 - 1
+            else:
+                t_i = ev.sub(t_i, self._resolve(table, diff, ev))
+            table[i] = t_i
+        # Giants by repeated doubling (only those the recursion can use).
+        g = baby
+        while 2 * g <= degree:
+            prod = ev.square(table[g])
+            t = ev.add(prod, prod)
+            table[2 * g] = ev.add_scalar(t, -1.0)
+            g *= 2
+        return table
+
+    @staticmethod
+    def _resolve(table: Dict[int, Ciphertext], i: int, ev: Evaluator) -> Ciphertext:
+        if i == 0:
+            raise KeyError("T_0 handled as a scalar, never materialized")
+        if i not in table:
+            raise KeyError(f"T_{i} missing from power table")
+        return table[i]
+
+    # ------------------------------------------------------------------ #
+
+    def _eval_small(self, coeffs: List[float], table: Dict[int, Ciphertext]) -> Ciphertext:
+        """Directly combine ``sum_i c_i * T_i`` for a low-degree tail."""
+        ev = self.ev
+        acc = None
+        for i in range(1, len(coeffs)):
+            if coeffs[i] == 0.0:
+                continue
+            term = ev.mul_scalar(table[i], coeffs[i])
+            acc = term if acc is None else ev.add(acc, term)
+        if acc is None:
+            # Constant polynomial: encode on a throwaway multiple of T_1.
+            acc = ev.mul_scalar(table[1], 0.0)
+        if coeffs[0] != 0.0:
+            acc = ev.add_scalar(acc, coeffs[0])
+        return acc
+
+    def _eval_recursive(self, coeffs: List[float], table: Dict[int, Ciphertext],
+                        baby: int) -> Ciphertext:
+        ev = self.ev
+        coeffs = _trim(coeffs)
+        degree = len(coeffs) - 1
+        if degree < max(baby, 2):
+            return self._eval_small(coeffs, table)
+        # Largest giant T_g with g <= degree (g = baby * 2^j).
+        g = baby
+        while 2 * g <= degree:
+            g *= 2
+        q, r = chebyshev_divmod(coeffs, g)
+        q_ct = self._eval_recursive(q, table, baby)
+        prod = ev.mul(q_ct, table[g])
+        if _trim(r) == [0.0]:
+            return prod
+        r_ct = self._eval_recursive(r, table, baby)
+        return ev.add(prod, r_ct)
+
+    def evaluate(self, x: Ciphertext, coeffs: Sequence[float]) -> Ciphertext:
+        """Evaluate ``sum_i coeffs[i] * T_i(x)`` homomorphically.
+
+        ``x`` must encode values in ``[-1, 1]`` (callers rescale their
+        domain into Chebyshev range first).  Consumes ``O(log degree)``
+        levels.
+        """
+        coeffs = _trim(list(float(c) for c in coeffs))
+        degree = len(coeffs) - 1
+        if degree == 0:
+            out = self.ev.mul_scalar(x, 0.0)
+            return self.ev.add_scalar(out, coeffs[0])
+        baby = 1 << max(1, math.ceil(math.log2(math.sqrt(degree + 1))))
+        table = self._build_power_table(x, degree, baby)
+        return self._eval_recursive(coeffs, table, baby)
+
+    def evaluate_function(
+        self,
+        x: Ciphertext,
+        fn: Callable[[np.ndarray], np.ndarray],
+        degree: int,
+        interval=(-1.0, 1.0),
+    ) -> Ciphertext:
+        """Approximate ``fn`` on ``interval`` and evaluate it on ``x``.
+
+        ``x``'s slots must lie in ``interval``; the affine map into
+        Chebyshev range is folded in homomorphically (one level when the
+        interval is not already ``[-1, 1]``).
+        """
+        lo, hi = interval
+        coeffs = chebyshev_coefficients(fn, degree, interval)
+        if not (math.isclose(lo, -1.0) and math.isclose(hi, 1.0)):
+            scale = 2.0 / (hi - lo)
+            shift = -(hi + lo) / (hi - lo)
+            x = self.ev.mul_scalar(x, scale)
+            if abs(shift) > 1e-12:
+                x = self.ev.add_scalar(x, shift)
+        return self.evaluate(x, coeffs)

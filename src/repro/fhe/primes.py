@@ -1,0 +1,98 @@
+"""NTT-friendly prime generation for RNS-CKKS.
+
+An RNS limb prime ``q`` must satisfy ``q = 1 (mod 2N)`` so that the ring
+``Z_q[X]/(X^N + 1)`` admits a negacyclic NTT (a primitive ``2N``-th root of
+unity must exist mod ``q``).  All primes are kept below ``2**31`` so that
+modular products fit in ``uint64`` (see :mod:`repro.fhe.modmath`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .modmath import MAX_PRIME_BITS, is_prime, mod_pow
+
+
+def generate_primes(
+    count: int,
+    bits: int,
+    ring_degree: int,
+    exclude: tuple = (),
+    descending: bool = True,
+) -> List[int]:
+    """Generate ``count`` distinct primes of roughly ``bits`` bits.
+
+    Each prime ``q`` satisfies ``q = 1 (mod 2 * ring_degree)``.  Primes are
+    searched downward from ``2**bits`` (or upward if ``descending`` is
+    False), skipping anything in ``exclude``.
+
+    Raises ``ValueError`` when the requested width cannot host NTT-friendly
+    primes or exceeds the uint64-safe limit.
+    """
+    if bits > MAX_PRIME_BITS:
+        raise ValueError(
+            f"prime width {bits} exceeds uint64-safe limit of {MAX_PRIME_BITS} bits"
+        )
+    m = 2 * ring_degree
+    if 2**bits <= m:
+        raise ValueError(
+            f"prime width {bits} too small for ring degree {ring_degree}"
+        )
+    excluded = set(exclude)
+    primes: List[int] = []
+    if descending:
+        candidate = (2**bits // m) * m + 1
+        step = -m
+    else:
+        candidate = (2 ** (bits - 1) // m) * m + m + 1
+        step = m
+    while len(primes) < count:
+        if candidate <= m or candidate >= 2 ** (bits + 1):
+            raise ValueError(
+                f"exhausted {bits}-bit candidates: found {len(primes)}/{count} primes"
+            )
+        if candidate not in excluded and is_prime(candidate):
+            primes.append(candidate)
+        candidate += step
+    return primes
+
+
+def find_primitive_root(p: int) -> int:
+    """Find a generator of the multiplicative group of ``Z_p``."""
+    order = p - 1
+    factors = _factorize(order)
+    for g in range(2, p):
+        if all(mod_pow(g, order // f, p) != 1 for f in factors):
+            return g
+    raise ValueError(f"no primitive root found for {p}")
+
+
+def find_root_of_unity(p: int, n: int) -> int:
+    """Find a primitive ``n``-th root of unity modulo ``p``.
+
+    Requires ``n`` to divide ``p - 1``.
+    """
+    if (p - 1) % n != 0:
+        raise ValueError(f"{n} does not divide {p} - 1")
+    g = find_primitive_root(p)
+    root = mod_pow(g, (p - 1) // n, p)
+    # Defensive: verify primitivity (root^(n/f) != 1 for prime factors f of n).
+    for f in _factorize(n):
+        if mod_pow(root, n // f, p) == 1:
+            raise ArithmeticError(f"derived root {root} is not a primitive {n}-th root")
+    return root
+
+
+def _factorize(n: int) -> List[int]:
+    """Return the distinct prime factors of ``n`` (trial division)."""
+    factors = []
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            factors.append(d)
+            while n % d == 0:
+                n //= d
+        d += 1 if d == 2 else 2
+    if n > 1:
+        factors.append(n)
+    return factors

@@ -1,0 +1,72 @@
+"""Randomness for CKKS: secret, error, and uniform polynomial sampling.
+
+The hardware PRNG functional unit in Cinnamon regenerates the uniform
+``a`` components of keys on the fly; functionally that is just uniform
+sampling, which we model with a seeded ``numpy`` generator so the whole
+library is reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .modmath import UINT
+from .polynomial import COEFF, EVAL, RnsPolynomial
+
+
+class FheRng:
+    """Seeded source of all randomness used by key generation/encryption."""
+
+    def __init__(self, seed: int = 2025):
+        self._rng = np.random.default_rng(seed)
+
+    def uniform_poly(self, basis: Sequence[int], ring_degree: int) -> RnsPolynomial:
+        """Uniform element of ``R_Q`` sampled directly in the eval domain.
+
+        Sampling each NTT slot uniformly is equivalent to sampling the
+        polynomial uniformly (the NTT is a bijection), and matches how
+        hardware PRNGs generate ``a`` directly in the evaluation domain.
+        """
+        data = np.empty((len(basis), ring_degree), dtype=UINT)
+        for j, q in enumerate(basis):
+            data[j] = self._rng.integers(0, int(q), size=ring_degree, dtype=np.uint64)
+        return RnsPolynomial(basis, data, EVAL)
+
+    def ternary_secret(self, ring_degree: int, hamming_weight: int = 0) -> np.ndarray:
+        """Ternary secret coefficients in ``{-1, 0, 1}`` (int64).
+
+        With ``hamming_weight > 0``, exactly that many coefficients are
+        nonzero (sparse secrets keep the ``I(X)`` overflow polynomial small
+        during bootstrapping's ModRaise, shrinking the EvalMod interval).
+        """
+        if hamming_weight <= 0:
+            return self._rng.integers(-1, 2, size=ring_degree, dtype=np.int64)
+        if hamming_weight > ring_degree:
+            raise ValueError("hamming weight exceeds ring degree")
+        coeffs = np.zeros(ring_degree, dtype=np.int64)
+        support = self._rng.choice(ring_degree, size=hamming_weight, replace=False)
+        coeffs[support] = self._rng.choice(np.array([-1, 1]), size=hamming_weight)
+        return coeffs
+
+    def gaussian_coeffs(self, ring_degree: int, std: float) -> np.ndarray:
+        """Rounded centered Gaussian error coefficients (int64)."""
+        return np.round(self._rng.normal(0.0, std, size=ring_degree)).astype(np.int64)
+
+    def small_poly(
+        self, coeffs: np.ndarray, basis: Sequence[int], domain: str = EVAL
+    ) -> RnsPolynomial:
+        """Embed small signed coefficients into ``R_Q``."""
+        from .modmath import from_signed
+
+        data = np.empty((len(basis), len(coeffs)), dtype=UINT)
+        for j, q in enumerate(basis):
+            data[j] = from_signed(coeffs, int(q))
+        poly = RnsPolynomial(basis, data, COEFF)
+        return poly.to_eval() if domain == EVAL else poly
+
+    def error_poly(
+        self, basis: Sequence[int], ring_degree: int, std: float, domain: str = EVAL
+    ) -> RnsPolynomial:
+        return self.small_poly(self.gaussian_coeffs(ring_degree, std), basis, domain)

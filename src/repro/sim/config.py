@@ -1,0 +1,131 @@
+"""Machine configurations (Section 5 / 6.1).
+
+A Cinnamon chip: four 256-lane compute clusters at 1 GHz, a 56 MB vector
+register file (224 limb registers at N = 64K), four HBM2E stacks totalling
+2 TB/s, and two 256 GB/s network PHYs.  ``CINNAMON_M`` is the scaled-up
+monolithic chip of Section 6.1 (224 MB register file, 8 clusters, doubled
+NTT/transpose/BCU resources).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class ChipConfig:
+    """Per-chip microarchitectural parameters."""
+
+    name: str = "cinnamon"
+    clock_ghz: float = 1.0
+    clusters: int = 4
+    lanes_per_cluster: int = 256
+    vector_length: int = 65536          # N: elements per limb register
+    word_bytes: int = 4                  # 28-bit words in 4 B lanes
+    register_file_mb: float = 56.0
+    hbm_gbps: float = 2048.0             # 4 x 512 GB/s HBM2E
+    link_gbps: float = 512.0             # 2 x 256 GB/s network PHYs
+    # Functional-unit counts (chip-wide; Table 1's 2x add/mul + 1x rest).
+    fu_counts: Dict[str, int] = field(default_factory=lambda: {
+        "ntt": 1, "auto": 1, "add": 2, "mul": 2, "bconv": 1, "rsv": 1,
+        "prng": 2,
+    })
+    bconv_lanes_per_cluster: int = 128   # Section 4.7's space-optimized BCU
+    bconv_max_inputs: int = 13
+    pipeline_latency: int = 40           # fill latency of the vector FUs
+    issue_width: int = 4
+
+    @property
+    def total_lanes(self) -> int:
+        return self.clusters * self.lanes_per_cluster
+
+    @property
+    def limb_bytes(self) -> int:
+        return self.vector_length * self.word_bytes
+
+    @property
+    def registers(self) -> int:
+        """Limb registers that fit in the register file."""
+        return int(self.register_file_mb * 2**20 // self.limb_bytes)
+
+    def occupancy(self, fu: str) -> int:
+        """Cycles one limb occupies a unit of the given FU class."""
+        if fu == "bconv":
+            lanes = self.clusters * self.bconv_lanes_per_cluster
+        else:
+            lanes = self.total_lanes
+        return max(1, self.vector_length // lanes)
+
+    @property
+    def hbm_bytes_per_cycle(self) -> float:
+        return self.hbm_gbps / self.clock_ghz
+
+    @property
+    def link_bytes_per_cycle(self) -> float:
+        return self.link_gbps / self.clock_ghz
+
+    def scaled(self, **changes) -> "ChipConfig":
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A scale-out machine: chips plus interconnect topology."""
+
+    name: str
+    num_chips: int
+    chip: ChipConfig
+    topology: str = "ring"   # "ring" (<= 8 chips) or "switch"
+    hop_latency: int = 50    # per-hop network latency in cycles
+
+    def __post_init__(self):
+        if self.topology not in ("ring", "switch"):
+            raise ValueError(f"unknown topology {self.topology!r}")
+        if self.topology == "ring" and self.num_chips > 8:
+            raise ValueError("ring topology supports at most eight chips "
+                             "(use the switch for larger machines)")
+
+    @property
+    def collective_latency(self) -> int:
+        if self.num_chips == 1:
+            return 0
+        if self.topology == "ring":
+            return self.hop_latency * (self.num_chips // 2)
+        return 2 * self.hop_latency
+
+    def scaled(self, **chip_changes) -> "MachineConfig":
+        return replace(self, chip=self.chip.scaled(**chip_changes))
+
+
+_CHIP = ChipConfig()
+
+CINNAMON_1 = MachineConfig("Cinnamon-1", 1, _CHIP)
+CINNAMON_4 = MachineConfig("Cinnamon-4", 4, _CHIP)
+CINNAMON_8 = MachineConfig("Cinnamon-8", 8, _CHIP)
+CINNAMON_12 = MachineConfig("Cinnamon-12", 12, _CHIP, topology="switch")
+
+# Section 6.1's monolithic comparison chip: one big die with roughly the
+# resources of four Cinnamon chips (224 MB RF, 8 clusters, 2x NTT and
+# transpose units, wider BCU, 5x add/mul).
+CINNAMON_M_CHIP = ChipConfig(
+    name="cinnamon-m",
+    clusters=8,
+    register_file_mb=224.0,
+    hbm_gbps=4096.0,
+    fu_counts={"ntt": 2, "auto": 2, "add": 5, "mul": 5, "bconv": 2,
+               "rsv": 2, "prng": 4},
+    bconv_lanes_per_cluster=128,
+    bconv_max_inputs=32,
+)
+CINNAMON_M = MachineConfig("Cinnamon-M", 1, CINNAMON_M_CHIP)
+
+
+def config_for(num_chips: int) -> MachineConfig:
+    """The standard configuration with ``num_chips`` Cinnamon chips."""
+    presets = {1: CINNAMON_1, 4: CINNAMON_4, 8: CINNAMON_8, 12: CINNAMON_12}
+    if num_chips in presets:
+        return presets[num_chips]
+    topology = "ring" if num_chips <= 8 else "switch"
+    return MachineConfig(f"Cinnamon-{num_chips}", num_chips, _CHIP,
+                         topology=topology)

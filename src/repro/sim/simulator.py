@@ -1,0 +1,287 @@
+"""Dependency-driven cycle simulation of compiled ISA streams.
+
+Model: each chip issues its instruction stream in order (bounded issue
+width); an instruction starts when its operand registers are ready and a
+unit of its functional-unit class is free, occupies the unit for the op's
+vector occupancy, and its result becomes ready a pipeline latency later.
+Loads/stores occupy HBM bandwidth; collectives rendezvous all contributing
+chips and occupy each participant's network links for the payload the
+topology makes it carry.
+
+This is the same abstraction level as the paper's SST-based simulator
+(Section 6): per-instruction FU occupancy + bandwidth accounting, not RTL.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.isa.instructions import (
+    COL, LD, MOV, RCV, SND, ST, VADD, VAUTO, VBCV, VINTT, VMUL, VMULC, VNEG,
+    VNTT, VPRNG, VRSV, VSUB,
+)
+from .config import MachineConfig
+
+_FU_CLASS = {
+    VADD: "add",
+    VSUB: "add",
+    VNEG: "add",
+    VMUL: "mul",
+    VMULC: "mul",
+    VNTT: "ntt",
+    VINTT: "ntt",
+    VAUTO: "auto",
+    VRSV: "rsv",
+    VBCV: "bconv",
+    VPRNG: "prng",
+}
+
+
+@dataclass
+class SimulationResult:
+    """Timing and utilization of one program on one machine."""
+
+    machine: str
+    cycles: int
+    clock_ghz: float
+    instructions: int
+    fu_busy: Dict[str, float]          # chip-averaged busy cycles per class
+    hbm_busy: float
+    network_busy: float
+    hbm_bytes: int
+    network_bytes: int
+    per_chip_cycles: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / (self.clock_ghz * 1e9)
+
+    @property
+    def milliseconds(self) -> float:
+        return self.seconds * 1e3
+
+    def utilization(self) -> Dict[str, float]:
+        """Fractional busy time for compute (area-weighted), HBM, network."""
+        total = max(1, self.cycles)
+        compute = sum(self.fu_busy.values()) / max(1, len(self.fu_busy))
+        return {
+            "compute": min(1.0, compute / total),
+            "memory": min(1.0, self.hbm_busy / total),
+            "network": min(1.0, self.network_busy / total),
+        }
+
+
+class _FuPool:
+    """A pool of identical pipelined units; tracks per-unit free time."""
+
+    def __init__(self, count: int):
+        self.free_at = [0] * max(1, count)
+        self.busy_cycles = 0
+
+    def reserve(self, earliest: int, occupancy: int) -> int:
+        index = min(range(len(self.free_at)), key=lambda i: self.free_at[i])
+        start = max(earliest, self.free_at[index])
+        self.free_at[index] = start + occupancy
+        self.busy_cycles += occupancy
+        return start
+
+
+class _Bandwidth:
+    """A bandwidth resource serving transfers back-to-back."""
+
+    def __init__(self, bytes_per_cycle: float):
+        self.bytes_per_cycle = bytes_per_cycle
+        self.free_at = 0
+        self.busy_cycles = 0
+        self.bytes_moved = 0
+
+    def reserve(self, earliest: int, nbytes: float) -> int:
+        duration = int(math.ceil(nbytes / self.bytes_per_cycle))
+        start = max(earliest, self.free_at)
+        self.free_at = start + duration
+        self.busy_cycles += duration
+        self.bytes_moved += int(nbytes)
+        return start + duration  # completion time
+
+
+class _ChipState:
+    def __init__(self, chip_id: int, stream, config):
+        self.id = chip_id
+        self.stream = stream
+        self.pc = 0
+        self.reg_ready: Dict[int, int] = defaultdict(int)
+        self.issue_time = 0
+        self.fus = {name: _FuPool(count)
+                    for name, count in config.fu_counts.items()}
+        self.hbm = _Bandwidth(config.hbm_bytes_per_cycle)
+        self.link = _Bandwidth(config.link_bytes_per_cycle)
+        self.finish = 0
+
+    @property
+    def done(self):
+        return self.pc >= len(self.stream)
+
+
+class CycleSimulator:
+    """Simulates one compiled program on one machine configuration."""
+
+    def __init__(self, machine: MachineConfig):
+        self.machine = machine
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, isa_module) -> SimulationResult:
+        machine = self.machine
+        chip_cfg = machine.chip
+        streams = isa_module.streams
+        chips = {
+            cid: _ChipState(cid, stream, chip_cfg)
+            for cid, stream in streams.items()
+        }
+        # Collective bookkeeping: (cid, ...) -> contribution ready times.
+        col_posted: Dict[int, List[int]] = defaultdict(list)
+        col_expected: Dict[int, int] = defaultdict(int)
+        col_complete: Dict[int, Optional[int]] = {}
+        col_bytes: Dict[int, int] = defaultdict(int)
+        snd_ready: Dict[int, int] = {}
+        rcv_expected: Dict[int, int] = defaultdict(int)
+        for stream in streams.values():
+            for ins in stream:
+                if ins.opcode == COL:
+                    col_expected[ins.attrs["cid"]] += 1
+                elif ins.opcode == RCV:
+                    rcv_expected[ins.attrs["cid"]] += 1
+
+        limb_bytes = chip_cfg.limb_bytes
+        occupancies = {
+            op: chip_cfg.occupancy(cls) for op, cls in _FU_CLASS.items()
+        }
+        latency = chip_cfg.pipeline_latency
+
+        # Round-robin over chips, blocking on unresolved collectives,
+        # mirroring the emulator's execution discipline.
+        instructions = 0
+        while True:
+            progress = False
+            all_done = True
+            for chip in chips.values():
+                steps = 0
+                while not chip.done and steps < 10000:
+                    if not self._step(chip, chips, col_posted, col_expected,
+                                      col_complete, col_bytes, snd_ready,
+                                      occupancies, latency, limb_bytes):
+                        break
+                    instructions += 1
+                    steps += 1
+                    progress = True
+                all_done = all_done and chip.done
+            if all_done:
+                break
+            if not progress:
+                stuck = [(c.id, c.pc) for c in chips.values() if not c.done]
+                raise RuntimeError(f"simulation deadlock at {stuck}")
+
+        total_cycles = max(c.finish for c in chips.values())
+        n = len(chips)
+        fu_busy = defaultdict(float)
+        for chip in chips.values():
+            for name, pool in chip.fus.items():
+                fu_busy[name] += pool.busy_cycles / n
+        hbm_busy = sum(c.hbm.busy_cycles for c in chips.values()) / n
+        net_busy = sum(c.link.busy_cycles for c in chips.values()) / n
+        return SimulationResult(
+            machine=machine.name,
+            cycles=total_cycles,
+            clock_ghz=chip_cfg.clock_ghz,
+            instructions=instructions,
+            fu_busy=dict(fu_busy),
+            hbm_busy=hbm_busy,
+            network_busy=net_busy,
+            hbm_bytes=sum(c.hbm.bytes_moved for c in chips.values()),
+            network_bytes=sum(c.link.bytes_moved for c in chips.values()),
+            per_chip_cycles={c.id: c.finish for c in chips.values()},
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _step(self, chip: _ChipState, chips, col_posted, col_expected,
+              col_complete, col_bytes, snd_ready, occupancies, latency,
+              limb_bytes) -> bool:
+        ins = chip.stream[chip.pc]
+        op = ins.opcode
+        earliest = chip.issue_time
+        for reg in ins.srcs:
+            earliest = max(earliest, chip.reg_ready[reg])
+
+        if op in _FU_CLASS:
+            cls = _FU_CLASS[op]
+            pool = chip.fus[cls]
+            # For the BCU the stage-1 buffer fill pipelines with the MAC of
+            # the previous output limb, so each vbcv is charged only its
+            # stage-2 pass (at the BCU's halved lane count).
+            occupancy = occupancies[op]
+            start = pool.reserve(earliest, occupancy)
+            done = start + occupancy + latency
+            if ins.dest is not None:
+                chip.reg_ready[ins.dest] = done
+            chip.finish = max(chip.finish, done)
+        elif op == LD:
+            done = chip.hbm.reserve(earliest, limb_bytes)
+            chip.reg_ready[ins.dest] = done
+            chip.finish = max(chip.finish, done)
+        elif op == ST:
+            done = chip.hbm.reserve(earliest, limb_bytes)
+            chip.finish = max(chip.finish, done)
+        elif op == SND:
+            key = ins.attrs["key"]
+            done = chip.link.reserve(earliest, limb_bytes)
+            snd_ready[key] = done
+            chip.finish = max(chip.finish, done)
+        elif op == MOV:
+            key = ins.attrs["key"]
+            if key not in snd_ready:
+                return False
+            done = max(earliest, snd_ready.pop(key)) + \
+                self.machine.hop_latency
+            chip.reg_ready[ins.dest] = done
+            chip.finish = max(chip.finish, done)
+        elif op == COL:
+            cid = ins.attrs["cid"]
+            # Contribution: the chip pushes its share onto its links.
+            nbytes = len(ins.srcs) * limb_bytes
+            done = chip.link.reserve(earliest, nbytes) if nbytes else earliest
+            col_posted[cid].append(done)
+            # Total payload the collective moves across chip boundaries
+            # (limbs_moved from the limb IR), for the receivers' ingress.
+            col_bytes[cid] = ins.attrs["bytes"] * limb_bytes
+            chip.finish = max(chip.finish, done)
+        elif op == RCV:
+            cid = ins.attrs["cid"]
+            # A receive with no matching collective can never complete;
+            # blocking here surfaces it as a deadlock instead of a crash.
+            if col_expected[cid] == 0 or \
+                    len(col_posted[cid]) < col_expected[cid]:
+                return False
+            key = (cid, chip.id)
+            if key not in col_complete:
+                # All contributions posted: this chip pulls its share of
+                # the payload off the interconnect through its own links.
+                arrive = max(col_posted[cid])
+                n = max(1, len(col_posted[cid]))
+                # Ring/switch collectives pipeline: each chip's links carry
+                # roughly 1/n of the total payload crossing boundaries.
+                per_chip = col_bytes[cid] / n
+                done = chip.link.reserve(max(earliest, arrive), per_chip)
+                col_complete[key] = done + self.machine.collective_latency
+            done = max(earliest, col_complete[key])
+            chip.reg_ready[ins.dest] = done
+            chip.finish = max(chip.finish, done)
+        else:
+            raise ValueError(f"unknown opcode {op!r}")
+
+        chip.issue_time = max(chip.issue_time + 1, 0)
+        chip.pc += 1
+        return True

@@ -1,0 +1,29 @@
+"""Workload generators: the paper's four benchmarks as Cinnamon programs.
+
+Each generator produces DSL op graphs at the architectural scale
+(N = 64K, 128-bit security equivalent).  Large models (ResNet-20, HELR,
+BERT) are expressed as *kernel schedules*: each distinct kernel (bootstrap,
+BSGS matmul, polynomial activation, ...) is compiled and cycle-simulated
+once per machine configuration, and end-to-end time is composed from the
+schedule — the hierarchical methodology documented in DESIGN.md section 7.
+"""
+
+from .bootstrap import bootstrap_program, BOOTSTRAP_13, BOOTSTRAP_21
+from .compose import KernelSpec, WorkloadSchedule, WorkloadTimer
+from .resnet import resnet20_schedule
+from .helr import helr_schedule
+from .bert import bert_schedule
+from . import baselines
+
+__all__ = [
+    "bootstrap_program",
+    "BOOTSTRAP_13",
+    "BOOTSTRAP_21",
+    "KernelSpec",
+    "WorkloadSchedule",
+    "WorkloadTimer",
+    "resnet20_schedule",
+    "helr_schedule",
+    "bert_schedule",
+    "baselines",
+]

@@ -1,0 +1,92 @@
+"""Published baseline numbers (Table 2 and Section 8 comparisons).
+
+The paper compares Cinnamon against the *best reported* results of prior
+accelerators (CraterLake, ARK, CiFHER) and a one-off 48-core Xeon CPU
+measurement; those are constants of the comparison, not something the
+Cinnamon artifact re-measures.  We record them here verbatim so the
+table/figure harnesses can regenerate the published rows, and mark which
+cells the paper leaves empty.
+
+``cpu_smallscale_seconds`` additionally measures this repository's own
+functional CKKS bootstrap at a small ring degree, giving an honest local
+CPU reference point for the speedup *shape* (the absolute 48-core number
+remains the reported constant).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+# Table 2 (seconds).  None == not reported in the paper.
+REPORTED_SECONDS: Dict[str, Dict[str, Optional[float]]] = {
+    "bootstrap": {
+        "CraterLake": 6.33e-3,
+        "CiFHER": 5.58e-3,
+        "ARK": 3.5e-3,
+        "CPU": 33.0,
+    },
+    "resnet20": {
+        "CraterLake": 321.26e-3,
+        "CiFHER": 189e-3,
+        "ARK": 125e-3,
+        "CPU": 17.5 * 60,
+    },
+    "helr": {
+        "CraterLake": 121.91e-3,
+        "CiFHER": 106.88e-3,
+        "ARK": None,
+        "CPU": 14.9 * 60,
+    },
+    "bert-base-128": {
+        "CraterLake": None,
+        "CiFHER": None,
+        "ARK": None,
+        "CPU": 1037.5 * 60,
+    },
+}
+
+# The paper's own Cinnamon results (Table 2, seconds) — the calibration
+# targets our simulator's shapes are checked against in EXPERIMENTS.md.
+PAPER_CINNAMON_SECONDS: Dict[str, Dict[str, float]] = {
+    "bootstrap": {"Cinnamon-M": 1.87e-3, "Cinnamon-4": 1.98e-3,
+                  "Cinnamon-8": 1.71e-3, "Cinnamon-12": 1.63e-3},
+    "resnet20": {"Cinnamon-M": 105.94e-3, "Cinnamon-4": 94.52e-3,
+                 "Cinnamon-8": 73.85e-3, "Cinnamon-12": 70.57e-3},
+    "helr": {"Cinnamon-M": 73.20e-3, "Cinnamon-4": 87.61e-3,
+             "Cinnamon-8": 68.74e-3, "Cinnamon-12": 48.76e-3},
+    "bert-base-128": {"Cinnamon-M": 3.83, "Cinnamon-4": 3.83,
+                      "Cinnamon-8": 2.07, "Cinnamon-12": 1.67},
+}
+
+
+def reported_seconds(benchmark: str, system: str) -> Optional[float]:
+    try:
+        return REPORTED_SECONDS[benchmark][system]
+    except KeyError as exc:
+        raise KeyError(
+            f"no reported number for {system!r} on {benchmark!r}") from exc
+
+
+def cpu_smallscale_seconds(ring_degree: int = 256, levels: int = 18) -> float:
+    """Measure this library's functional bootstrap on the host CPU.
+
+    Pure-Python CKKS at a small ring — a *local* reference point showing
+    that even a toy instance takes seconds on a CPU, versus milliseconds
+    for the simulated accelerator.  Not comparable in absolute terms to
+    the paper's 48-core N=64K measurement (33 s per bootstrap).
+    """
+    import numpy as np
+
+    from ..fhe import CKKSContext, make_params
+    from ..fhe.bootstrap import Bootstrapper
+
+    params = make_params(ring_degree=ring_degree, levels=levels,
+                         prime_bits=28, num_digits=3,
+                         secret_hamming_weight=32)
+    ctx = CKKSContext(params, seed=7)
+    bs = Bootstrapper(ctx)
+    ct = bs.encrypt_for_bootstrap(np.linspace(-1, 1, params.slot_count))
+    start = time.perf_counter()
+    bs.bootstrap(ct)
+    return time.perf_counter() - start

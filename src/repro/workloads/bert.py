@@ -1,0 +1,89 @@
+"""BERT-Base encrypted inference (128 tokens), as a kernel schedule.
+
+The paper's headline workload (Section 6.2): a 12-layer transformer whose
+128-token input packs into 3 ciphertexts and whose activations span many
+more.  Non-polynomial functions follow [65]: softmax/GELU/tanh via
+polynomial approximation and Newton-Raphson for division and inverse
+square roots.  About 1,400 bootstraps are required per inference.
+
+Program-level parallelism (Section 7.1): the attention section exposes 6
+parallel ciphertexts and the GELU section 12; together these cover ~85% of
+the program.  The remaining ~15% (score combination, residual adds,
+layernorm reductions) is serial and is what limits Cinnamon-12's scaling.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from ..core.ir.bootstrap_graph import BOOTSTRAP_13
+from .compose import KernelSpec, WorkloadSchedule
+from .kernels import activation_kernel, bootstrap_kernel, elementwise_kernel, \
+    matmul_kernel
+
+NUM_LAYERS = 12
+TOKENS = 128
+ATTENTION_PARALLEL = 6
+GELU_PARALLEL = 12
+TOTAL_BOOTSTRAPS = 1400
+# ~85% of the bootstraps sit in the parallel attention/GELU sections.
+PARALLEL_BOOTSTRAPS = int(TOTAL_BOOTSTRAPS * 0.85)
+SERIAL_BOOTSTRAPS = TOTAL_BOOTSTRAPS - PARALLEL_BOOTSTRAPS
+
+
+def bert_schedule(num_layers: int = NUM_LAYERS) -> WorkloadSchedule:
+    scale = num_layers / NUM_LAYERS
+    return WorkloadSchedule(
+        name="bert-base-128",
+        description="BERT-Base inference on one encrypted 128-token input",
+        max_level=BOOTSTRAP_13.top_level,
+        kernels=[
+            KernelSpec(
+                "bert-bootstrap-attention",
+                partial(bootstrap_kernel, BOOTSTRAP_13),
+                count=int(PARALLEL_BOOTSTRAPS * 0.45 * scale),
+                parallel=True,
+                max_parallel=ATTENTION_PARALLEL,
+            ),
+            KernelSpec(
+                "bert-bootstrap-gelu",
+                partial(bootstrap_kernel, BOOTSTRAP_13),
+                count=int(PARALLEL_BOOTSTRAPS * 0.55 * scale),
+                parallel=True,
+                max_parallel=GELU_PARALLEL,
+            ),
+            KernelSpec(
+                "bert-bootstrap-serial",
+                partial(bootstrap_kernel, BOOTSTRAP_13),
+                count=int(SERIAL_BOOTSTRAPS * scale),
+                parallel=False,
+            ),
+            KernelSpec(
+                "bert-qkv-matmul",
+                partial(matmul_kernel, "qkv", 48, 12),
+                count=int(4 * 3 * num_layers),  # Q,K,V,O per head group
+                parallel=True,
+                max_parallel=ATTENTION_PARALLEL,
+            ),
+            KernelSpec(
+                "bert-softmax",
+                partial(activation_kernel, "softmax", 31, 12),
+                count=int(2 * num_layers),
+                parallel=True,
+                max_parallel=ATTENTION_PARALLEL,
+            ),
+            KernelSpec(
+                "bert-gelu",
+                partial(activation_kernel, "gelu", 59, 12),
+                count=int(4 * num_layers),
+                parallel=True,
+                max_parallel=GELU_PARALLEL,
+            ),
+            KernelSpec(
+                "bert-layernorm",
+                partial(elementwise_kernel, "layernorm", 4, 10),
+                count=int(2 * num_layers),
+                parallel=False,  # reduction across the hidden dimension
+            ),
+        ],
+    )

@@ -1,0 +1,33 @@
+"""The Bootstrap benchmark (Section 6.2).
+
+A single ciphertext enters at level 2, is raised to level 51, and 36
+levels are consumed by the pipeline, leaving 13 effective levels — the
+paper's Bootstrap-13.  Section 7.5's Bootstrap-21 refreshes 21 levels.
+"""
+
+from __future__ import annotations
+
+from ..core.dsl import CinnamonProgram, StreamPool
+from ..core.ir.bootstrap_graph import BOOTSTRAP_13, BOOTSTRAP_21, BootstrapPlan
+
+
+def bootstrap_program(plan: BootstrapPlan = BOOTSTRAP_13,
+                      num_streams: int = 1,
+                      entry_level: int = 2) -> CinnamonProgram:
+    """Bootstrap one ciphertext per stream.
+
+    With ``num_streams > 1``, independent ciphertexts are refreshed on
+    separate streams — the program-level parallelism configuration of
+    Figure 13's *+ Program parallelism* bar (two streams of two chips on
+    Cinnamon-4) and of the Figure 6 motivation sweep.
+    """
+    prog = CinnamonProgram(f"{plan.name}-x{num_streams}",
+                           level=entry_level,
+                           bootstrap_output_level=plan.output_level)
+
+    def stream_fn(stream_id: int):
+        x = prog.input(f"x{stream_id}")
+        prog.output(f"y{stream_id}", x.bootstrap())
+
+    StreamPool(prog, num_streams, stream_fn)
+    return prog

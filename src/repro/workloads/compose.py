@@ -1,0 +1,154 @@
+"""Hierarchical workload timing: kernels x schedules -> end-to-end time.
+
+Flat cycle simulation of a full BERT inference (~1,400 bootstraps, ~10^9
+ISA instructions) is impractical in-process, as it was for the paper's
+artifact (24 h of SST runs).  Instead each *distinct* kernel is compiled
+and simulated once per machine configuration and the end-to-end time is
+composed from the schedule:
+
+* ``parallel`` kernel instances are independent across ciphertexts
+  (program-level parallelism): with ``g`` stream groups they run ``g`` at
+  a time;
+* ``serial`` kernels use one group regardless of machine size (the
+  narrow sections that cap Cinnamon-12's scaling in Section 7.1).
+
+Compiled/simulated kernels are cached per (kernel, machine) so parameter
+sweeps (Figures 6, 13, 14, 16) stay affordable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from ..core.compiler import CinnamonCompiler, CompilerOptions
+from ..core.dsl import CinnamonProgram
+from ..fhe.params import ArchParams
+from ..sim.config import MachineConfig
+from ..sim.simulator import CycleSimulator, SimulationResult
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One distinct kernel of a workload.
+
+    ``build`` returns the kernel's DSL program; ``count`` is how many times
+    the workload executes it; ``parallel`` marks instances independent
+    across ciphertexts (stream-parallelizable).
+    """
+
+    name: str
+    build: Callable[[], CinnamonProgram]
+    count: int
+    parallel: bool = True
+    max_parallel: int = 1 << 30  # cap on concurrent instances (e.g. BERT's
+    #                              6-wide attention / 12-wide GELU sections)
+
+
+@dataclass
+class WorkloadSchedule:
+    """A workload as a kernel schedule plus bookkeeping for reports."""
+
+    name: str
+    kernels: List[KernelSpec]
+    description: str = ""
+    max_level: int = 51
+
+    def total_kernel_instances(self) -> int:
+        return sum(k.count for k in self.kernels)
+
+
+@dataclass
+class WorkloadEstimate:
+    """Composed end-to-end timing for one workload on one machine."""
+
+    workload: str
+    machine: str
+    seconds: float
+    kernel_seconds: Dict[str, float]
+    kernel_results: Dict[str, SimulationResult]
+
+    @property
+    def milliseconds(self) -> float:
+        return self.seconds * 1e3
+
+    def utilization(self) -> Dict[str, float]:
+        """Time-weighted average utilization across kernels."""
+        totals = {"compute": 0.0, "memory": 0.0, "network": 0.0}
+        for name, result in self.kernel_results.items():
+            weight = self.kernel_seconds[name] / max(self.seconds, 1e-30)
+            for key, value in result.utilization().items():
+                totals[key] += weight * value
+        return totals
+
+
+class WorkloadTimer:
+    """Compiles, simulates, and composes workloads on machine configs."""
+
+    def __init__(self, group_chips: int = 4, compiler_overrides: dict = None):
+        """``group_chips``: chips per stream group (the paper uses groups
+        of four chips for parallel bootstraps, Section 7.1)."""
+        self.group_chips = group_chips
+        self.compiler_overrides = compiler_overrides or {}
+        self._cache: Dict[Tuple, SimulationResult] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def _kernel_result(self, kernel: KernelSpec, machine: MachineConfig,
+                       chips_for_kernel: int, max_level: int) -> SimulationResult:
+        # Key on the built program's name, not the schedule's label, so
+        # identical kernels shared across workloads (e.g. every schedule's
+        # bootstrap) compile and simulate once per machine.
+        program = kernel.build()
+        key = (program.name, machine.name, chips_for_kernel, max_level,
+               machine.chip.registers,
+               tuple(sorted(self.compiler_overrides.items())))
+        if key in self._cache:
+            return self._cache[key]
+        params = ArchParams(max_level=max_level)
+        options = CompilerOptions(
+            num_chips=chips_for_kernel,
+            registers_per_chip=machine.chip.registers,
+            **self.compiler_overrides,
+        )
+        compiled = CinnamonCompiler(params, options).compile(program)
+        result = CycleSimulator(machine).run(compiled.isa)
+        self._cache[key] = result
+        return result
+
+    def estimate(self, schedule: WorkloadSchedule,
+                 machine: MachineConfig) -> WorkloadEstimate:
+        """Compose the workload's end-to-end time on ``machine``."""
+        groups = max(1, machine.num_chips // self.group_chips)
+        group_machine = machine if groups == 1 else MachineConfig(
+            f"{machine.name}/g{self.group_chips}", self.group_chips,
+            machine.chip, topology="ring", hop_latency=machine.hop_latency)
+        total = 0.0
+        kernel_seconds: Dict[str, float] = {}
+        kernel_results: Dict[str, SimulationResult] = {}
+        for kernel in schedule.kernels:
+            if kernel.parallel and groups > 1:
+                # Independent instances: one per stream group of four chips.
+                concurrency = min(groups, kernel.max_parallel)
+                result = self._kernel_result(
+                    kernel, group_machine, self.group_chips,
+                    schedule.max_level)
+                rounds = math.ceil(kernel.count / concurrency)
+            else:
+                # Serial sections still benefit from limb-level parallelism
+                # across the whole machine (with diminishing returns).
+                result = self._kernel_result(
+                    kernel, machine, machine.num_chips, schedule.max_level)
+                rounds = kernel.count
+            seconds = rounds * result.seconds
+            total += seconds
+            kernel_seconds[kernel.name] = seconds
+            kernel_results[kernel.name] = result
+        return WorkloadEstimate(
+            workload=schedule.name,
+            machine=machine.name,
+            seconds=total,
+            kernel_seconds=kernel_seconds,
+            kernel_results=kernel_results,
+        )

@@ -1,0 +1,61 @@
+"""HELR: encrypted logistic regression training [42], as a kernel schedule.
+
+30 training iterations with mini-batch 256 on MNIST (784 features padded
+to 1024).  The mini-batch spans several ciphertexts, so — unlike ResNet —
+the refresh and update kernels have real program-level parallelism, which
+is why HELR keeps scaling to Cinnamon-12 in Table 2.
+
+Per iteration: one batched gradient matvec (BSGS), a degree-7 sigmoid
+approximation, the weight update (elementwise), and one bootstrap to
+refresh the model ciphertexts.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from ..core.ir.bootstrap_graph import BOOTSTRAP_13
+from .compose import KernelSpec, WorkloadSchedule
+from .kernels import activation_kernel, bootstrap_kernel, elementwise_kernel, \
+    matmul_kernel
+
+ITERATIONS = 30
+BATCH_PARALLELISM = 4  # ciphertexts per mini-batch block
+
+
+def helr_schedule() -> WorkloadSchedule:
+    return WorkloadSchedule(
+        name="helr",
+        description="Logistic regression training, 30 iterations, batch 256",
+        max_level=BOOTSTRAP_13.top_level,
+        kernels=[
+            KernelSpec(
+                "helr-bootstrap",
+                partial(bootstrap_kernel, BOOTSTRAP_13),
+                count=ITERATIONS,
+                parallel=True,
+                max_parallel=BATCH_PARALLELISM,
+            ),
+            KernelSpec(
+                "helr-gradient",
+                partial(matmul_kernel, "grad", 32, 12),
+                count=ITERATIONS,
+                parallel=True,
+                max_parallel=BATCH_PARALLELISM,
+            ),
+            KernelSpec(
+                "helr-sigmoid",
+                partial(activation_kernel, "sigmoid", 7, 8),
+                count=ITERATIONS,
+                parallel=True,
+                max_parallel=BATCH_PARALLELISM,
+            ),
+            KernelSpec(
+                "helr-update",
+                partial(elementwise_kernel, "update", 2, 6),
+                count=ITERATIONS,
+                parallel=True,
+                max_parallel=BATCH_PARALLELISM,
+            ),
+        ],
+    )

@@ -1,0 +1,83 @@
+"""Reusable kernel program builders for the ML workloads.
+
+Kernels are small DSL programs (one homomorphic matmul, one polynomial
+activation, one elementwise block) compiled and simulated once per machine
+configuration by :class:`repro.workloads.compose.WorkloadTimer`.
+"""
+
+from __future__ import annotations
+
+from ..core.dsl import CinnamonProgram
+from ..core.ir.bootstrap_graph import bsgs_matmul_ops, BootstrapPlan, \
+    BOOTSTRAP_13
+
+
+def bootstrap_kernel(plan: BootstrapPlan = BOOTSTRAP_13,
+                     entry_level: int = 2) -> CinnamonProgram:
+    """One full bootstrap of one ciphertext."""
+    prog = CinnamonProgram(f"k-{plan.name}", level=entry_level,
+                           bootstrap_output_level=plan.output_level)
+    x = prog.input("x")
+    prog.output("y", x.bootstrap())
+    return prog
+
+
+def matmul_kernel(name: str, num_diagonals: int, level: int) -> CinnamonProgram:
+    """One BSGS diagonal matrix-vector product at the given level."""
+    prog = CinnamonProgram(f"k-{name}", level=level)
+    x = prog.input("x")
+    prog.output("y", bsgs_matmul_ops(prog, x, num_diagonals, f"{name}_w"))
+    return prog
+
+
+def activation_kernel(name: str, degree: int, level: int) -> CinnamonProgram:
+    """Chebyshev polynomial activation (GELU / softmax-exp / sigmoid).
+
+    Uses the baby-step/giant-step structure so level consumption is
+    logarithmic in the degree, matching [65]'s transformer activations.
+    """
+    import math
+
+    prog = CinnamonProgram(f"k-{name}", level=level)
+    x = prog.input("x")
+    baby = 1 << max(1, math.ceil(math.log2(math.sqrt(degree + 1))))
+    powers = {1: x}
+    for i in range(2, baby + 1):
+        half, other = i // 2, i - i // 2
+        prod = powers[half] * powers[other]
+        doubled = prod + prod
+        powers[i] = doubled + (-1.0) if half == other else doubled - powers[1]
+    g = baby
+    while 2 * g <= degree:
+        sq = powers[g] * powers[g]
+        powers[2 * g] = (sq + sq) + (-1.0)
+        g *= 2
+    blocks = []
+    num_blocks = max(1, (degree + baby) // baby)
+    for blk in range(num_blocks):
+        acc = None
+        for i in range(1, baby + 1):
+            term = powers[i] * prog.plaintext(f"{name}_c{blk}_{i}")
+            acc = term if acc is None else acc + term
+        blocks.append(acc)
+    result = blocks[0]
+    for blk in blocks[1:]:
+        result = result + blk * powers[g]
+    prog.output("y", result)
+    return prog
+
+
+def elementwise_kernel(name: str, muls: int, level: int) -> CinnamonProgram:
+    """A block of ciphertext-ciphertext multiplies and adds (e.g. the
+    Newton-Raphson division/inverse-sqrt iterations of the BERT layernorm).
+    """
+    prog = CinnamonProgram(f"k-{name}", level=level)
+    x = prog.input("x")
+    y = prog.input("y")
+    acc = x
+    for i in range(muls):
+        acc = acc * y if i % 2 == 0 else acc * x
+        if acc.level <= 2:
+            break
+    prog.output("z", acc + y)
+    return prog

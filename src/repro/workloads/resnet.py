@@ -1,0 +1,59 @@
+"""ResNet-20 CKKS inference (Lee et al. [43]), as a kernel schedule.
+
+One 32x32 CIFAR-10 image packs into a single ciphertext, so program-level
+parallelism is limited (Section 7.1: small models gain little from
+Cinnamon-8/12); the serial bootstrap chain dominates.  Structure:
+
+* ~19 ReLU approximations, each preceded by a bootstrap (the composite
+  minimax polynomials burn the whole budget) — the intro's "about fifty
+  bootstraps" counts the two EvalMod pipelines per refresh at this depth;
+  we schedule 45 bootstraps plus the explicit activation evaluations.
+* 20 convolution layers as BSGS diagonal matmuls (im2col packing).
+* A final average-pool + fully-connected matmul.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from ..core.ir.bootstrap_graph import BOOTSTRAP_13
+from .compose import KernelSpec, WorkloadSchedule
+from .kernels import activation_kernel, bootstrap_kernel, matmul_kernel
+
+NUM_BOOTSTRAPS = 45
+NUM_CONV_LAYERS = 20
+NUM_ACTIVATIONS = 19
+
+
+def resnet20_schedule() -> WorkloadSchedule:
+    return WorkloadSchedule(
+        name="resnet20",
+        description="ResNet-20 inference on one encrypted CIFAR-10 image",
+        max_level=BOOTSTRAP_13.top_level,
+        kernels=[
+            KernelSpec(
+                "resnet-bootstrap",
+                partial(bootstrap_kernel, BOOTSTRAP_13),
+                count=NUM_BOOTSTRAPS,
+                parallel=False,  # single ciphertext: serial refresh chain
+            ),
+            KernelSpec(
+                "resnet-conv",
+                partial(matmul_kernel, "conv", 27, 12),  # 3x3x3 im2col diags
+                count=NUM_CONV_LAYERS,
+                parallel=False,
+            ),
+            KernelSpec(
+                "resnet-relu",
+                partial(activation_kernel, "relu", 27, 12),
+                count=NUM_ACTIVATIONS,
+                parallel=False,
+            ),
+            KernelSpec(
+                "resnet-fc",
+                partial(matmul_kernel, "fc", 10, 8),
+                count=1,
+                parallel=False,
+            ),
+        ],
+    )

@@ -1,0 +1,145 @@
+"""Tests for the area, yield, and cost models (Tables 1 & 3, Fig 12)."""
+
+import pytest
+
+from repro.arch import (
+    ACCELERATOR_DIES,
+    CINNAMON_AREA,
+    CINNAMON_M_AREA,
+    ChipAreaModel,
+    YieldModel,
+    craterlake_bcu_comparison,
+    die_yield,
+    dies_per_wafer,
+    performance_per_dollar,
+    tapeout_cost,
+)
+from repro.arch.yield_model import TABLE3_TAPEOUT_COST
+
+
+class TestAreaModel:
+    def test_reproduces_table1_total(self):
+        assert abs(CINNAMON_AREA.total_area() - 223.18) < 0.5
+
+    def test_reproduces_table1_fu_total(self):
+        assert abs(CINNAMON_AREA.functional_unit_area() - 82.55) < 0.1
+
+    def test_monolithic_close_to_paper(self):
+        assert abs(CINNAMON_M_AREA.total_area() - 719.78) < 60
+
+    def test_register_file_dominates_sram(self):
+        b = CINNAMON_AREA.breakdown()
+        assert b["register_file"] > b["bcu_buffers"]
+
+    def test_area_scales_with_lanes(self):
+        wide = ChipAreaModel(lanes_per_cluster=512)
+        assert wide.functional_unit_area() > \
+            CINNAMON_AREA.functional_unit_area() * 1.8
+
+    def test_area_scales_with_cache(self):
+        big = ChipAreaModel(register_file_mb=224.0)
+        delta = big.total_area() - CINNAMON_AREA.total_area()
+        assert delta == pytest.approx((224 - 56) * 80.9 / 56, rel=1e-6)
+
+    def test_bcu_comparison_ratios(self):
+        cmp = craterlake_bcu_comparison()
+        mult_ratio = cmp["craterlake"]["multipliers"] / \
+            cmp["cinnamon"]["multipliers"]
+        buf_ratio = cmp["craterlake"]["buffer_mb"] / cmp["cinnamon"]["buffer_mb"]
+        assert mult_ratio > 9          # 15K -> 1.6K
+        assert 4 < buf_ratio < 5       # 3.31 MB -> 0.71 MB
+
+
+class TestYieldModel:
+    @pytest.mark.parametrize("design,expected", [
+        ("ARK", 48), ("CiFHER", 90), ("CraterLake", 44),
+        ("Cinnamon-M", 31), ("Cinnamon", 66),
+    ])
+    def test_reproduces_table3_yields(self, design, expected):
+        got = 100 * ACCELERATOR_DIES[design].yield_fraction
+        assert abs(got - expected) < 2.0
+
+    def test_yield_decreases_with_area(self):
+        assert die_yield(100) > die_yield(400) > die_yield(800)
+
+    def test_yield_bounds(self):
+        assert 0 < die_yield(1.0) <= 1.0
+        with pytest.raises(ValueError):
+            die_yield(0)
+
+    def test_dies_per_wafer_decreases(self):
+        assert dies_per_wafer(50) > dies_per_wafer(500)
+
+    def test_dies_per_wafer_huge_die(self):
+        assert dies_per_wafer(300 * 300 * 4) == 0
+
+    def test_yielded_cost_exceeds_raw(self):
+        die = ACCELERATOR_DIES["CraterLake"]
+        raw = die.area_mm2 * die.price_per_mm2
+        assert die.yielded_die_cost() > raw
+
+    def test_table_has_all_rows(self):
+        table = YieldModel().table()
+        assert set(table) == set(ACCELERATOR_DIES)
+
+
+class TestCostModel:
+    def test_tapeout_lookup(self):
+        assert tapeout_cost("Cinnamon") == 3.5e6
+        with pytest.raises(KeyError):
+            tapeout_cost("TPUv9")
+
+    def test_perf_per_dollar_normalization(self):
+        times = {"CraterLake": 6.33e-3, "Cinnamon": 1.98e-3}
+        rel = performance_per_dollar(times, baseline="CraterLake")
+        assert rel["CraterLake"] == pytest.approx(1.0)
+        # 3.2x faster and ~7x cheaper -> >> 1.
+        assert rel["Cinnamon"] > 10
+
+    def test_paper_headline_magnitude(self):
+        """Cinnamon-4 ~5x CraterLake perf/$ on bootstrap (Figure 12)."""
+        times = {"CraterLake": 6.33e-3, "Cinnamon": 1.98e-3}
+        costs = {"CraterLake": TABLE3_TAPEOUT_COST["CraterLake"],
+                 "Cinnamon": TABLE3_TAPEOUT_COST["Cinnamon"]}
+        rel = performance_per_dollar(times, costs, baseline="CraterLake")
+        # time ratio 3.2 x cost ratio 7.1 = ~22.8; the paper's "5x on
+        # average" folds in workloads where the gap is smaller -- here we
+        # just pin the direction and magnitude ordering.
+        assert rel["Cinnamon"] > 5
+
+    def test_invalid_time_rejected(self):
+        with pytest.raises(ValueError):
+            performance_per_dollar({"Cinnamon": 0.0})
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(KeyError):
+            performance_per_dollar({"Mystery": 1.0})
+
+
+class TestPowerModel:
+    def test_calibrated_to_paper(self):
+        from repro.arch.power import PAPER_CHIP_WATTS, PowerModel
+
+        watts = PowerModel().total_watts()
+        assert abs(watts - PAPER_CHIP_WATTS) / PAPER_CHIP_WATTS < 0.01
+
+    def test_idle_chip_draws_less(self):
+        from repro.arch.power import PowerModel
+
+        idle = PowerModel().total_watts(
+            {"compute": 0.0, "memory": 0.0, "network": 0.0})
+        busy = PowerModel().total_watts(
+            {"compute": 1.0, "memory": 1.0, "network": 1.0})
+        assert idle < 190 < busy
+
+    def test_machine_power_scales_with_chips(self):
+        from repro.arch.power import machine_watts
+
+        assert machine_watts(8) == pytest.approx(2 * machine_watts(4))
+
+    def test_breakdown_components(self):
+        from repro.arch.power import PowerModel
+
+        parts = PowerModel().breakdown()
+        assert set(parts) == {"logic", "sram", "hbm", "network"}
+        assert parts["logic"] > parts["network"]

@@ -1,0 +1,54 @@
+"""Shared fixtures: small CKKS contexts reused across the test suite.
+
+Parameter generation and key generation dominate test time, so contexts are
+session-scoped.  Tests must not mutate them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fhe import CKKSContext, Evaluator, make_params
+
+
+@pytest.fixture(scope="session")
+def small_params():
+    """N=256, 8 levels: fast enough for per-test use."""
+    return make_params(ring_degree=256, levels=8, prime_bits=28, num_digits=3)
+
+
+@pytest.fixture(scope="session")
+def small_context(small_params):
+    return CKKSContext(small_params, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def small_evaluator(small_context):
+    return Evaluator(small_context)
+
+
+@pytest.fixture(scope="session")
+def deep_params():
+    """N=256, 14 levels: for polynomial-evaluation depth tests."""
+    return make_params(ring_degree=256, levels=14, prime_bits=28, num_digits=3)
+
+
+@pytest.fixture(scope="session")
+def deep_context(deep_params):
+    return CKKSContext(deep_params, seed=99)
+
+
+@pytest.fixture(scope="session")
+def deep_evaluator(deep_context):
+    return Evaluator(deep_context)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2025)
+
+
+def random_slots(rng, count, complex_values=False):
+    real = rng.uniform(-1.0, 1.0, count)
+    if not complex_values:
+        return real
+    return real + 1j * rng.uniform(-1.0, 1.0, count)

@@ -1,0 +1,125 @@
+"""Tests for the bootstrap op-graph expansion."""
+
+import pytest
+
+from repro.core import CinnamonProgram
+from repro.core.ir.bootstrap_graph import (
+    BOOTSTRAP_13,
+    BOOTSTRAP_21,
+    BootstrapPlan,
+    default_plan,
+    expand_bootstraps,
+)
+from repro.fhe import ArchParams
+
+
+def _program():
+    prog = CinnamonProgram("b", level=2, bootstrap_output_level=14)
+    x = prog.input("x")
+    prog.output("y", x.bootstrap())
+    return prog
+
+
+class TestPlans:
+    def test_bootstrap13_matches_paper(self):
+        # "takes a ciphertext at level 2, raises to 51, consumes 36,
+        # leaving 13 effective levels."
+        assert BOOTSTRAP_13.top_level == 51
+        assert BOOTSTRAP_13.output_level == 14
+        assert BOOTSTRAP_13.consumed_levels == 37
+
+    def test_bootstrap21_deeper(self):
+        assert BOOTSTRAP_21.consumed_levels == BOOTSTRAP_21.top_level - 22
+
+    def test_default_plan_selection(self):
+        assert default_plan(ArchParams(max_level=51)) is BOOTSTRAP_13
+        mini = default_plan(ArchParams(max_level=20))
+        assert mini.top_level == 20
+        with pytest.raises(ValueError):
+            default_plan(ArchParams(max_level=6))
+
+
+class TestExpansion:
+    @pytest.fixture(scope="class")
+    def expanded(self):
+        return expand_bootstraps(_program(), ArchParams(max_level=51),
+                                 plan=BOOTSTRAP_13)
+
+    def test_bootstrap_op_removed(self, expanded):
+        assert expanded.count("bootstrap") == 0
+        assert expanded.count("mod_raise") == 1
+
+    def test_output_level_matches_plan(self, expanded):
+        producer = expanded.ops[expanded.outputs["y"]]
+        assert producer.level == BOOTSTRAP_13.output_level
+
+    def test_raise_reaches_top_level(self, expanded):
+        raise_op = next(op for op in expanded.ops
+                        if op.opcode == "mod_raise")
+        assert raise_op.level == BOOTSTRAP_13.top_level
+
+    def test_contains_rotation_batches(self, expanded):
+        """The expansion exposes the patterns the keyswitch pass targets:
+        hoistable rotation fans and rotate-aggregate trees."""
+        rotations = [op for op in expanded.ops if op.opcode == "rotate"]
+        assert len(rotations) > 30
+        by_source = {}
+        for op in rotations:
+            by_source.setdefault(op.inputs[0], []).append(op)
+        assert any(len(g) >= 3 for g in by_source.values())
+
+    def test_metadata_shared_across_instances(self):
+        prog = CinnamonProgram("b2", level=2, bootstrap_output_level=14)
+        x1, x2 = prog.input("x1"), prog.input("x2")
+        prog.output("y1", x1.bootstrap())
+        prog.output("y2", x2.bootstrap())
+        expanded = expand_bootstraps(prog, ArchParams(max_level=51),
+                                     plan=BOOTSTRAP_13)
+        # Both instances reference the same plaintext names (Figure 6's
+        # shared-metadata observation).
+        names = set(expanded.plaintexts)
+        per_instance = [n for n in names if n.startswith("bs_cts0")]
+        assert per_instance  # shared, not bs0_/bs1_-prefixed
+        assert not any(n.startswith("bs0_") or n.startswith("bs1_")
+                       for n in names)
+
+    def test_plan_too_deep_rejected(self):
+        with pytest.raises(ValueError, match="levels"):
+            expand_bootstraps(_program(), ArchParams(max_level=20),
+                              plan=BOOTSTRAP_13)
+
+    def test_inconsistent_plan_rejected(self):
+        bad = BootstrapPlan("bad", top_level=12, output_level=11,
+                            cts_stages=1, cts_radix=2,
+                            eval_mod_degree=3, eval_mod_doublings=0)
+        with pytest.raises(ValueError, match="exceeds"):
+            expand_bootstraps(_program(), ArchParams(max_level=12), plan=bad)
+
+    def test_bootstrap21_has_more_ops(self):
+        small = expand_bootstraps(_program(), ArchParams(max_level=51),
+                                  plan=BOOTSTRAP_13)
+        big = expand_bootstraps(_program(), ArchParams(max_level=59),
+                                plan=BOOTSTRAP_21)
+        assert len(big.ops) > 1.3 * len(small.ops)
+
+
+class TestAutoBootstrap:
+    def test_depth_oblivious_program(self):
+        prog = CinnamonProgram("auto", level=4, bootstrap_output_level=10,
+                               auto_bootstrap=True)
+        x = prog.input("x")
+        acc = x
+        for _ in range(12):
+            acc = acc * acc
+        prog.output("y", acc)
+        assert prog.count("bootstrap") >= 1
+        # Every multiplication stayed within budget.
+        for op in prog.ops:
+            assert op.level >= 1
+
+    def test_disabled_by_default(self):
+        prog = CinnamonProgram("strict", level=3)
+        x = prog.input("x")
+        y = (x * x) * x
+        with pytest.raises(ValueError, match="budget"):
+            _ = y * y

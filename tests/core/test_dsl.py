@@ -1,0 +1,153 @@
+"""Tests for the Cinnamon DSL: program capture, handles, streams."""
+
+import pytest
+
+from repro.core import CinnamonProgram, StreamPool
+from repro.core.dsl import program as ct
+from repro.core.dsl.streams import stream_scope
+
+
+class TestCapture:
+    def test_input_output(self):
+        prog = CinnamonProgram("p", level=5)
+        x = prog.input("x")
+        prog.output("y", x)
+        assert prog.count(ct.INPUT) == 1
+        assert prog.count(ct.OUTPUT) == 1
+        assert prog.inputs["x"] == 0
+        assert prog.outputs["y"] == 0
+
+    def test_duplicate_input_rejected(self):
+        prog = CinnamonProgram("p", level=5)
+        prog.input("x")
+        with pytest.raises(ValueError):
+            prog.input("x")
+
+    def test_duplicate_output_rejected(self):
+        prog = CinnamonProgram("p", level=5)
+        x = prog.input("x")
+        prog.output("y", x)
+        with pytest.raises(ValueError):
+            prog.output("y", x)
+
+    def test_operator_sugar(self):
+        prog = CinnamonProgram("p", level=5)
+        a, b = prog.input("a"), prog.input("b")
+        _ = a + b
+        _ = a - b
+        _ = -a
+        _ = a * b
+        _ = a + 1.0
+        _ = a * 2.0
+        _ = 3.0 * a
+        _ = a.rotate(4)
+        _ = a.conjugate()
+        assert prog.count(ct.ADD) == 1
+        assert prog.count(ct.SUB) == 1
+        assert prog.count(ct.NEGATE) == 1
+        assert prog.count(ct.MUL) == 1
+        assert prog.count(ct.ADD_PLAIN) == 1
+        assert prog.count(ct.MUL_PLAIN) == 2
+        assert prog.count(ct.ROTATE) == 1
+        assert prog.count(ct.CONJUGATE) == 1
+
+    def test_cross_program_handles_rejected(self):
+        p1 = CinnamonProgram("p1", level=5)
+        p2 = CinnamonProgram("p2", level=5)
+        a = p1.input("a")
+        b = p2.input("b")
+        with pytest.raises(ValueError):
+            _ = a + b
+
+
+class TestLevelTracking:
+    def test_mul_consumes_level(self):
+        prog = CinnamonProgram("p", level=5)
+        a, b = prog.input("a"), prog.input("b")
+        c = a * b
+        assert c.level == 4
+
+    def test_plain_mul_consumes_level(self):
+        prog = CinnamonProgram("p", level=5)
+        a = prog.input("a")
+        assert (a * 2.0).level == 4
+
+    def test_rotate_preserves_level(self):
+        prog = CinnamonProgram("p", level=5)
+        a = prog.input("a")
+        assert a.rotate(1).level == 5
+
+    def test_add_takes_min_level(self):
+        prog = CinnamonProgram("p", level=5)
+        a, b = prog.input("a"), prog.input("b")
+        c = (a * b) + a
+        assert c.level == 4
+
+    def test_budget_exhaustion_raises(self):
+        prog = CinnamonProgram("p", level=2)
+        a = prog.input("a")
+        b = a * a
+        with pytest.raises(ValueError, match="budget"):
+            _ = b * b
+
+    def test_bootstrap_restores_level(self):
+        prog = CinnamonProgram("p", level=3, bootstrap_output_level=8)
+        a = prog.input("a")
+        c = (a * a) * a
+        assert c.level == 1
+        assert c.bootstrap().level == 8
+
+    def test_keyswitch_count(self):
+        prog = CinnamonProgram("p", level=5)
+        a, b = prog.input("a"), prog.input("b")
+        _ = (a * b).rotate(1).conjugate()
+        assert prog.keyswitch_count == 3
+
+
+class TestStreams:
+    def test_stream_pool_tags_ops(self):
+        prog = CinnamonProgram("p", level=5)
+
+        def fn(sid):
+            x = prog.input(f"x{sid}")
+            prog.output(f"y{sid}", x * x)
+
+        StreamPool(prog, 3, fn)
+        assert prog.num_streams == 3
+        streams = {op.stream for op in prog.ops}
+        assert streams == {0, 1, 2}
+
+    def test_stream_scope_restores(self):
+        prog = CinnamonProgram("p", level=5)
+        with stream_scope(prog, 2):
+            prog.input("a")
+        prog.input("b")
+        assert prog.ops[0].stream == 2
+        assert prog.ops[1].stream == 0
+
+    def test_negative_stream_rejected(self):
+        prog = CinnamonProgram("p", level=5)
+        with pytest.raises(ValueError):
+            with stream_scope(prog, -1):
+                pass
+
+    def test_empty_pool_rejected(self):
+        prog = CinnamonProgram("p", level=5)
+        with pytest.raises(ValueError):
+            StreamPool(prog, 0, lambda sid: None)
+
+    def test_users_table(self):
+        prog = CinnamonProgram("p", level=5)
+        a = prog.input("a")
+        b = a * a
+        prog.output("y", b)
+        users = prog.users()
+        assert users[a.op_id] == [b.op_id, b.op_id]  # used twice by the square
+        assert len(users[b.op_id]) == 1
+
+    def test_dump_readable(self):
+        prog = CinnamonProgram("p", level=5)
+        a = prog.input("a")
+        prog.output("y", a.rotate(2))
+        text = prog.dump()
+        assert "rotate" in text and "input" in text

@@ -1,0 +1,179 @@
+"""Tests for the keyswitch pass, alignment, and scale inference."""
+
+import pytest
+
+from repro.core import CinnamonProgram
+from repro.core.dsl import program as ct
+from repro.core.ir.ctpasses import infer_scales, insert_alignment
+from repro.core.ir.passes import (
+    KS_CIFHER,
+    KS_INPUT_BROADCAST,
+    KS_OUTPUT_AGGREGATION,
+    ROTATE_SUM,
+    KeyswitchPass,
+)
+
+
+def _rotation_fanout_program():
+    prog = CinnamonProgram("fanout", level=6)
+    a, b = prog.input("a"), prog.input("b")
+    r = [a.rotate(i) for i in (1, 2, 3)]
+    prog.output("y", (r[0] * b + r[1] * b) + r[2] * b)
+    return prog
+
+
+def _rotate_sum_program():
+    prog = CinnamonProgram("rotsum", level=6)
+    a, b = prog.input("a"), prog.input("b")
+    c = a * b
+    prog.output("y", c.rotate(1) + c.rotate(2) + c.rotate(4))
+    return prog
+
+
+class TestPattern1:
+    def test_rotations_of_one_source_batched(self):
+        prog = KeyswitchPass("cinnamon").run(_rotation_fanout_program())
+        rotates = [op for op in prog.ops if op.opcode == ct.ROTATE]
+        batches = {op.attrs.get("ks_batch") for op in rotates}
+        assert len(batches) == 1 and None not in batches
+        assert all(op.attrs["ks_algorithm"] == KS_INPUT_BROADCAST
+                   for op in rotates)
+
+    def test_batching_disabled(self):
+        ks = KeyswitchPass("cinnamon", enable_batching=False)
+        prog = ks.run(_rotation_fanout_program())
+        rotates = [op for op in prog.ops if op.opcode == ct.ROTATE]
+        assert all("ks_batch" not in op.attrs for op in rotates)
+
+    def test_single_rotation_not_batched(self):
+        prog = CinnamonProgram("one", level=6)
+        a = prog.input("a")
+        prog.output("y", a.rotate(1))
+        ks = KeyswitchPass("cinnamon")
+        out = ks.run(prog)
+        rotate = next(op for op in out.ops if op.opcode == ct.ROTATE)
+        assert "ks_batch" not in rotate.attrs
+        assert ks.stats.pattern1_batches == 0
+
+
+class TestPattern2:
+    def test_rotate_sum_fused(self):
+        ks = KeyswitchPass("cinnamon")
+        prog = ks.run(_rotate_sum_program())
+        fused = [op for op in prog.ops if op.opcode == ROTATE_SUM]
+        assert len(fused) == 1
+        assert fused[0].attrs["ks_algorithm"] == KS_OUTPUT_AGGREGATION
+        assert sorted(fused[0].attrs["rotations"]) == [1, 2, 4]
+        # The interior adds and rotate leaves are gone.
+        assert prog.count(ct.ROTATE) == 0
+        assert ks.stats.pattern2_batches == 1
+
+    def test_non_fusible_tree_untouched(self):
+        """Trees whose leaves are not single-use rotations stay intact."""
+        prog = KeyswitchPass("cinnamon").run(_rotation_fanout_program())
+        assert all(op.opcode != ROTATE_SUM for op in prog.ops)
+        assert prog.count(ct.ADD) == 2
+
+    def test_shared_rotation_not_consumed(self):
+        prog = CinnamonProgram("shared", level=6)
+        a = prog.input("a")
+        r1 = a.rotate(1)
+        r2 = a.rotate(2)
+        tree = r1 + r2
+        prog.output("y", tree)
+        prog.output("z", r1)  # r1 used outside the tree
+        out = KeyswitchPass("cinnamon").run(prog)
+        fused = [op for op in out.ops if op.opcode == ROTATE_SUM]
+        # Only one single-use rotation -> below fusion threshold.
+        assert not fused
+
+    def test_outputs_remap_after_fusion(self):
+        out = KeyswitchPass("cinnamon").run(_rotate_sum_program())
+        producer = out.ops[out.outputs["y"]]
+        assert producer.opcode == ROTATE_SUM
+
+
+class TestPolicies:
+    @pytest.mark.parametrize("policy,algorithm", [
+        ("cifher", KS_CIFHER),
+        ("input_broadcast", KS_INPUT_BROADCAST),
+    ])
+    def test_policy_applied_to_all(self, policy, algorithm):
+        prog = KeyswitchPass(policy).run(_rotate_sum_program())
+        tagged = [op for op in prog.ops
+                  if op.opcode in (ct.MUL, ct.ROTATE)]
+        assert all(op.attrs["ks_algorithm"] == algorithm for op in tagged)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            KeyswitchPass("quantum")
+
+    def test_event_reduction_reported(self):
+        ks = KeyswitchPass("cinnamon")
+        ks.run(_rotation_fanout_program())
+        assert ks.stats.events_unbatched > ks.stats.events_batched
+        assert ks.stats.reduction > 1.0
+
+    def test_cifher_batched_still_linear(self):
+        """CiFHER with batching pays O(r) mod-down broadcasts (Sec 7.4)."""
+        ks = KeyswitchPass("cifher", enable_batching=True)
+        ks.run(_rotation_fanout_program())
+        # 3 rotations + 3 muls; rotations share 1 broadcast but keep 2 each.
+        assert ks.stats.events_batched >= 2 * 3
+
+
+class TestAlignment:
+    def test_alignment_inserted_for_mixed_levels(self):
+        prog = CinnamonProgram("mix", level=6)
+        a, b = prog.input("a"), prog.input("b")
+        prog.output("y", (a * b) + a)  # a at 6, product at 5
+        aligned = insert_alignment(prog)
+        aligners = [op for op in aligned.ops
+                    if op.opcode == ct.MUL_PLAIN and op.attrs.get("align")]
+        assert len(aligners) == 1
+        add = next(op for op in aligned.ops if op.opcode == ct.ADD)
+        levels = [aligned.ops[i].level for i in add.inputs]
+        assert levels[0] == levels[1]
+
+    def test_no_alignment_when_levels_match(self):
+        prog = CinnamonProgram("even", level=6)
+        a, b = prog.input("a"), prog.input("b")
+        prog.output("y", a + b)
+        aligned = insert_alignment(prog)
+        assert not any(op.attrs.get("align") for op in aligned.ops)
+
+    def test_multi_level_gap(self):
+        prog = CinnamonProgram("gap", level=6)
+        a, b = prog.input("a"), prog.input("b")
+        deep = ((a * b) * b) * b  # level 3
+        prog.output("y", deep + a)
+        aligned = insert_alignment(prog)
+        # Both mul operands and the final add get aligned; the add needs a
+        # full 3-level chain for `a`, and every op ends with equal levels.
+        aligners = [op for op in aligned.ops if op.attrs.get("align")]
+        assert len(aligners) >= 3
+        for op in aligned.ops:
+            if op.opcode in (ct.ADD, ct.MUL) and len(op.inputs) == 2:
+                levels = {aligned.ops[i].level for i in op.inputs}
+                assert len(levels) == 1
+
+
+class TestScaleInference:
+    def test_invariant_scales(self, small_params):
+        prog = CinnamonProgram("s", level=6)
+        a, b = prog.input("a"), prog.input("b")
+        prog.output("y", (a * b) + (a * b))
+        prog = insert_alignment(prog)
+        infer_scales(prog, small_params)
+        for op in prog.ops:
+            assert "scale" in op.attrs
+        mul = next(op for op in prog.ops if op.opcode == ct.MUL)
+        expected = small_params.scale_at_level(6) ** 2 \
+            / small_params.moduli[5]
+        assert abs(mul.attrs["scale"] - expected) < 1e-3 * expected
+
+    def test_plain_mul_lands_on_invariant(self, small_params):
+        prog = CinnamonProgram("s", level=6)
+        a = prog.input("a")
+        prog.output("y", a * 0.5)
+        infer_scales(insert_alignment(prog), small_params)

@@ -1,0 +1,112 @@
+"""Differential testing: random DSL programs, emulator vs evaluator.
+
+Hypothesis generates random (level-respecting) ciphertext programs; each is
+(1) interpreted directly with the functional evaluator and (2) compiled to
+the Cinnamon ISA and run on the emulator across 1-4 chips with random
+keyswitch policies.  Decrypted outputs must agree — the strongest
+end-to-end statement about compiler correctness this repository makes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import CinnamonCompiler, CinnamonProgram, CompilerOptions
+from repro.core.isa.emulator import emulate
+from repro.fhe import CKKSContext, Evaluator, make_params
+
+LEVELS = 6
+
+
+@pytest.fixture(scope="module")
+def env():
+    params = make_params(ring_degree=64, levels=LEVELS, prime_bits=28,
+                         num_digits=2)
+    ctx = CKKSContext(params, seed=13)
+    return params, ctx, Evaluator(ctx)
+
+
+# One program "step" picks an operation and operand indices; operands are
+# drawn modulo the current value-stack size at build time.
+_STEP = st.tuples(
+    st.sampled_from(["add", "sub", "mul", "rotate", "mulc", "addc", "neg"]),
+    st.integers(0, 255),
+    st.integers(0, 255),
+    st.integers(-4, 8),
+)
+
+
+def _build(steps, num_inputs):
+    """Build the DSL program and the parallel plaintext computation."""
+    prog = CinnamonProgram("prop", level=LEVELS)
+    handles = [prog.input(f"x{i}") for i in range(num_inputs)]
+
+    def apply_step(op, i, j, k, values):
+        a = values[i % len(values)]
+        b = values[j % len(values)]
+        if op == "add":
+            return lambda h: h[i % len(h)] + h[j % len(h)], a + b
+        if op == "sub":
+            return lambda h: h[i % len(h)] - h[j % len(h)], a - b
+        if op == "mul":
+            return lambda h: h[i % len(h)] * h[j % len(h)], a * b
+        if op == "rotate":
+            r = k % 8
+            return lambda h: h[i % len(h)].rotate(r), np.roll(a, -r)
+        if op == "mulc":
+            c = 0.25 * k
+            return lambda h: h[i % len(h)] * c, a * c
+        if op == "addc":
+            c = 0.25 * k
+            return lambda h: h[i % len(h)] + c, a + c
+        if op == "neg":
+            return lambda h: -h[i % len(h)], -a
+        raise AssertionError(op)
+
+    return prog, handles, apply_step
+
+
+@given(
+    steps=st.lists(_STEP, min_size=2, max_size=6),
+    chips=st.integers(1, 4),
+    policy=st.sampled_from(["cinnamon", "input_broadcast", "cifher"]),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=24, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_random_programs_agree(env, steps, chips, policy, seed):
+    params, ctx, _ = env
+    rng = np.random.default_rng(seed)
+    num_inputs = 2
+    plain = [rng.uniform(-1, 1, params.slot_count) for _ in range(num_inputs)]
+
+    prog, handles, apply_step = _build(steps, num_inputs)
+    expected = list(plain)
+    produced = 0
+    for op, i, j, k in steps:
+        builder, value = apply_step(op, i, j, k, expected)
+        # Skip ops that would exhaust the budget.
+        depth_cost = 1 if op in ("mul", "mulc") else 0
+        operand_levels = [h.level for h in handles]
+        if min(operand_levels[i % len(handles)],
+               operand_levels[j % len(handles)]) - depth_cost < 2:
+            continue
+        handles.append(builder(handles))
+        expected.append(value)
+        produced += 1
+    if produced == 0:
+        handles.append(handles[0] + handles[1])
+        expected.append(expected[0] + expected[1])
+    prog.output("out", handles[-1])
+    want = expected[-1]
+
+    compiled = CinnamonCompiler(
+        params, CompilerOptions(num_chips=chips, keyswitch_policy=policy)
+    ).compile(prog)
+    inputs = {f"x{i}": ctx.encrypt_values(v) for i, v in enumerate(plain)}
+    outs = emulate(compiled, ctx, inputs)
+    got = ctx.decrypt_values(outs["out"]).real
+    # Values can grow through repeated adds; scale tolerance accordingly.
+    tol = 1e-3 * max(1.0, np.max(np.abs(want)))
+    assert np.max(np.abs(got - want)) < tol

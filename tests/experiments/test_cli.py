@@ -1,0 +1,26 @@
+"""Tests for the experiment CLI (cheap experiments only)."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig13" in out
+
+    def test_run_cheap_experiment(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Cinnamon" in out and "yield" in out
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["table1", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Figure 1" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["figure99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

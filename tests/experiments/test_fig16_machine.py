@@ -1,0 +1,36 @@
+"""Unit tests for Figure 16's resource-scaling helper."""
+
+import pytest
+
+from repro.experiments.fig16_sensitivity import RESOURCES, _machine_with
+from repro.sim.config import CINNAMON_4
+
+
+class TestMachineScaling:
+    def test_register_file(self):
+        scaled = _machine_with(CINNAMON_4, "register_file", 2.0)
+        assert scaled.chip.register_file_mb == 112.0
+        assert CINNAMON_4.chip.register_file_mb == 56.0  # original intact
+
+    def test_link_bandwidth(self):
+        scaled = _machine_with(CINNAMON_4, "link_bandwidth", 0.5)
+        assert scaled.chip.link_gbps == 256.0
+
+    def test_memory_bandwidth(self):
+        scaled = _machine_with(CINNAMON_4, "memory_bandwidth", 2.0)
+        assert scaled.chip.hbm_gbps == 4096.0
+
+    def test_vector_width(self):
+        scaled = _machine_with(CINNAMON_4, "vector_width", 0.5)
+        assert scaled.chip.lanes_per_cluster == 128
+        # Halving the lanes doubles each op's occupancy.
+        assert scaled.chip.occupancy("ntt") == \
+            2 * CINNAMON_4.chip.occupancy("ntt")
+
+    def test_unknown_resource(self):
+        with pytest.raises(ValueError):
+            _machine_with(CINNAMON_4, "quantumness", 2.0)
+
+    def test_resource_list_complete(self):
+        assert set(RESOURCES) == {"register_file", "link_bandwidth",
+                                  "memory_bandwidth", "vector_width"}

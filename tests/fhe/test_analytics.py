@@ -1,0 +1,83 @@
+"""Tests for the encrypted analytics kernels."""
+
+import numpy as np
+import pytest
+
+from repro.fhe.analytics import (
+    encrypted_count_above,
+    encrypted_inner_product,
+    encrypted_mean,
+    encrypted_soft_threshold,
+    encrypted_sum,
+    encrypted_variance,
+)
+
+COUNT = 32
+
+
+def _packed(context, rng, count=COUNT, low=-1.0, high=1.0):
+    values = rng.uniform(low, high, count)
+    padded = np.zeros(context.params.slot_count)
+    padded[:count] = values
+    return values, context.encrypt_values(padded)
+
+
+class TestAggregates:
+    def test_sum(self, deep_context, deep_evaluator, rng):
+        values, ct = _packed(deep_context, rng)
+        out = encrypted_sum(deep_evaluator, ct, COUNT)
+        got = deep_context.decrypt_values(out).real
+        assert np.max(np.abs(got - values.sum())) < 1e-2
+
+    def test_sum_rejects_bad_count(self, deep_context, deep_evaluator):
+        ct = deep_context.encrypt_values([1.0])
+        with pytest.raises(ValueError):
+            encrypted_sum(deep_evaluator, ct, 3)
+
+    def test_mean(self, deep_context, deep_evaluator, rng):
+        values, ct = _packed(deep_context, rng)
+        out = encrypted_mean(deep_evaluator, ct, COUNT)
+        got = deep_context.decrypt_values(out).real[0]
+        assert abs(got - values.mean()) < 1e-3
+
+    def test_inner_product(self, deep_context, deep_evaluator, rng):
+        a_vals, a = _packed(deep_context, rng)
+        b_vals, b = _packed(deep_context, rng)
+        out = encrypted_inner_product(deep_evaluator, a, b, COUNT)
+        got = deep_context.decrypt_values(out).real[0]
+        assert abs(got - a_vals @ b_vals) < 5e-2
+
+    def test_variance(self, deep_context, deep_evaluator, rng):
+        values, ct = _packed(deep_context, rng)
+        out = encrypted_variance(deep_evaluator, ct, COUNT)
+        got = deep_context.decrypt_values(out).real[0]
+        # E[x^2] uses the mean over *all* slots of x^2 restricted to the
+        # prefix; with zero padding that is sum/COUNT as implemented.
+        expect = np.mean(values**2) - np.mean(values) ** 2
+        assert abs(got - expect) < 5e-2
+
+
+class TestThresholding:
+    def test_soft_threshold_monotone(self, deep_context, deep_evaluator):
+        slots = deep_context.params.slot_count
+        x = np.linspace(-1, 1, slots)
+        ct = deep_context.encrypt_values(x)
+        out = encrypted_soft_threshold(deep_evaluator, ct, threshold=0.2)
+        got = deep_context.decrypt_values(out).real
+        assert got[0] < 0.2          # far below threshold
+        assert got[-1] > 0.8         # far above
+        assert abs(got[np.argmin(np.abs(x - 0.2))] - 0.5) < 0.1
+
+    def test_count_above(self, deep_context, deep_evaluator, rng):
+        values = rng.uniform(-1, 1, COUNT)
+        padded = np.full(deep_context.params.slot_count, -1.0)
+        padded[:COUNT] = values
+        ct = deep_context.encrypt_values(padded)
+        out = encrypted_count_above(deep_evaluator, ct, COUNT,
+                                    threshold=0.0, sharpness=12.0)
+        got = deep_context.decrypt_values(out).real[0]
+        # Padding contributes ~sigmoid(-12) each; subtract that baseline.
+        slots = deep_context.params.slot_count
+        baseline = (slots - COUNT) / (1 + np.exp(12.0))
+        true_count = np.sum(values > 0)
+        assert abs((got - baseline) - true_count) < 2.0

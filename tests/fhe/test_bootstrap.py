@@ -1,0 +1,163 @@
+"""Tests for CKKS bootstrapping (slow; marked accordingly)."""
+
+import numpy as np
+import pytest
+
+from repro.fhe import CKKSContext, make_params
+from repro.fhe.bootstrap import BootstrapConfig, Bootstrapper, embedding_matrix
+
+
+@pytest.fixture(scope="module")
+def boot_setup():
+    params = make_params(
+        ring_degree=256, levels=18, prime_bits=28, num_digits=3,
+        secret_hamming_weight=32,
+    )
+    ctx = CKKSContext(params, seed=5)
+    bs = Bootstrapper(ctx)
+    return params, ctx, bs
+
+
+class TestEmbeddingMatrix:
+    def test_unitarity(self):
+        n = 32
+        u = embedding_matrix(n)
+        gram = u @ np.conj(u.T)
+        assert np.allclose(gram, n * np.eye(n // 2), atol=1e-9)
+
+    def test_coefficient_recovery_identity(self, rng):
+        n = 32
+        u = embedding_matrix(n)
+        t = rng.normal(size=n)
+        z = u @ t
+        t_rec = (2.0 / n) * np.real(np.conj(u.T) @ z)
+        assert np.max(np.abs(t_rec - t)) < 1e-12
+
+
+class TestConfig:
+    def test_dense_secret_rejected(self):
+        params = make_params(ring_degree=64, levels=4, prime_bits=28,
+                             num_digits=2)
+        ctx = CKKSContext(params, seed=1)
+        with pytest.raises(ValueError):
+            Bootstrapper(ctx)
+
+    def test_message_scale(self):
+        cfg = BootstrapConfig(message_scale_bits=20)
+        assert cfg.message_scale == 2.0**20
+
+
+@pytest.mark.slow
+class TestPipelineStages:
+    def test_mod_raise_congruent_plaintext(self, boot_setup, rng):
+        """The raised plaintext is m + q0*I: congruent to m modulo q0."""
+        from repro.fhe.rns import crt_reconstruct
+
+        params, ctx, bs = boot_setup
+        q0 = params.moduli[0]
+        z = rng.uniform(-1, 1, params.slot_count)
+        ct = bs.encrypt_for_bootstrap(z)
+        raised = bs.mod_raise(ct)
+        assert raised.level == params.max_level
+        low = ctx.decrypt(ct).poly.to_coeff()
+        m_coeffs = crt_reconstruct(low.data, low.basis)
+        high = ctx.decrypt(raised).poly.to_coeff()
+        t_coeffs = crt_reconstruct(high.data, high.basis)
+        deltas = [(t - m) % q0 for t, m in zip(t_coeffs, m_coeffs)]
+        # Allow decryption noise of a few ulps on either side of 0 mod q0.
+        assert all(min(d, q0 - d) < 2**14 for d in deltas)
+        overflow = max(abs(round((t - m) / q0)) for t, m in zip(t_coeffs, m_coeffs))
+        assert 0 < overflow <= 4 * params.secret_hamming_weight
+
+    def test_mod_raise_requires_level_one(self, boot_setup):
+        params, ctx, bs = boot_setup
+        ct = ctx.encrypt_values([1.0], level=3)
+        with pytest.raises(ValueError):
+            bs.mod_raise(ct)
+
+    def test_eval_mod_reduces(self, boot_setup, rng):
+        params, ctx, bs = boot_setup
+        # Values near integers: eval_mod should return the fractional part.
+        ints = rng.integers(-8, 9, params.slot_count).astype(float)
+        frac = rng.uniform(-0.01, 0.01, params.slot_count)
+        ct = ctx.encrypt_values(ints + frac, level=12)
+        out = bs.eval_mod(ct)
+        res = ctx.decrypt_values(out).real
+        assert np.max(np.abs(res - frac)) < 1e-3
+
+
+@pytest.mark.slow
+class TestEndToEnd:
+    def test_bootstrap_preserves_values(self, boot_setup, rng):
+        params, ctx, bs = boot_setup
+        z = rng.uniform(-1, 1, params.slot_count)
+        ct = bs.encrypt_for_bootstrap(z)
+        out = bs.bootstrap(ct)
+        res = ctx.decrypt_values(out).real
+        assert np.max(np.abs(res - z)) < 0.05
+
+    def test_bootstrap_refreshes_budget(self, boot_setup, rng):
+        params, ctx, bs = boot_setup
+        z = rng.uniform(-0.5, 0.5, params.slot_count)
+        ct = bs.encrypt_for_bootstrap(z)
+        out = bs.bootstrap(ct)
+        assert out.level > 1  # budget refreshed
+        # ...and the refreshed budget is genuinely usable:
+        from repro.fhe import Evaluator
+
+        ev = Evaluator(ctx)
+        squared = ev.square(out)
+        res = ctx.decrypt_values(squared).real
+        assert np.max(np.abs(res - z * z)) < 0.05
+
+    def test_computation_after_bootstrap_chain(self, boot_setup, rng):
+        """Level-1 ciphertext -> bootstrap -> multiply twice."""
+        params, ctx, bs = boot_setup
+        from repro.fhe import Evaluator
+
+        ev = Evaluator(ctx)
+        z = rng.uniform(-0.8, 0.8, params.slot_count)
+        ct = bs.encrypt_for_bootstrap(z)
+        out = bs.bootstrap(ct)
+        expect = z
+        for _ in range(2):
+            out = ev.square(out)
+            expect = expect * expect
+        res = ctx.decrypt_values(out).real
+        assert np.max(np.abs(res - expect)) < 0.1
+
+
+@pytest.mark.slow
+class TestDoubleAngleEvalMod:
+    """Han-Ki degree/level trade-off: r doublings shrink the sine degree."""
+
+    def test_double_angle_bootstrap_works(self, rng):
+        params = make_params(ring_degree=256, levels=20, prime_bits=28,
+                             num_digits=3, secret_hamming_weight=32)
+        ctx = CKKSContext(params, seed=5)
+        z = rng.uniform(-1, 1, params.slot_count)
+        bs = Bootstrapper(ctx, BootstrapConfig(eval_mod_degree=63,
+                                               double_angles=1))
+        out = bs.bootstrap(bs.encrypt_for_bootstrap(z))
+        err = np.max(np.abs(ctx.decrypt_values(out).real - z))
+        assert err < 0.05
+        assert out.level > 1
+
+    def test_doublings_shrink_required_degree(self, rng):
+        """Half the Chebyshev degree still bootstraps once doubled."""
+        params = make_params(ring_degree=256, levels=20, prime_bits=28,
+                             num_digits=3, secret_hamming_weight=32)
+        ctx = CKKSContext(params, seed=6)
+        z = rng.uniform(-0.5, 0.5, params.slot_count)
+        # Degree 63 *without* doubling cannot represent sin over [-12,12]
+        # accurately; with one doubling it can.
+        plain_err = Bootstrapper(ctx, BootstrapConfig(
+            eval_mod_degree=63, double_angles=0))
+        ct = plain_err.encrypt_for_bootstrap(z)
+        bad = plain_err.bootstrap(ct)
+        bad_err = np.max(np.abs(ctx.decrypt_values(bad).real - z))
+        doubled = Bootstrapper(ctx, BootstrapConfig(
+            eval_mod_degree=63, double_angles=1))
+        good = doubled.bootstrap(doubled.encrypt_for_bootstrap(z))
+        good_err = np.max(np.abs(ctx.decrypt_values(good).real - z))
+        assert good_err < bad_err

@@ -1,0 +1,88 @@
+"""Tests for the ciphertext container and randomness sampling."""
+
+import numpy as np
+import pytest
+
+from repro.fhe.ciphertext import Ciphertext
+from repro.fhe.polynomial import RnsPolynomial
+from repro.fhe.sampling import FheRng
+
+
+class TestCiphertext:
+    def test_basis_mismatch_rejected(self, small_params):
+        basis = small_params.basis_at_level(4)
+        a = RnsPolynomial.zero(basis, small_params.ring_degree)
+        b = RnsPolynomial.zero(small_params.basis_at_level(3),
+                               small_params.ring_degree)
+        with pytest.raises(ValueError):
+            Ciphertext([a, b], 2.0**28)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Ciphertext([], 2.0**28)
+
+    def test_at_level_drops_limbs(self, small_context):
+        ct = small_context.encrypt_values([1.0])
+        dropped = ct.at_level(3)
+        assert dropped.level == 3
+        assert dropped.scale == ct.scale
+        assert ct.level == small_context.params.max_level  # original intact
+
+    def test_at_level_same_is_identity(self, small_context):
+        ct = small_context.encrypt_values([1.0])
+        assert ct.at_level(ct.level) is ct
+
+    def test_copy_is_deep(self, small_context):
+        ct = small_context.encrypt_values([1.0])
+        clone = ct.copy()
+        clone.polys[0].data[0][0] += np.uint64(1)
+        assert not clone.polys[0].equals(ct.polys[0])
+
+    def test_degree(self, small_context, small_evaluator):
+        a = small_context.encrypt_values([0.5])
+        assert a.degree == 2
+        assert small_evaluator.mul_no_relin(a, a).degree == 3
+
+    def test_repr(self, small_context):
+        text = repr(small_context.encrypt_values([1.0]))
+        assert "degree=2" in text and "level=" in text
+
+
+class TestSampling:
+    def test_deterministic_with_seed(self, small_params):
+        a = FheRng(7).ternary_secret(64)
+        b = FheRng(7).ternary_secret(64)
+        assert np.array_equal(a, b)
+
+    def test_ternary_range(self):
+        coeffs = FheRng(1).ternary_secret(4096)
+        assert set(np.unique(coeffs)) <= {-1, 0, 1}
+
+    def test_sparse_secret_weight(self):
+        coeffs = FheRng(2).ternary_secret(1024, hamming_weight=64)
+        assert np.count_nonzero(coeffs) == 64
+        assert set(np.unique(coeffs[coeffs != 0])) <= {-1, 1}
+
+    def test_sparse_weight_too_large(self):
+        with pytest.raises(ValueError):
+            FheRng(3).ternary_secret(16, hamming_weight=17)
+
+    def test_uniform_poly_in_range(self, small_params):
+        rng = FheRng(4)
+        basis = small_params.basis_at_level(3)
+        poly = rng.uniform_poly(basis, small_params.ring_degree)
+        for j, q in enumerate(basis):
+            assert poly.data[j].max() < q
+
+    def test_gaussian_concentrated(self):
+        errs = FheRng(5).gaussian_coeffs(8192, std=3.2)
+        assert abs(float(np.std(errs)) - 3.2) < 0.3
+        assert np.abs(errs).max() < 32
+
+    def test_error_poly_roundtrip(self, small_params):
+        rng = FheRng(6)
+        basis = small_params.basis_at_level(2)
+        poly = rng.error_poly(basis, small_params.ring_degree, 3.2)
+        from repro.fhe.modmath import centered
+        coeffs = centered(poly.to_coeff().data[0], basis[0])
+        assert np.abs(coeffs).max() < 40

@@ -1,0 +1,85 @@
+"""Integration tests: small encrypted-ML pipelines on real data.
+
+These exercise the same kernel shapes the ResNet/HELR/BERT workloads are
+built from — convolution-as-matmul, polynomial activations, reductions —
+end to end through the functional CKKS library.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fhe.analytics import encrypted_mean
+from repro.fhe.linear import bsgs_matvec
+from repro.fhe.packing import pad_prefix, tile_vector
+from repro.fhe.polyeval import ChebyshevEvaluator
+
+
+def _relu_poly(x):
+    """Smooth ReLU surrogate used by CKKS CNNs (square-based)."""
+    return 0.5 * x + 0.25 * x * x + 0.117
+
+
+class TestEncryptedCnnLayer:
+    @pytest.mark.slow
+    def test_conv_relu_pool(self, deep_context, deep_evaluator, rng):
+        """One conv (im2col matmul) + activation + mean-pool layer."""
+        ctx, ev = deep_context, deep_evaluator
+        slots = ctx.params.slot_count
+        pixels = 16  # a 4x4 single-channel image
+
+        image = rng.uniform(-0.5, 0.5, pixels)
+        # im2col'd 3-tap convolution as a circulant matrix.
+        kernel = np.array([0.25, 0.5, 0.25])
+        conv = np.zeros((pixels, pixels))
+        for i in range(pixels):
+            for t, w in enumerate(kernel):
+                conv[i, (i + t - 1) % pixels] = w
+
+        ct = ctx.encrypt_values(tile_vector(image, slots))
+        convolved = bsgs_matvec(ev, ct, matrix=conv)
+
+        cheb = ChebyshevEvaluator(ev)
+        activated = cheb.evaluate_function(
+            convolved, _relu_poly, degree=7, interval=(-1.0, 1.0))
+
+        pooled = ev.rotate_and_sum(activated, 4)
+        pooled = ev.mul_scalar(pooled, 0.25)
+
+        # Plaintext reference.
+        ref = conv @ image
+        ref = _relu_poly(ref)
+        ref_pool = np.array([np.mean(np.roll(ref, -i)[:4])
+                             for i in range(pixels)])
+        got = ctx.decrypt_values(pooled).real[:pixels]
+        assert np.max(np.abs(got - ref_pool)) < 5e-3
+
+
+class TestEncryptedAttentionScore:
+    def test_query_key_product(self, deep_context, deep_evaluator, rng):
+        """The attention-score kernel: (Wq x) * (Wk x), then row-mean."""
+        ctx, ev = deep_context, deep_evaluator
+        slots = ctx.params.slot_count
+        d = 16
+        x = rng.uniform(-0.5, 0.5, d)
+        wq = rng.normal(size=(d, d)) / d
+        wk = rng.normal(size=(d, d)) / d
+
+        ct = ctx.encrypt_values(tile_vector(x, slots))
+        q = bsgs_matvec(ev, ct, matrix=wq)
+        k = bsgs_matvec(ev, ct, matrix=wk)
+        scores = ev.mul(q, k)
+        got = ctx.decrypt_values(scores).real[:d]
+        assert np.max(np.abs(got - (wq @ x) * (wk @ x))) < 2e-3
+
+
+class TestEncryptedFeatureStandardization:
+    def test_zero_mean_features(self, deep_context, deep_evaluator, rng):
+        """x - mean(x): the layernorm front half, on encrypted data."""
+        ctx, ev = deep_context, deep_evaluator
+        n = 32
+        values = rng.uniform(-1, 1, n)
+        ct = ctx.encrypt_values(pad_prefix(values, ctx.params.slot_count))
+        mean = encrypted_mean(ev, ct, n)
+        centered = ev.sub(ct, mean)
+        got = ctx.decrypt_values(centered).real[:n]
+        assert np.max(np.abs(got - (values - values.mean()))) < 5e-3

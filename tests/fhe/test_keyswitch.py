@@ -1,0 +1,144 @@
+"""Tests for hybrid (digit) keyswitching and key generation."""
+
+import numpy as np
+import pytest
+
+from repro.fhe.keys import KeyChain
+from repro.fhe.keyswitch import hoisted_decompose, keyswitch, modup_digit
+from repro.fhe.rns import basis_product, crt_reconstruct
+
+
+def _noise_bits(diff_poly):
+    vals = crt_reconstruct(diff_poly.to_coeff().data, diff_poly.basis)
+    return max(abs(v) for v in vals).bit_length()
+
+
+class TestKeyGeneration:
+    def test_public_key_decrypts_to_noise(self, small_context):
+        kc = small_context.keychain
+        pk = kc.public_key()
+        s = kc.secret.poly(pk.b.basis)
+        noise = pk.b + pk.a * s
+        assert _noise_bits(noise) < 16
+
+    def test_eval_key_cached(self, small_context):
+        kc = small_context.keychain
+        assert kc.relin_key(4) is kc.relin_key(4)
+
+    def test_eval_key_distinct_per_level(self, small_context):
+        kc = small_context.keychain
+        assert kc.relin_key(4) is not kc.relin_key(5)
+
+    def test_partition_recorded(self, small_context):
+        params = small_context.params
+        evk = small_context.keychain.relin_key(6)
+        assert evk.partition == params.digit_partition(6)
+        flat = [i for digit in evk.partition for i in digit]
+        assert flat == list(range(6))
+
+    def test_unknown_purpose_raises(self, small_context):
+        with pytest.raises(ValueError):
+            small_context.keychain.switching_key("bogus", 4)
+
+
+class TestKeyswitchCorrectness:
+    @pytest.mark.parametrize("level", [3, 5, 8])
+    def test_relin_identity(self, small_context, level):
+        """f0 + f1*s ~ d*s^2 up to noise far below the scale."""
+        params = small_context.params
+        kc = small_context.keychain
+        basis = params.basis_at_level(level)
+        d = kc.rng.uniform_poly(basis, params.ring_degree)
+        s = kc.secret.poly(basis)
+        evk = kc.relin_key(level)
+        f0, f1 = keyswitch(d, evk, params)
+        diff = (f0 + f1 * s) - (d * (s * s))
+        q_bits = basis_product(basis).bit_length()
+        assert _noise_bits(diff) < q_bits - 20
+
+    def test_galois_identity(self, small_context):
+        params = small_context.params
+        kc = small_context.keychain
+        level = 6
+        basis = params.basis_at_level(level)
+        d = kc.rng.uniform_poly(basis, params.ring_degree)
+        s = kc.secret.poly(basis)
+        k = 5
+        evk = kc.galois_key(k, level)
+        f0, f1 = keyswitch(d, evk, params)
+        diff = (f0 + f1 * s) - (d * s.automorphism(k))
+        q_bits = basis_product(basis).bit_length()
+        assert _noise_bits(diff) < q_bits - 20
+
+    def test_level_mismatch_raises(self, small_context):
+        params = small_context.params
+        kc = small_context.keychain
+        d = kc.rng.uniform_poly(params.basis_at_level(4), params.ring_degree)
+        evk = kc.relin_key(5)
+        with pytest.raises(ValueError):
+            keyswitch(d, evk, params)
+
+    @pytest.mark.parametrize("num_digits", [1, 2, 4])
+    def test_any_digit_count(self, small_context, num_digits):
+        """Digit selection does not affect keyswitch semantics (Sec 4.3.1)."""
+        params = small_context.params
+        kc = small_context.keychain
+        level = 8
+        basis = params.basis_at_level(level)
+        d = kc.rng.uniform_poly(basis, params.ring_degree)
+        s = kc.secret.poly(basis)
+        partition = params.digit_partition(level, num_digits)
+        evk = kc.switching_key("relin", level, partition)
+        f0, f1 = keyswitch(d, evk, params)
+        diff = (f0 + f1 * s) - (d * (s * s))
+        q_bits = basis_product(basis).bit_length()
+        assert _noise_bits(diff) < q_bits - 20
+
+
+class TestModupDigit:
+    def test_congruence(self, small_context):
+        params = small_context.params
+        kc = small_context.keychain
+        level = 6
+        basis = params.basis_at_level(level)
+        d = kc.rng.uniform_poly(basis, params.ring_degree).to_coeff()
+        digit = params.digit_partition(level)[0]
+        digit_primes = tuple(basis[i] for i in digit)
+        ext_basis = basis + params.extension_moduli
+        up = modup_digit(d, digit, ext_basis).to_coeff()
+        q_digit = basis_product(digit_primes)
+        original = crt_reconstruct(d.data[list(digit)], digit_primes)
+        lifted = crt_reconstruct(up.data, ext_basis)
+        for got, want in zip(lifted, original):
+            assert (int(got) - int(want)) % q_digit == 0
+
+    def test_requires_coeff_domain(self, small_context):
+        params = small_context.params
+        kc = small_context.keychain
+        d = kc.rng.uniform_poly(params.basis_at_level(4), params.ring_degree)
+        with pytest.raises(ValueError):
+            modup_digit(d, (0, 1), d.basis + params.extension_moduli)
+
+
+class TestHoisting:
+    def test_hoisted_decompose_congruent_to_fresh(self, small_context):
+        """Automorphism of the decomposition == decomposition of the
+        automorphism, up to the mod-up representative (a multiple of the
+        digit modulus per coefficient) — i.e. the same digit value.
+        """
+        params = small_context.params
+        kc = small_context.keychain
+        level = 6
+        basis = params.basis_at_level(level)
+        d = kc.rng.uniform_poly(basis, params.ring_degree)
+        partition = params.digit_partition(level)
+        k = 5
+        hoisted = [p.automorphism(k) for p in
+                   hoisted_decompose(d, partition, params)]
+        fresh = hoisted_decompose(d.automorphism(k), partition, params)
+        ext_basis = basis + params.extension_moduli
+        for digit, a, b in zip(partition, hoisted, fresh):
+            q_digit = basis_product([basis[i] for i in digit])
+            va = crt_reconstruct(a.to_coeff().data, ext_basis)
+            vb = crt_reconstruct(b.to_coeff().data, ext_basis)
+            assert all((x - y) % q_digit == 0 for x, y in zip(va, vb))

@@ -1,0 +1,128 @@
+"""Unit tests for vectorized modular arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fhe import modmath
+
+
+PRIME = 268369921  # 28-bit NTT-friendly prime
+
+
+def _rand(rng, n=64, p=PRIME):
+    return rng.integers(0, p, n, dtype=np.uint64)
+
+
+class TestVectorOps:
+    def test_add_matches_python(self):
+        rng = np.random.default_rng(0)
+        a, b = _rand(rng), _rand(rng)
+        out = modmath.mod_add(a, b, PRIME)
+        expect = [(int(x) + int(y)) % PRIME for x, y in zip(a, b)]
+        assert out.tolist() == expect
+
+    def test_sub_matches_python(self):
+        rng = np.random.default_rng(1)
+        a, b = _rand(rng), _rand(rng)
+        out = modmath.mod_sub(a, b, PRIME)
+        expect = [(int(x) - int(y)) % PRIME for x, y in zip(a, b)]
+        assert out.tolist() == expect
+
+    def test_mul_matches_python(self):
+        rng = np.random.default_rng(2)
+        a, b = _rand(rng), _rand(rng)
+        out = modmath.mod_mul(a, b, PRIME)
+        expect = [(int(x) * int(y)) % PRIME for x, y in zip(a, b)]
+        assert out.tolist() == expect
+
+    def test_mul_no_overflow_at_max_prime_width(self):
+        p = (1 << modmath.MAX_PRIME_BITS) - 1
+        a = np.array([p - 1], dtype=np.uint64)
+        out = modmath.mod_mul(a, a, p)
+        assert int(out[0]) == ((p - 1) * (p - 1)) % p
+
+    def test_neg(self):
+        a = np.array([0, 1, PRIME - 1], dtype=np.uint64)
+        out = modmath.mod_neg(a, PRIME)
+        assert out.tolist() == [0, PRIME - 1, 1]
+
+    def test_scalar_mul_reduces_scalar(self):
+        a = np.array([2, 3], dtype=np.uint64)
+        out = modmath.mod_scalar_mul(a, PRIME + 5, PRIME)
+        assert out.tolist() == [10, 15]
+
+
+class TestScalarOps:
+    def test_mod_inv_prime(self):
+        for a in (1, 2, 12345, PRIME - 1):
+            inv = modmath.mod_inv(a, PRIME)
+            assert (a * inv) % PRIME == 1
+
+    def test_mod_inv_composite_modulus(self):
+        m = 268369921 * 268361729  # composite digit product
+        a = 987654321
+        inv = modmath.mod_inv(a, m)
+        assert (a * inv) % m == 1
+
+    def test_mod_inv_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            modmath.mod_inv(0, PRIME)
+
+    def test_mod_inv_non_coprime_raises(self):
+        with pytest.raises(ValueError):
+            modmath.mod_inv(6, 9)
+
+
+class TestRepresentations:
+    def test_centered_range(self):
+        a = np.arange(PRIME - 3, PRIME, dtype=np.uint64) % np.uint64(PRIME)
+        c = modmath.centered(a, PRIME)
+        assert (c < 0).all()
+        assert (np.abs(c) <= PRIME // 2).all()
+
+    def test_centered_roundtrip(self):
+        rng = np.random.default_rng(3)
+        a = _rand(rng)
+        back = modmath.from_signed(modmath.centered(a, PRIME), PRIME)
+        assert np.array_equal(back, a)
+
+    def test_from_signed_negative(self):
+        out = modmath.from_signed(np.array([-1, -PRIME - 1]), PRIME)
+        assert out.tolist() == [PRIME - 1, PRIME - 1]
+
+    def test_batch_mod_bigints(self):
+        vals = [10**30, -(10**30), 0]
+        out = modmath.batch_mod(vals, PRIME)
+        assert out.tolist() == [10**30 % PRIME, -(10**30) % PRIME, 0]
+
+
+class TestPrimality:
+    def test_known_primes(self):
+        for p in (2, 3, 5, 268369921, 2**31 - 1):
+            assert modmath.is_prime(p)
+
+    def test_known_composites(self):
+        for c in (0, 1, 4, 561, 2**31 + 1, 268369921 * 3):
+            assert not modmath.is_prime(c)
+
+    def test_carmichael_numbers_rejected(self):
+        for c in (561, 1105, 1729, 41041, 825265):
+            assert not modmath.is_prime(c)
+
+
+@given(st.lists(st.integers(0, PRIME - 1), min_size=1, max_size=32),
+       st.lists(st.integers(0, PRIME - 1), min_size=1, max_size=32))
+@settings(max_examples=50, deadline=None)
+def test_property_mul_commutative(xs, ys):
+    n = min(len(xs), len(ys))
+    a = np.array(xs[:n], dtype=np.uint64)
+    b = np.array(ys[:n], dtype=np.uint64)
+    assert np.array_equal(modmath.mod_mul(a, b, PRIME), modmath.mod_mul(b, a, PRIME))
+
+
+@given(st.integers(1, PRIME - 1))
+@settings(max_examples=100, deadline=None)
+def test_property_inverse_roundtrip(a):
+    assert (a * modmath.mod_inv(a, PRIME)) % PRIME == 1

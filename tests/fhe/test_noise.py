@@ -1,0 +1,94 @@
+"""Tests for the analytic noise estimator against measured errors."""
+
+import numpy as np
+import pytest
+
+from repro.fhe.noise import (
+    NoiseEstimator,
+    measure_slot_error,
+    measured_error_bits,
+)
+
+
+@pytest.fixture(scope="module")
+def estimator(small_params):
+    return NoiseEstimator(small_params)
+
+
+def _within_two_orders(analytic_bits, measured_bits):
+    """Analytic heuristics are order-of-magnitude tools."""
+    return abs(analytic_bits - measured_bits) < 8.0  # ~2.4 orders
+
+
+class TestAnalyticModel:
+    def test_fresh_noise_small(self, estimator):
+        fresh = estimator.fresh()
+        assert fresh.error_bits < -10  # far below unit-scale messages
+
+    def test_add_grows_slowly(self, estimator):
+        fresh = estimator.fresh()
+        summed = estimator.add(fresh, fresh)
+        assert summed.ring_std == pytest.approx(
+            fresh.ring_std * np.sqrt(2), rel=1e-6)
+
+    def test_mul_consumes_level(self, estimator):
+        fresh = estimator.fresh()
+        prod = estimator.mul(fresh, fresh)
+        assert prod.level == fresh.level - 1
+        assert prod.slot_error_std > fresh.slot_error_std
+
+    def test_mul_at_level_one_rejected(self, estimator):
+        fresh = estimator.fresh(level=1)
+        with pytest.raises(ValueError):
+            estimator.mul(fresh, fresh)
+
+    def test_rotate_adds_keyswitch_noise(self, estimator):
+        fresh = estimator.fresh()
+        rotated = estimator.rotate(fresh)
+        assert rotated.ring_std > fresh.ring_std
+        assert rotated.level == fresh.level
+
+
+class TestAgainstMeasurements:
+    def test_fresh_encryption(self, small_context, estimator, rng):
+        z = rng.uniform(-1, 1, small_context.params.slot_count)
+        ct = small_context.encrypt_values(z)
+        measured = measured_error_bits(small_context, ct, z)
+        assert _within_two_orders(estimator.fresh().error_bits, measured)
+
+    def test_multiplication(self, small_context, small_evaluator,
+                            estimator, rng):
+        n = small_context.params.slot_count
+        a, b = rng.uniform(-1, 1, n), rng.uniform(-1, 1, n)
+        ct = small_evaluator.mul(small_context.encrypt_values(a),
+                                 small_context.encrypt_values(b))
+        predicted = estimator.mul(estimator.fresh(), estimator.fresh())
+        measured = measured_error_bits(small_context, ct, a * b)
+        assert _within_two_orders(predicted.error_bits, measured)
+
+    def test_rotation(self, small_context, small_evaluator, estimator, rng):
+        n = small_context.params.slot_count
+        a = rng.uniform(-1, 1, n)
+        ct = small_evaluator.rotate(small_context.encrypt_values(a), 3)
+        predicted = estimator.rotate(estimator.fresh())
+        measured = measured_error_bits(small_context, ct, np.roll(a, -3))
+        assert _within_two_orders(predicted.error_bits, measured)
+
+    def test_depth_chain_ordering(self, small_context, small_evaluator,
+                                  estimator, rng):
+        """Measured error grows with depth, as the model predicts."""
+        n = small_context.params.slot_count
+        a = rng.uniform(-0.9, 0.9, n)
+        ct = small_context.encrypt_values(a)
+        expected = a.copy()
+        errors = [measure_slot_error(small_context, ct, expected)]
+        estimate = estimator.fresh()
+        estimates = [estimate.slot_error_std]
+        for _ in range(3):
+            ct = small_evaluator.square(ct)
+            expected = expected * expected
+            estimate = estimator.mul(estimate, estimate)
+            errors.append(measure_slot_error(small_context, ct, expected))
+            estimates.append(estimate.slot_error_std)
+        assert errors[-1] > errors[0]
+        assert estimates[-1] > estimates[0]

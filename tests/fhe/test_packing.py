@@ -1,0 +1,80 @@
+"""Tests for slot-packing utilities, including end-to-end use."""
+
+import numpy as np
+import pytest
+
+from repro.fhe.linear import bsgs_matvec
+from repro.fhe.packing import (
+    batch_mask,
+    batch_vectors,
+    extract_vector,
+    pack_matrix_rows,
+    pad_prefix,
+    tile_vector,
+)
+
+
+class TestLayouts:
+    def test_tile_vector(self):
+        out = tile_vector([1.0, 2.0], 8)
+        assert out.tolist() == [1, 2, 1, 2, 1, 2, 1, 2]
+
+    def test_tile_requires_divisor(self):
+        with pytest.raises(ValueError):
+            tile_vector([1, 2, 3], 8)
+
+    def test_pad_prefix(self):
+        out = pad_prefix([1.0, 2.0], 5, fill=-1.0)
+        assert out.tolist() == [1, 2, -1, -1, -1]
+
+    def test_pad_overflow(self):
+        with pytest.raises(ValueError):
+            pad_prefix(np.ones(9), 8)
+
+    def test_pack_matrix_rows(self):
+        m = np.arange(6.0).reshape(2, 3)
+        out = pack_matrix_rows(m, 8)
+        assert out.tolist() == [0, 1, 2, 3, 4, 5, 0, 0]
+
+    def test_batch_roundtrip(self):
+        vecs = [np.arange(4.0), np.arange(4.0) + 10]
+        packed = batch_vectors(vecs, 16)
+        assert extract_vector(packed, 0, 4).tolist() == [0, 1, 2, 3]
+        assert extract_vector(packed, 1, 4).tolist() == [10, 11, 12, 13]
+
+    def test_batch_validation(self):
+        with pytest.raises(ValueError):
+            batch_vectors([], 8)
+        with pytest.raises(ValueError):
+            batch_vectors([np.ones(3)], 8)  # not a power of two
+        with pytest.raises(ValueError):
+            batch_vectors([np.ones(8), np.ones(8)], 8)  # overflow
+
+    def test_batch_mask(self):
+        mask = batch_mask(1, 4, 12)
+        assert mask.tolist() == [0, 0, 0, 0, 1, 1, 1, 1, 0, 0, 0, 0]
+
+
+class TestEndToEnd:
+    def test_tiled_matvec(self, small_context, small_evaluator, rng):
+        """The tiled layout is exactly what bsgs_matvec expects."""
+        slots = small_context.params.slot_count
+        n = 16
+        m = rng.normal(size=(n, n)) / np.sqrt(n)
+        x = rng.uniform(-1, 1, n)
+        ct = small_context.encrypt_values(tile_vector(x, slots))
+        out = bsgs_matvec(small_evaluator, ct, matrix=m)
+        res = small_context.decrypt_values(out).real[:n]
+        assert np.max(np.abs(res - m @ x)) < 1e-3
+
+    def test_masked_batch_extraction(self, small_context, small_evaluator,
+                                     rng):
+        """Select one vector from a batched ciphertext with a mask."""
+        slots = small_context.params.slot_count
+        vecs = [rng.uniform(-1, 1, 8) for _ in range(3)]
+        ct = small_context.encrypt_values(batch_vectors(vecs, slots))
+        mask = batch_mask(1, 8, slots)
+        selected = small_evaluator.mul_values(ct, mask)
+        res = small_context.decrypt_values(selected).real
+        assert np.max(np.abs(extract_vector(res, 1, 8) - vecs[1])) < 1e-3
+        assert np.max(np.abs(extract_vector(res, 0, 8))) < 1e-3

@@ -1,0 +1,155 @@
+"""Tests for the RNS polynomial type."""
+
+import numpy as np
+import pytest
+
+from repro.fhe.polynomial import COEFF, EVAL, DomainError, RnsPolynomial
+from repro.fhe.primes import generate_primes
+from repro.fhe.rns import crt_reconstruct
+
+N = 32
+
+
+@pytest.fixture(scope="module")
+def basis():
+    return tuple(generate_primes(3, 28, N))
+
+
+def _random_poly(basis, seed, domain=COEFF):
+    rng = np.random.default_rng(seed)
+    data = np.stack([rng.integers(0, p, N, dtype=np.uint64) for p in basis])
+    return RnsPolynomial(basis, data, domain)
+
+
+class TestConstruction:
+    def test_zero(self, basis):
+        z = RnsPolynomial.zero(basis, N)
+        assert z.level == 3
+        assert not z.data.any()
+
+    def test_from_integers(self, basis):
+        poly = RnsPolynomial.from_integers(list(range(N)), basis)
+        assert crt_reconstruct(poly.data, basis) == list(range(N))
+
+    def test_shape_mismatch_raises(self, basis):
+        with pytest.raises(ValueError):
+            RnsPolynomial(basis, np.zeros((2, N), dtype=np.uint64), COEFF)
+
+    def test_bad_domain_raises(self, basis):
+        with pytest.raises(ValueError):
+            RnsPolynomial(basis, np.zeros((3, N), dtype=np.uint64), "fourier")
+
+
+class TestArithmetic:
+    def test_add_sub_roundtrip(self, basis):
+        a = _random_poly(basis, 1)
+        b = _random_poly(basis, 2)
+        assert ((a + b) - b).equals(a)
+
+    def test_neg(self, basis):
+        a = _random_poly(basis, 3)
+        assert (a + (-a)).equals(RnsPolynomial.zero(basis, N, COEFF))
+
+    def test_mul_requires_eval_domain(self, basis):
+        a = _random_poly(basis, 4, COEFF)
+        with pytest.raises(DomainError):
+            _ = a * a
+
+    def test_domain_mismatch_raises(self, basis):
+        a = _random_poly(basis, 5, COEFF)
+        b = _random_poly(basis, 5, EVAL)
+        with pytest.raises(DomainError):
+            _ = a + b
+
+    def test_basis_mismatch_raises(self, basis):
+        a = _random_poly(basis, 6)
+        b = a.drop_limbs(2)
+        with pytest.raises(ValueError):
+            _ = a + b
+
+    def test_mul_matches_integer_convolution(self, basis):
+        a = RnsPolynomial.from_integers([1] + [0] * (N - 1), basis)
+        b = RnsPolynomial.from_integers(list(range(N)), basis)
+        prod = (a.to_eval() * b.to_eval()).to_coeff()
+        assert crt_reconstruct(prod.data, basis) == list(range(N))
+
+    def test_scalar_mul(self, basis):
+        b = RnsPolynomial.from_integers(list(range(N)), basis)
+        assert crt_reconstruct(b.scalar_mul(7).data, basis) == [7 * i for i in range(N)]
+
+    def test_scalar_mul_rns_per_limb(self, basis):
+        a = _random_poly(basis, 7)
+        residues = [5, 5, 5]
+        assert a.scalar_mul_rns(residues).equals(a.scalar_mul(5))
+
+
+class TestDomains:
+    def test_roundtrip(self, basis):
+        a = _random_poly(basis, 8, COEFF)
+        assert a.to_eval().to_coeff().equals(a)
+
+    def test_idempotent(self, basis):
+        a = _random_poly(basis, 9, COEFF)
+        assert a.to_coeff() is a
+
+
+class TestAutomorphism:
+    def test_identity_element(self, basis):
+        a = _random_poly(basis, 10)
+        assert a.automorphism(1).equals(a)
+
+    def test_composition(self, basis):
+        # sigma_5 o sigma_5 == sigma_25
+        a = _random_poly(basis, 11)
+        assert a.automorphism(5).automorphism(5).equals(a.automorphism(25 % (2 * N)))
+
+    def test_matches_integer_semantics(self, basis):
+        # sigma_k(X^1) = X^k
+        a = RnsPolynomial.from_integers([0, 1] + [0] * (N - 2), basis)
+        out = a.automorphism(5)
+        coeffs = crt_reconstruct(out.data, basis)
+        expect = [0] * N
+        expect[5] = 1
+        assert coeffs == expect
+
+    def test_sign_flip_on_wraparound(self, basis):
+        # sigma_3(X^(N-1)) = X^(3N-3) = X^(N-3) * (X^N)^2 ... careful:
+        # 3*(N-1) mod 2N = 3N-3-2N = N-3, which is >= ... exponent 3N-3 =
+        # (2N) + (N-3): X^(2N) = 1, so X^(N-3)? No: X^N = -1 so
+        # X^(3N-3) = X^(N-3) * X^(2N) = X^(N-3); check via reference below.
+        a = RnsPolynomial.from_integers([0] * (N - 1) + [1], basis)
+        out = a.automorphism(3)
+        coeffs = crt_reconstruct(out.data, basis)
+        exponent = (3 * (N - 1)) % (2 * N)
+        sign = -1 if exponent >= N else 1
+        expect = [0] * N
+        expect[exponent % N] = sign
+        assert coeffs == expect
+
+    def test_even_element_raises(self, basis):
+        a = _random_poly(basis, 12)
+        with pytest.raises(ValueError):
+            a.automorphism(4)
+
+    def test_eval_domain_consistency(self, basis):
+        a = _random_poly(basis, 13, COEFF)
+        via_eval = a.to_eval().automorphism(5).to_coeff()
+        assert via_eval.equals(a.automorphism(5))
+
+
+class TestLimbSelection:
+    def test_drop_limbs(self, basis):
+        a = _random_poly(basis, 14)
+        dropped = a.drop_limbs(2)
+        assert dropped.basis == basis[:2]
+        assert np.array_equal(dropped.data, a.data[:2])
+
+    def test_select_limbs(self, basis):
+        a = _random_poly(basis, 15)
+        sel = a.select_limbs([2, 0])
+        assert sel.basis == (basis[2], basis[0])
+        assert np.array_equal(sel.data[0], a.data[2])
+
+    def test_drop_out_of_range(self, basis):
+        with pytest.raises(ValueError):
+            _random_poly(basis, 16).drop_limbs(0)

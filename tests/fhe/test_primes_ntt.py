@@ -1,0 +1,134 @@
+"""Tests for NTT-friendly prime generation and the negacyclic NTT."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fhe import modmath
+from repro.fhe.ntt import get_tables, intt, ntt, ntt_batch, intt_batch, \
+    negacyclic_convolve_reference
+from repro.fhe.primes import find_root_of_unity, generate_primes
+
+
+class TestPrimeGeneration:
+    def test_congruence_condition(self):
+        for n in (64, 256, 1024):
+            for p in generate_primes(3, 28, n):
+                assert p % (2 * n) == 1
+                assert modmath.is_prime(p)
+
+    def test_count_and_distinct(self):
+        primes = generate_primes(10, 28, 128)
+        assert len(primes) == 10
+        assert len(set(primes)) == 10
+
+    def test_exclusion(self):
+        base = generate_primes(3, 28, 128)
+        more = generate_primes(3, 28, 128, exclude=tuple(base))
+        assert not set(base) & set(more)
+
+    def test_ascending_generation(self):
+        primes = generate_primes(3, 29, 128, descending=False)
+        assert all(p >= 2**28 for p in primes)
+
+    def test_too_wide_raises(self):
+        with pytest.raises(ValueError):
+            generate_primes(1, 40, 128)
+
+    def test_too_narrow_raises(self):
+        with pytest.raises(ValueError):
+            generate_primes(1, 10, 4096)
+
+
+class TestRootsOfUnity:
+    def test_root_order(self):
+        p = generate_primes(1, 28, 256)[0]
+        root = find_root_of_unity(p, 512)
+        assert pow(root, 512, p) == 1
+        assert pow(root, 256, p) == p - 1  # primitive: half-order is -1
+
+    def test_non_dividing_order_raises(self):
+        p = generate_primes(1, 28, 256)[0]
+        with pytest.raises(ValueError):
+            find_root_of_unity(p, 3 * 512 * 7919)
+
+
+class TestNtt:
+    @pytest.mark.parametrize("n", [4, 16, 64, 256, 1024])
+    def test_roundtrip(self, n):
+        p = generate_primes(1, 28, n)[0]
+        rng = np.random.default_rng(n)
+        a = rng.integers(0, p, n, dtype=np.uint64)
+        assert np.array_equal(intt(ntt(a, p), p), a)
+
+    def test_matches_direct_evaluation(self):
+        n = 8
+        p = generate_primes(1, 15, n)[0]
+        tables = get_tables(p, n)
+        a = np.arange(1, n + 1, dtype=np.uint64)
+        out = ntt(a, p)
+        # Output index j holds a(psi^(2*brv(j)+1)).
+        def brv(x, bits):
+            return int(format(x, f"0{bits}b")[::-1], 2)
+        for j in range(n):
+            k = 2 * brv(j, 3) + 1
+            x = pow(tables.psi, k, p)
+            direct = sum(int(a[i]) * pow(x, i, p) for i in range(n)) % p
+            assert int(out[j]) == direct
+
+    def test_convolution_theorem(self):
+        n = 64
+        p = generate_primes(1, 28, n)[0]
+        rng = np.random.default_rng(7)
+        a = rng.integers(0, p, n, dtype=np.uint64)
+        b = rng.integers(0, p, n, dtype=np.uint64)
+        via_ntt = intt((ntt(a, p) * ntt(b, p)) % np.uint64(p), p)
+        assert np.array_equal(via_ntt, negacyclic_convolve_reference(a, b, p))
+
+    def test_negacyclic_wraparound_sign(self):
+        # x^(n-1) * x = x^n = -1 in the quotient ring.
+        n = 16
+        p = generate_primes(1, 20, n)[0]
+        a = np.zeros(n, dtype=np.uint64)
+        b = np.zeros(n, dtype=np.uint64)
+        a[n - 1] = 1
+        b[1] = 1
+        prod = intt((ntt(a, p) * ntt(b, p)) % np.uint64(p), p)
+        expect = np.zeros(n, dtype=np.uint64)
+        expect[0] = p - 1
+        assert np.array_equal(prod, expect)
+
+    def test_linearity(self):
+        n = 128
+        p = generate_primes(1, 28, n)[0]
+        rng = np.random.default_rng(9)
+        a = rng.integers(0, p, n, dtype=np.uint64)
+        b = rng.integers(0, p, n, dtype=np.uint64)
+        lhs = ntt((a + b) % np.uint64(p), p)
+        rhs = (ntt(a, p) + ntt(b, p)) % np.uint64(p)
+        assert np.array_equal(lhs, rhs)
+
+    def test_batch_matches_single(self):
+        n = 64
+        primes = generate_primes(3, 28, n)
+        rng = np.random.default_rng(11)
+        limbs = np.stack([rng.integers(0, p, n, dtype=np.uint64) for p in primes])
+        batch = ntt_batch(limbs, primes)
+        for j, p in enumerate(primes):
+            assert np.array_equal(batch[j], ntt(limbs[j], p))
+        assert np.array_equal(intt_batch(batch, primes), limbs)
+
+
+@given(st.integers(0, 2**28), st.integers(0, 2**28))
+@settings(max_examples=25, deadline=None)
+def test_property_ntt_scalar_mul(x, y):
+    """NTT(c * a) == c * NTT(a)."""
+    n = 32
+    p = generate_primes(1, 28, n)[0]
+    rng = np.random.default_rng(42)
+    a = rng.integers(0, p, n, dtype=np.uint64)
+    c = np.uint64(x % p)
+    lhs = ntt((a * c) % np.uint64(p), p)
+    rhs = (ntt(a, p) * c) % np.uint64(p)
+    assert np.array_equal(lhs, rhs)

@@ -1,0 +1,70 @@
+"""Property-based tests: the CKKS homomorphism on random value vectors.
+
+Hypothesis drives random slot vectors and op sequences through the
+evaluator, checking the ring-homomorphism property
+``decrypt(op(enc(x), enc(y))) ~ op(x, y)`` with noise-scaled tolerances.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+finite = st.floats(-1.0, 1.0, allow_nan=False, allow_infinity=False)
+
+
+@given(xs=st.lists(finite, min_size=1, max_size=16),
+       ys=st.lists(finite, min_size=1, max_size=16))
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_add_homomorphism(small_context, small_evaluator, xs, ys):
+    n = min(len(xs), len(ys))
+    x, y = np.array(xs[:n]), np.array(ys[:n])
+    out = small_evaluator.add(small_context.encrypt_values(x),
+                              small_context.encrypt_values(y))
+    got = small_context.decrypt_values(out, length=n).real
+    assert np.max(np.abs(got - (x + y))) < 1e-3
+
+
+@given(xs=st.lists(finite, min_size=1, max_size=16),
+       ys=st.lists(finite, min_size=1, max_size=16))
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_mul_homomorphism(small_context, small_evaluator, xs, ys):
+    n = min(len(xs), len(ys))
+    x, y = np.array(xs[:n]), np.array(ys[:n])
+    out = small_evaluator.mul(small_context.encrypt_values(x),
+                              small_context.encrypt_values(y))
+    got = small_context.decrypt_values(out, length=n).real
+    assert np.max(np.abs(got - x * y)) < 1e-3
+
+
+@given(xs=st.lists(finite, min_size=4, max_size=16),
+       rotation=st.integers(0, 63))
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_rotation_group_action(small_context, small_evaluator, xs, rotation):
+    """rotate(r) acts as the cyclic shift on the full slot vector."""
+    slots = small_context.params.slot_count
+    x = np.zeros(slots)
+    x[: len(xs)] = xs
+    out = small_evaluator.rotate(small_context.encrypt_values(x), rotation)
+    got = small_context.decrypt_values(out).real
+    assert np.max(np.abs(got - np.roll(x, -rotation))) < 1e-3
+
+
+@given(x=finite, y=finite, z=finite)
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_distributivity(small_context, small_evaluator, x, y, z):
+    """(x + y) * z == x*z + y*z homomorphically (within noise)."""
+    ev = small_evaluator
+    cx = small_context.encrypt_values([x])
+    cy = small_context.encrypt_values([y])
+    cz = small_context.encrypt_values([z])
+    lhs = ev.mul(ev.add(cx, cy), cz)
+    rhs = ev.add(ev.mul(cx, cz), ev.mul(cy, cz))
+    a = small_context.decrypt_values(lhs, length=1).real[0]
+    b = small_context.decrypt_values(rhs, length=1).real[0]
+    assert abs(a - b) < 2e-3
+    assert abs(a - (x + y) * z) < 2e-3

@@ -1,0 +1,152 @@
+"""Tests for RNS base conversion, mod-up, and mod-down."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fhe.primes import generate_primes
+from repro.fhe.rns import (
+    base_convert,
+    basis_product,
+    crt_reconstruct,
+    integers_to_rns,
+    mod_down,
+    mod_up,
+)
+
+N = 16
+
+
+@pytest.fixture(scope="module")
+def bases():
+    """Source basis of 3 primes, target basis of 5.
+
+    The target product dominates ``l * Q`` so approximate-conversion lifts
+    are representable without wraparound, making the congruence assertions
+    below exact.
+    """
+    primes = generate_primes(8, 28, N)
+    return tuple(primes[:3]), tuple(primes[3:])
+
+
+def _random_bigints(rng, low: int, high: int, count: int):
+    span = high - low
+    return [low + int.from_bytes(rng.bytes(24), "little") % span
+            for _ in range(count)]
+
+
+class TestCrt:
+    def test_roundtrip(self, bases):
+        source, _ = bases
+        q = basis_product(source)
+        rng = np.random.default_rng(0)
+        values = _random_bigints(rng, -(q // 3), q // 3, N)
+        limbs = integers_to_rns(values, source)
+        assert crt_reconstruct(limbs, source) == values
+
+    def test_centered_output(self, bases):
+        source, _ = bases
+        q = basis_product(source)
+        limbs = integers_to_rns([q - 1], source)  # == -1 centered
+        assert crt_reconstruct(limbs, source) == [-1]
+
+
+class TestBaseConvert:
+    def test_congruence_and_small_multiple(self, bases):
+        """Approximate conversion is exact up to u*Q with |u| <= l."""
+        source, target = bases
+        q = basis_product(source)
+        rng = np.random.default_rng(1)
+        values = _random_bigints(rng, 0, q, N)
+        limbs = integers_to_rns(values, source)
+        out = base_convert(limbs, source, target)
+        recovered = crt_reconstruct(out, target)
+        for got, want in zip(recovered, values):
+            diff = int(got) - int(want)
+            assert diff % q == 0
+            assert abs(diff) // q <= len(source)
+
+    def test_small_values_exact(self, bases):
+        """Values far below Q convert exactly (u = 0 up to representative)."""
+        source, target = bases
+        values = list(range(-5, 11))
+        limbs = integers_to_rns(values, source)
+        out = base_convert(limbs, source, target)
+        recovered = crt_reconstruct(out, target)
+        q = basis_product(source)
+        for got, want in zip(recovered, values):
+            assert (int(got) - want) % q == 0
+
+    def test_wrong_limb_count_raises(self, bases):
+        source, target = bases
+        with pytest.raises(ValueError):
+            base_convert(np.zeros((2, N), dtype=np.uint64), source, target)
+
+
+class TestModUp:
+    def test_existing_limbs_copied_verbatim(self, bases):
+        source, target = bases
+        rng = np.random.default_rng(2)
+        limbs = np.stack(
+            [rng.integers(0, p, N, dtype=np.uint64) for p in source]
+        )
+        up = mod_up(limbs, source, source + target)
+        assert np.array_equal(up[: len(source)], limbs)
+
+    def test_congruence_preserved(self, bases):
+        source, target = bases
+        q = basis_product(source)
+        rng = np.random.default_rng(3)
+        values = _random_bigints(rng, 0, q, N)
+        limbs = integers_to_rns(values, source)
+        up = mod_up(limbs, source, source + target)
+        recovered = crt_reconstruct(up, source + target)
+        for got, want in zip(recovered, values):
+            assert (int(got) - want) % q == 0
+
+
+class TestModDown:
+    def test_inverts_scaling_by_extension(self, bases):
+        """mod_down(P*x) == x exactly when P*x is representable."""
+        source, ext = bases
+        p_total = basis_product(ext)
+        rng = np.random.default_rng(4)
+        xs = [int(v) for v in rng.integers(-1000, 1000, N)]
+        scaled = [x * p_total for x in xs]
+        limbs = integers_to_rns(scaled, source + ext)
+        down = mod_down(limbs, source, ext)
+        assert crt_reconstruct(down, source) == xs
+
+    def test_rounding_error_small(self, bases):
+        """For arbitrary x, mod_down(x) is x/P up to a small integer."""
+        source, ext = bases
+        p_total = basis_product(ext)
+        q = basis_product(source)
+        rng = np.random.default_rng(5)
+        xs = _random_bigints(rng, 0, q, N)
+        limbs = integers_to_rns(xs, source + ext)
+        down = mod_down(limbs, source, ext)
+        recovered = crt_reconstruct(down, source)
+        for got, x in zip(recovered, xs):
+            # got == (x - r)/P mod q for some r == x (mod P), |r| < len(ext)*P
+            err = (int(got) * p_total - x) % q
+            err = min(err, q - err)
+            assert err <= (len(ext) + 1) * p_total
+
+    def test_wrong_shape_raises(self, bases):
+        source, ext = bases
+        with pytest.raises(ValueError):
+            mod_down(np.zeros((2, N), dtype=np.uint64), source, ext)
+
+
+@given(st.integers(min_value=-(10**12), max_value=10**12))
+@settings(max_examples=50, deadline=None)
+def test_property_rns_respects_integer_ring(x):
+    """(x + x) and (x * 3) computed limb-wise match the integers."""
+    primes = tuple(generate_primes(3, 28, N))
+    limbs = integers_to_rns([x], primes)
+    doubled = (limbs + limbs) % np.array(primes, dtype=np.uint64).reshape(-1, 1)
+    tripled = (limbs * np.uint64(3)) % np.array(primes, dtype=np.uint64).reshape(-1, 1)
+    assert crt_reconstruct(doubled, primes)[0] == 2 * x
+    assert crt_reconstruct(tripled, primes)[0] == 3 * x

@@ -1,0 +1,136 @@
+"""Tests for machine configurations and the cycle simulator."""
+
+import pytest
+
+from repro.core import CinnamonCompiler, CinnamonProgram, CompilerOptions
+from repro.fhe import ArchParams
+from repro.sim import (
+    CINNAMON_1,
+    CINNAMON_4,
+    CINNAMON_8,
+    CINNAMON_12,
+    CINNAMON_M,
+    ChipConfig,
+    CycleSimulator,
+    MachineConfig,
+)
+from repro.sim.config import config_for
+
+
+class TestChipConfig:
+    def test_register_count_matches_paper(self):
+        # 56 MB / 256 KB limb = 224 registers.
+        assert CINNAMON_4.chip.registers == 224
+
+    def test_occupancy_from_lanes(self):
+        chip = CINNAMON_4.chip
+        assert chip.occupancy("ntt") == 65536 // 1024
+        assert chip.occupancy("bconv") == 65536 // 512  # halved BCU lanes
+
+    def test_limb_bytes(self):
+        assert CINNAMON_4.chip.limb_bytes == 65536 * 4
+
+    def test_scaled_returns_new_config(self):
+        doubled = CINNAMON_4.scaled(hbm_gbps=4096.0)
+        assert doubled.chip.hbm_gbps == 4096.0
+        assert CINNAMON_4.chip.hbm_gbps == 2048.0
+
+    def test_monolithic_has_more_resources(self):
+        assert CINNAMON_M.chip.registers > CINNAMON_4.chip.registers
+        assert CINNAMON_M.chip.clusters == 8
+
+
+class TestMachineConfig:
+    def test_ring_limit(self):
+        with pytest.raises(ValueError):
+            MachineConfig("bad", 12, ChipConfig(), topology="ring")
+
+    def test_unknown_topology(self):
+        with pytest.raises(ValueError):
+            MachineConfig("bad", 4, ChipConfig(), topology="mesh")
+
+    def test_presets(self):
+        assert CINNAMON_8.topology == "ring"
+        assert CINNAMON_12.topology == "switch"
+        assert config_for(4) is CINNAMON_4
+        assert config_for(6).num_chips == 6
+
+    def test_collective_latency(self):
+        assert CINNAMON_1.collective_latency == 0
+        assert CINNAMON_8.collective_latency > CINNAMON_12.collective_latency
+
+
+@pytest.fixture(scope="module")
+def arch_compiled():
+    """A small symbolic program compiled for 1 and 4 chips."""
+    params = ArchParams(max_level=12)
+
+    def build():
+        prog = CinnamonProgram("simprog", level=12)
+        a, b = prog.input("a"), prog.input("b")
+        c = a * b
+        prog.output("y", c.rotate(1) + c.rotate(2) + c.rotate(3))
+        return prog
+
+    one = CinnamonCompiler(params, CompilerOptions(num_chips=1)).compile(build())
+    four = CinnamonCompiler(params, CompilerOptions(num_chips=4)).compile(build())
+    return one, four
+
+
+class TestSimulation:
+    def test_produces_positive_cycles(self, arch_compiled):
+        one, _ = arch_compiled
+        result = CycleSimulator(CINNAMON_1).run(one.isa)
+        assert result.cycles > 0
+        assert result.seconds > 0
+        assert result.instructions == one.instruction_count
+
+    def test_four_chips_faster_than_one(self, arch_compiled):
+        one, four = arch_compiled
+        t1 = CycleSimulator(CINNAMON_1).run(one.isa)
+        t4 = CycleSimulator(CINNAMON_4).run(four.isa)
+        assert t4.cycles < t1.cycles
+
+    def test_utilization_bounded(self, arch_compiled):
+        _, four = arch_compiled
+        result = CycleSimulator(CINNAMON_4).run(four.isa)
+        for value in result.utilization().values():
+            assert 0.0 <= value <= 1.0
+
+    def test_network_only_on_multichip(self, arch_compiled):
+        one, four = arch_compiled
+        r1 = CycleSimulator(CINNAMON_1).run(one.isa)
+        r4 = CycleSimulator(CINNAMON_4).run(four.isa)
+        assert r1.network_bytes == 0
+        assert r4.network_bytes > 0
+
+    def test_memory_bytes_accounted(self, arch_compiled):
+        one, _ = arch_compiled
+        result = CycleSimulator(CINNAMON_1).run(one.isa)
+        loads = sum(1 for ins in one.isa.streams[0]
+                    if ins.opcode in ("ld", "st"))
+        assert result.hbm_bytes == loads * CINNAMON_1.chip.limb_bytes
+
+    def test_more_bandwidth_never_slower(self, arch_compiled):
+        _, four = arch_compiled
+        base = CycleSimulator(CINNAMON_4).run(four.isa)
+        fat = CycleSimulator(CINNAMON_4.scaled(hbm_gbps=8192.0)).run(four.isa)
+        assert fat.cycles <= base.cycles
+
+    def test_link_bandwidth_matters(self, arch_compiled):
+        _, four = arch_compiled
+        slow = CycleSimulator(CINNAMON_4.scaled(link_gbps=32.0)).run(four.isa)
+        fast = CycleSimulator(CINNAMON_4.scaled(link_gbps=1024.0)).run(four.isa)
+        assert slow.cycles > fast.cycles
+
+    def test_fu_busy_recorded(self, arch_compiled):
+        one, _ = arch_compiled
+        result = CycleSimulator(CINNAMON_1).run(one.isa)
+        assert result.fu_busy["ntt"] > 0
+        assert result.fu_busy["mul"] > 0
+
+    def test_deterministic(self, arch_compiled):
+        _, four = arch_compiled
+        a = CycleSimulator(CINNAMON_4).run(four.isa)
+        b = CycleSimulator(CINNAMON_4).run(four.isa)
+        assert a.cycles == b.cycles

@@ -1,0 +1,65 @@
+"""Tests for the execution-trace export."""
+
+import json
+
+import pytest
+
+from repro.core import CinnamonCompiler, CinnamonProgram, CompilerOptions
+from repro.fhe import ArchParams
+from repro.sim import CINNAMON_4
+from repro.sim.trace import TracingSimulator, export_chrome_trace, \
+    to_chrome_trace
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    params = ArchParams(max_level=8)
+    prog = CinnamonProgram("trace", level=8)
+    a, b = prog.input("a"), prog.input("b")
+    prog.output("y", (a * b).rotate(1))
+    return CinnamonCompiler(params, CompilerOptions(num_chips=4)).compile(prog)
+
+
+class TestTimeline:
+    def test_events_cover_compute_and_memory(self, compiled):
+        events = TracingSimulator(CINNAMON_4).timeline(compiled.isa)
+        lanes = {e.lane for e in events}
+        assert "hbm" in lanes
+        assert any(lane.startswith("ntt") for lane in lanes)
+        assert any(lane.startswith("bconv") for lane in lanes)
+
+    def test_events_non_overlapping_per_unit(self, compiled):
+        events = TracingSimulator(CINNAMON_4).timeline(compiled.isa)
+        by_unit = {}
+        for e in events:
+            by_unit.setdefault((e.chip, e.lane), []).append(e)
+        for unit_events in by_unit.values():
+            unit_events.sort(key=lambda e: e.start)
+            for prev, cur in zip(unit_events, unit_events[1:]):
+                assert cur.start >= prev.start + prev.duration
+
+    def test_limit_respected(self, compiled):
+        events = TracingSimulator(CINNAMON_4).timeline(
+            compiled.isa, limit_per_chip=10)
+        per_chip = {}
+        for e in events:
+            per_chip[e.chip] = per_chip.get(e.chip, 0) + 1
+        assert all(v <= 10 for v in per_chip.values())
+
+
+class TestChromeExport:
+    def test_json_structure(self, compiled):
+        events = TracingSimulator(CINNAMON_4).timeline(
+            compiled.isa, limit_per_chip=100)
+        payload = json.loads(to_chrome_trace(events))
+        assert payload["traceEvents"]
+        first = payload["traceEvents"][0]
+        assert set(first) >= {"name", "ph", "ts", "dur", "pid", "tid"}
+
+    def test_file_export(self, compiled, tmp_path):
+        path = tmp_path / "trace.json"
+        count = export_chrome_trace(compiled.isa, CINNAMON_4, str(path),
+                                    limit_per_chip=50)
+        assert count > 0
+        payload = json.loads(path.read_text())
+        assert len(payload["traceEvents"]) == count
