@@ -2,21 +2,20 @@
 """Quickstart: the Cinnamon framework end to end in one page.
 
 1. Run real encrypted arithmetic with the functional CKKS library.
-2. Write the same computation in the Cinnamon DSL, compile it for a
-   2-chip machine, and *emulate* the generated ISA — checking that the
-   compiled program decrypts to the same answer.
-3. Re-compile the program at datacenter scale (N = 64K) and cycle-simulate
-   it on Cinnamon-4.
+2. Write the same computation in the Cinnamon DSL, compile it with the
+   ``repro.compile()`` facade for a 2-chip machine, and *emulate* the
+   generated ISA — checking that it decrypts to the same answer.
+3. Re-compile at datacenter scale (N = 64K) and cycle-simulate on
+   Cinnamon-4 — then compile again and observe the runtime cache hit.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro.core import CinnamonCompiler, CinnamonProgram, CompilerOptions
-from repro.core.isa.emulator import emulate
+import repro
+from repro import CinnamonProgram
 from repro.fhe import ArchParams, CKKSContext, Evaluator, make_params
-from repro.sim import CINNAMON_4, CycleSimulator
 
 
 def main():
@@ -40,40 +39,54 @@ def main():
           f"{np.max(np.abs(result - expected)):.2e}")
 
     # ------------------------------------------------------------------ #
-    # 2. The same computation as a Cinnamon DSL program, compiled and
-    #    emulated instruction by instruction.
+    # 2. The same computation as a Cinnamon DSL program, compiled through
+    #    the facade and emulated instruction by instruction.
     program = CinnamonProgram("quickstart", level=params.max_level)
     a = program.input("x")
     b = program.input("y")
     program.output("out", a * b + a.rotate(1))
 
-    compiled = CinnamonCompiler(
-        params, CompilerOptions(num_chips=2)).compile(program)
+    compiled = repro.compile(program, params, machine=2)
     print(f"[compiler] {len(compiled.ct_program.ops)} ciphertext ops -> "
           f"{len(compiled.poly_program.ops)} polynomial ops -> "
           f"{len(compiled.limb_program.ops)} limb ops -> "
           f"{compiled.instruction_count} ISA instructions on 2 chips")
 
-    outputs = emulate(compiled, context, {"x": ct_x, "y": ct_y})
+    outputs = compiled.emulate({"x": ct_x, "y": ct_y}, context=context)
     emulated = context.decrypt_values(outputs["out"]).real
     print(f"[emulator] compiled program: max error = "
           f"{np.max(np.abs(emulated - expected)):.2e}")
 
     # ------------------------------------------------------------------ #
     # 3. Datacenter scale: N = 64K, cycle-simulated on four chips.
+    #    Machines are named; `"cinnamon_4"` resolves to the standard
+    #    4-chip ring (repro.resolve_machine accepts names, chip counts,
+    #    or MachineConfig objects everywhere).
     arch = ArchParams(max_level=16)
-    big_program = CinnamonProgram("quickstart-64k", level=16)
-    a = big_program.input("x")
-    b = big_program.input("y")
-    big_program.output("out", a * b + a.rotate(1))
-    big = CinnamonCompiler(arch, CompilerOptions(num_chips=4)).compile(
-        big_program)
-    timing = CycleSimulator(CINNAMON_4).run(big.isa)
+
+    def build_big():
+        big = CinnamonProgram("quickstart-64k", level=16)
+        a = big.input("x")
+        b = big.input("y")
+        big.output("out", a * b + a.rotate(1))
+        return big
+
+    big = repro.compile(build_big(), arch, machine="cinnamon_4")
+    timing = big.simulate("cinnamon_4")
     util = timing.utilization()
     print(f"[simulator] N=64K on Cinnamon-4: {timing.cycles} cycles "
           f"({timing.seconds * 1e6:.1f} us at 1 GHz), "
           f"compute util {util['compute']:.0%}, "
           f"HBM util {util['memory']:.0%}")
+
+    # Compiling a structurally identical program again is served from the
+    # default session's content-addressed cache — no IR pass re-runs.
+    again = repro.compile(build_big(), arch, machine="cinnamon_4")
+    trace = repro.default_session().trace()
+    last = trace["jobs"][-1]
+    print(f"[runtime]  recompile of identical program: cache={last['cache']} "
+          f"(same artifact: {again is big}), "
+          f"{len(trace['jobs'])} traced jobs this session")
 
 
 if __name__ == "__main__":

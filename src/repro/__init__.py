@@ -3,6 +3,12 @@
 
 Public surface:
 
+* :func:`repro.compile` — the one-call facade: DSL program + params +
+  machine spec -> :class:`~repro.core.compiler.CompiledProgram` (cached,
+  instrumented; see :mod:`repro.runtime`);
+* :mod:`repro.runtime` — the cached compile-and-run session
+  (:class:`~repro.runtime.CinnamonSession`), batch worker pool, and
+  structured JSON traces;
 * :mod:`repro.fhe` — functional RNS-CKKS (parameters, contexts, evaluator,
   parallel keyswitching, bootstrapping);
 * :mod:`repro.core` — the Cinnamon DSL, compiler, ISA, and emulator;
@@ -10,10 +16,87 @@ Public surface:
 * :mod:`repro.arch` — area/yield/cost models;
 * :mod:`repro.workloads` — the paper's benchmark programs;
 * :mod:`repro.experiments` — table/figure regeneration harnesses.
+
+Typical use::
+
+    import repro
+
+    compiled = repro.compile(program, params, machine="cinnamon_4")
+    result = compiled.simulate("cinnamon_4")     # SimulationResult
+    outputs = compiled.emulate(inputs, context=ctx)  # real limb data
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from . import fhe  # noqa: F401  (cheap; pulls numpy only)
 
-__all__ = ["fhe", "__version__"]
+
+def compile(program, params, machine=None, session=None, **options):
+    """Compile a DSL program through the default cached runtime session.
+
+    ``machine`` accepts a name (``"cinnamon_4"``), a chip count, or a
+    :class:`~repro.sim.config.MachineConfig`; ``**options`` are
+    :class:`~repro.core.compiler.CompilerOptions` fields (e.g.
+    ``keyswitch_policy="cifher"``, ``emit_isa=False``).  Identical
+    requests are served from the process-wide content-addressed cache.
+    Pass an explicit :class:`~repro.runtime.CinnamonSession` via
+    ``session`` for on-disk caching, batch execution, and trace export.
+    """
+    from .runtime.session import compile_program
+
+    return compile_program(program, params, machine=machine,
+                           session=session, **options)
+
+
+def default_session():
+    """The process-wide :class:`~repro.runtime.CinnamonSession` behind
+    :func:`repro.compile` (inspect its trace, stats, or cache)."""
+    from .runtime.session import default_session as _default
+
+    return _default()
+
+
+_LAZY_ATTRS = {
+    "CinnamonSession": ("repro.runtime", "CinnamonSession"),
+    "CompileJob": ("repro.runtime", "CompileJob"),
+    "JobResult": ("repro.runtime", "JobResult"),
+    "CompiledProgram": ("repro.core.compiler", "CompiledProgram"),
+    "CompilerOptions": ("repro.core.compiler", "CompilerOptions"),
+    "CinnamonProgram": ("repro.core.dsl.program", "CinnamonProgram"),
+    "resolve_machine": ("repro.sim.config", "resolve_machine"),
+    "runtime": ("repro.runtime", None),
+    "core": ("repro.core", None),
+    "sim": ("repro.sim", None),
+    "arch": ("repro.arch", None),
+    "workloads": ("repro.workloads", None),
+    "experiments": ("repro.experiments", None),
+}
+
+
+def __getattr__(name):
+    """Lazy re-exports: keep ``import repro`` cheap (numpy only)."""
+    try:
+        module_name, attr = _LAZY_ATTRS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = module if attr is None else getattr(module, attr)
+    globals()[name] = value
+    return value
+
+
+__all__ = [
+    "fhe",
+    "compile",
+    "default_session",
+    "CinnamonSession",
+    "CompileJob",
+    "JobResult",
+    "CompiledProgram",
+    "CompilerOptions",
+    "CinnamonProgram",
+    "resolve_machine",
+    "__version__",
+]

@@ -14,6 +14,24 @@ This subpackage is the paper's primary contribution, reimplemented:
 """
 
 from .dsl import CinnamonProgram, StreamPool
-from .compiler import CinnamonCompiler, CompilerOptions
+from .compiler import (
+    CinnamonCompiler,
+    CompiledProgram,
+    CompilerDriver,
+    CompilerOptions,
+    CompileStats,
+    CommSummary,
+    PassTiming,
+)
 
-__all__ = ["CinnamonProgram", "StreamPool", "CinnamonCompiler", "CompilerOptions"]
+__all__ = [
+    "CinnamonProgram",
+    "StreamPool",
+    "CinnamonCompiler",
+    "CompilerDriver",
+    "CompilerOptions",
+    "CompiledProgram",
+    "CompileStats",
+    "CommSummary",
+    "PassTiming",
+]

@@ -1,33 +1,43 @@
 """Shared infrastructure for the experiment harnesses.
 
-Compilation dominates experiment wall time, so compiled programs and
-simulation results are cached process-wide; Table 2's results feed Figures
-11, 12, and 15 without re-simulation.
+Compilation dominates experiment wall time, so every harness routes
+through one process-wide :class:`repro.runtime.CinnamonSession`: compiled
+programs and simulation results are cached by content, Table 2's results
+feed Figures 11, 12, and 15 without re-simulation, and the session's
+merged JSON trace (per-pass compile timings, per-FU utilization) can be
+exported for any experiment run via :func:`export_trace`.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Dict, Tuple
-
-from ..core.compiler import CinnamonCompiler, CompiledProgram, CompilerOptions
+from ..core.compiler import CompiledProgram, CompilerOptions
 from ..core.ir.bootstrap_graph import BOOTSTRAP_13, BootstrapPlan
 from ..fhe.params import ArchParams
-from ..sim.config import MachineConfig
-from ..sim.simulator import CycleSimulator, SimulationResult
+from ..runtime import CinnamonSession
+from ..sim.config import MachineConfig, resolve_machine
+from ..sim.simulator import SimulationResult
 from ..workloads.bootstrap import bootstrap_program
 from ..workloads.compose import WorkloadTimer
 
 # Compiled bootstrap programs run to ~1 GB of Python objects each, so the
-# cache is a small LRU; simulation results are tiny and cached unboundedly.
-_COMPILE_CACHE: "OrderedDict[Tuple, CompiledProgram]" = OrderedDict()
-_COMPILE_CACHE_CAPACITY = 2
-_SIM_CACHE: Dict[Tuple, SimulationResult] = {}
+# session's in-memory LRU is small; simulation results are tiny and cached
+# unboundedly inside the session.
+_SESSION = CinnamonSession(capacity=2)
 _TIMER = WorkloadTimer()
+
+
+def session() -> CinnamonSession:
+    """The shared experiment session (cache + trace recorder)."""
+    return _SESSION
 
 
 def workload_timer() -> WorkloadTimer:
     return _TIMER
+
+
+def export_trace(path) -> object:
+    """Write the merged trace of every experiment run so far to ``path``."""
+    return _SESSION.export_trace(path)
 
 
 def compile_bootstrap(
@@ -40,11 +50,6 @@ def compile_bootstrap(
     registers_per_chip: int = 224,
 ) -> CompiledProgram:
     """Compile (with caching) a bootstrap program for a machine layout."""
-    key = (num_chips, plan.name, num_streams, chips_per_stream,
-           keyswitch_policy, enable_batching, registers_per_chip)
-    if key in _COMPILE_CACHE:
-        _COMPILE_CACHE.move_to_end(key)
-        return _COMPILE_CACHE[key]
     params = ArchParams(max_level=plan.top_level)
     program = bootstrap_program(plan, num_streams=num_streams)
     options = CompilerOptions(
@@ -55,34 +60,18 @@ def compile_bootstrap(
         registers_per_chip=registers_per_chip,
         bootstrap_plan=plan,
     )
-    compiled = CinnamonCompiler(params, options).compile(program)
-    compiled.cache_token = key
+    compiled = _SESSION.compile(
+        program, params, options=options,
+        job=f"bootstrap-{plan.name}-c{num_chips}s{num_streams}")
     # Summarize and release the limb IR: only its statistics are needed
     # after code generation, and it is the largest object in memory.
-    lp = compiled.limb_program
-    compiled.comm_summary = {
-        "broadcast_events": lp.comm_events("broadcast"),
-        "aggregate_events": lp.comm_events("aggregate"),
-        "comm_limbs": lp.comm_limbs(),
-        "limb_ops": len(lp.ops),
-    }
-    lp.ops = []
-    lp.domains = {}
-    _COMPILE_CACHE[key] = compiled
-    while len(_COMPILE_CACHE) > _COMPILE_CACHE_CAPACITY:
-        _COMPILE_CACHE.popitem(last=False)
+    compiled.summarize_comm(release=True)
     return compiled
 
 
 def simulate(compiled: CompiledProgram, machine: MachineConfig,
              tag: str = "") -> SimulationResult:
-    token = getattr(compiled, "cache_token", None) or id(compiled)
-    key = (token, machine.name, repr(machine.chip), tag)
-    if key in _SIM_CACHE:
-        return _SIM_CACHE[key]
-    result = CycleSimulator(machine).run(compiled.isa)
-    _SIM_CACHE[key] = result
-    return result
+    return _SESSION.simulate(compiled, resolve_machine(machine), tag=tag)
 
 
 def geomean(values) -> float:

@@ -1,14 +1,25 @@
-"""Figure 11: speedup of every architecture normalized to the CPU."""
+"""Figure 11: speedup of every architecture normalized to the CPU.
+
+All compiles/simulations behind Table 2 flow through the shared runtime
+session (:func:`repro.experiments.common.session`); pass ``trace_path``
+to dump that session's merged JSON trace — per-pass compile timings and
+per-FU utilization for every kernel this figure touched — next to the
+figure data.
+"""
 
 from __future__ import annotations
 
 from typing import Dict
 
 from . import table2_performance
+from .common import export_trace
 
 
-def run(fast: bool = True) -> Dict[str, Dict[str, float]]:
+def run(fast: bool = True,
+        trace_path: str = None) -> Dict[str, Dict[str, float]]:
     table = table2_performance.run(fast=fast)
+    if trace_path:
+        export_trace(trace_path)
     speedups: Dict[str, Dict[str, float]] = {}
     for benchmark, row in table.items():
         cpu = row["CPU"]

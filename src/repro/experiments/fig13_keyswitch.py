@@ -17,8 +17,13 @@ from __future__ import annotations
 
 from typing import Dict
 
-from ..sim.config import CINNAMON_1, CINNAMON_4
+from ..sim.config import resolve_machine
 from .common import compile_bootstrap, simulate
+
+# Reference usage of the unified machine spec: names resolve through
+# resolve_machine(), the same helper the compiler options accept.
+CINNAMON_1 = resolve_machine("cinnamon_1")
+CINNAMON_4 = resolve_machine("cinnamon_4")
 
 CONFIGS = (
     ("CiFHER", dict(keyswitch_policy="cifher", enable_batching=False)),
@@ -44,7 +49,7 @@ def run(fast: bool = True) -> Dict[str, object]:
     comm: Dict[str, dict] = {}
     for label, options in configs:
         compiled = compile_bootstrap(4, **options)
-        comm[label] = dict(compiled.comm_summary)
+        comm[label] = compiled.comm_summary.as_dict()
         comm[label]["pass_reduction"] = compiled.pass_stats.reduction
         streams = options.get("num_streams", 1)
         speedups[label] = {}

@@ -1,0 +1,54 @@
+"""Cached, instrumented compile-and-run runtime for Cinnamon.
+
+The scale-out serving layer the ROADMAP points at needs compilation to be
+a *service*: artifacts reused across calls and processes, batches of
+independent jobs compiled/simulated concurrently, and every run leaving a
+structured trace.  This package provides exactly that:
+
+* :class:`CinnamonSession` — content-addressed compile cache (memory LRU
+  + optional on-disk versioned pickles), memoized simulations, a
+  ``concurrent.futures`` batch worker pool, and JSON trace export;
+* :class:`CompileJob` / :class:`JobResult` — the batch interface;
+* :func:`fingerprint` — the content hash of a compile request;
+* :data:`CACHE_SCHEMA_VERSION` — bump to invalidate on-disk artifacts.
+
+The :func:`repro.compile` facade is a thin wrapper over
+:func:`default_session`.
+"""
+
+from .cache import CacheStats, CompileCache, DISK_HIT, MEMORY_HIT, MISS
+from .fingerprint import (
+    CACHE_SCHEMA_VERSION,
+    fingerprint,
+    options_signature,
+    params_signature,
+    program_signature,
+)
+from .session import (
+    CinnamonSession,
+    CompileJob,
+    JobResult,
+    compile_program,
+    default_session,
+)
+from .trace import TRACE_SCHEMA_VERSION, TraceRecorder
+
+__all__ = [
+    "CinnamonSession",
+    "CompileJob",
+    "JobResult",
+    "CompileCache",
+    "CacheStats",
+    "TraceRecorder",
+    "fingerprint",
+    "program_signature",
+    "params_signature",
+    "options_signature",
+    "compile_program",
+    "default_session",
+    "CACHE_SCHEMA_VERSION",
+    "TRACE_SCHEMA_VERSION",
+    "MISS",
+    "MEMORY_HIT",
+    "DISK_HIT",
+]

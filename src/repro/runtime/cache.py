@@ -1,0 +1,158 @@
+"""Two-level artifact cache for compiled programs.
+
+In-memory layer: an LRU keyed by content fingerprint (compiled bootstraps
+run to ~1 GB of Python objects, so the default capacity is small).
+
+On-disk layer: one versioned pickle per fingerprint under ``cache_dir``.
+Each file carries ``{"schema", "key", "compiled"}``; entries whose schema
+version differs from the running code's (or whose key does not match the
+filename, e.g. after a hash-algorithm change) are treated as misses and
+deleted, so bumping :data:`~repro.runtime.fingerprint.CACHE_SCHEMA_VERSION`
+invalidates every stale artifact without manual cleanup.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Tuple
+
+from ..core.compiler import CompiledProgram
+from .fingerprint import CACHE_SCHEMA_VERSION
+
+#: Where a compile was served from (also the trace's ``cache`` field).
+MISS = "miss"
+MEMORY_HIT = "memory"
+DISK_HIT = "disk"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache instance."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    invalidated: int = 0  # on-disk entries dropped for schema/key mismatch
+
+    def as_dict(self) -> dict:
+        return {f: getattr(self, f) for f in (
+            "memory_hits", "disk_hits", "misses", "stores", "evictions",
+            "invalidated")}
+
+
+@dataclass
+class CompileCache:
+    """LRU memory cache with an optional write-through disk layer."""
+
+    capacity: Optional[int] = None   # None = unbounded memory cache
+    cache_dir: Optional[Path] = None  # None = memory-only
+    schema_version: int = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self):
+        self._memory: "OrderedDict[str, CompiledProgram]" = OrderedDict()
+        if self.schema_version is None:
+            self.schema_version = CACHE_SCHEMA_VERSION
+        if self.cache_dir is not None:
+            self.cache_dir = Path(self.cache_dir)
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+
+    def get(self, key: str) -> Tuple[Optional[CompiledProgram], str]:
+        """Look up ``key``; returns ``(compiled | None, source)`` where
+        ``source`` is ``"memory"``, ``"disk"``, or ``"miss"``."""
+        if key in self._memory:
+            self._memory.move_to_end(key)
+            self.stats.memory_hits += 1
+            return self._memory[key], MEMORY_HIT
+        compiled = self._disk_load(key)
+        if compiled is not None:
+            self.stats.disk_hits += 1
+            self._remember(key, compiled)
+            return compiled, DISK_HIT
+        self.stats.misses += 1
+        return None, MISS
+
+    def put(self, key: str, compiled: CompiledProgram) -> None:
+        self.stats.stores += 1
+        self._remember(key, compiled)
+        self._disk_store(key, compiled)
+
+    def invalidate(self, key: str = None) -> None:
+        """Drop one entry (or everything, with no key) from both layers."""
+        if key is None:
+            self._memory.clear()
+            if self.cache_dir is not None:
+                for path in self.cache_dir.glob("*.pkl"):
+                    path.unlink(missing_ok=True)
+            return
+        self._memory.pop(key, None)
+        if self.cache_dir is not None:
+            self._path(key).unlink(missing_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._memory or (
+            self.cache_dir is not None and self._path(key).exists())
+
+    # ------------------------------------------------------------------ #
+
+    def _remember(self, key: str, compiled: CompiledProgram) -> None:
+        self._memory[key] = compiled
+        self._memory.move_to_end(key)
+        while self.capacity is not None and len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.pkl"
+
+    def _disk_load(self, key: str) -> Optional[CompiledProgram]:
+        if self.cache_dir is None:
+            return None
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except Exception:
+            payload = None
+        if (not isinstance(payload, dict)
+                or payload.get("schema") != self.schema_version
+                or payload.get("key") != key):
+            self.stats.invalidated += 1
+            path.unlink(missing_ok=True)
+            return None
+        return payload["compiled"]
+
+    def _disk_store(self, key: str, compiled: CompiledProgram) -> None:
+        if self.cache_dir is None:
+            return
+        payload = {
+            "schema": self.schema_version,
+            "key": key,
+            "compiled": compiled,
+        }
+        # Write-then-rename so concurrent readers never see a torn pickle.
+        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._path(key))
+        except Exception:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

@@ -1,0 +1,293 @@
+"""The cached, instrumented compile-and-run session.
+
+:class:`CinnamonSession` is the runtime entry point the ROADMAP's serving
+work builds on: it content-hashes every ``(program, params, options)``
+compile request, serves repeats from an in-memory LRU (optionally backed
+by on-disk versioned pickles), memoizes simulation results per machine,
+runs batches of independent jobs on a ``concurrent.futures`` worker pool,
+and records a structured JSON trace of everything it did — per-pass
+compile timings on misses, per-FU/HBM/network utilization per simulation.
+
+    session = CinnamonSession(cache_dir=".cinnamon-cache")
+    compiled = session.compile(program, params, machine="cinnamon_4")
+    result = session.simulate(compiled, "cinnamon_4")
+    session.export_trace("trace.json")
+
+The module-level :func:`default_session` powers the :func:`repro.compile`
+facade, so even one-liner users get in-memory caching for free.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.compiler import (
+    CompiledProgram,
+    CompilerDriver,
+    CompilerOptions,
+)
+from ..core.dsl.program import CinnamonProgram
+from ..sim.config import MachineConfig, resolve_machine
+from ..sim.simulator import SimulationResult, SimulatorEngine
+from .cache import MEMORY_HIT, MISS, CacheStats, CompileCache
+from .fingerprint import fingerprint
+from .trace import TraceRecorder
+
+
+@dataclass
+class CompileJob:
+    """One unit of batch work for :meth:`CinnamonSession.run_batch`.
+
+    ``machine`` drives the compile layout; ``sim_machine`` (defaulting to
+    ``machine``) is what the result is simulated on when ``simulate`` is
+    set.  ``name`` labels the job in the merged trace.
+    """
+
+    program: CinnamonProgram
+    params: object
+    machine: object = None
+    options: Optional[CompilerOptions] = None
+    emit_isa: bool = True
+    simulate: bool = True
+    sim_machine: object = None
+    tag: str = ""
+    name: Optional[str] = None
+
+    @property
+    def label(self) -> str:
+        return self.name or self.program.name
+
+
+@dataclass
+class JobResult:
+    """What one batch job produced."""
+
+    job: str
+    key: str
+    cache: str                      # where the compile came from
+    compiled: CompiledProgram
+    result: Optional[SimulationResult] = None
+
+
+class CinnamonSession:
+    """Cached + instrumented facade over the compiler and simulator.
+
+    ``capacity`` bounds the in-memory LRU (``None`` = unbounded; compiled
+    bootstraps are ~1 GB each, so long-lived sessions should bound it);
+    ``cache_dir`` enables the on-disk layer; ``max_workers`` sizes the
+    default batch worker pool.
+    """
+
+    def __init__(self, cache_dir=None, capacity: int = None,
+                 max_workers: int = None, schema_version: int = None):
+        self._cache = CompileCache(capacity=capacity, cache_dir=cache_dir,
+                                   schema_version=schema_version)
+        self._sim_cache: Dict[Tuple, SimulationResult] = {}
+        self._recorder = TraceRecorder()
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, threading.Event] = {}
+        self.max_workers = max_workers
+        self.schema_version = self._cache.schema_version
+
+    # ------------------------------------------------------------------ #
+    # Compilation
+
+    def _resolve_options(self, machine, options: Optional[CompilerOptions],
+                         overrides: dict) -> CompilerOptions:
+        if options is None:
+            merged = dict(overrides)
+            if machine is not None:
+                merged["machine"] = machine
+            return CompilerOptions(**merged)
+        if machine is not None:
+            overrides = {**overrides, "machine": machine}
+        return replace(options, **overrides) if overrides else options
+
+    def compile(self, program: CinnamonProgram, params, machine=None,
+                options: CompilerOptions = None, emit_isa: bool = True,
+                job: str = None, **overrides) -> CompiledProgram:
+        """Compile ``program`` (cached by content) and trace the call.
+
+        ``machine``/``**overrides`` build or refine the
+        :class:`CompilerOptions`; an explicit ``options`` wins for fields
+        not overridden.  Returns the cached artifact when an identical
+        request (same program structure, params, options, schema version)
+        was compiled before — by this session or, with ``cache_dir``, by
+        any previous process sharing the directory.
+        """
+        compiled, _entry = self._compile(program, params, machine, options,
+                                         emit_isa, job, overrides)
+        return compiled
+
+    def _compile(self, program, params, machine, options, emit_isa, job,
+                 overrides) -> Tuple[CompiledProgram, dict]:
+        opts = self._resolve_options(machine, options, overrides)
+        key = fingerprint(program, params, opts, emit_isa,
+                          schema_version=self.schema_version)
+        label = job or program.name
+        started = time.perf_counter()
+        while True:
+            with self._lock:
+                compiled, source = self._cache.get(key)
+                if compiled is None and key not in self._inflight:
+                    self._inflight[key] = threading.Event()
+                    break
+                waiter = self._inflight.get(key)
+            if compiled is not None:
+                compiled.cache_key = key
+                entry = self._recorder.record_compile(
+                    job=label, key=key, cache=source,
+                    seconds=time.perf_counter() - started,
+                    compile_stats=None)
+                return compiled, entry
+            # Another thread is compiling the same key: wait, then retry.
+            waiter.wait()
+
+        try:
+            compiled = CompilerDriver(params, opts).compile(
+                program, emit_isa=emit_isa)
+            compiled.cache_key = key
+            with self._lock:
+                self._cache.put(key, compiled)
+        finally:
+            with self._lock:
+                self._inflight.pop(key).set()
+        entry = self._recorder.record_compile(
+            job=label, key=key, cache=MISS,
+            seconds=time.perf_counter() - started,
+            compile_stats=compiled.compile_stats.as_dict())
+        return compiled, entry
+
+    # ------------------------------------------------------------------ #
+    # Simulation
+
+    def simulate(self, compiled: CompiledProgram, machine=None,
+                 tag: str = "", job: str = None) -> SimulationResult:
+        """Cycle-simulate ``compiled`` on ``machine``, memoized per
+        (artifact, machine, tag)."""
+        resolved = resolve_machine(
+            machine if machine is not None
+            else (compiled.options.machine or compiled.options.num_chips))
+        token = compiled.cache_key or id(compiled)
+        key = (token, resolved.name, repr(resolved.chip), tag)
+        label = job or compiled.name
+        started = time.perf_counter()
+        with self._lock:
+            result = self._sim_cache.get(key)
+        if result is not None:
+            self._recorder.record_simulate(
+                job=label, machine=resolved.name, tag=tag, cache=MEMORY_HIT,
+                seconds=time.perf_counter() - started,
+                result=None)
+            return result
+        result = SimulatorEngine(resolved).run(compiled.isa)
+        with self._lock:
+            self._sim_cache[key] = result
+        self._recorder.record_simulate(
+            job=label, machine=resolved.name, tag=tag, cache=MISS,
+            seconds=time.perf_counter() - started,
+            result=result.as_dict())
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Batch execution
+
+    def run(self, job: CompileJob) -> JobResult:
+        """Compile (and optionally simulate) one job."""
+        compiled, entry = self._compile(
+            job.program, job.params, job.machine, job.options,
+            job.emit_isa, job.label, {})
+        result = None
+        if job.simulate and job.emit_isa:
+            result = self.simulate(
+                compiled, job.sim_machine or job.machine, tag=job.tag,
+                job=job.label)
+        return JobResult(job=job.label, key=compiled.cache_key,
+                         cache=entry["cache"], compiled=compiled,
+                         result=result)
+
+    def run_batch(self, jobs: Sequence[CompileJob],
+                  max_workers: int = None) -> List[JobResult]:
+        """Run independent jobs concurrently on a worker pool.
+
+        Results come back in input order.  Identical in-flight compile
+        requests are coalesced (the second worker waits for the first's
+        artifact instead of recompiling).
+        """
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        workers = max_workers or self.max_workers or min(4, len(jobs))
+        if workers <= 1:
+            return [self.run(job) for job in jobs]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(self.run, jobs))
+
+    # ------------------------------------------------------------------ #
+    # Observability + cache management
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self._cache.stats
+
+    def trace(self) -> dict:
+        """The merged trace document (all jobs so far)."""
+        return self._recorder.document(self._cache.stats.as_dict())
+
+    def trace_json(self, indent: int = 2) -> str:
+        return self._recorder.to_json(self._cache.stats.as_dict(),
+                                      indent=indent)
+
+    def export_trace(self, path) -> Path:
+        """Write the merged trace JSON to ``path``; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.trace_json())
+        return path
+
+    def clear_trace(self) -> None:
+        self._recorder.clear()
+
+    def invalidate(self, key: str = None) -> None:
+        """Drop one compile artifact (or all of them) plus stale sims."""
+        with self._lock:
+            self._cache.invalidate(key)
+            if key is None:
+                self._sim_cache.clear()
+            else:
+                self._sim_cache = {
+                    k: v for k, v in self._sim_cache.items() if k[0] != key
+                }
+
+
+# ---------------------------------------------------------------------- #
+# The default session behind `repro.compile()`.
+
+_DEFAULT_SESSION: Optional[CinnamonSession] = None
+_DEFAULT_LOCK = threading.Lock()
+
+#: Memory budget of the implicit facade session: enough for a couple of
+#: bootstrap-sized artifacts without letting a long process grow unbounded.
+_DEFAULT_CAPACITY = 4
+
+
+def default_session() -> CinnamonSession:
+    """The process-wide session used by :func:`repro.compile`."""
+    global _DEFAULT_SESSION
+    with _DEFAULT_LOCK:
+        if _DEFAULT_SESSION is None:
+            _DEFAULT_SESSION = CinnamonSession(capacity=_DEFAULT_CAPACITY)
+        return _DEFAULT_SESSION
+
+
+def compile_program(program: CinnamonProgram, params, machine=None,
+                    session: CinnamonSession = None,
+                    **options) -> CompiledProgram:
+    """Implementation of the :func:`repro.compile` facade."""
+    sess = session or default_session()
+    return sess.compile(program, params, machine=machine, **options)

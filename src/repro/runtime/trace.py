@@ -1,0 +1,119 @@
+"""Structured run traces for the runtime session.
+
+One :class:`TraceRecorder` accumulates a job entry per compile/simulate
+the session performs and renders them as a single JSON document:
+
+.. code-block:: text
+
+    {
+      "schema": 1,
+      "created_unix": 1700000000.0,
+      "cache": {"memory_hits": 3, "disk_hits": 1, "misses": 2, ...},
+      "jobs": [
+        {
+          "job": "bootstrap-4",        # caller-supplied label
+          "kind": "compile",
+          "cache": "miss" | "memory" | "disk",
+          "key": "<sha256 fingerprint>",
+          "seconds": 1.42,             # wall time inside the session call
+          "compile": {                 # null on cache hits: no passes ran
+            "passes": [{"name": "keyswitch", "seconds": 0.01}, ...],
+            "counters": {"ct_ops": 9, ..., "isa_instructions": 1234},
+            "total_seconds": 1.40
+          }
+        },
+        {
+          "job": "bootstrap-4",
+          "kind": "simulate",
+          "cache": "miss" | "memory",
+          "machine": "Cinnamon-4",
+          "tag": "link256.0",
+          "seconds": 0.31,
+          "simulate": { ... SimulationResult.as_dict() ... }
+        }
+      ]
+    }
+
+The ``simulate`` payload follows the stable metrics schema of
+:meth:`repro.sim.simulator.SimulationResult.as_dict` (per-FU busy cycles
+and utilization, HBM/network bytes, per-chip cycles).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Dict, List, Optional
+
+#: Version of the overall trace document layout.
+TRACE_SCHEMA_VERSION = 1
+
+
+class TraceRecorder:
+    """Thread-safe accumulator of per-job trace entries."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._jobs: List[dict] = []
+        self.created_unix = time.time()
+
+    # ------------------------------------------------------------------ #
+
+    def record_compile(self, *, job: str, key: str, cache: str,
+                       seconds: float,
+                       compile_stats: Optional[dict]) -> dict:
+        entry = {
+            "job": job,
+            "kind": "compile",
+            "cache": cache,
+            "key": key,
+            "seconds": seconds,
+            "compile": compile_stats,
+        }
+        self._append(entry)
+        return entry
+
+    def record_simulate(self, *, job: str, machine: str, tag: str,
+                        cache: str, seconds: float,
+                        result: Optional[dict]) -> dict:
+        entry = {
+            "job": job,
+            "kind": "simulate",
+            "cache": cache,
+            "machine": machine,
+            "tag": tag,
+            "seconds": seconds,
+            "simulate": result,
+        }
+        self._append(entry)
+        return entry
+
+    def _append(self, entry: dict) -> None:
+        with self._lock:
+            self._jobs.append(entry)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def jobs(self) -> List[dict]:
+        with self._lock:
+            return list(self._jobs)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._jobs.clear()
+
+    def document(self, cache_stats: Dict[str, int] = None) -> dict:
+        """The merged trace document for the whole session so far."""
+        return {
+            "schema": TRACE_SCHEMA_VERSION,
+            "created_unix": self.created_unix,
+            "cache": dict(cache_stats or {}),
+            "jobs": self.jobs,
+        }
+
+    def to_json(self, cache_stats: Dict[str, int] = None,
+                indent: int = 2) -> str:
+        return json.dumps(self.document(cache_stats), indent=indent,
+                          sort_keys=False)

@@ -18,8 +18,10 @@ from .config import (
     CINNAMON_8,
     CINNAMON_12,
     CINNAMON_M,
+    config_for,
+    resolve_machine,
 )
-from .simulator import CycleSimulator, SimulationResult
+from .simulator import CycleSimulator, SimulationResult, SimulatorEngine
 
 __all__ = [
     "ChipConfig",
@@ -29,6 +31,9 @@ __all__ = [
     "CINNAMON_8",
     "CINNAMON_12",
     "CINNAMON_M",
+    "config_for",
+    "resolve_machine",
     "CycleSimulator",
+    "SimulatorEngine",
     "SimulationResult",
 ]

@@ -10,7 +10,7 @@ NTT/transpose/BCU resources).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict
+from typing import Dict, Union
 
 
 @dataclass(frozen=True)
@@ -129,3 +129,43 @@ def config_for(num_chips: int) -> MachineConfig:
     topology = "ring" if num_chips <= 8 else "switch"
     return MachineConfig(f"Cinnamon-{num_chips}", num_chips, _CHIP,
                          topology=topology)
+
+
+MachineSpec = Union["MachineConfig", str, int, None]
+
+
+def resolve_machine(machine: MachineSpec, *,
+                    default_chips: int = None) -> MachineConfig:
+    """Resolve any machine specification to a :class:`MachineConfig`.
+
+    Accepted forms (the single spelling rule for compiler options, the
+    simulator, and the runtime session):
+
+    * a :class:`MachineConfig` — returned unchanged;
+    * an ``int`` chip count — the standard machine of that size;
+    * a name string: ``"cinnamon_4"`` / ``"Cinnamon-4"`` / ``"4"`` /
+      ``"cinnamon_m"`` (case-insensitive, ``-``/``_`` interchangeable);
+    * ``None`` — the standard machine with ``default_chips`` chips.
+    """
+    if machine is None:
+        if default_chips is None:
+            raise ValueError("no machine given and no default chip count")
+        return config_for(default_chips)
+    if isinstance(machine, MachineConfig):
+        return machine
+    if isinstance(machine, bool):
+        raise TypeError("machine spec cannot be a bool")
+    if isinstance(machine, int):
+        return config_for(machine)
+    if isinstance(machine, str):
+        norm = machine.strip().lower().replace("_", "-")
+        if norm in ("cinnamon-m", "m"):
+            return CINNAMON_M
+        if norm.startswith("cinnamon-"):
+            norm = norm[len("cinnamon-"):]
+        if norm.isdigit():
+            return config_for(int(norm))
+        raise ValueError(
+            f"unknown machine name {machine!r} "
+            "(expected e.g. 'cinnamon_4', 'cinnamon_m', or a chip count)")
+    raise TypeError(f"cannot resolve a machine from {type(machine).__name__}")

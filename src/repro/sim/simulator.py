@@ -15,6 +15,7 @@ This is the same abstraction level as the paper's SST-based simulator
 from __future__ import annotations
 
 import math
+import warnings
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -23,7 +24,11 @@ from ..core.isa.instructions import (
     COL, LD, MOV, RCV, SND, ST, VADD, VAUTO, VBCV, VINTT, VMUL, VMULC, VNEG,
     VNTT, VPRNG, VRSV, VSUB,
 )
-from .config import MachineConfig
+from .config import MachineConfig, resolve_machine
+
+#: Version of the dict layout produced by :meth:`SimulationResult.as_dict`.
+#: Bump when keys are renamed/removed so trace consumers can detect drift.
+METRICS_SCHEMA_VERSION = 1
 
 _FU_CLASS = {
     VADD: "add",
@@ -71,6 +76,35 @@ class SimulationResult:
             "compute": min(1.0, compute / total),
             "memory": min(1.0, self.hbm_busy / total),
             "network": min(1.0, self.network_busy / total),
+        }
+
+    def fu_utilization(self) -> Dict[str, float]:
+        """Fractional busy time of each functional-unit class."""
+        total = max(1, self.cycles)
+        return {name: min(1.0, busy / total)
+                for name, busy in sorted(self.fu_busy.items())}
+
+    def as_dict(self) -> dict:
+        """The stable metrics schema exported into runtime traces.
+
+        Keys are additive across versions; consumers should key off
+        ``schema`` (``METRICS_SCHEMA_VERSION``) for layout changes.
+        """
+        return {
+            "schema": METRICS_SCHEMA_VERSION,
+            "machine": self.machine,
+            "cycles": self.cycles,
+            "seconds": self.seconds,
+            "clock_ghz": self.clock_ghz,
+            "instructions": self.instructions,
+            "fu_busy_cycles": {k: v for k, v in sorted(self.fu_busy.items())},
+            "fu_utilization": self.fu_utilization(),
+            "hbm": {"busy_cycles": self.hbm_busy, "bytes": self.hbm_bytes},
+            "network": {"busy_cycles": self.network_busy,
+                        "bytes": self.network_bytes},
+            "utilization": self.utilization(),
+            "per_chip_cycles": {str(cid): cyc for cid, cyc
+                                in sorted(self.per_chip_cycles.items())},
         }
 
 
@@ -125,11 +159,17 @@ class _ChipState:
         return self.pc >= len(self.stream)
 
 
-class CycleSimulator:
-    """Simulates one compiled program on one machine configuration."""
+class SimulatorEngine:
+    """Simulates one compiled program on one machine configuration.
 
-    def __init__(self, machine: MachineConfig):
-        self.machine = machine
+    This is the implementation class used by the runtime
+    (:mod:`repro.runtime`) and :meth:`CompiledProgram.simulate`; the
+    legacy :class:`CycleSimulator` name is a deprecated alias.  Accepts
+    any machine spec :func:`repro.sim.config.resolve_machine` understands.
+    """
+
+    def __init__(self, machine):
+        self.machine = resolve_machine(machine)
 
     # ------------------------------------------------------------------ #
 
@@ -285,3 +325,19 @@ class CycleSimulator:
         chip.issue_time = max(chip.issue_time + 1, 0)
         chip.pc += 1
         return True
+
+
+class CycleSimulator(SimulatorEngine):
+    """Deprecated alias of :class:`SimulatorEngine`.
+
+    Prefer ``repro.compile(...).simulate(machine)`` or a
+    :class:`repro.runtime.CinnamonSession`, which add caching and tracing.
+    """
+
+    def __init__(self, machine):
+        warnings.warn(
+            "CycleSimulator is deprecated; use "
+            "repro.compile(...).simulate(machine) or "
+            "repro.runtime.CinnamonSession.simulate()",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(machine)

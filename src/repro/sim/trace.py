@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from .config import MachineConfig
-from .simulator import _FU_CLASS, CycleSimulator, SimulationResult
+from .simulator import _FU_CLASS, SimulationResult, SimulatorEngine
 
 
 @dataclass
@@ -26,8 +26,8 @@ class TraceEvent:
     duration: int
 
 
-class TracingSimulator(CycleSimulator):
-    """A :class:`CycleSimulator` that also records a timeline."""
+class TracingSimulator(SimulatorEngine):
+    """A :class:`SimulatorEngine` that also records a timeline."""
 
     def __init__(self, machine: MachineConfig):
         super().__init__(machine)

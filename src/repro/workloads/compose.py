@@ -22,11 +22,11 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple
 
-from ..core.compiler import CinnamonCompiler, CompilerOptions
+from ..core.compiler import CompilerDriver, CompilerOptions
 from ..core.dsl import CinnamonProgram
 from ..fhe.params import ArchParams
 from ..sim.config import MachineConfig
-from ..sim.simulator import CycleSimulator, SimulationResult
+from ..sim.simulator import SimulationResult, SimulatorEngine
 
 
 @dataclass(frozen=True)
@@ -112,8 +112,8 @@ class WorkloadTimer:
             registers_per_chip=machine.chip.registers,
             **self.compiler_overrides,
         )
-        compiled = CinnamonCompiler(params, options).compile(program)
-        result = CycleSimulator(machine).run(compiled.isa)
+        compiled = CompilerDriver(params, options).compile(program)
+        result = SimulatorEngine(machine).run(compiled.isa)
         self._cache[key] = result
         return result
 

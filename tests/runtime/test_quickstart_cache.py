@@ -1,0 +1,51 @@
+"""CI gate: the quickstart program through the session twice.
+
+The second run must be a cache hit (no IR passes re-run, byte-identical
+ISA), and the merged trace JSON is written where CI can pick it up as a
+build artifact (``RUNTIME_TRACE_DIR``, defaulting to the pytest tmp dir).
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.core.isa.encoding import disassemble
+from repro.core.dsl.program import CinnamonProgram
+from repro.fhe import ArchParams
+from repro.runtime import CinnamonSession
+
+
+def quickstart_program():
+    """The datacenter-scale program from ``examples/quickstart.py``."""
+    program = CinnamonProgram("quickstart-64k", level=16)
+    a = program.input("x")
+    b = program.input("y")
+    program.output("out", a * b + a.rotate(1))
+    return program
+
+
+def test_quickstart_twice_is_cache_hit_with_trace_artifact(tmp_path):
+    artifact_dir = Path(os.environ.get("RUNTIME_TRACE_DIR", tmp_path))
+    params = ArchParams(max_level=16)
+    session = CinnamonSession(cache_dir=tmp_path / "cache")
+
+    first = session.compile(quickstart_program(), params,
+                            machine="cinnamon_4", job="quickstart")
+    session.simulate(first, "cinnamon_4", job="quickstart")
+    second = session.compile(quickstart_program(), params,
+                             machine="cinnamon_4", job="quickstart")
+
+    # Second run served from cache: same artifact, byte-identical ISA.
+    assert second is first
+    assert disassemble(second.isa) == disassemble(first.isa)
+
+    jobs = session.trace()["jobs"]
+    compiles = [j for j in jobs if j["kind"] == "compile"]
+    assert [j["cache"] for j in compiles] == ["miss", "memory"]
+    assert compiles[0]["compile"]["passes"]  # instrumented miss
+    assert compiles[1]["compile"] is None    # hit ran no passes
+
+    trace_path = session.export_trace(artifact_dir / "quickstart_trace.json")
+    doc = json.loads(trace_path.read_text())
+    assert doc["cache"]["memory_hits"] >= 1
+    assert any(j["kind"] == "simulate" and j["simulate"] for j in doc["jobs"])
