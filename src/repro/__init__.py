@@ -9,6 +9,10 @@ Public surface:
 * :mod:`repro.runtime` — the cached compile-and-run session
   (:class:`~repro.runtime.CinnamonSession`), batch worker pool, and
   structured JSON traces;
+* :mod:`repro.serve` — the inference serving layer
+  (:class:`~repro.serve.CinnamonServer` / :func:`repro.serve_requests`):
+  admission queue, adaptive batching, retries + fault injection,
+  metrics, and the ``python -m repro.serve.loadgen`` load generator;
 * :mod:`repro.fhe` — functional RNS-CKKS (parameters, contexts, evaluator,
   parallel keyswitching, bootstrapping);
 * :mod:`repro.core` — the Cinnamon DSL, compiler, ISA, and emulator;
@@ -26,7 +30,7 @@ Typical use::
     outputs = compiled.emulate(inputs, context=ctx)  # real limb data
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from . import fhe  # noqa: F401  (cheap; pulls numpy only)
 
@@ -48,6 +52,16 @@ def compile(program, params, machine=None, session=None, **options):
                            session=session, **options)
 
 
+def serve_requests(requests, num_workers=2, **server_kwargs):
+    """Serve a batch of :class:`~repro.serve.InferenceRequest` objects
+    through a transient :class:`~repro.serve.CinnamonServer` (shard pool,
+    adaptive batching, retries); returns results in submission order.
+    See :mod:`repro.serve` for the long-lived server API."""
+    from .serve.server import serve_requests as _serve
+
+    return _serve(requests, num_workers=num_workers, **server_kwargs)
+
+
 def default_session():
     """The process-wide :class:`~repro.runtime.CinnamonSession` behind
     :func:`repro.compile` (inspect its trace, stats, or cache)."""
@@ -57,6 +71,10 @@ def default_session():
 
 
 _LAZY_ATTRS = {
+    "CinnamonServer": ("repro.serve", "CinnamonServer"),
+    "InferenceRequest": ("repro.serve", "InferenceRequest"),
+    "RequestResult": ("repro.serve", "RequestResult"),
+    "serve": ("repro.serve", None),
     "CinnamonSession": ("repro.runtime", "CinnamonSession"),
     "CompileJob": ("repro.runtime", "CompileJob"),
     "JobResult": ("repro.runtime", "JobResult"),
@@ -90,7 +108,11 @@ def __getattr__(name):
 __all__ = [
     "fhe",
     "compile",
+    "serve_requests",
     "default_session",
+    "CinnamonServer",
+    "InferenceRequest",
+    "RequestResult",
     "CinnamonSession",
     "CompileJob",
     "JobResult",

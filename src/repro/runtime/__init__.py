@@ -30,6 +30,7 @@ from .session import (
     JobResult,
     compile_program,
     default_session,
+    resolve_request_options,
 )
 from .trace import TRACE_SCHEMA_VERSION, TraceRecorder
 
@@ -46,6 +47,7 @@ __all__ = [
     "options_signature",
     "compile_program",
     "default_session",
+    "resolve_request_options",
     "CACHE_SCHEMA_VERSION",
     "TRACE_SCHEMA_VERSION",
     "MISS",

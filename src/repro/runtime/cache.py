@@ -1,7 +1,9 @@
 """Two-level artifact cache for compiled programs.
 
 In-memory layer: an LRU keyed by content fingerprint (compiled bootstraps
-run to ~1 GB of Python objects, so the default capacity is small).
+run to ~1 GB of Python objects, so the default capacity is small).  All
+public methods are thread-safe: ``run_batch`` worker threads and the
+serving layer's shard pool hit one cache instance concurrently.
 
 On-disk layer: one versioned pickle per fingerprint under ``cache_dir``.
 Each file carries ``{"schema", "key", "compiled"}``; entries whose schema
@@ -16,6 +18,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -53,11 +56,14 @@ class CompileCache:
 
     capacity: Optional[int] = None   # None = unbounded memory cache
     cache_dir: Optional[Path] = None  # None = memory-only
-    schema_version: int = None
+    schema_version: Optional[int] = None
     stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self):
         self._memory: "OrderedDict[str, CompiledProgram]" = OrderedDict()
+        # Guards the OrderedDict and the stats counters: get/put/invalidate
+        # are called concurrently from run_batch workers and serve shards.
+        self._lock = threading.RLock()
         if self.schema_version is None:
             self.schema_version = CACHE_SCHEMA_VERSION
         if self.cache_dir is not None:
@@ -69,41 +75,46 @@ class CompileCache:
     def get(self, key: str) -> Tuple[Optional[CompiledProgram], str]:
         """Look up ``key``; returns ``(compiled | None, source)`` where
         ``source`` is ``"memory"``, ``"disk"``, or ``"miss"``."""
-        if key in self._memory:
-            self._memory.move_to_end(key)
-            self.stats.memory_hits += 1
-            return self._memory[key], MEMORY_HIT
-        compiled = self._disk_load(key)
-        if compiled is not None:
-            self.stats.disk_hits += 1
-            self._remember(key, compiled)
-            return compiled, DISK_HIT
-        self.stats.misses += 1
-        return None, MISS
+        with self._lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                self.stats.memory_hits += 1
+                return self._memory[key], MEMORY_HIT
+            compiled = self._disk_load(key)
+            if compiled is not None:
+                self.stats.disk_hits += 1
+                self._remember(key, compiled)
+                return compiled, DISK_HIT
+            self.stats.misses += 1
+            return None, MISS
 
     def put(self, key: str, compiled: CompiledProgram) -> None:
-        self.stats.stores += 1
-        self._remember(key, compiled)
-        self._disk_store(key, compiled)
+        with self._lock:
+            self.stats.stores += 1
+            self._remember(key, compiled)
+            self._disk_store(key, compiled)
 
-    def invalidate(self, key: str = None) -> None:
+    def invalidate(self, key: Optional[str] = None) -> None:
         """Drop one entry (or everything, with no key) from both layers."""
-        if key is None:
-            self._memory.clear()
+        with self._lock:
+            if key is None:
+                self._memory.clear()
+                if self.cache_dir is not None:
+                    for path in self.cache_dir.glob("*.pkl"):
+                        path.unlink(missing_ok=True)
+                return
+            self._memory.pop(key, None)
             if self.cache_dir is not None:
-                for path in self.cache_dir.glob("*.pkl"):
-                    path.unlink(missing_ok=True)
-            return
-        self._memory.pop(key, None)
-        if self.cache_dir is not None:
-            self._path(key).unlink(missing_ok=True)
+                self._path(key).unlink(missing_ok=True)
 
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._memory or (
-            self.cache_dir is not None and self._path(key).exists())
+        with self._lock:
+            return key in self._memory or (
+                self.cache_dir is not None and self._path(key).exists())
 
     # ------------------------------------------------------------------ #
 

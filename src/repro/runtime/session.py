@@ -74,6 +74,25 @@ class JobResult:
     result: Optional[SimulationResult] = None
 
 
+def resolve_request_options(machine, options: Optional[CompilerOptions],
+                            overrides: Optional[dict] = None
+                            ) -> CompilerOptions:
+    """Merge ``machine``/``overrides`` into :class:`CompilerOptions`.
+
+    Module-level so the serving layer can fingerprint a request *before*
+    it reaches a session and be guaranteed the same cache key the session
+    will compute when it executes the job.
+    """
+    overrides = dict(overrides or {})
+    if options is None:
+        if machine is not None:
+            overrides["machine"] = machine
+        return CompilerOptions(**overrides)
+    if machine is not None:
+        overrides["machine"] = machine
+    return replace(options, **overrides) if overrides else options
+
+
 class CinnamonSession:
     """Cached + instrumented facade over the compiler and simulator.
 
@@ -83,8 +102,9 @@ class CinnamonSession:
     default batch worker pool.
     """
 
-    def __init__(self, cache_dir=None, capacity: int = None,
-                 max_workers: int = None, schema_version: int = None):
+    def __init__(self, cache_dir=None, capacity: Optional[int] = None,
+                 max_workers: Optional[int] = None,
+                 schema_version: Optional[int] = None):
         self._cache = CompileCache(capacity=capacity, cache_dir=cache_dir,
                                    schema_version=schema_version)
         self._sim_cache: Dict[Tuple, SimulationResult] = {}
@@ -99,14 +119,7 @@ class CinnamonSession:
 
     def _resolve_options(self, machine, options: Optional[CompilerOptions],
                          overrides: dict) -> CompilerOptions:
-        if options is None:
-            merged = dict(overrides)
-            if machine is not None:
-                merged["machine"] = machine
-            return CompilerOptions(**merged)
-        if machine is not None:
-            overrides = {**overrides, "machine": machine}
-        return replace(options, **overrides) if overrides else options
+        return resolve_request_options(machine, options, overrides)
 
     def compile(self, program: CinnamonProgram, params, machine=None,
                 options: CompilerOptions = None, emit_isa: bool = True,
@@ -253,7 +266,7 @@ class CinnamonSession:
     def clear_trace(self) -> None:
         self._recorder.clear()
 
-    def invalidate(self, key: str = None) -> None:
+    def invalidate(self, key: Optional[str] = None) -> None:
         """Drop one compile artifact (or all of them) plus stale sims."""
         with self._lock:
             self._cache.invalidate(key)

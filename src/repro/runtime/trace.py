@@ -30,13 +30,25 @@ the session performs and renders them as a single JSON document:
           "tag": "link256.0",
           "seconds": 0.31,
           "simulate": { ... SimulationResult.as_dict() ... }
+        },
+        {
+          "job": "req-17",              # one serving-layer request
+          "kind": "serve",
+          "status": "ok" | "failed" | "timeout" | "rejected",
+          "machine": "Cinnamon-4",
+          "shard": 2,                   # which session shard executed it
+          "attempts": 2,                # 1 = no retries
+          "batch_size": 5,              # size of the coalesced batch
+          "cache": "miss" | "memory" | "disk" | null,
+          "seconds": 0.48               # end-to-end (queue + execute)
         }
       ]
     }
 
 The ``simulate`` payload follows the stable metrics schema of
 :meth:`repro.sim.simulator.SimulationResult.as_dict` (per-FU busy cycles
-and utilization, HBM/network bytes, per-chip cycles).
+and utilization, HBM/network bytes, per-chip cycles).  ``serve`` entries
+are appended by :class:`repro.serve.CinnamonServer` (schema 2).
 """
 
 from __future__ import annotations
@@ -47,7 +59,8 @@ import time
 from typing import Dict, List, Optional
 
 #: Version of the overall trace document layout.
-TRACE_SCHEMA_VERSION = 1
+#: 2: added ``kind == "serve"`` entries (the repro.serve request log).
+TRACE_SCHEMA_VERSION = 2
 
 
 class TraceRecorder:
@@ -85,6 +98,24 @@ class TraceRecorder:
             "tag": tag,
             "seconds": seconds,
             "simulate": result,
+        }
+        self._append(entry)
+        return entry
+
+    def record_serve(self, *, job: str, status: str, machine: str,
+                     shard: Optional[int], attempts: int, batch_size: int,
+                     cache: Optional[str], seconds: float) -> dict:
+        """One serving-layer request outcome (see :mod:`repro.serve`)."""
+        entry = {
+            "job": job,
+            "kind": "serve",
+            "status": status,
+            "machine": machine,
+            "shard": shard,
+            "attempts": attempts,
+            "batch_size": batch_size,
+            "cache": cache,
+            "seconds": seconds,
         }
         self._append(entry)
         return entry

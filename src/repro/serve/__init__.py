@@ -1,0 +1,89 @@
+"""Encrypted-inference serving layer over :mod:`repro.runtime`.
+
+The ROADMAP's "serve heavy traffic" layer: :class:`CinnamonServer` runs
+inference requests through a shard pool of cached
+:class:`~repro.runtime.CinnamonSession` workers with
+
+* a bounded, prioritized admission queue with explicit backpressure
+  (:class:`~repro.serve.queue.QueueSaturatedError`) and graceful drain;
+* an adaptive batcher coalescing same-fingerprint/machine requests under
+  ``max_batch`` / ``max_wait_s``;
+* per-request deadlines, retry with exponential backoff + jitter, and a
+  scripted :class:`FaultInjector` (worker crash, latency spike, poisoned
+  cache entry) the robustness tests drive;
+* a counter/gauge/histogram :class:`MetricsRegistry` with Prometheus
+  text exposition and JSON snapshots, plus ``serve`` entries in the
+  runtime trace schema;
+* a load generator (``python -m repro.serve.loadgen``) replaying the
+  paper's workload mix in open-loop (Poisson) or closed-loop mode.
+
+Quick start::
+
+    from repro.serve import CinnamonServer, InferenceRequest
+
+    with CinnamonServer(num_workers=4, default_machine="cinnamon_4") as srv:
+        handle = srv.submit(InferenceRequest(program, params))
+        print(handle.result().latency.total_s)
+"""
+
+from .batcher import AdaptiveBatcher, Batch
+from .faults import (
+    Fault,
+    FaultInjector,
+    InjectedFault,
+    PoisonedCacheError,
+    WorkerCrashError,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .queue import AdmissionQueue, QueueClosedError, QueueSaturatedError
+from .request import (
+    InferenceRequest,
+    LatencyBreakdown,
+    Priority,
+    RequestHandle,
+    RequestResult,
+    RequestStatus,
+)
+from .server import CinnamonServer, ServerClosedError, serve_requests
+
+
+def __getattr__(name):
+    """Lazy loadgen exports: keep ``python -m repro.serve.loadgen`` free
+    of the double-import RuntimeWarning runpy emits when the submodule
+    is already bound at package import time."""
+    if name in ("LoadGenerator", "LoadReport"):
+        from . import loadgen
+
+        value = getattr(loadgen, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module 'repro.serve' has no attribute {name!r}")
+
+
+__all__ = [
+    "CinnamonServer",
+    "serve_requests",
+    "InferenceRequest",
+    "RequestResult",
+    "RequestHandle",
+    "RequestStatus",
+    "Priority",
+    "LatencyBreakdown",
+    "AdmissionQueue",
+    "QueueSaturatedError",
+    "QueueClosedError",
+    "ServerClosedError",
+    "AdaptiveBatcher",
+    "Batch",
+    "FaultInjector",
+    "Fault",
+    "InjectedFault",
+    "WorkerCrashError",
+    "PoisonedCacheError",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LoadGenerator",
+    "LoadReport",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.serve`` runs the load generator."""
+
+import sys
+
+from .loadgen import main
+
+sys.exit(main())

@@ -1,0 +1,90 @@
+"""Adaptive request coalescing.
+
+Requests whose compile fingerprint and target machine match are folded
+into one batch so the shard compiles once and serves the rest from the
+content-addressed cache (and the simulator memo).  Two knobs bound the
+latency cost of waiting for company:
+
+* ``max_batch`` — a bucket that reaches this size flushes immediately;
+* ``max_wait_s`` — a bucket older than this flushes regardless of size,
+  so a lone request never waits more than one batching window.
+
+The batcher itself is passive bookkeeping; the server's dispatcher pumps
+``add``/``ready`` from its scheduling loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .request import InferenceRequest
+
+BatchKey = Tuple[str, str, bool]  # (fingerprint, machine name, simulate?)
+
+
+@dataclass
+class Batch:
+    """One coalesced unit of work bound for a single shard."""
+
+    key: BatchKey
+    requests: List[InferenceRequest] = field(default_factory=list)
+    opened_at: float = 0.0          # monotonic time of first request
+
+    @property
+    def fingerprint(self) -> str:
+        return self.key[0]
+
+    @property
+    def machine_name(self) -> str:
+        return self.key[1]
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+class AdaptiveBatcher:
+    """Groups admitted requests into flush-ready batches."""
+
+    def __init__(self, max_batch: int = 8, max_wait_s: float = 0.005):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self._open: Dict[BatchKey, Batch] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def add(self, request: InferenceRequest, now: float) -> Optional[Batch]:
+        """File ``request``; returns a batch iff it just became full."""
+        key: BatchKey = (request.key, request.machine_name or "",
+                         bool(request.simulate))
+        bucket = self._open.get(key)
+        if bucket is None:
+            bucket = self._open[key] = Batch(key=key, opened_at=now)
+        bucket.requests.append(request)
+        if len(bucket) >= self.max_batch:
+            del self._open[key]
+            return bucket
+        return None
+
+    def ready(self, now: float, force: bool = False) -> List[Batch]:
+        """Buckets due for dispatch: older than ``max_wait_s``, or all of
+        them when ``force`` (drain/shutdown)."""
+        due = [key for key, bucket in self._open.items()
+               if force or now - bucket.opened_at >= self.max_wait_s]
+        return [self._open.pop(key) for key in due]
+
+    def next_deadline(self, now: float) -> Optional[float]:
+        """Seconds until the oldest open bucket must flush (None if
+        nothing is pending) — the dispatcher's poll timeout."""
+        if not self._open:
+            return None
+        oldest = min(b.opened_at for b in self._open.values())
+        return max(0.0, self.max_wait_s - (now - oldest))
+
+    def pending(self) -> int:
+        return sum(len(b) for b in self._open.values())
+
+    def __len__(self) -> int:
+        return self.pending()

@@ -1,0 +1,316 @@
+"""Load generator for :class:`~repro.serve.CinnamonServer`.
+
+Two arrival models:
+
+* **open loop** (``--mode open``): Poisson arrivals at ``--rate`` req/s,
+  submitted on schedule regardless of completions — the honest way to
+  measure a service under offered load (no coordinated omission); a
+  saturated queue shows up as explicit rejections, not hidden stalls.
+* **closed loop** (``--mode closed``): ``--concurrency`` clients, each
+  submitting its next request the moment the previous one resolves —
+  the throughput-ceiling probe.
+
+The request stream samples the four-workload mix of
+:func:`repro.workloads.serving_mix` (bootstrap / ResNet-20 block / HELR
+step / BERT layer), optionally reweighted via ``--mix``.  The run prints
+a throughput/latency report and can dump the full metrics snapshot
+(``--metrics-out``) and the request-level trace (``--trace-out``).
+
+Usage::
+
+    python -m repro.serve.loadgen --requests 200 --workers 4 \\
+        --machine cinnamon_4 --scale small --mode open --rate 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..workloads.serving import MixEntry, serving_mix
+from .metrics import MetricsRegistry
+from .queue import QueueSaturatedError
+from .request import InferenceRequest, Priority, RequestResult, RequestStatus
+from .server import CinnamonServer
+
+#: Wait bound for any single in-flight request during a loadgen run.
+RESULT_TIMEOUT_S = 600.0
+
+
+@dataclass
+class LoadReport:
+    """What one loadgen run measured."""
+
+    mode: str
+    machine: str
+    scale: str
+    offered: int                     # requests the generator tried to send
+    duration_s: float
+    counts: Dict[str, int] = field(default_factory=dict)
+    throughput_rps: float = 0.0      # completed-OK per wall second
+    latency: Dict[str, float] = field(default_factory=dict)
+    queue_wait: Dict[str, float] = field(default_factory=dict)
+    batch: Dict[str, float] = field(default_factory=dict)
+    cache: Dict[str, float] = field(default_factory=dict)
+    per_class: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def failed(self) -> int:
+        return (self.counts.get("failed", 0)
+                + self.counts.get("timeout", 0)
+                + self.counts.get("rejected", 0))
+
+    def as_dict(self) -> dict:
+        return {
+            "mode": self.mode, "machine": self.machine, "scale": self.scale,
+            "offered": self.offered, "duration_s": self.duration_s,
+            "throughput_rps": self.throughput_rps, "counts": self.counts,
+            "latency_s": self.latency, "queue_wait_s": self.queue_wait,
+            "batch": self.batch, "cache": self.cache,
+            "per_class": self.per_class,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"loadgen: {self.offered} requests ({self.mode} loop) on "
+            f"{self.machine}, scale={self.scale}",
+            f"  duration      {self.duration_s:8.2f} s",
+            f"  throughput    {self.throughput_rps:8.1f} req/s (ok only)",
+            "  outcomes      " + "  ".join(
+                f"{k}={v}" for k, v in sorted(self.counts.items())),
+            f"  latency p50   {self.latency.get('p50', 0):8.4f} s   "
+            f"p95 {self.latency.get('p95', 0):8.4f} s   "
+            f"p99 {self.latency.get('p99', 0):8.4f} s",
+            f"  queue    p50  {self.queue_wait.get('p50', 0):8.4f} s   "
+            f"p95 {self.queue_wait.get('p95', 0):8.4f} s",
+            f"  batch size    mean {self.batch.get('mean', 0):.2f}  "
+            f"max {self.batch.get('max', 0):.0f}  "
+            f"({self.batch.get('count', 0):.0f} batches)",
+            f"  cache         hit rate {self.cache.get('hit_rate', 0):.1%} "
+            f"({self.cache.get('hits', 0):.0f}/"
+            f"{self.cache.get('lookups', 0):.0f} lookups)",
+            "  per class     " + "  ".join(
+                f"{k}={v}" for k, v in sorted(self.per_class.items())),
+        ]
+        return "\n".join(lines)
+
+
+class LoadGenerator:
+    """Replays a workload mix against a server."""
+
+    def __init__(self, server: CinnamonServer, mix: Dict[str, MixEntry],
+                 seed: int = 0, deadline_s: Optional[float] = None):
+        self.server = server
+        self.mix = mix
+        self.deadline_s = deadline_s
+        self._rng = random.Random(seed)
+        self._names = list(mix)
+        self._weights = [mix[name].weight for name in self._names]
+        self._programs = {name: mix[name].build() for name in self._names}
+        self._sent_per_class: Dict[str, int] = {n: 0 for n in self._names}
+
+    # ------------------------------------------------------------------ #
+
+    def _next_request(self, machine) -> InferenceRequest:
+        name = self._rng.choices(self._names, weights=self._weights)[0]
+        self._sent_per_class[name] += 1
+        entry = self.mix[name]
+        return InferenceRequest(
+            program=self._programs[name], params=entry.params,
+            machine=machine, deadline_s=self.deadline_s,
+            priority=Priority.NORMAL,
+            name=f"{name}-{self._sent_per_class[name]}")
+
+    def run_open_loop(self, num_requests: int, rate_rps: float,
+                      machine) -> List[RequestResult]:
+        """Poisson arrivals at ``rate_rps``; returns one result per
+        offered request (rejections included)."""
+        results: List[Optional[RequestResult]] = [None] * num_requests
+        handles = []
+        start = time.monotonic()
+        next_arrival = start
+        for i in range(num_requests):
+            next_arrival += self._rng.expovariate(rate_rps)
+            delay = next_arrival - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            request = self._next_request(machine)
+            try:
+                handles.append((i, self.server.submit(request)))
+            except QueueSaturatedError:
+                results[i] = RequestResult(
+                    request_id=request.request_id, name=request.label,
+                    status=RequestStatus.REJECTED,
+                    error="admission queue saturated")
+        for i, handle in handles:
+            results[i] = handle.result(timeout=RESULT_TIMEOUT_S)
+        return [r for r in results if r is not None]
+
+    def run_closed_loop(self, num_requests: int, concurrency: int,
+                        machine) -> List[RequestResult]:
+        """``concurrency`` synchronous clients sharing a request budget."""
+        results: List[RequestResult] = []
+        lock = threading.Lock()
+        budget = iter(range(num_requests))
+
+        def client():
+            while True:
+                with lock:
+                    if next(budget, None) is None:
+                        return
+                    request = self._next_request(machine)
+                try:
+                    handle = self.server.submit(request)
+                except QueueSaturatedError:
+                    outcome = RequestResult(
+                        request_id=request.request_id, name=request.label,
+                        status=RequestStatus.REJECTED,
+                        error="admission queue saturated")
+                else:
+                    outcome = handle.result(timeout=RESULT_TIMEOUT_S)
+                with lock:
+                    results.append(outcome)
+
+        clients = [threading.Thread(target=client, name=f"client-{c}")
+                   for c in range(concurrency)]
+        for thread in clients:
+            thread.start()
+        for thread in clients:
+            thread.join()
+        return results
+
+
+# ---------------------------------------------------------------------- #
+
+def _histogram_summary(metrics: MetricsRegistry, name: str) -> dict:
+    snap = metrics.snapshot().get(name)
+    if not snap or not snap["series"]:
+        return {}
+    return dict(snap["series"][0]["value"])
+
+
+def build_report(server: CinnamonServer, results: Sequence[RequestResult],
+                 duration_s: float, *, mode: str, machine: str,
+                 scale: str, offered: int,
+                 per_class: Dict[str, int]) -> LoadReport:
+    counts: Dict[str, int] = {}
+    for result in results:
+        counts[result.status.value] = counts.get(result.status.value, 0) + 1
+    ok = counts.get("ok", 0)
+    cache_totals = server.cache_stats()
+    hits = cache_totals.get("memory_hits", 0) + cache_totals.get(
+        "disk_hits", 0)
+    lookups = hits + cache_totals.get("misses", 0)
+    latency = _histogram_summary(server.metrics,
+                                 "serve_request_latency_seconds")
+    return LoadReport(
+        mode=mode, machine=machine, scale=scale, offered=offered,
+        duration_s=duration_s,
+        counts=counts,
+        throughput_rps=ok / duration_s if duration_s > 0 else 0.0,
+        latency={k: latency.get(k, 0.0)
+                 for k in ("p50", "p95", "p99", "mean", "max")},
+        queue_wait=_histogram_summary(server.metrics,
+                                      "serve_queue_wait_seconds"),
+        batch=_histogram_summary(server.metrics, "serve_batch_size"),
+        cache={"hits": hits, "lookups": lookups,
+               "hit_rate": hits / lookups if lookups else 0.0},
+        per_class=dict(per_class),
+    )
+
+
+def parse_mix_weights(text: str) -> Dict[str, float]:
+    """``"bootstrap=2,resnet-block=0"`` -> weight overrides."""
+    weights = {}
+    for part in filter(None, (p.strip() for p in text.split(","))):
+        name, _, value = part.partition("=")
+        weights[name.strip()] = float(value) if value else 1.0
+    return weights
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.loadgen",
+        description="Replay an encrypted-inference workload mix against "
+                    "a CinnamonServer and report throughput/latency.")
+    parser.add_argument("--requests", type=int, default=100)
+    parser.add_argument("--mode", choices=("open", "closed"),
+                        default="closed")
+    parser.add_argument("--rate", type=float, default=50.0,
+                        help="open-loop arrival rate, req/s (Poisson)")
+    parser.add_argument("--concurrency", type=int, default=8,
+                        help="closed-loop client count")
+    parser.add_argument("--machine", default="cinnamon_4")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="server session shards")
+    parser.add_argument("--max-batch", type=int, default=8)
+    parser.add_argument("--max-wait", type=float, default=0.005,
+                        help="batching window, seconds")
+    parser.add_argument("--queue-depth", type=int, default=0,
+                        help="admission bound; 0 = unbounded")
+    parser.add_argument("--scale", choices=("small", "paper"),
+                        default="small")
+    parser.add_argument("--mix", default="",
+                        help="weight overrides, e.g. 'bootstrap=2,"
+                             "bert-layer=0.5'")
+    parser.add_argument("--deadline", type=float, default=None,
+                        help="per-request deadline, seconds")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--metrics-out", default=None,
+                        help="write the metrics JSON snapshot here")
+    parser.add_argument("--trace-out", default=None,
+                        help="write the request-level trace JSON here")
+    parser.add_argument("--fail-on-errors", action="store_true",
+                        help="exit 1 if any request was not served OK")
+    args = parser.parse_args(argv)
+
+    mix = serving_mix(args.scale,
+                      weights=parse_mix_weights(args.mix) or None)
+    server = CinnamonServer(
+        num_workers=args.workers, queue_depth=args.queue_depth,
+        max_batch=args.max_batch, max_wait_s=args.max_wait,
+        default_machine=args.machine, seed=args.seed)
+    generator = LoadGenerator(server, mix, seed=args.seed,
+                              deadline_s=args.deadline)
+
+    with server:
+        start = time.monotonic()
+        if args.mode == "open":
+            results = generator.run_open_loop(args.requests, args.rate,
+                                              args.machine)
+        else:
+            results = generator.run_closed_loop(args.requests,
+                                                args.concurrency,
+                                                args.machine)
+        server.drain()
+        duration = time.monotonic() - start
+        report = build_report(
+            server, results, duration, mode=args.mode,
+            machine=args.machine, scale=args.scale,
+            offered=args.requests, per_class=generator._sent_per_class)
+        print(report.render())
+        if args.metrics_out:
+            snapshot = server.metrics_snapshot()
+            snapshot["loadgen"] = report.as_dict()
+            with open(args.metrics_out, "w") as handle:
+                json.dump(snapshot, handle, indent=2)
+            print(f"  metrics JSON  {args.metrics_out}")
+        if args.trace_out:
+            server.export_trace(args.trace_out)
+            print(f"  trace JSON    {args.trace_out}")
+
+    if args.fail_on_errors and report.failed:
+        print(f"loadgen: FAIL — {report.failed} request(s) not served OK",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

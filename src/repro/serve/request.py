@@ -1,0 +1,151 @@
+"""Request/response types of the serving layer.
+
+An :class:`InferenceRequest` is everything a client hands the server: the
+DSL program, its parameters, the machine to lay it out for, plus service
+metadata (priority, deadline).  The server answers with a
+:class:`RequestResult` carrying the outcome and a full latency breakdown;
+clients wait on the :class:`RequestHandle` returned by ``submit``.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.compiler import CompilerOptions
+from ..sim.simulator import SimulationResult
+
+_REQUEST_IDS = itertools.count(1)
+
+
+class Priority(enum.IntEnum):
+    """Admission priority: lower value dequeues first."""
+
+    HIGH = 0
+    NORMAL = 1
+    LOW = 2
+
+
+class RequestStatus(str, enum.Enum):
+    """Terminal state of one request."""
+
+    OK = "ok"
+    REJECTED = "rejected"    # admission queue saturated (backpressure)
+    TIMEOUT = "timeout"      # deadline expired before execution finished
+    FAILED = "failed"        # retries exhausted
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class InferenceRequest:
+    """One encrypted-inference job as submitted by a client.
+
+    ``deadline_s`` is relative to submission: a request still waiting (or
+    dispatched but unfinished) past it resolves to ``TIMEOUT``.  ``name``
+    labels the request in traces and metrics; ``tag`` distinguishes
+    otherwise-identical simulations.
+    """
+
+    program: object                   # CinnamonProgram
+    params: object
+    machine: object = None
+    options: Optional[CompilerOptions] = None
+    priority: Priority = Priority.NORMAL
+    deadline_s: Optional[float] = None
+    simulate: bool = True
+    tag: str = ""
+    name: Optional[str] = None
+    request_id: int = field(default_factory=lambda: next(_REQUEST_IDS))
+
+    # Filled in at admission by the server:
+    key: Optional[str] = None         # compile fingerprint
+    machine_name: Optional[str] = None
+    submitted_at: Optional[float] = None  # monotonic
+
+    @property
+    def label(self) -> str:
+        return self.name or getattr(self.program, "name", f"req-{self.request_id}")
+
+    def expired(self, now: float) -> bool:
+        return (self.deadline_s is not None
+                and self.submitted_at is not None
+                and now - self.submitted_at > self.deadline_s)
+
+
+@dataclass
+class LatencyBreakdown:
+    """Where one request's wall time went (seconds)."""
+
+    queue_s: float = 0.0        # admission queue + batcher wait
+    execute_s: float = 0.0      # compile + simulate inside the shard
+    total_s: float = 0.0        # submit -> resolution
+
+    def as_dict(self) -> dict:
+        return {"queue_s": self.queue_s, "execute_s": self.execute_s,
+                "total_s": self.total_s}
+
+
+@dataclass
+class RequestResult:
+    """Outcome of one request."""
+
+    request_id: int
+    name: str
+    status: RequestStatus
+    latency: LatencyBreakdown = field(default_factory=LatencyBreakdown)
+    attempts: int = 0               # execution attempts (1 = no retries)
+    shard: Optional[int] = None
+    batch_size: int = 0
+    cache: Optional[str] = None     # miss | memory | disk
+    cycles: Optional[int] = None
+    sim: Optional[SimulationResult] = None
+    compiled: object = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is RequestStatus.OK
+
+    def as_dict(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "name": self.name,
+            "status": self.status.value,
+            "latency": self.latency.as_dict(),
+            "attempts": self.attempts,
+            "shard": self.shard,
+            "batch_size": self.batch_size,
+            "cache": self.cache,
+            "cycles": self.cycles,
+            "error": self.error,
+        }
+
+
+class RequestHandle:
+    """Client-side future for one submitted request."""
+
+    def __init__(self, request: InferenceRequest):
+        self.request = request
+        self._done = threading.Event()
+        self._result: Optional[RequestResult] = None
+
+    def resolve(self, result: RequestResult) -> None:
+        self._result = result
+        self._done.set()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> RequestResult:
+        """Block until the request resolves; raises ``TimeoutError`` if it
+        does not within ``timeout`` seconds."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request.label!r} not resolved "
+                f"within {timeout}s")
+        return self._result

@@ -1,0 +1,551 @@
+"""The encrypted-inference server: shard pool + dispatcher + retries.
+
+Data path of one request::
+
+    submit() --fingerprint--> AdmissionQueue --dispatcher--> AdaptiveBatcher
+        --batch--> shard (hash(fingerprint) % num_workers)
+        --CinnamonSession.run_batch--> RequestResult --> RequestHandle
+
+Design notes:
+
+* **Shards.** Each of ``num_workers`` shards is one single-thread
+  executor owning one :class:`CinnamonSession` — the in-process model of
+  one serving replica.  Batches route by fingerprint hash, so repeats of
+  a program always land on the shard that already holds its artifact
+  (cache affinity); intra-batch parallelism comes from ``run_batch``'s
+  own pool.
+* **Backpressure.** ``submit`` never blocks: a saturated admission queue
+  raises :class:`QueueSaturatedError` at the call site and the rejection
+  is counted and traced.  ``shutdown(drain=True)`` stops admission but
+  finishes everything already accepted.
+* **Robustness.** Each batch execution attempt passes through the fault
+  injector.  A crashed shard is restarted with a fresh session (memory
+  cache lost, disk cache kept) and the batch retried under exponential
+  backoff with jitter; a poisoned cache entry is invalidated and
+  recompiled; requests whose deadline lapses anywhere along the path
+  resolve to ``TIMEOUT`` instead of occupying a shard.
+* **Observability.** Every hop updates the
+  :class:`~repro.serve.metrics.MetricsRegistry` and every resolution
+  appends a ``serve`` entry to the session-shared
+  :class:`~repro.runtime.trace.TraceRecorder` schema.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..runtime.cache import DISK_HIT, MEMORY_HIT
+from ..runtime.fingerprint import fingerprint
+from ..runtime.session import CinnamonSession, CompileJob, \
+    resolve_request_options
+from ..runtime.trace import TraceRecorder
+from ..sim.config import resolve_machine
+from .batcher import AdaptiveBatcher, Batch
+from .faults import FaultInjector, NO_FAULTS, PoisonedArtifact, \
+    PoisonedCacheError, WorkerCrashError
+from .metrics import MetricsRegistry
+from .queue import AdmissionQueue, Empty, QueueClosedError, \
+    QueueSaturatedError
+from .request import InferenceRequest, LatencyBreakdown, RequestHandle, \
+    RequestResult, RequestStatus
+
+#: Buckets for the batch-size histogram (requests per dispatched batch).
+BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64)
+
+#: Dispatcher poll period while completely idle.
+_IDLE_POLL_S = 0.05
+
+
+class ServerClosedError(RuntimeError):
+    """``submit`` after ``shutdown``/``drain`` began."""
+
+
+class _Shard:
+    """One serving replica: a single-thread executor plus its session."""
+
+    def __init__(self, shard_id: int, session: CinnamonSession):
+        self.id = shard_id
+        self.session = session
+        self.executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"cinnamon-shard-{shard_id}")
+
+
+class CinnamonServer:
+    """Serve encrypted-inference requests over a pool of session shards.
+
+    Parameters mirror the knobs of a real inference frontend:
+    ``queue_depth`` bounds admission (``0`` = unbounded), ``max_batch`` /
+    ``max_wait_s`` tune the adaptive batcher, ``max_retries`` /
+    ``retry_backoff_s`` / ``retry_jitter`` shape the retry policy, and
+    ``request_timeout_s`` is the default deadline for requests that do
+    not carry one.  ``session_factory(shard_id)`` customizes shard
+    construction (tests inject small caches; by default shards share one
+    on-disk ``cache_dir`` so a restarted shard re-warms from disk).
+    """
+
+    def __init__(self, num_workers: int = 2, queue_depth: int = 64,
+                 max_batch: int = 8, max_wait_s: float = 0.005,
+                 max_retries: int = 2, retry_backoff_s: float = 0.05,
+                 retry_jitter: float = 0.5,
+                 request_timeout_s: Optional[float] = None,
+                 default_machine=None, faults: FaultInjector = None,
+                 cache_dir=None, capacity: Optional[int] = None,
+                 session_factory: Optional[Callable[[int], CinnamonSession]]
+                 = None, metrics: Optional[MetricsRegistry] = None,
+                 seed: int = 0):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.retry_jitter = retry_jitter
+        self.request_timeout_s = request_timeout_s
+        self.default_machine = default_machine
+        self.faults = faults or NO_FAULTS
+        self._session_factory = session_factory or (
+            lambda shard_id: CinnamonSession(cache_dir=cache_dir,
+                                             capacity=capacity))
+        self._shards = [_Shard(i, self._session_factory(i))
+                        for i in range(num_workers)]
+        self._queue = AdmissionQueue(maxsize=queue_depth)
+        self._batcher = AdaptiveBatcher(max_batch=max_batch,
+                                        max_wait_s=max_wait_s)
+        self._recorder = TraceRecorder()
+        self._rng = random.Random(seed)
+        self._handles: Dict[int, RequestHandle] = {}
+        self._inflight = 0
+        self._pending_cond = threading.Condition()
+        self._started = False
+        self._stopped = False
+        self._dispatcher: Optional[threading.Thread] = None
+
+        self.metrics = metrics or MetricsRegistry()
+        m = self.metrics
+        self._requests_total = {
+            status: m.counter("serve_requests_total",
+                              "Requests by terminal status.",
+                              labels={"status": status.value})
+            for status in RequestStatus
+        }
+        self._retries_total = m.counter(
+            "serve_retries_total", "Batch execution retries.")
+        self._restarts_total = m.counter(
+            "serve_worker_restarts_total",
+            "Shard restarts after an (injected) crash.")
+        self._poisoned_total = m.counter(
+            "serve_cache_poisoned_total",
+            "Poisoned cache artifacts detected and invalidated.")
+        self._batches_total = m.counter(
+            "serve_batches_total", "Batches dispatched to shards.")
+        self._queue_depth = m.gauge(
+            "serve_queue_depth", "Requests waiting for admission dispatch.")
+        self._inflight_gauge = m.gauge(
+            "serve_inflight_requests", "Requests dispatched, not resolved.")
+        m.gauge("serve_shards", "Session shards in the pool.").set(num_workers)
+        self._queue_wait_h = m.histogram(
+            "serve_queue_wait_seconds",
+            "Admission + batching wait before execution starts.")
+        self._execute_h = m.histogram(
+            "serve_execute_seconds", "Compile+simulate time inside a shard.")
+        self._latency_h = m.histogram(
+            "serve_request_latency_seconds",
+            "End-to-end latency, submit to resolution.")
+        self._batch_size_h = m.histogram(
+            "serve_batch_size", "Requests per dispatched batch.",
+            buckets=BATCH_SIZE_BUCKETS)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+
+    def start(self) -> "CinnamonServer":
+        if self._started:
+            return self
+        self._started = True
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="cinnamon-dispatcher",
+            daemon=True)
+        self._dispatcher.start()
+        return self
+
+    def __enter__(self) -> "CinnamonServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(drain=exc_type is None)
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admission and wait until all accepted work resolves.
+
+        Returns ``False`` if ``timeout`` expired with work pending.
+        """
+        self._queue.close()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._pending_cond:
+            while self._outstanding() > 0:
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._pending_cond.wait(remaining
+                                        if remaining is not None else 0.1)
+        return True
+
+    def shutdown(self, drain: bool = True,
+                 timeout: Optional[float] = None) -> None:
+        """Stop the server; with ``drain`` finish accepted work first,
+        otherwise resolve still-queued requests as ``REJECTED``."""
+        if self._stopped:
+            return
+        self._queue.close()
+        if drain:
+            self.drain(timeout=timeout)
+        else:
+            while True:
+                try:
+                    request = self._queue.get(timeout=0)
+                except Empty:
+                    break
+                self._resolve_rejected(request, "server shut down")
+        self._stopped = True
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=10)
+        for shard in self._shards:
+            shard.executor.shutdown(wait=drain)
+
+    # ------------------------------------------------------------------ #
+    # Admission
+
+    def submit(self, request: InferenceRequest) -> RequestHandle:
+        """Admit one request; raises :class:`QueueSaturatedError` under
+        backpressure and :class:`ServerClosedError` after shutdown."""
+        if not self._started:
+            self.start()
+        if request.machine is None and request.options is None \
+                and self.default_machine is not None:
+            request.machine = self.default_machine
+        if request.deadline_s is None:
+            request.deadline_s = self.request_timeout_s
+        options = resolve_request_options(request.machine, request.options)
+        request.key = fingerprint(request.program, request.params, options)
+        request.machine_name = resolve_machine(
+            request.machine if request.machine is not None
+            else (options.machine or options.num_chips)).name
+        request.submitted_at = time.monotonic()
+        handle = RequestHandle(request)
+        with self._pending_cond:
+            self._handles[request.request_id] = handle
+        try:
+            self._queue.put(request)
+        except QueueSaturatedError:
+            self._resolve_rejected(request, "admission queue saturated")
+            raise
+        except QueueClosedError as exc:
+            self._resolve_rejected(request, "server shutting down")
+            raise ServerClosedError(str(exc)) from exc
+        self._queue_depth.set(self._queue.depth())
+        return handle
+
+    def submit_many(self, requests: Sequence[InferenceRequest]
+                    ) -> List[RequestHandle]:
+        return [self.submit(request) for request in requests]
+
+    # ------------------------------------------------------------------ #
+    # Dispatcher
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            now = time.monotonic()
+            wait = self._batcher.next_deadline(now)
+            if wait is None:
+                wait = _IDLE_POLL_S
+            drained = False
+            try:
+                request = self._queue.get(timeout=wait)
+            except Empty:
+                drained = self._queue.closed and self._queue.depth() == 0
+            else:
+                self._admit_to_batcher(request)
+                # Opportunistically pull everything already waiting so a
+                # burst coalesces in one pass.
+                while True:
+                    try:
+                        request = self._queue.get(timeout=0)
+                    except Empty:
+                        break
+                    self._admit_to_batcher(request)
+            self._queue_depth.set(self._queue.depth())
+            for batch in self._batcher.ready(time.monotonic(),
+                                             force=drained):
+                self._dispatch(batch)
+            if drained and self._batcher.pending() == 0:
+                return
+
+    def _admit_to_batcher(self, request: InferenceRequest) -> None:
+        now = time.monotonic()
+        if request.expired(now):
+            self._resolve_timeout(request, now, stage="queued")
+            return
+        full = self._batcher.add(request, now)
+        if full is not None:
+            self._dispatch(full)
+
+    def _dispatch(self, batch: Batch) -> None:
+        shard = self._shards[int(batch.fingerprint, 16) % self.num_workers]
+        self._batches_total.inc()
+        self._batch_size_h.observe(len(batch))
+        with self._pending_cond:
+            self._inflight += len(batch)
+        self._inflight_gauge.set(self._inflight)
+        shard.executor.submit(self._execute_batch, shard, batch)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+
+    def _execute_batch(self, shard: _Shard, batch: Batch) -> None:
+        try:
+            self._execute_batch_inner(shard, batch)
+        except BaseException:  # pragma: no cover - defensive: never lose
+            for request in batch.requests:  # a request to a bug here
+                self._resolve_failed(request, time.monotonic(), attempts=0,
+                                     batch_size=len(batch),
+                                     shard=shard.id,
+                                     error="internal dispatch error")
+            raise
+
+    def _execute_batch_inner(self, shard: _Shard, batch: Batch) -> None:
+        pending = list(batch.requests)
+        last_error: Optional[Exception] = None
+        for attempt in range(1, self.max_retries + 2):
+            now = time.monotonic()
+            live = []
+            for request in pending:
+                if request.expired(now):
+                    self._resolve_timeout(request, now, stage="dispatched",
+                                          shard=shard.id,
+                                          batch_size=len(batch))
+                else:
+                    live.append(request)
+            pending = live
+            if not pending:
+                return
+            exec_start = time.monotonic()
+            try:
+                self.faults.on_dispatch(shard.id, batch, shard.session)
+                jobs = [CompileJob(program=r.program, params=r.params,
+                                   machine=r.machine, options=r.options,
+                                   simulate=r.simulate, tag=r.tag,
+                                   name=r.label)
+                        for r in pending]
+                results = shard.session.run_batch(
+                    jobs, max_workers=min(4, len(jobs)))
+                for job_result in results:
+                    if isinstance(job_result.compiled, PoisonedArtifact):
+                        raise PoisonedCacheError(
+                            f"poisoned artifact for {job_result.job!r}")
+            except WorkerCrashError as exc:
+                last_error = exc
+                self._restarts_total.inc()
+                self._restart_shard(shard)
+            except PoisonedCacheError as exc:
+                last_error = exc
+                self._poisoned_total.inc()
+                shard.session.invalidate(batch.fingerprint)
+            except Exception as exc:
+                last_error = exc
+            else:
+                done = time.monotonic()
+                for request, job_result in zip(pending, results):
+                    if request.expired(done):
+                        # Deadline lapsed mid-execution (e.g. a latency
+                        # spike): the client already gave up on it.
+                        self._resolve_timeout(request, done,
+                                              stage="dispatched",
+                                              shard=shard.id,
+                                              batch_size=len(batch))
+                    else:
+                        self._resolve_ok(request, job_result,
+                                         exec_start=exec_start, done=done,
+                                         attempts=attempt, shard=shard.id,
+                                         batch_size=len(batch))
+                return
+            if attempt <= self.max_retries:
+                self._retries_total.inc()
+                backoff = (self.retry_backoff_s * (2 ** (attempt - 1))
+                           * (1.0 + self.retry_jitter * self._rng.random()))
+                time.sleep(backoff)
+        now = time.monotonic()
+        for request in pending:
+            self._resolve_failed(
+                request, now, attempts=self.max_retries + 1,
+                shard=shard.id, batch_size=len(batch),
+                error=f"{type(last_error).__name__}: {last_error}")
+
+    def _restart_shard(self, shard: _Shard) -> None:
+        """Replace a crashed shard's session — the in-memory cache dies
+        with the 'process'; a shared disk cache re-warms it."""
+        shard.session = self._session_factory(shard.id)
+
+    # ------------------------------------------------------------------ #
+    # Resolution
+
+    def _finish(self, request: InferenceRequest, result: RequestResult,
+                dispatched: bool) -> None:
+        self._requests_total[result.status].inc()
+        self._latency_h.observe(result.latency.total_s)
+        self._recorder.record_serve(
+            job=request.label, status=result.status.value,
+            machine=request.machine_name or "", shard=result.shard,
+            attempts=result.attempts, batch_size=result.batch_size,
+            cache=result.cache, seconds=result.latency.total_s)
+        with self._pending_cond:
+            handle = self._handles.pop(request.request_id, None)
+            if dispatched:
+                self._inflight -= 1
+            self._pending_cond.notify_all()
+        self._inflight_gauge.set(self._inflight)
+        if handle is not None:
+            handle.resolve(result)
+
+    def _elapsed(self, request: InferenceRequest, now: float) -> float:
+        return now - (request.submitted_at or now)
+
+    def _resolve_ok(self, request, job_result, *, exec_start: float,
+                    done: float, attempts: int, shard: int,
+                    batch_size: int) -> None:
+        latency = LatencyBreakdown(
+            queue_s=exec_start - (request.submitted_at or exec_start),
+            execute_s=done - exec_start,
+            total_s=self._elapsed(request, done))
+        self._queue_wait_h.observe(latency.queue_s)
+        self._execute_h.observe(latency.execute_s)
+        sim = job_result.result
+        result = RequestResult(
+            request_id=request.request_id, name=request.label,
+            status=RequestStatus.OK, latency=latency, attempts=attempts,
+            shard=shard, batch_size=batch_size, cache=job_result.cache,
+            cycles=sim.cycles if sim is not None else None, sim=sim,
+            compiled=job_result.compiled)
+        self._finish(request, result, dispatched=True)
+
+    def _resolve_timeout(self, request, now: float, *, stage: str,
+                         shard: Optional[int] = None,
+                         batch_size: int = 0) -> None:
+        result = RequestResult(
+            request_id=request.request_id, name=request.label,
+            status=RequestStatus.TIMEOUT,
+            latency=LatencyBreakdown(total_s=self._elapsed(request, now)),
+            shard=shard, batch_size=batch_size,
+            error=f"deadline of {request.deadline_s}s exceeded "
+                  f"while {stage}")
+        self._finish(request, result, dispatched=stage == "dispatched")
+
+    def _resolve_failed(self, request, now: float, *, attempts: int,
+                        shard: int, batch_size: int, error: str) -> None:
+        result = RequestResult(
+            request_id=request.request_id, name=request.label,
+            status=RequestStatus.FAILED,
+            latency=LatencyBreakdown(total_s=self._elapsed(request, now)),
+            attempts=attempts, shard=shard, batch_size=batch_size,
+            error=error)
+        self._finish(request, result, dispatched=True)
+
+    def _resolve_rejected(self, request, reason: str) -> None:
+        result = RequestResult(
+            request_id=request.request_id, name=request.label,
+            status=RequestStatus.REJECTED,
+            latency=LatencyBreakdown(
+                total_s=self._elapsed(request, time.monotonic())),
+            error=reason)
+        self._finish(request, result, dispatched=False)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+
+    def _outstanding(self) -> int:
+        # Every admitted-but-unresolved request holds a handle, whatever
+        # stage (queue, batcher, shard) it is at — no drain race windows.
+        return len(self._handles)
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.depth()
+
+    def cache_stats(self) -> dict:
+        """Aggregated compile-cache counters across all shards."""
+        totals: Dict[str, int] = {}
+        for shard in self._shards:
+            for field, value in shard.session.cache_stats.as_dict().items():
+                totals[field] = totals.get(field, 0) + value
+        return totals
+
+    def _refresh_cache_metrics(self) -> None:
+        totals = self.cache_stats()
+        hits = totals.get("memory_hits", 0) + totals.get("disk_hits", 0)
+        lookups = hits + totals.get("misses", 0)
+        self.metrics.gauge(
+            "serve_compile_cache_hits", "Cache hits across shards.").set(hits)
+        self.metrics.gauge(
+            "serve_compile_cache_lookups",
+            "Cache lookups across shards.").set(lookups)
+        self.metrics.gauge(
+            "serve_compile_cache_hit_rate",
+            "memory+disk hits / lookups.").set(
+            hits / lookups if lookups else 0.0)
+
+    def metrics_snapshot(self) -> dict:
+        """JSON-ready snapshot of every metric series (the CI artifact)."""
+        self._refresh_cache_metrics()
+        return self.metrics.snapshot()
+
+    def metrics_prometheus(self) -> str:
+        """Prometheus text exposition of the registry."""
+        self._refresh_cache_metrics()
+        return self.metrics.render_prometheus()
+
+    def trace(self) -> dict:
+        """Merged trace document: serve entries + aggregate cache stats
+        (the :mod:`repro.runtime.trace` schema, ``kind == "serve"``)."""
+        return self._recorder.document(self.cache_stats())
+
+    def export_trace(self, path):
+        from pathlib import Path
+
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self._recorder.to_json(self.cache_stats()))
+        return path
+
+
+# ---------------------------------------------------------------------- #
+
+def serve_requests(requests: Sequence[InferenceRequest],
+                   num_workers: int = 2, queue_depth: int = 0,
+                   **server_kwargs) -> List[RequestResult]:
+    """One-call facade: serve ``requests`` to completion, results in
+    submission order.  ``queue_depth=0`` (unbounded) by default so a
+    batch submission is never rejected; pass a bound to exercise
+    backpressure."""
+    server = CinnamonServer(num_workers=num_workers,
+                            queue_depth=queue_depth, **server_kwargs)
+    with server:
+        handles = []
+        for request in requests:
+            try:
+                handles.append(server.submit(request))
+            except QueueSaturatedError:
+                handles.append(None)
+        server.drain()
+        results = []
+        for request, handle in zip(requests, handles):
+            if handle is None:
+                results.append(RequestResult(
+                    request_id=request.request_id, name=request.label,
+                    status=RequestStatus.REJECTED,
+                    error="admission queue saturated"))
+            else:
+                results.append(handle.result(timeout=600))
+    return results

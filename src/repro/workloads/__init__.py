@@ -13,6 +13,7 @@ from .compose import KernelSpec, WorkloadSchedule, WorkloadTimer
 from .resnet import resnet20_schedule
 from .helr import helr_schedule
 from .bert import bert_schedule
+from .serving import MixEntry, SMALL_BOOTSTRAP_PLAN, serving_mix
 from . import baselines
 
 __all__ = [
@@ -25,5 +26,8 @@ __all__ = [
     "resnet20_schedule",
     "helr_schedule",
     "bert_schedule",
+    "MixEntry",
+    "SMALL_BOOTSTRAP_PLAN",
+    "serving_mix",
     "baselines",
 ]

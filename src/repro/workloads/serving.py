@@ -1,0 +1,95 @@
+"""The serving workload mix: paper benchmarks as inference requests.
+
+The loadgen replays a traffic mix over the four paper workloads —
+bootstrap, a ResNet-20 block, one HELR training step, a BERT layer —
+each represented by its dominant kernel (the unit a serving frontend
+actually dispatches; full-model latency composes from these, see
+:mod:`repro.workloads.compose`).
+
+Two scales:
+
+* ``"paper"`` — architectural scale (N = 64K-equivalent parameters,
+  the real BOOTSTRAP_13 plan).  First compile of the bootstrap takes
+  tens of seconds; afterwards the serving cache makes repeats cheap.
+* ``"small"`` — structurally identical miniatures (a real, tiny
+  bootstrap plan; low-degree kernels) that compile in milliseconds, for
+  tests and CI smoke runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..core.dsl import CinnamonProgram
+from ..core.ir.bootstrap_graph import BOOTSTRAP_13, BootstrapPlan
+from ..fhe.params import ArchParams
+from .kernels import activation_kernel, bootstrap_kernel, matmul_kernel
+
+#: A real bootstrap shrunk to a 16-level chain: same structure as
+#: BOOTSTRAP_13 (CtS, EvalMod, StC), ~25x fewer instructions.
+SMALL_BOOTSTRAP_PLAN = BootstrapPlan(
+    "bootstrap-tiny", top_level=16, output_level=6,
+    cts_stages=2, cts_radix=8, eval_mod_degree=7, eval_mod_doublings=1)
+
+
+@dataclass(frozen=True)
+class MixEntry:
+    """One workload class of the traffic mix."""
+
+    name: str
+    build: Callable[[], CinnamonProgram]
+    params: ArchParams
+    weight: float = 1.0
+
+
+def serving_mix(scale: str = "small",
+                weights: Optional[Dict[str, float]] = None
+                ) -> Dict[str, MixEntry]:
+    """The four-workload request mix at the given scale.
+
+    ``weights`` reweights classes by name (missing names keep 1.0;
+    weight 0 drops the class from the mix).
+    """
+    if scale == "paper":
+        params = ArchParams()
+        entries = [
+            MixEntry("bootstrap",
+                     lambda: bootstrap_kernel(BOOTSTRAP_13), params),
+            MixEntry("resnet-block",
+                     lambda: matmul_kernel("conv", 27, 12), params),
+            MixEntry("helr-step",
+                     lambda: activation_kernel("sigmoid", 7, 8), params),
+            MixEntry("bert-layer",
+                     lambda: matmul_kernel("qkv", 48, 12), params),
+        ]
+    elif scale == "small":
+        small = ArchParams(max_level=16)
+        entries = [
+            MixEntry("bootstrap",
+                     lambda: bootstrap_kernel(SMALL_BOOTSTRAP_PLAN,
+                                              entry_level=2), small),
+            MixEntry("resnet-block",
+                     lambda: matmul_kernel("conv", 6, 6), small),
+            MixEntry("helr-step",
+                     lambda: activation_kernel("sigmoid", 3, 6), small),
+            MixEntry("bert-layer",
+                     lambda: matmul_kernel("qkv", 8, 6), small),
+        ]
+    else:
+        raise ValueError(f"unknown serving mix scale {scale!r} "
+                         "(expected 'small' or 'paper')")
+
+    weights = weights or {}
+    unknown = set(weights) - {e.name for e in entries}
+    if unknown:
+        raise ValueError(f"unknown mix classes: {sorted(unknown)}")
+    mix = {}
+    for entry in entries:
+        weight = float(weights.get(entry.name, entry.weight))
+        if weight > 0:
+            mix[entry.name] = MixEntry(entry.name, entry.build,
+                                       entry.params, weight)
+    if not mix:
+        raise ValueError("serving mix is empty after weighting")
+    return mix

@@ -1,0 +1,135 @@
+"""Thread-safety of :class:`CompileCache` and invalidate() semantics.
+
+``run_batch`` workers and the serving layer's shard pool all hit one
+cache instance concurrently; the LRU's OrderedDict mutations must hold
+under that load (satellite of the serving PR).
+"""
+
+import threading
+
+import pytest
+
+from repro.runtime import CompileCache
+
+
+class FakeArtifact:
+    """Stands in for a CompiledProgram: the cache never inspects it."""
+
+    def __init__(self, token):
+        self.token = token
+
+
+class TestConcurrentAccess:
+    def test_hammer_mixed_get_put_invalidate(self):
+        """8 threads x 100 mixed operations: no exceptions, no corruption."""
+        cache = CompileCache(capacity=16)
+        keys = [f"key-{i:02d}" for i in range(32)]
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def worker(worker_id):
+            try:
+                barrier.wait()
+                for i in range(100):
+                    key = keys[(worker_id * 7 + i) % len(keys)]
+                    op = (worker_id + i) % 5
+                    if op in (0, 1):
+                        cache.put(key, FakeArtifact((worker_id, i)))
+                    elif op in (2, 3):
+                        compiled, source = cache.get(key)
+                        assert source in ("memory", "miss")
+                        if compiled is not None:
+                            assert isinstance(compiled, FakeArtifact)
+                    elif i % 25 == 0:
+                        cache.invalidate()  # occasional clear-all
+                    else:
+                        cache.invalidate(key)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert not errors
+        # LRU invariant survives the hammer.
+        assert len(cache) <= 16
+        stats = cache.stats
+        total_lookups = stats.memory_hits + stats.disk_hits + stats.misses
+        assert total_lookups > 0 and stats.stores > 0
+        # Every surviving entry is retrievable and consistent.
+        for key in keys:
+            compiled, source = cache.get(key)
+            assert (compiled is None) == (source == "miss")
+
+    def test_hammer_with_disk_layer(self, tmp_path):
+        """Same hammer against the write-through disk layer."""
+        cache = CompileCache(capacity=8, cache_dir=tmp_path)
+        errors = []
+
+        def worker(worker_id):
+            try:
+                for i in range(50):
+                    key = f"key-{(worker_id + i) % 6}"
+                    if i % 2 == 0:
+                        cache.put(key, FakeArtifact(i))
+                    else:
+                        cache.get(key)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+
+class TestInvalidate:
+    def fill(self, cache):
+        for i in range(4):
+            cache.put(f"key-{i}", FakeArtifact(i))
+
+    def test_invalidate_single_key_memory(self):
+        cache = CompileCache()
+        self.fill(cache)
+        cache.invalidate("key-1")
+        assert "key-1" not in cache
+        assert "key-0" in cache and len(cache) == 3
+
+    def test_invalidate_all_memory(self):
+        cache = CompileCache()
+        self.fill(cache)
+        cache.invalidate()
+        assert len(cache) == 0
+        for i in range(4):
+            assert f"key-{i}" not in cache
+
+    def test_invalidate_single_key_disk(self, tmp_path):
+        cache = CompileCache(cache_dir=tmp_path)
+        self.fill(cache)
+        assert (tmp_path / "key-2.pkl").exists()
+        cache.invalidate("key-2")
+        assert not (tmp_path / "key-2.pkl").exists()
+        assert (tmp_path / "key-0.pkl").exists()
+        # A fresh cache over the same directory no longer sees the key.
+        fresh = CompileCache(cache_dir=tmp_path)
+        assert "key-2" not in fresh and "key-0" in fresh
+
+    def test_invalidate_all_disk(self, tmp_path):
+        cache = CompileCache(cache_dir=tmp_path)
+        self.fill(cache)
+        cache.invalidate()
+        assert not list(tmp_path.glob("*.pkl"))
+        assert len(cache) == 0
+
+    def test_invalidate_missing_key_is_noop(self, tmp_path):
+        cache = CompileCache(cache_dir=tmp_path)
+        self.fill(cache)
+        cache.invalidate("no-such-key")
+        assert len(cache) == 4

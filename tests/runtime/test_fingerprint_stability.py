@@ -1,0 +1,70 @@
+"""Cross-process stability of the compile fingerprint.
+
+The on-disk cache only survives interpreter restarts if
+:func:`repro.runtime.fingerprint.fingerprint` is a pure function of the
+request *content* — in particular it must not depend on Python's
+per-process string-hash randomization.  These tests spawn subprocesses
+under different ``PYTHONHASHSEED`` values and require identical keys.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+# Builds a canonical request (program with dict-ordered attrs, params,
+# options) and prints its fingerprint.  Sets/dicts in the signature are
+# where hash randomization would leak in.
+SCRIPT = """
+from repro.core.compiler import CompilerOptions
+from repro.core.dsl.program import CinnamonProgram
+from repro.fhe import ArchParams
+from repro.runtime import fingerprint
+
+prog = CinnamonProgram("hashseed-probe", level=6)
+a, b = prog.input("alpha"), prog.input("beta")
+c = a * b + a.rotate(3)
+d = c * prog.plaintext("weights") + b
+prog.output("out", d)
+opts = CompilerOptions(num_chips=2, keyswitch_policy="cinnamon")
+print(fingerprint(prog, ArchParams(max_level=6), opts))
+"""
+
+
+def fingerprint_under_hashseed(seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, "-c", SCRIPT], env=env, text=True,
+        capture_output=True, timeout=120)
+    assert out.returncode == 0, out.stderr
+    return out.stdout.strip()
+
+
+class TestFingerprintStability:
+    def test_identical_across_hash_seeds(self):
+        keys = {seed: fingerprint_under_hashseed(seed)
+                for seed in ("0", "1", "4242")}
+        assert len(set(keys.values())) == 1, keys
+        key = next(iter(keys.values()))
+        assert len(key) == 64 and int(key, 16) >= 0  # sha256 hex
+
+    def test_matches_in_process_fingerprint(self):
+        """The subprocess key equals this process's key for the same
+        request, whatever hash seed the test runner happens to use."""
+        from repro.core.compiler import CompilerOptions
+        from repro.core.dsl.program import CinnamonProgram
+        from repro.fhe import ArchParams
+        from repro.runtime import fingerprint
+
+        prog = CinnamonProgram("hashseed-probe", level=6)
+        a, b = prog.input("alpha"), prog.input("beta")
+        c = a * b + a.rotate(3)
+        d = c * prog.plaintext("weights") + b
+        prog.output("out", d)
+        opts = CompilerOptions(num_chips=2, keyswitch_policy="cinnamon")
+        local = fingerprint(prog, ArchParams(max_level=6), opts)
+        assert local == fingerprint_under_hashseed("7")

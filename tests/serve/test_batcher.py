@@ -1,0 +1,56 @@
+"""Adaptive batcher: coalescing keys, size- and age-triggered flushes."""
+
+from repro.serve import AdaptiveBatcher
+from repro.serve.request import InferenceRequest
+
+
+def request(key, machine="M2", name=None, simulate=True):
+    req = InferenceRequest(program=None, params=None, name=name or key,
+                           simulate=simulate)
+    req.key = key
+    req.machine_name = machine
+    return req
+
+
+class TestCoalescing:
+    def test_same_key_fills_one_bucket(self):
+        batcher = AdaptiveBatcher(max_batch=3, max_wait_s=10)
+        assert batcher.add(request("k1"), now=0.0) is None
+        assert batcher.add(request("k1"), now=0.1) is None
+        full = batcher.add(request("k1"), now=0.2)
+        assert full is not None and len(full) == 3
+        assert batcher.pending() == 0
+
+    def test_distinct_keys_do_not_coalesce(self):
+        batcher = AdaptiveBatcher(max_batch=2, max_wait_s=10)
+        assert batcher.add(request("k1"), 0.0) is None
+        assert batcher.add(request("k2"), 0.0) is None
+        assert batcher.add(request("k1", machine="M4"), 0.0) is None
+        assert batcher.add(request("k1", simulate=False), 0.0) is None
+        assert batcher.pending() == 4  # four open buckets
+
+    def test_age_triggered_flush(self):
+        batcher = AdaptiveBatcher(max_batch=8, max_wait_s=0.05)
+        batcher.add(request("k1"), now=1.0)
+        batcher.add(request("k2"), now=1.04)
+        ready = batcher.ready(now=1.06)
+        assert [b.fingerprint for b in ready] == ["k1"]
+        assert batcher.pending() == 1  # k2 still aging
+
+    def test_force_flush_empties_everything(self):
+        batcher = AdaptiveBatcher(max_batch=8, max_wait_s=100)
+        batcher.add(request("k1"), 0.0)
+        batcher.add(request("k2"), 0.0)
+        ready = batcher.ready(now=0.001, force=True)
+        assert sorted(b.fingerprint for b in ready) == ["k1", "k2"]
+        assert batcher.pending() == 0
+
+
+class TestDeadline:
+    def test_next_deadline_tracks_oldest_bucket(self):
+        batcher = AdaptiveBatcher(max_batch=8, max_wait_s=0.1)
+        assert batcher.next_deadline(0.0) is None
+        batcher.add(request("k1"), now=1.0)
+        batcher.add(request("k2"), now=1.08)
+        assert abs(batcher.next_deadline(1.05) - 0.05) < 1e-9
+        assert batcher.next_deadline(2.0) == 0.0  # overdue clamps to 0
