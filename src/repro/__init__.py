@@ -13,6 +13,10 @@ Public surface:
   (:class:`~repro.serve.CinnamonServer` / :func:`repro.serve_requests`):
   admission queue, adaptive batching, retries + fault injection,
   metrics, and the ``python -m repro.serve.loadgen`` load generator;
+* :mod:`repro.resilience` — machine-level fault tolerance: seeded fault
+  injection (:class:`~repro.resilience.FaultSchedule`), CRC-validated
+  checkpoints, and degraded-mode recovery
+  (:class:`~repro.resilience.RecoveryOrchestrator`);
 * :mod:`repro.fhe` — functional RNS-CKKS (parameters, contexts, evaluator,
   parallel keyswitching, bootstrapping);
 * :mod:`repro.core` — the Cinnamon DSL, compiler, ISA, and emulator;
@@ -82,6 +86,11 @@ _LAZY_ATTRS = {
     "CompilerOptions": ("repro.core.compiler", "CompilerOptions"),
     "CinnamonProgram": ("repro.core.dsl.program", "CinnamonProgram"),
     "resolve_machine": ("repro.sim.config", "resolve_machine"),
+    "FaultSchedule": ("repro.resilience", "FaultSchedule"),
+    "CheckpointStore": ("repro.resilience", "CheckpointStore"),
+    "RecoveryOrchestrator": ("repro.resilience", "RecoveryOrchestrator"),
+    "run_with_recovery": ("repro.resilience", "run_with_recovery"),
+    "resilience": ("repro.resilience", None),
     "runtime": ("repro.runtime", None),
     "core": ("repro.core", None),
     "sim": ("repro.sim", None),
@@ -120,5 +129,9 @@ __all__ = [
     "CompilerOptions",
     "CinnamonProgram",
     "resolve_machine",
+    "FaultSchedule",
+    "CheckpointStore",
+    "RecoveryOrchestrator",
+    "run_with_recovery",
     "__version__",
 ]

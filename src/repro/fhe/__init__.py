@@ -15,6 +15,22 @@ from .ciphertext import Ciphertext
 from .encoding import CKKSEncoder, Plaintext
 from .keys import EvalKey, KeyChain, PublicKey, SecretKey
 from .evaluator import CKKSContext, Evaluator
+from .noise import (
+    NoiseBudgetExhausted,
+    NoiseEstimate,
+    NoiseEstimator,
+    measure_slot_error,
+)
+from .serialize import (
+    CorruptPayloadError,
+    SERIALIZE_SCHEMA_VERSION,
+    dump_ciphertext,
+    dump_params,
+    dump_plaintext,
+    load_ciphertext,
+    load_params,
+    load_plaintext,
+)
 
 __all__ = [
     "ArchParams",
@@ -31,4 +47,16 @@ __all__ = [
     "SecretKey",
     "CKKSContext",
     "Evaluator",
+    "NoiseBudgetExhausted",
+    "NoiseEstimate",
+    "NoiseEstimator",
+    "measure_slot_error",
+    "CorruptPayloadError",
+    "SERIALIZE_SCHEMA_VERSION",
+    "dump_ciphertext",
+    "load_ciphertext",
+    "dump_plaintext",
+    "load_plaintext",
+    "dump_params",
+    "load_params",
 ]

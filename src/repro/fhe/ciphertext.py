@@ -18,7 +18,7 @@ from .polynomial import RnsPolynomial
 class Ciphertext:
     """An encryption of a packed vector under the CKKS scheme."""
 
-    __slots__ = ("polys", "scale")
+    __slots__ = ("polys", "scale", "noise")
 
     def __init__(self, polys: List[RnsPolynomial], scale: float):
         if not polys:
@@ -29,6 +29,8 @@ class Ciphertext:
                 raise ValueError("all ciphertext polynomials must share a basis")
         self.polys = list(polys)
         self.scale = float(scale)
+        #: Optional NoiseEstimate attached by a tracking Evaluator.
+        self.noise = None
 
     @property
     def degree(self) -> int:
@@ -49,13 +51,17 @@ class Ciphertext:
         return self.polys[0].ring_degree
 
     def copy(self) -> "Ciphertext":
-        return Ciphertext([p.copy() for p in self.polys], self.scale)
+        out = Ciphertext([p.copy() for p in self.polys], self.scale)
+        out.noise = self.noise
+        return out
 
     def at_level(self, level: int) -> "Ciphertext":
         """Drop limbs down to ``level`` (modulus switching without scaling)."""
         if level == self.level:
             return self
-        return Ciphertext([p.drop_limbs(level) for p in self.polys], self.scale)
+        out = Ciphertext([p.drop_limbs(level) for p in self.polys], self.scale)
+        out.noise = self.noise
+        return out
 
     def __repr__(self):
         return (

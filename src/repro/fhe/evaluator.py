@@ -83,13 +83,59 @@ class CKKSContext:
 
 
 class Evaluator:
-    """Homomorphic operations, including the keyswitch-based ones."""
+    """Homomorphic operations, including the keyswitch-based ones.
 
-    def __init__(self, context: CKKSContext):
+    With ``track_noise`` (implied by ``noise_budget_bits``) every
+    operation propagates an analytic :class:`~repro.fhe.noise.
+    NoiseEstimate` on the result's ``noise`` attribute.  When
+    ``noise_budget_bits`` is set, any operation whose predicted slot
+    error (log2) crosses it raises :class:`~repro.fhe.noise.
+    NoiseBudgetExhausted` — the guardrail that stops a pipeline *before*
+    it decrypts garbage (e.g. ``noise_budget_bits=-8`` demands the
+    result stay accurate to better than 2^-8).
+    """
+
+    def __init__(self, context: CKKSContext, track_noise: bool = False,
+                 noise_budget_bits: float = None):
         self.context = context
         self.params = context.params
         self.keychain = context.keychain
         self.encoder = context.encoder
+        self.track_noise = track_noise or noise_budget_bits is not None
+        self.noise_budget_bits = noise_budget_bits
+        self._estimator = None
+        if self.track_noise:
+            # Imported here: noise.py imports this module at its top.
+            from .noise import NoiseEstimator
+
+            self._estimator = NoiseEstimator(self.params)
+
+    # ------------------------------------------------------------------ #
+    # Noise tracking
+
+    def noise_of(self, ct: Ciphertext):
+        """The tracked (or assumed-fresh) estimate for ``ct``; ``None``
+        when the evaluator is not tracking."""
+        if self._estimator is None:
+            return None
+        return self._estimator.for_ciphertext(ct)
+
+    def _track(self, out: Ciphertext, estimate, operation: str) -> Ciphertext:
+        if self._estimator is None:
+            return out
+        out.noise = estimate
+        if self.noise_budget_bits is not None \
+                and estimate.error_bits > self.noise_budget_bits:
+            from .noise import NoiseBudgetExhausted
+
+            raise NoiseBudgetExhausted(
+                f"{operation} at level {out.level} pushes the expected "
+                f"slot error to 2^{estimate.error_bits:.1f}, past the "
+                f"budget of 2^{self.noise_budget_bits:.1f}",
+                operation=operation, level=out.level,
+                error_bits=estimate.error_bits,
+                budget_bits=self.noise_budget_bits)
+        return out
 
     # ------------------------------------------------------------------ #
     # Level / scale alignment
@@ -151,13 +197,19 @@ class Evaluator:
                 polys.append(a.polys[k].copy())
             else:
                 polys.append(b.polys[k].copy())
-        return Ciphertext(polys, a.scale)
+        out = Ciphertext(polys, a.scale)
+        if self._estimator is not None:
+            out = self._track(out, self._estimator.add(
+                self.noise_of(a), self.noise_of(b)), "add")
+        return out
 
     def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
         return self.add(a, self.negate(b))
 
     def negate(self, a: Ciphertext) -> Ciphertext:
-        return Ciphertext([-p for p in a.polys], a.scale)
+        out = Ciphertext([-p for p in a.polys], a.scale)
+        out.noise = getattr(a, "noise", None)
+        return out
 
     def add_plain(self, a: Ciphertext, pt: Plaintext) -> Ciphertext:
         level = min(a.level, pt.level)
@@ -182,7 +234,14 @@ class Evaluator:
         poly = pt.poly.drop_limbs(level)
         polys = [p * poly for p in a.polys]
         out = Ciphertext(polys, a.scale * pt.scale)
-        return self.rescale(out) if rescale else out
+        if not rescale:
+            return out
+        estimate = (self._estimator.mul_plain(self.noise_of(a))
+                    if self._estimator is not None else None)
+        out = self.rescale(out)
+        if estimate is not None:
+            out = self._track(out, estimate, "mul_plain")
+        return out
 
     def _invariant_plain_scale(self, ct: Ciphertext, target_scale: float = None) -> float:
         """Plaintext scale that lands ``mul_plain`` exactly on the invariant.
@@ -257,8 +316,19 @@ class Evaluator:
         return Ciphertext([ct.polys[0] + f0, ct.polys[1] + f1], ct.scale)
 
     def mul(self, a: Ciphertext, b: Ciphertext, rescale: bool = True) -> Ciphertext:
+        estimate = None
+        if self._estimator is not None and rescale:
+            # The analytic model covers mul + relinearize + rescale as
+            # one step; track it on the final (rescaled) result only.
+            estimate = self._estimator.mul(self.noise_of(a),
+                                           self.noise_of(b))
         out = self.relinearize(self.mul_no_relin(a, b))
-        return self.rescale(out) if rescale else out
+        if not rescale:
+            return out
+        out = self.rescale(out)
+        if estimate is not None:
+            out = self._track(out, estimate, "mul")
+        return out
 
     def square(self, a: Ciphertext, rescale: bool = True) -> Ciphertext:
         return self.mul(a, a, rescale=rescale)
@@ -290,7 +360,13 @@ class Evaluator:
                 diff = (poly.data[j] + np.uint64(q) - correction % np.uint64(q)) % np.uint64(q)
                 data[j] = (diff * np.uint64(inv)) % np.uint64(q)
             new_polys.append(RnsPolynomial(new_basis, data, EVAL))
-        return Ciphertext(new_polys, ct.scale / q_last)
+        out = Ciphertext(new_polys, ct.scale / q_last)
+        if self._estimator is not None and getattr(ct, "noise", None) is not None:
+            # Bare rescales of tracked values propagate; the composite
+            # ops (mul/mul_plain) overwrite this with their own model.
+            out = self._track(out, self._estimator.rescale(ct.noise),
+                              "rescale")
+        return out
 
     # ------------------------------------------------------------------ #
     # Rotation / conjugation
@@ -302,7 +378,11 @@ class Evaluator:
         c1 = ct.polys[1].automorphism(galois_element)
         evk = self.keychain.galois_key(galois_element, ct.level)
         f0, f1 = keyswitch(c1, evk, self.params)
-        return Ciphertext([c0 + f0, f1], ct.scale)
+        out = Ciphertext([c0 + f0, f1], ct.scale)
+        if self._estimator is not None:
+            out = self._track(out, self._estimator.rotate(
+                self.noise_of(ct)), "rotate")
+        return out
 
     def rotate(self, ct: Ciphertext, rotation: int) -> Ciphertext:
         """Cyclically shift slots left by ``rotation``."""
@@ -342,7 +422,11 @@ class Evaluator:
             f0 = moddown_poly(f0_ext, active, ext)
             f1 = moddown_poly(f1_ext, active, ext)
             c0 = ct.polys[0].automorphism(k)
-            out[rotation] = Ciphertext([c0 + f0, f1], ct.scale)
+            rotated = Ciphertext([c0 + f0, f1], ct.scale)
+            if self._estimator is not None:
+                rotated = self._track(rotated, self._estimator.rotate(
+                    self.noise_of(ct)), "rotate_hoisted")
+            out[rotation] = rotated
         return out
 
     # ------------------------------------------------------------------ #

@@ -8,7 +8,12 @@ provides
   (fresh encryption, addition, multiplication + rescale, keyswitching),
   useful for budgeting a pipeline before running it; and
 * an **empirical probe** that measures the true slot error of a ciphertext
-  against known expected values.
+  against known expected values; and
+* a **budget guardrail**: an :class:`~repro.fhe.evaluator.Evaluator`
+  constructed with ``noise_budget_bits`` tracks an estimate alongside
+  every operation and raises :class:`NoiseBudgetExhausted` the moment
+  the predicted slot error crosses the budget — *before* the caller
+  decrypts garbage.
 
 The analytic model is a heuristic (canonical-embedding average case); the
 tests pin it to within about two orders of magnitude of measurements,
@@ -25,6 +30,26 @@ import numpy as np
 from .ciphertext import Ciphertext
 from .evaluator import CKKSContext
 from .params import CKKSParams
+
+
+class NoiseBudgetExhausted(RuntimeError):
+    """The tracked noise estimate crossed the evaluator's budget.
+
+    Raised by a tracking :class:`~repro.fhe.evaluator.Evaluator` at the
+    operation that would push the expected slot error past
+    ``noise_budget_bits`` — decrypting the result would yield garbage.
+    Carries the offending operation, the ciphertext's level, and the
+    predicted vs budgeted error bits.
+    """
+
+    def __init__(self, message: str, *, operation: str = "",
+                 level: int = 0, error_bits: float = 0.0,
+                 budget_bits: float = 0.0):
+        super().__init__(message)
+        self.operation = operation
+        self.level = level
+        self.error_bits = error_bits
+        self.budget_bits = budget_bits
 
 
 @dataclass
@@ -114,6 +139,28 @@ class NoiseEstimator:
     def rotate(self, a: NoiseEstimate) -> NoiseEstimate:
         return NoiseEstimate(
             math.hypot(a.ring_std, self._keyswitch_std), a.scale, a.level)
+
+    def rescale(self, a: NoiseEstimate) -> NoiseEstimate:
+        """A bare rescale: divide by ``q_last``, add rounding noise."""
+        if a.level <= 1:
+            raise ValueError("cannot rescale below level 1")
+        q = self.params.moduli[a.level - 1]
+        rescale_round = math.sqrt(
+            (1.0 + (self.params.secret_hamming_weight
+                    or self.params.ring_degree)) / 12.0)
+        return NoiseEstimate(math.hypot(a.ring_std / q, rescale_round),
+                             a.scale / q, a.level - 1)
+
+    def for_ciphertext(self, ct: Ciphertext) -> NoiseEstimate:
+        """The estimate attached to ``ct``, or a fresh-encryption one.
+
+        Untracked ciphertexts (inputs encrypted outside the evaluator)
+        are assumed freshly encrypted at their own level and scale — the
+        conservative floor every encryption starts from.
+        """
+        if getattr(ct, "noise", None) is not None:
+            return ct.noise
+        return NoiseEstimate(self._fresh_std, ct.scale, ct.level)
 
 
 def measure_slot_error(context: CKKSContext, ct: Ciphertext,

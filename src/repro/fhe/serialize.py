@@ -18,6 +18,9 @@ from __future__ import annotations
 import hashlib
 import io
 import json
+import struct
+import zlib
+
 import numpy as np
 
 from .ciphertext import Ciphertext
@@ -26,6 +29,58 @@ from .params import CKKSParams
 from .polynomial import EVAL, RnsPolynomial
 
 _MAGIC = "repro-cinnamon-v1"
+
+#: Version of the framed wire format (the CRC32 header below).  v1 blobs
+#: were headerless ``.npz`` archives; loaders still accept them.
+SERIALIZE_SCHEMA_VERSION = 2
+
+#: Frame header: magic + big-endian (version: u16, crc32: u32).
+_FRAME_MAGIC = b"CNMN"
+_FRAME_FMT = ">HI"
+_FRAME_LEN = len(_FRAME_MAGIC) + struct.calcsize(_FRAME_FMT)
+
+#: Headerless legacy payloads are zip archives (``np.savez``).
+_ZIP_MAGIC = b"PK"
+
+
+class CorruptPayloadError(ValueError):
+    """A serialized blob failed its integrity check (bad header, wrong
+    version, or CRC mismatch from corruption/truncation)."""
+
+
+def frame_payload(payload: bytes) -> bytes:
+    """Prefix ``payload`` with the versioned CRC32 frame header."""
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    return _FRAME_MAGIC + struct.pack(
+        _FRAME_FMT, SERIALIZE_SCHEMA_VERSION, crc) + payload
+
+
+def unframe_payload(data: bytes, allow_legacy: bool = True) -> bytes:
+    """Validate and strip the frame header; raises
+    :class:`CorruptPayloadError` on corruption.
+
+    With ``allow_legacy``, headerless v1 blobs (bare ``.npz`` archives)
+    pass through unchecked for compatibility with pre-CRC snapshots.
+    """
+    if not data.startswith(_FRAME_MAGIC):
+        if allow_legacy and data[:2] == _ZIP_MAGIC:
+            return data
+        raise CorruptPayloadError(
+            "not a framed cinnamon payload (bad magic); refusing to "
+            "deserialize")
+    if len(data) < _FRAME_LEN:
+        raise CorruptPayloadError("truncated payload: header incomplete")
+    version, crc = struct.unpack(
+        _FRAME_FMT, data[len(_FRAME_MAGIC):_FRAME_LEN])
+    if version > SERIALIZE_SCHEMA_VERSION:
+        raise CorruptPayloadError(
+            f"payload schema v{version} is newer than this reader "
+            f"(v{SERIALIZE_SCHEMA_VERSION})")
+    payload = data[_FRAME_LEN:]
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise CorruptPayloadError(
+            "payload CRC32 mismatch: blob is corrupt or truncated")
+    return payload
 
 
 def params_fingerprint(params: CKKSParams) -> str:
@@ -85,10 +140,11 @@ def _dump_polys(kind: str, polys, scale: float, params: CKKSParams) -> bytes:
     })
     np.savez_compressed(buffer, meta=np.frombuffer(meta.encode(), dtype=np.uint8),
                         **arrays)
-    return buffer.getvalue()
+    return frame_payload(buffer.getvalue())
 
 
 def _load_polys(data: bytes, expect_kind: str, params: CKKSParams):
+    data = unframe_payload(data)
     with np.load(io.BytesIO(data)) as archive:
         meta = json.loads(bytes(archive["meta"]).decode())
         if meta.get("magic") != _MAGIC or meta.get("kind") != expect_kind:

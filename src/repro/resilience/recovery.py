@@ -1,0 +1,257 @@
+"""Degraded-mode recovery: run a program to completion despite faults.
+
+:class:`RecoveryOrchestrator` is the control loop that turns the pieces
+of this package into the paper-level guarantee — *an encrypted inference
+finishes even when a die fails mid-run*:
+
+1. compile the program for the full machine and start simulating with a
+   :class:`~repro.resilience.faults.FaultSchedule` armed and periodic
+   checkpoints streaming into a :class:`CheckpointStore`;
+2. when a fatal fault surfaces (:class:`ChipFailure` /
+   :class:`LinkFailure`), look up the last checkpoint at or before the
+   fault cycle, pick the next rung of the degrade ladder
+   (:func:`repro.sim.config.degraded_machine`), and recompile the same
+   program for the surviving chip count (re-partitioning every limb);
+3. map the run's live values onto the new partitioning — the seq-0 data
+   checkpoint holds the CRC-framed input ciphertexts, and the emulator's
+   memory-image builder re-shards them for whatever machine the program
+   was recompiled for — and replay on the survivors, with the fault
+   schedule filtered down to chips that still exist;
+4. record a ``kind == "recovery"`` entry (trace schema 3) with the
+   detection / recompile / replay wall-time split.
+
+The loop walks the ladder until the run completes or ``max_recoveries``
+is exhausted, so a 12-chip machine losing two dies lands on 4 chips and
+still produces bit-valid ciphertext outputs.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .checkpoint import Checkpoint, CheckpointStore
+from .faults import FaultSchedule, MachineFaultError
+
+__all__ = [
+    "RecoveryEvent",
+    "RecoveryExhausted",
+    "ResilientRunResult",
+    "RecoveryOrchestrator",
+    "run_with_recovery",
+]
+
+
+class RecoveryExhausted(RuntimeError):
+    """The degrade ladder ran out before the program completed."""
+
+    def __init__(self, message: str, *, events=None, last_error=None):
+        super().__init__(message)
+        self.events = list(events or [])
+        self.last_error = last_error
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One fault -> degrade -> replay transition (mirrors the trace)."""
+
+    fault: str
+    chip: Optional[int]
+    cycle: int
+    machine_from: str
+    machine_to: str
+    checkpoint_cycle: int = 0
+    lost_cycles: int = 0
+    detection_s: float = 0.0
+    recompile_s: float = 0.0
+    replay_s: Optional[float] = None
+
+    def as_dict(self) -> dict:
+        return {
+            "fault": self.fault,
+            "chip": self.chip,
+            "cycle": self.cycle,
+            "machine_from": self.machine_from,
+            "machine_to": self.machine_to,
+            "checkpoint_cycle": self.checkpoint_cycle,
+            "lost_cycles": self.lost_cycles,
+            "detection_s": self.detection_s,
+            "recompile_s": self.recompile_s,
+            "replay_s": self.replay_s,
+        }
+
+
+@dataclass
+class ResilientRunResult:
+    """What a fault-tolerant run produced, and what it survived."""
+
+    run_id: str
+    result: object                       # SimulationResult of the final run
+    compiled: object                     # CompiledProgram that completed
+    machine: str                         # machine the run finished on
+    recoveries: List[RecoveryEvent] = field(default_factory=list)
+    checkpoints_taken: int = 0
+    outputs: Optional[Dict[str, object]] = None   # decrypted-able cts
+
+    @property
+    def recovered(self) -> bool:
+        return bool(self.recoveries)
+
+    @property
+    def degraded(self) -> bool:
+        return any(e.machine_from != e.machine_to for e in self.recoveries)
+
+
+class RecoveryOrchestrator:
+    """Runs compiled programs to completion across machine faults.
+
+    ``session`` is any :class:`repro.runtime.CinnamonSession` (a private
+    one is created when omitted) — degraded recompiles go through its
+    compile cache, so walking the same ladder twice is nearly free.
+    ``store`` receives every checkpoint; ``max_recoveries`` bounds ladder
+    descents per run; ``checkpoint_interval`` is in simulated cycles.
+    """
+
+    def __init__(self, session=None, store: CheckpointStore = None, *,
+                 max_recoveries: int = 2,
+                 checkpoint_interval: Optional[int] = 10_000):
+        if session is None:
+            from ..runtime.session import CinnamonSession
+
+            session = CinnamonSession()
+        self.session = session
+        self.store = store if store is not None else CheckpointStore()
+        self.max_recoveries = max_recoveries
+        self.checkpoint_interval = checkpoint_interval
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, program, params, machine=None, *,
+            fault_schedule: FaultSchedule = None,
+            inputs: Dict[str, object] = None, context=None,
+            plaintexts: Dict[str, object] = None,
+            run_id: str = None, job: str = None,
+            emulate_outputs: bool = False,
+            watchdog_s: Optional[float] = None) -> ResilientRunResult:
+        """Compile + simulate ``program``, surviving scheduled faults.
+
+        With ``emulate_outputs`` (requires ``inputs`` and ``context``),
+        the final — possibly degraded — compiled program is also run
+        through the functional emulator on the checkpointed input
+        ciphertexts, so callers can verify the recovered run decrypts to
+        the same values as a fault-free one.
+        """
+        from ..sim.config import degraded_machine, resolve_machine
+
+        run_id = run_id or f"run-{uuid.uuid4().hex[:12]}"
+        label = job or getattr(program, "name", "resilient-run")
+        schedule = fault_schedule or FaultSchedule()
+        current = resolve_machine(machine, default_chips=4)
+
+        compiled = self.session.compile(program, params, machine=current,
+                                        job=label)
+
+        # Seq-0 data checkpoint: the run's inputs, CRC-framed.  This is
+        # the frontier that survives a re-partitioning — simulator
+        # snapshots are machine-shaped and die with the machine.
+        payload: Dict[str, bytes] = {}
+        if inputs:
+            payload = Checkpoint.serialize_values(inputs, params)
+        self.store.save(Checkpoint(
+            run_id=run_id, seq=0, cycle=0, machine=current.name,
+            fingerprint=compiled.cache_key or "", payload=payload))
+        seq = 1
+        checkpoints_taken = 1
+        events: List[RecoveryEvent] = []
+        trace_entries: List[dict] = []
+
+        for attempt in range(self.max_recoveries + 1):
+            def hook(snapshot):
+                nonlocal seq, checkpoints_taken
+                self.store.save(Checkpoint(
+                    run_id=run_id, seq=seq, cycle=snapshot.cycle,
+                    machine=snapshot.machine,
+                    fingerprint=compiled.cache_key or "",
+                    frontier=dict(snapshot.frontier),
+                    payload=payload, snapshot=snapshot))
+                seq += 1
+                checkpoints_taken += 1
+
+            replay_started = time.perf_counter()
+            try:
+                result = self.session.simulate(
+                    compiled, current, job=label,
+                    fault_schedule=schedule,
+                    checkpoint_interval=self.checkpoint_interval,
+                    checkpoint_hook=hook,
+                    watchdog_s=watchdog_s)
+            except MachineFaultError as exc:
+                detected = time.perf_counter()
+                if attempt >= self.max_recoveries:
+                    raise RecoveryExhausted(
+                        f"{label}: fault on {current.name} chip "
+                        f"{exc.chip} after {attempt} recoveries "
+                        "(budget exhausted)", events=events,
+                        last_error=exc) from exc
+                restart = self.store.latest(run_id, max_cycle=exc.cycle)
+                checkpoint_cycle = restart.cycle if restart else 0
+                try:
+                    degraded = degraded_machine(current, dead_chips=1)
+                except ValueError:
+                    raise RecoveryExhausted(
+                        f"{label}: no degraded configuration left below "
+                        f"{current.name}", events=events,
+                        last_error=exc) from exc
+                recompile_started = time.perf_counter()
+                compiled = self.session.compile(
+                    program, params, machine=degraded, job=label)
+                recompile_s = time.perf_counter() - recompile_started
+                event = RecoveryEvent(
+                    fault=exc.fault.kind if exc.fault else "unknown",
+                    chip=exc.chip, cycle=exc.cycle,
+                    machine_from=current.name, machine_to=degraded.name,
+                    checkpoint_cycle=checkpoint_cycle,
+                    lost_cycles=max(0, exc.cycle - checkpoint_cycle),
+                    detection_s=detected - replay_started,
+                    recompile_s=recompile_s)
+                events.append(event)
+                trace_entries.append(self.session.record_recovery(
+                    job=label, **event.as_dict()))
+                schedule = schedule.for_survivors(
+                    [exc.chip] if exc.chip is not None else [],
+                    num_chips=degraded.num_chips)
+                current = degraded
+                continue
+            replay_s = time.perf_counter() - replay_started
+            if events:
+                # Stamp the final replay time onto the last recovery,
+                # both locally and in the already-recorded trace entry
+                # (the recorder holds the dict by reference).
+                events[-1] = RecoveryEvent(
+                    **{**events[-1].as_dict(), "replay_s": replay_s})
+                trace_entries[-1]["replay_s"] = replay_s
+            outputs = None
+            if emulate_outputs:
+                if inputs is None or context is None:
+                    raise ValueError(
+                        "emulate_outputs requires inputs and context")
+                restored = self.store.latest(run_id, max_cycle=0)
+                live = (restored.restore_values(params)
+                        if restored and restored.payload else dict(inputs))
+                outputs = compiled.emulate(live, context=context,
+                                           plaintexts=plaintexts)
+            return ResilientRunResult(
+                run_id=run_id, result=result, compiled=compiled,
+                machine=current.name, recoveries=events,
+                checkpoints_taken=checkpoints_taken, outputs=outputs)
+
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+def run_with_recovery(program, params, machine=None, **kwargs
+                      ) -> ResilientRunResult:
+    """One-shot convenience wrapper around :class:`RecoveryOrchestrator`."""
+    orchestrator = RecoveryOrchestrator()
+    return orchestrator.run(program, params, machine, **kwargs)

@@ -57,6 +57,11 @@ class CompileJob:
     sim_machine: object = None
     tag: str = ""
     name: Optional[str] = None
+    #: Machine faults to inject into the simulation (uncached when set).
+    fault_schedule: object = None
+    #: Wall-clock budget for this job's simulation (overrides the
+    #: session-wide watchdog).
+    watchdog_s: Optional[float] = None
 
     @property
     def label(self) -> str:
@@ -104,7 +109,8 @@ class CinnamonSession:
 
     def __init__(self, cache_dir=None, capacity: Optional[int] = None,
                  max_workers: Optional[int] = None,
-                 schema_version: Optional[int] = None):
+                 schema_version: Optional[int] = None,
+                 watchdog_s: Optional[float] = None):
         self._cache = CompileCache(capacity=capacity, cache_dir=cache_dir,
                                    schema_version=schema_version)
         self._sim_cache: Dict[Tuple, SimulationResult] = {}
@@ -113,6 +119,10 @@ class CinnamonSession:
         self._inflight: Dict[str, threading.Event] = {}
         self.max_workers = max_workers
         self.schema_version = self._cache.schema_version
+        #: Default wall-clock budget per simulation; a hung run raises
+        #: :class:`repro.resilience.WatchdogTimeout` instead of wedging
+        #: the worker thread.
+        self.watchdog_s = watchdog_s
 
     # ------------------------------------------------------------------ #
     # Compilation
@@ -180,32 +190,69 @@ class CinnamonSession:
     # Simulation
 
     def simulate(self, compiled: CompiledProgram, machine=None,
-                 tag: str = "", job: str = None) -> SimulationResult:
+                 tag: str = "", job: str = None, *,
+                 fault_schedule=None, checkpoint_interval: int = None,
+                 checkpoint_hook=None, resume_from=None,
+                 watchdog_s: Optional[float] = None) -> SimulationResult:
         """Cycle-simulate ``compiled`` on ``machine``, memoized per
-        (artifact, machine, tag)."""
+        (artifact, machine, tag).
+
+        The keyword-only arguments thread the fault-tolerance machinery
+        (:mod:`repro.resilience`) through the session: ``fault_schedule``
+        injects machine faults, ``checkpoint_interval``/``checkpoint_hook``
+        stream :class:`~repro.sim.simulator.SimulationSnapshot` objects
+        out mid-run, ``resume_from`` restarts from such a snapshot, and
+        ``watchdog_s`` (defaulting to the session-wide budget) bounds the
+        wall time.  Only clean, from-scratch runs hit the memo cache —
+        faulted or resumed simulations are never cached, because their
+        result depends on state outside the cache key.
+        """
         resolved = resolve_machine(
             machine if machine is not None
             else (compiled.options.machine or compiled.options.num_chips))
         token = compiled.cache_key or id(compiled)
         key = (token, resolved.name, repr(resolved.chip), tag)
         label = job or compiled.name
+        deadline = watchdog_s if watchdog_s is not None else self.watchdog_s
+        perturbed = (bool(fault_schedule) or resume_from is not None
+                     or checkpoint_hook is not None
+                     or checkpoint_interval is not None)
         started = time.perf_counter()
-        with self._lock:
-            result = self._sim_cache.get(key)
-        if result is not None:
+        if not perturbed:
+            with self._lock:
+                result = self._sim_cache.get(key)
+            if result is not None:
+                self._recorder.record_simulate(
+                    job=label, machine=resolved.name, tag=tag,
+                    cache=MEMORY_HIT,
+                    seconds=time.perf_counter() - started,
+                    result=None)
+                return result
+        try:
+            result = SimulatorEngine(resolved).run(
+                compiled.isa, fault_schedule=fault_schedule,
+                checkpoint_interval=checkpoint_interval,
+                checkpoint_hook=checkpoint_hook, resume_from=resume_from,
+                deadline_s=deadline)
+        except Exception as exc:
             self._recorder.record_simulate(
-                job=label, machine=resolved.name, tag=tag, cache=MEMORY_HIT,
-                seconds=time.perf_counter() - started,
-                result=None)
-            return result
-        result = SimulatorEngine(resolved).run(compiled.isa)
-        with self._lock:
-            self._sim_cache[key] = result
+                job=label, machine=resolved.name, tag=tag, cache=MISS,
+                seconds=time.perf_counter() - started, result=None,
+                error=f"{type(exc).__name__}: {exc}")
+            raise
+        if not perturbed:
+            with self._lock:
+                self._sim_cache[key] = result
         self._recorder.record_simulate(
             job=label, machine=resolved.name, tag=tag, cache=MISS,
             seconds=time.perf_counter() - started,
             result=result.as_dict())
         return result
+
+    def record_recovery(self, **kwargs) -> dict:
+        """Append a machine-level recovery event to the run trace (see
+        :meth:`repro.runtime.trace.TraceRecorder.record_recovery`)."""
+        return self._recorder.record_recovery(**kwargs)
 
     # ------------------------------------------------------------------ #
     # Batch execution
@@ -219,7 +266,8 @@ class CinnamonSession:
         if job.simulate and job.emit_isa:
             result = self.simulate(
                 compiled, job.sim_machine or job.machine, tag=job.tag,
-                job=job.label)
+                job=job.label, fault_schedule=job.fault_schedule,
+                watchdog_s=job.watchdog_s)
         return JobResult(job=job.label, key=compiled.cache_key,
                          cache=entry["cache"], compiled=compiled,
                          result=result)

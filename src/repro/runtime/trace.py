@@ -41,6 +41,20 @@ the session performs and renders them as a single JSON document:
           "batch_size": 5,              # size of the coalesced batch
           "cache": "miss" | "memory" | "disk" | null,
           "seconds": 0.48               # end-to-end (queue + execute)
+        },
+        {
+          "job": "bootstrap-12",        # one machine-level recovery
+          "kind": "recovery",
+          "fault": "chip_crash" | "link_sever" | "watchdog",
+          "chip": 3,                    # the die/link that failed
+          "cycle": 48210,               # simulated cycle of the failure
+          "machine_from": "Cinnamon-12",
+          "machine_to": "Cinnamon-8",   # degraded-mode target
+          "checkpoint_cycle": 40000,    # restart point (0 = from scratch)
+          "lost_cycles": 8210,          # work beyond the last checkpoint
+          "detection_s": 0.04,          # wall time to surface the fault
+          "recompile_s": 0.85,          # degraded re-partitioning compile
+          "replay_s": 0.31              # re-execution on the survivors
         }
       ]
     }
@@ -48,7 +62,9 @@ the session performs and renders them as a single JSON document:
 The ``simulate`` payload follows the stable metrics schema of
 :meth:`repro.sim.simulator.SimulationResult.as_dict` (per-FU busy cycles
 and utilization, HBM/network bytes, per-chip cycles).  ``serve`` entries
-are appended by :class:`repro.serve.CinnamonServer` (schema 2).
+are appended by :class:`repro.serve.CinnamonServer` (schema 2);
+``recovery`` entries by the fault-tolerance layer
+(:mod:`repro.resilience`, schema 3).
 """
 
 from __future__ import annotations
@@ -60,7 +76,9 @@ from typing import Dict, List, Optional
 
 #: Version of the overall trace document layout.
 #: 2: added ``kind == "serve"`` entries (the repro.serve request log).
-TRACE_SCHEMA_VERSION = 2
+#: 3: added ``kind == "recovery"`` entries (machine-level fault recovery)
+#:    and an optional ``error`` field on simulate entries.
+TRACE_SCHEMA_VERSION = 3
 
 
 class TraceRecorder:
@@ -89,7 +107,8 @@ class TraceRecorder:
 
     def record_simulate(self, *, job: str, machine: str, tag: str,
                         cache: str, seconds: float,
-                        result: Optional[dict]) -> dict:
+                        result: Optional[dict],
+                        error: Optional[str] = None) -> dict:
         entry = {
             "job": job,
             "kind": "simulate",
@@ -98,6 +117,33 @@ class TraceRecorder:
             "tag": tag,
             "seconds": seconds,
             "simulate": result,
+        }
+        if error is not None:
+            entry["error"] = error
+        self._append(entry)
+        return entry
+
+    def record_recovery(self, *, job: str, fault: str, chip: Optional[int],
+                        cycle: int, machine_from: str, machine_to: str,
+                        checkpoint_cycle: int = 0, lost_cycles: int = 0,
+                        detection_s: float = 0.0, recompile_s: float = 0.0,
+                        replay_s: Optional[float] = None) -> dict:
+        """One machine-level fault recovery (schema 3): which fault hit,
+        where execution restarted from, and where the wall time went
+        (detect -> degraded recompile -> replay on the survivors)."""
+        entry = {
+            "job": job,
+            "kind": "recovery",
+            "fault": fault,
+            "chip": chip,
+            "cycle": cycle,
+            "machine_from": machine_from,
+            "machine_to": machine_to,
+            "checkpoint_cycle": checkpoint_cycle,
+            "lost_cycles": lost_cycles,
+            "detection_s": detection_s,
+            "recompile_s": recompile_s,
+            "replay_s": replay_s,
         }
         self._append(entry)
         return entry

@@ -10,7 +10,10 @@ inference requests through a shard pool of cached
   ``max_batch`` / ``max_wait_s``;
 * per-request deadlines, retry with exponential backoff + jitter, and a
   scripted :class:`FaultInjector` (worker crash, latency spike, poisoned
-  cache entry) the robustness tests drive;
+  cache entry, mid-simulation chip crash) the robustness tests drive;
+* machine-level fault tolerance: a chip killed mid-simulation triggers a
+  degraded-mode recompile onto fewer chips (:mod:`repro.resilience`) and
+  a transparent replay — the request still resolves ``OK``;
 * a counter/gauge/histogram :class:`MetricsRegistry` with Prometheus
   text exposition and JSON snapshots, plus ``serve`` entries in the
   runtime trace schema;

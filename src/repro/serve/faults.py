@@ -3,7 +3,7 @@
 The robustness tests (and any chaos experiment) script failures against a
 live server instead of monkeypatching internals: a :class:`FaultInjector`
 is armed with a budget of faults and consulted by every shard right
-before it executes a batch.  Three fault kinds:
+before it executes a batch.  Four fault kinds:
 
 * ``crash``   — the shard dies mid-dispatch (:class:`WorkerCrashError`);
   the server restarts it with a fresh session (cold in-memory cache, the
@@ -13,6 +13,11 @@ before it executes a batch.  Three fault kinds:
 * ``poison``  — the batch's cache entry is replaced with a
   :class:`PoisonedArtifact` whose first use raises
   :class:`PoisonedCacheError`; recovery is invalidate-and-recompile.
+* ``chip_crash`` — a *machine* fault: :meth:`FaultInjector.on_dispatch`
+  returns a :class:`~repro.resilience.FaultSchedule` that kills ``chip``
+  at simulated ``cycle``, the shard threads it into the simulation, and
+  the server recovers by recompiling for the degrade ladder's next rung
+  (see :mod:`repro.resilience`).
 
 Each fault fires ``count`` times, optionally only for requests whose
 label contains ``match``; a drained injector is inert, so a recovered
@@ -25,6 +30,8 @@ import threading
 import time
 from dataclasses import dataclass, field
 from typing import List, Optional
+
+from ..resilience.faults import FaultSchedule
 
 
 class InjectedFault(RuntimeError):
@@ -56,10 +63,12 @@ class PoisonedArtifact:
 class Fault:
     """One scripted failure with a firing budget."""
 
-    kind: str                  # "crash" | "latency" | "poison"
+    kind: str                  # "crash" | "latency" | "poison" | "chip_crash"
     count: int = 1
     match: str = ""            # substring of a request label; "" = any
     latency_s: float = 0.05
+    chip: int = 0              # chip_crash: which die dies ...
+    cycle: int = 1000          # ... and at which simulated cycle
 
 
 @dataclass
@@ -70,7 +79,8 @@ class FaultInjector:
 
     def __post_init__(self):
         self._lock = threading.Lock()
-        self.injected = {"crash": 0, "latency": 0, "poison": 0}
+        self.injected = {"crash": 0, "latency": 0, "poison": 0,
+                         "chip_crash": 0}
 
     # ------------------------- fluent builders ------------------------ #
 
@@ -86,6 +96,14 @@ class FaultInjector:
 
     def poison(self, count: int = 1, match: str = "") -> "FaultInjector":
         self.faults.append(Fault("poison", count=count, match=match))
+        return self
+
+    def chip_crash(self, chip: int = 0, cycle: int = 1000, count: int = 1,
+                   match: str = "") -> "FaultInjector":
+        """Kill ``chip`` at simulated ``cycle`` during the next matching
+        batch; the server recovers by degrading to fewer chips."""
+        self.faults.append(Fault("chip_crash", count=count, match=match,
+                                 chip=chip, cycle=cycle))
         return self
 
     # ------------------------------------------------------------------ #
@@ -104,23 +122,31 @@ class FaultInjector:
                 return fault
         return None
 
-    def on_dispatch(self, shard_id: int, batch, session) -> None:
+    def on_dispatch(self, shard_id: int, batch,
+                    session) -> Optional[FaultSchedule]:
         """Called by a shard before each execution attempt of ``batch``.
 
         May sleep (latency), corrupt the shard's cache entry for the
-        batch (poison), or raise :class:`WorkerCrashError` (crash).
+        batch (poison), raise :class:`WorkerCrashError` (crash), or
+        return a :class:`~repro.resilience.FaultSchedule` the shard must
+        thread into the simulation (chip_crash).  Returns ``None`` for
+        everything but chip_crash.
         """
         fault = self._take(batch)
         if fault is None:
-            return
+            return None
         if fault.kind == "latency":
             time.sleep(fault.latency_s)
         elif fault.kind == "poison":
             session._cache.put(batch.fingerprint, PoisonedArtifact())
+        elif fault.kind == "chip_crash":
+            return FaultSchedule().chip_crash(chip=fault.chip,
+                                              cycle=fault.cycle)
         elif fault.kind == "crash":
             raise WorkerCrashError(
                 f"injected crash of shard {shard_id} while dispatching "
                 f"{len(batch)} request(s)")
+        return None
 
     def remaining(self) -> int:
         with self._lock:

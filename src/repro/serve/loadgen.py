@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..workloads.serving import MixEntry, serving_mix
+from .faults import FaultInjector
 from .metrics import MetricsRegistry
 from .queue import QueueSaturatedError
 from .request import InferenceRequest, Priority, RequestResult, RequestStatus
@@ -59,6 +60,7 @@ class LoadReport:
     batch: Dict[str, float] = field(default_factory=dict)
     cache: Dict[str, float] = field(default_factory=dict)
     per_class: Dict[str, int] = field(default_factory=dict)
+    chaos: Dict[str, int] = field(default_factory=dict)
 
     @property
     def failed(self) -> int:
@@ -73,7 +75,7 @@ class LoadReport:
             "throughput_rps": self.throughput_rps, "counts": self.counts,
             "latency_s": self.latency, "queue_wait_s": self.queue_wait,
             "batch": self.batch, "cache": self.cache,
-            "per_class": self.per_class,
+            "per_class": self.per_class, "chaos": self.chaos,
         }
 
     def render(self) -> str:
@@ -98,6 +100,9 @@ class LoadReport:
             "  per class     " + "  ".join(
                 f"{k}={v}" for k, v in sorted(self.per_class.items())),
         ]
+        if self.chaos:
+            lines.append("  chaos         " + "  ".join(
+                f"{k}={v}" for k, v in sorted(self.chaos.items())))
         return "\n".join(lines)
 
 
@@ -195,6 +200,13 @@ def _histogram_summary(metrics: MetricsRegistry, name: str) -> dict:
     return dict(snap["series"][0]["value"])
 
 
+def _counter_value(metrics: MetricsRegistry, name: str) -> int:
+    snap = metrics.snapshot().get(name)
+    if not snap or not snap["series"]:
+        return 0
+    return int(sum(series["value"] for series in snap["series"]))
+
+
 def build_report(server: CinnamonServer, results: Sequence[RequestResult],
                  duration_s: float, *, mode: str, machine: str,
                  scale: str, offered: int,
@@ -222,6 +234,16 @@ def build_report(server: CinnamonServer, results: Sequence[RequestResult],
         cache={"hits": hits, "lookups": lookups,
                "hit_rate": hits / lookups if lookups else 0.0},
         per_class=dict(per_class),
+        chaos={
+            "chip_failures": _counter_value(
+                server.metrics, "serve_chip_failures_total"),
+            "recoveries": _counter_value(
+                server.metrics, "serve_recoveries_total"),
+            "watchdog_timeouts": _counter_value(
+                server.metrics, "serve_watchdog_timeouts_total"),
+            "worker_restarts": _counter_value(
+                server.metrics, "serve_worker_restarts_total"),
+        },
     )
 
 
@@ -262,6 +284,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--deadline", type=float, default=None,
                         help="per-request deadline, seconds")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--chaos-chip-crash", type=int, default=0,
+                        metavar="N",
+                        help="kill a chip mid-simulation in N batches; "
+                             "the server must recover via degraded-mode "
+                             "recompilation with zero lost requests")
+    parser.add_argument("--chaos-chip", type=int, default=None,
+                        help="which die dies (default: last chip of "
+                             "--machine)")
+    parser.add_argument("--chaos-cycle", type=int, default=1000,
+                        help="simulated cycle at which the chip dies")
+    parser.add_argument("--watchdog", type=float, default=None,
+                        help="per-simulation wall-clock budget, seconds")
     parser.add_argument("--metrics-out", default=None,
                         help="write the metrics JSON snapshot here")
     parser.add_argument("--trace-out", default=None,
@@ -272,10 +306,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     mix = serving_mix(args.scale,
                       weights=parse_mix_weights(args.mix) or None)
+    faults = None
+    if args.chaos_chip_crash > 0:
+        from ..sim.config import resolve_machine
+
+        chip = args.chaos_chip
+        if chip is None:
+            chip = resolve_machine(args.machine).num_chips - 1
+        faults = FaultInjector().chip_crash(
+            chip=chip, cycle=args.chaos_cycle, count=args.chaos_chip_crash)
     server = CinnamonServer(
         num_workers=args.workers, queue_depth=args.queue_depth,
         max_batch=args.max_batch, max_wait_s=args.max_wait,
-        default_machine=args.machine, seed=args.seed)
+        default_machine=args.machine, seed=args.seed, faults=faults,
+        watchdog_s=args.watchdog)
     generator = LoadGenerator(server, mix, seed=args.seed,
                               deadline_s=args.deadline)
 

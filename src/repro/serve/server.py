@@ -38,12 +38,13 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..resilience.faults import MachineFaultError, WatchdogTimeout
 from ..runtime.cache import DISK_HIT, MEMORY_HIT
 from ..runtime.fingerprint import fingerprint
 from ..runtime.session import CinnamonSession, CompileJob, \
     resolve_request_options
 from ..runtime.trace import TraceRecorder
-from ..sim.config import resolve_machine
+from ..sim.config import degraded_machine, resolve_machine
 from .batcher import AdaptiveBatcher, Batch
 from .faults import FaultInjector, NO_FAULTS, PoisonedArtifact, \
     PoisonedCacheError, WorkerCrashError
@@ -96,7 +97,8 @@ class CinnamonServer:
                  cache_dir=None, capacity: Optional[int] = None,
                  session_factory: Optional[Callable[[int], CinnamonSession]]
                  = None, metrics: Optional[MetricsRegistry] = None,
-                 seed: int = 0):
+                 seed: int = 0, max_recoveries: int = 2,
+                 watchdog_s: Optional[float] = None):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.num_workers = num_workers
@@ -106,9 +108,17 @@ class CinnamonServer:
         self.request_timeout_s = request_timeout_s
         self.default_machine = default_machine
         self.faults = faults or NO_FAULTS
+        #: Degrade-ladder descents allowed per batch after chip failures
+        #: (these do NOT consume regular retries: losing a die is a
+        #: machine event, not a transient).
+        self.max_recoveries = max_recoveries
+        #: Per-simulation wall-clock budget; a hung run resolves as a
+        #: watchdog timeout instead of wedging a shard forever.
+        self.watchdog_s = watchdog_s
         self._session_factory = session_factory or (
             lambda shard_id: CinnamonSession(cache_dir=cache_dir,
-                                             capacity=capacity))
+                                             capacity=capacity,
+                                             watchdog_s=watchdog_s))
         self._shards = [_Shard(i, self._session_factory(i))
                         for i in range(num_workers)]
         self._queue = AdmissionQueue(maxsize=queue_depth)
@@ -139,6 +149,15 @@ class CinnamonServer:
         self._poisoned_total = m.counter(
             "serve_cache_poisoned_total",
             "Poisoned cache artifacts detected and invalidated.")
+        self._chip_failures_total = m.counter(
+            "serve_chip_failures_total",
+            "Machine-level chip/link failures surfaced by simulations.")
+        self._recoveries_total = m.counter(
+            "serve_recoveries_total",
+            "Successful degraded-mode recoveries after a chip failure.")
+        self._watchdog_total = m.counter(
+            "serve_watchdog_timeouts_total",
+            "Simulations cancelled by the per-run watchdog deadline.")
         self._batches_total = m.counter(
             "serve_batches_total", "Batches dispatched to shards.")
         self._queue_depth = m.gauge(
@@ -319,7 +338,12 @@ class CinnamonServer:
     def _execute_batch_inner(self, shard: _Shard, batch: Batch) -> None:
         pending = list(batch.requests)
         last_error: Optional[Exception] = None
-        for attempt in range(1, self.max_retries + 2):
+        machine_override = None       # degraded machine after a chip loss
+        recoveries = 0
+        recovery_entry: Optional[dict] = None
+        attempt = 0
+        while attempt <= self.max_retries:
+            attempt += 1
             now = time.monotonic()
             live = []
             for request in pending:
@@ -334,11 +358,16 @@ class CinnamonServer:
                 return
             exec_start = time.monotonic()
             try:
-                self.faults.on_dispatch(shard.id, batch, shard.session)
+                schedule = self.faults.on_dispatch(shard.id, batch,
+                                                   shard.session)
                 jobs = [CompileJob(program=r.program, params=r.params,
-                                   machine=r.machine, options=r.options,
+                                   machine=machine_override
+                                   if machine_override is not None
+                                   else r.machine,
+                                   options=r.options,
                                    simulate=r.simulate, tag=r.tag,
-                                   name=r.label)
+                                   name=r.label, fault_schedule=schedule,
+                                   watchdog_s=self.watchdog_s)
                         for r in pending]
                 results = shard.session.run_batch(
                     jobs, max_workers=min(4, len(jobs)))
@@ -346,6 +375,39 @@ class CinnamonServer:
                     if isinstance(job_result.compiled, PoisonedArtifact):
                         raise PoisonedCacheError(
                             f"poisoned artifact for {job_result.job!r}")
+            except MachineFaultError as exc:
+                # A die (or link) died mid-simulation.  This is a machine
+                # event, not a transient: recompile the batch for the
+                # degrade ladder's next rung and replay — without
+                # consuming a regular retry.  The injector's budget was
+                # spent on the faulted attempt, so the replay runs clean.
+                last_error = exc
+                self._chip_failures_total.inc()
+                if recoveries < self.max_recoveries:
+                    try:
+                        degraded = degraded_machine(
+                            exc.machine or machine_override
+                            or pending[0].machine_name)
+                    except ValueError:
+                        pass      # out of rungs: fall through to retries
+                    else:
+                        recoveries += 1
+                        self._recoveries_total.inc()
+                        detection_s = time.monotonic() - exec_start
+                        recovery_entry = self._recorder.record_recovery(
+                            job=batch.requests[0].label,
+                            fault=(exc.fault.kind if exc.fault
+                                   else "chip_crash"),
+                            chip=exc.chip, cycle=exc.cycle,
+                            machine_from=exc.machine or "",
+                            machine_to=degraded.name,
+                            detection_s=detection_s)
+                        machine_override = degraded
+                        attempt -= 1
+                        continue
+            except WatchdogTimeout as exc:
+                last_error = exc
+                self._watchdog_total.inc()
             except WorkerCrashError as exc:
                 last_error = exc
                 self._restarts_total.inc()
@@ -358,6 +420,10 @@ class CinnamonServer:
                 last_error = exc
             else:
                 done = time.monotonic()
+                if recovery_entry is not None:
+                    # Stamp how long the successful replay took onto the
+                    # recovery trace entry (held by reference).
+                    recovery_entry["replay_s"] = done - exec_start
                 for request, job_result in zip(pending, results):
                     if request.expired(done):
                         # Deadline lapsed mid-execution (e.g. a latency

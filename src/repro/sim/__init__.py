@@ -18,10 +18,17 @@ from .config import (
     CINNAMON_8,
     CINNAMON_12,
     CINNAMON_M,
+    DEGRADE_LADDER,
     config_for,
+    degraded_machine,
     resolve_machine,
 )
-from .simulator import CycleSimulator, SimulationResult, SimulatorEngine
+from .simulator import (
+    CycleSimulator,
+    SimulationResult,
+    SimulationSnapshot,
+    SimulatorEngine,
+)
 
 __all__ = [
     "ChipConfig",
@@ -31,9 +38,12 @@ __all__ = [
     "CINNAMON_8",
     "CINNAMON_12",
     "CINNAMON_M",
+    "DEGRADE_LADDER",
     "config_for",
+    "degraded_machine",
     "resolve_machine",
     "CycleSimulator",
     "SimulatorEngine",
     "SimulationResult",
+    "SimulationSnapshot",
 ]

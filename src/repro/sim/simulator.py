@@ -10,24 +10,40 @@ topology makes it carry.
 
 This is the same abstraction level as the paper's SST-based simulator
 (Section 6): per-instruction FU occupancy + bandwidth accounting, not RTL.
+
+Machine-level robustness (:mod:`repro.resilience`) hooks in here: a
+:class:`~repro.resilience.faults.FaultSchedule` can kill a chip or degrade
+a link/cluster at a scheduled cycle (fatal faults raise
+:class:`~repro.resilience.faults.ChipFailure` /
+:class:`~repro.resilience.faults.LinkFailure` with per-chip progress), the
+engine can snapshot its full execution state at a cycle interval
+(checkpoint) and resume from such a snapshot, and a wall-clock deadline
+turns a hung simulation into a :class:`~repro.resilience.faults.WatchdogTimeout`
+instead of a wedged worker thread.
 """
 
 from __future__ import annotations
 
 import math
+import time
 import warnings
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..core.isa.instructions import (
     COL, LD, MOV, RCV, SND, ST, VADD, VAUTO, VBCV, VINTT, VMUL, VMULC, VNEG,
     VNTT, VPRNG, VRSV, VSUB,
 )
+from ..resilience.faults import (
+    CHIP_CRASH, CLUSTER_SLOW, LINK_DEGRADE, LINK_SEVER,
+    ChipFailure, FaultSchedule, LinkFailure, MachineFault, WatchdogTimeout,
+)
 from .config import MachineConfig, resolve_machine
 
 #: Version of the dict layout produced by :meth:`SimulationResult.as_dict`.
 #: Bump when keys are renamed/removed so trace consumers can detect drift.
+#: (``events`` was added additively; the version stays 1.)
 METRICS_SCHEMA_VERSION = 1
 
 _FU_CLASS = {
@@ -59,6 +75,9 @@ class SimulationResult:
     hbm_bytes: int
     network_bytes: int
     per_chip_cycles: Dict[int, int] = field(default_factory=dict)
+    #: Non-fatal machine events applied during the run (link degradations,
+    #: cluster slowdowns) as ``{"kind", "chip", "cycle", "factor"}`` dicts.
+    events: List[dict] = field(default_factory=list)
 
     @property
     def seconds(self) -> float:
@@ -105,7 +124,36 @@ class SimulationResult:
             "utilization": self.utilization(),
             "per_chip_cycles": {str(cid): cyc for cid, cyc
                                 in sorted(self.per_chip_cycles.items())},
+            "events": list(self.events),
         }
+
+
+@dataclass
+class SimulationSnapshot:
+    """The complete execution state of an in-flight simulation.
+
+    Plain picklable data — per-chip program counters, register ready
+    times, functional-unit and bandwidth occupancy, collective
+    rendezvous bookkeeping — captured at a checkpoint boundary.  Passing
+    it back via ``run(resume_from=...)`` continues the run bit-identically
+    to one that was never interrupted (the restore test pins this).
+    """
+
+    machine: str
+    cycle: int                      # global frontier at capture time
+    instructions: int
+    chips: Dict[int, dict]          # per-chip mutable state
+    col_posted: Dict[int, List[int]]
+    col_complete: Dict[tuple, Optional[int]]
+    col_bytes: Dict[int, int]
+    snd_ready: Dict[int, int]
+    events: List[dict] = field(default_factory=list)
+    applied_faults: List[tuple] = field(default_factory=list)
+
+    @property
+    def frontier(self) -> Dict[int, int]:
+        """Instruction frontier: chip id -> next program counter."""
+        return {cid: state["pc"] for cid, state in self.chips.items()}
 
 
 class _FuPool:
@@ -140,6 +188,17 @@ class _Bandwidth:
         self.bytes_moved += int(nbytes)
         return start + duration  # completion time
 
+    def state(self) -> dict:
+        return {"bytes_per_cycle": self.bytes_per_cycle,
+                "free_at": self.free_at, "busy_cycles": self.busy_cycles,
+                "bytes_moved": self.bytes_moved}
+
+    def restore(self, state: dict) -> None:
+        self.bytes_per_cycle = state["bytes_per_cycle"]
+        self.free_at = state["free_at"]
+        self.busy_cycles = state["busy_cycles"]
+        self.bytes_moved = state["bytes_moved"]
+
 
 class _ChipState:
     def __init__(self, chip_id: int, stream, config):
@@ -153,10 +212,40 @@ class _ChipState:
         self.hbm = _Bandwidth(config.hbm_bytes_per_cycle)
         self.link = _Bandwidth(config.link_bytes_per_cycle)
         self.finish = 0
+        self.occupancy_scale = 1.0   # >1 after a cluster_slow fault
 
     @property
     def done(self):
         return self.pc >= len(self.stream)
+
+    def state(self) -> dict:
+        return {
+            "pc": self.pc,
+            "issue_time": self.issue_time,
+            "finish": self.finish,
+            "occupancy_scale": self.occupancy_scale,
+            "reg_ready": dict(self.reg_ready),
+            "fus": {name: (list(pool.free_at), pool.busy_cycles)
+                    for name, pool in self.fus.items()},
+            "hbm": self.hbm.state(),
+            "link": self.link.state(),
+        }
+
+    def restore(self, state: dict) -> None:
+        self.pc = state["pc"]
+        self.issue_time = state["issue_time"]
+        self.finish = state["finish"]
+        self.occupancy_scale = state["occupancy_scale"]
+        self.reg_ready = defaultdict(int, state["reg_ready"])
+        for name, (free_at, busy) in state["fus"].items():
+            self.fus[name].free_at = list(free_at)
+            self.fus[name].busy_cycles = busy
+        self.hbm.restore(state["hbm"])
+        self.link.restore(state["link"])
+
+
+def _fault_key(fault: MachineFault) -> tuple:
+    return (fault.kind, fault.chip, fault.cycle, fault.factor)
 
 
 class SimulatorEngine:
@@ -173,7 +262,26 @@ class SimulatorEngine:
 
     # ------------------------------------------------------------------ #
 
-    def run(self, isa_module) -> SimulationResult:
+    def run(self, isa_module, *,
+            fault_schedule: Optional[FaultSchedule] = None,
+            checkpoint_interval: Optional[int] = None,
+            checkpoint_hook: Optional[Callable[[SimulationSnapshot], None]]
+            = None,
+            resume_from: Optional[SimulationSnapshot] = None,
+            deadline_s: Optional[float] = None) -> SimulationResult:
+        """Simulate ``isa_module``; optionally faulted/checkpointed.
+
+        * ``fault_schedule`` — machine faults to apply; fatal ones raise
+          :class:`ChipFailure`/:class:`LinkFailure` mid-run.
+        * ``checkpoint_interval`` + ``checkpoint_hook`` — every time the
+          global cycle frontier crosses a multiple of the interval, a
+          :class:`SimulationSnapshot` is passed to the hook.
+        * ``resume_from`` — continue a previous run from its snapshot
+          (must be the same machine and program shape).
+        * ``deadline_s`` — wall-clock budget; exceeded -> raise
+          :class:`WatchdogTimeout` (cooperative cancellation between
+          simulation rounds, so the worker thread exits cleanly).
+        """
         machine = self.machine
         chip_cfg = machine.chip
         streams = isa_module.streams
@@ -184,7 +292,7 @@ class SimulatorEngine:
         # Collective bookkeeping: (cid, ...) -> contribution ready times.
         col_posted: Dict[int, List[int]] = defaultdict(list)
         col_expected: Dict[int, int] = defaultdict(int)
-        col_complete: Dict[int, Optional[int]] = {}
+        col_complete: Dict[tuple, Optional[int]] = {}
         col_bytes: Dict[int, int] = defaultdict(int)
         snd_ready: Dict[int, int] = {}
         rcv_expected: Dict[int, int] = defaultdict(int)
@@ -195,21 +303,100 @@ class SimulatorEngine:
                 elif ins.opcode == RCV:
                     rcv_expected[ins.attrs["cid"]] += 1
 
+        events: List[dict] = []
+        applied: set = set()
+        instructions = 0
+        if resume_from is not None:
+            if resume_from.machine != machine.name:
+                raise ValueError(
+                    f"snapshot was taken on {resume_from.machine!r}, "
+                    f"cannot resume on {machine.name!r}")
+            if set(resume_from.chips) != set(chips):
+                raise ValueError("snapshot chip set does not match program")
+            for cid, state in resume_from.chips.items():
+                chips[cid].restore(state)
+            col_posted = defaultdict(
+                list, {k: list(v) for k, v in resume_from.col_posted.items()})
+            col_complete = dict(resume_from.col_complete)
+            col_bytes = defaultdict(int, resume_from.col_bytes)
+            snd_ready = dict(resume_from.snd_ready)
+            events = list(resume_from.events)
+            applied = set(map(tuple, resume_from.applied_faults))
+            instructions = resume_from.instructions
+
+        pending_faults: List[MachineFault] = []
+        if fault_schedule is not None:
+            pending_faults = [f for f in fault_schedule.faults
+                              if _fault_key(f) not in applied]
+
         limb_bytes = chip_cfg.limb_bytes
         occupancies = {
             op: chip_cfg.occupancy(cls) for op, cls in _FU_CLASS.items()
         }
         latency = chip_cfg.pipeline_latency
+        started_wall = time.monotonic()
+        next_checkpoint = None
+        if checkpoint_interval:
+            next_checkpoint = checkpoint_interval
+            if resume_from is not None:
+                next_checkpoint = (
+                    (resume_from.cycle // checkpoint_interval) + 1
+                ) * checkpoint_interval
+
+        def frontier_cycle() -> int:
+            active = [c.finish for c in chips.values() if not c.done]
+            return min(active) if active else max(
+                (c.finish for c in chips.values()), default=0)
+
+        def apply_faults(chip: Optional[_ChipState], now: int) -> None:
+            """Fire every pending fault due at ``now`` (for ``chip`` or,
+            with ``chip=None``, for any chip — the end-of-round sweep that
+            catches blocked/idle victims)."""
+            for fault in list(pending_faults):
+                if fault.cycle > now:
+                    continue
+                if chip is not None and fault.chip != chip.id:
+                    continue
+                if fault.chip not in chips:
+                    pending_faults.remove(fault)
+                    continue
+                pending_faults.remove(fault)
+                applied.add(_fault_key(fault))
+                victim = chips[fault.chip]
+                if fault.kind == LINK_DEGRADE:
+                    victim.link.bytes_per_cycle = max(
+                        1e-9, victim.link.bytes_per_cycle * fault.factor)
+                    events.append({"kind": fault.kind, "chip": fault.chip,
+                                   "cycle": fault.cycle,
+                                   "factor": fault.factor})
+                elif fault.kind == CLUSTER_SLOW:
+                    victim.occupancy_scale *= fault.factor
+                    events.append({"kind": fault.kind, "chip": fault.chip,
+                                   "cycle": fault.cycle,
+                                   "factor": fault.factor})
+                else:
+                    exc_cls = (ChipFailure if fault.kind == CHIP_CRASH
+                               else LinkFailure)
+                    raise exc_cls(
+                        f"{fault.kind} on chip {fault.chip} of "
+                        f"{machine.name} at cycle {fault.cycle}",
+                        chip=fault.chip, cycle=fault.cycle,
+                        machine=machine.name,
+                        progress={c.id: c.pc for c in chips.values()},
+                        per_chip_cycles={c.id: c.finish
+                                         for c in chips.values()},
+                        fault=fault)
 
         # Round-robin over chips, blocking on unresolved collectives,
         # mirroring the emulator's execution discipline.
-        instructions = 0
         while True:
             progress = False
             all_done = True
             for chip in chips.values():
                 steps = 0
                 while not chip.done and steps < 10000:
+                    if pending_faults:
+                        apply_faults(chip, chip.finish)
                     if not self._step(chip, chips, col_posted, col_expected,
                                       col_complete, col_bytes, snd_ready,
                                       occupancies, latency, limb_bytes):
@@ -218,6 +405,28 @@ class SimulatorEngine:
                     steps += 1
                     progress = True
                 all_done = all_done and chip.done
+            now = frontier_cycle()
+            if pending_faults:
+                # Sweep for victims that are blocked or already done
+                # locally while the rest of the machine crossed the
+                # fault cycle.
+                apply_faults(None, now)
+            if next_checkpoint is not None and checkpoint_hook is not None \
+                    and now >= next_checkpoint:
+                snapshot = self._snapshot(chips, col_posted, col_complete,
+                                          col_bytes, snd_ready, events,
+                                          applied, instructions, now)
+                checkpoint_hook(snapshot)
+                while next_checkpoint <= now:
+                    next_checkpoint += checkpoint_interval
+            if deadline_s is not None:
+                elapsed = time.monotonic() - started_wall
+                if elapsed > deadline_s:
+                    raise WatchdogTimeout(
+                        f"simulation on {machine.name} exceeded its "
+                        f"{deadline_s:.3f}s deadline after {elapsed:.3f}s",
+                        deadline_s=deadline_s, elapsed_s=elapsed,
+                        machine=machine.name)
             if all_done:
                 break
             if not progress:
@@ -243,6 +452,25 @@ class SimulatorEngine:
             hbm_bytes=sum(c.hbm.bytes_moved for c in chips.values()),
             network_bytes=sum(c.link.bytes_moved for c in chips.values()),
             per_chip_cycles={c.id: c.finish for c in chips.values()},
+            events=events,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _snapshot(self, chips, col_posted, col_complete, col_bytes,
+                  snd_ready, events, applied, instructions,
+                  cycle: int) -> SimulationSnapshot:
+        return SimulationSnapshot(
+            machine=self.machine.name,
+            cycle=cycle,
+            instructions=instructions,
+            chips={cid: chip.state() for cid, chip in chips.items()},
+            col_posted={k: list(v) for k, v in col_posted.items()},
+            col_complete=dict(col_complete),
+            col_bytes=dict(col_bytes),
+            snd_ready=dict(snd_ready),
+            events=list(events),
+            applied_faults=sorted(applied),
         )
 
     # ------------------------------------------------------------------ #
@@ -263,6 +491,9 @@ class SimulatorEngine:
             # the previous output limb, so each vbcv is charged only its
             # stage-2 pass (at the BCU's halved lane count).
             occupancy = occupancies[op]
+            if chip.occupancy_scale != 1.0:
+                occupancy = max(1, int(math.ceil(
+                    occupancy * chip.occupancy_scale)))
             start = pool.reserve(earliest, occupancy)
             done = start + occupancy + latency
             if ins.dest is not None:

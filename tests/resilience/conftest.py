@@ -1,0 +1,33 @@
+"""Shared fixtures: a small symbolic program compiled for several
+machine sizes (compilation dominates these tests' runtime)."""
+
+import pytest
+
+from repro.core import CinnamonProgram
+from repro.fhe import ArchParams
+from repro.runtime import CinnamonSession
+
+PARAMS = ArchParams(max_level=12)
+
+
+def build_program(name="resilience-prog"):
+    prog = CinnamonProgram(name, level=12)
+    a, b = prog.input("a"), prog.input("b")
+    c = a * b
+    prog.output("y", c.rotate(1) + c.rotate(2) + c.rotate(3))
+    return prog
+
+
+@pytest.fixture(scope="module")
+def session():
+    return CinnamonSession()
+
+
+@pytest.fixture(scope="module")
+def compiled_4(session):
+    return session.compile(build_program(), PARAMS, machine="cinnamon_4")
+
+
+@pytest.fixture(scope="module")
+def compiled_12(session):
+    return session.compile(build_program(), PARAMS, machine="cinnamon_12")

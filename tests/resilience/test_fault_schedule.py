@@ -1,0 +1,138 @@
+"""Fault schedules: determinism, non-fatal degradation, yield sampling."""
+
+import pytest
+
+from repro.resilience import (
+    CHIP_CRASH,
+    ChipFailure,
+    FaultSchedule,
+    LinkFailure,
+    MachineFault,
+    NO_MACHINE_FAULTS,
+)
+from repro.sim import CINNAMON_4, DEGRADE_LADDER, SimulatorEngine, degraded_machine
+from repro.sim.config import config_for
+
+
+class TestSchedule:
+    def test_fluent_builders(self):
+        sched = FaultSchedule().chip_crash(3, 1000) \
+                               .link_degrade(1, 500, factor=0.25) \
+                               .cluster_slow(0, 200, factor=2.0)
+        assert len(sched) == 3
+        assert bool(sched)
+        assert not NO_MACHINE_FAULTS
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            MachineFault("meteor_strike", 0, 100)
+
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            MachineFault(CHIP_CRASH, 0, -1)
+
+    def test_signature_is_stable_and_order_free(self):
+        a = FaultSchedule().chip_crash(1, 100).link_degrade(0, 50)
+        b = FaultSchedule().link_degrade(0, 50).chip_crash(1, 100)
+        assert a.signature() == b.signature()
+        assert NO_MACHINE_FAULTS.signature() == "clean"
+
+    def test_for_survivors_drops_dead_and_out_of_range(self):
+        sched = FaultSchedule().chip_crash(9, 100).chip_crash(3, 200) \
+                               .cluster_slow(5, 50)
+        surv = sched.for_survivors([9], num_chips=8)
+        kinds = {(f.kind, f.chip) for f in surv.faults}
+        assert ("chip_crash", 9) not in kinds
+        assert ("chip_crash", 3) in kinds
+        assert ("cluster_slow", 5) in kinds
+
+    def test_yield_model_deterministic_per_seed(self):
+        a = FaultSchedule.from_yield_model("cinnamon_12", 10**6, seed=5,
+                                           defect_scale=3.0)
+        b = FaultSchedule.from_yield_model("cinnamon_12", 10**6, seed=5,
+                                           defect_scale=3.0)
+        assert a.signature() == b.signature()
+
+    def test_yield_model_scales_with_defects(self):
+        none = FaultSchedule.from_yield_model("cinnamon_12", 10**6, seed=1,
+                                              defect_scale=0.0)
+        forced = FaultSchedule.from_yield_model("cinnamon_12", 10**6,
+                                                seed=1, defect_scale=1e6)
+        assert len(none) == 0
+        assert len(forced) == 12
+
+
+class TestInjection:
+    def test_chip_crash_raises_at_scheduled_cycle(self, compiled_4):
+        clean = SimulatorEngine(CINNAMON_4).run(compiled_4.isa)
+        sched = FaultSchedule().chip_crash(2, clean.cycles // 2)
+        with pytest.raises(ChipFailure) as info:
+            SimulatorEngine(CINNAMON_4).run(compiled_4.isa,
+                                            fault_schedule=sched)
+        assert info.value.chip == 2
+        assert info.value.cycle == clean.cycles // 2
+        assert info.value.machine == "Cinnamon-4"
+        assert set(info.value.progress) == {0, 1, 2, 3}
+        assert info.value.completed_instructions > 0
+
+    def test_replay_is_deterministic(self, compiled_4):
+        sched = FaultSchedule().chip_crash(1, 5000)
+        seen = []
+        for _ in range(2):
+            with pytest.raises(ChipFailure) as info:
+                SimulatorEngine(CINNAMON_4).run(compiled_4.isa,
+                                                fault_schedule=sched)
+            seen.append((info.value.cycle, info.value.chip,
+                         info.value.completed_instructions))
+        assert seen[0] == seen[1]
+
+    def test_link_sever_raises_link_failure(self, compiled_4):
+        sched = FaultSchedule().link_sever(0, 1000)
+        with pytest.raises(LinkFailure):
+            SimulatorEngine(CINNAMON_4).run(compiled_4.isa,
+                                            fault_schedule=sched)
+
+    def test_link_degrade_slows_but_completes(self, compiled_4):
+        clean = SimulatorEngine(CINNAMON_4).run(compiled_4.isa)
+        sched = FaultSchedule().link_degrade(0, 0, factor=0.05)
+        slow = SimulatorEngine(CINNAMON_4).run(compiled_4.isa,
+                                               fault_schedule=sched)
+        assert slow.cycles > clean.cycles
+        assert slow.instructions == clean.instructions
+        assert slow.events == [{"kind": "link_degrade", "chip": 0,
+                                "cycle": 0, "factor": 0.05}]
+
+    def test_cluster_slow_slows_but_completes(self, compiled_4):
+        clean = SimulatorEngine(CINNAMON_4).run(compiled_4.isa)
+        sched = FaultSchedule().cluster_slow(1, 0, factor=4.0)
+        slow = SimulatorEngine(CINNAMON_4).run(compiled_4.isa,
+                                               fault_schedule=sched)
+        assert slow.cycles > clean.cycles
+        assert slow.instructions == clean.instructions
+
+    def test_empty_schedule_identical_to_clean(self, compiled_4):
+        clean = SimulatorEngine(CINNAMON_4).run(compiled_4.isa)
+        noop = SimulatorEngine(CINNAMON_4).run(
+            compiled_4.isa, fault_schedule=NO_MACHINE_FAULTS)
+        assert noop.cycles == clean.cycles
+        assert noop.instructions == clean.instructions
+
+
+class TestDegradeLadder:
+    def test_ladder_descends_paper_configs(self):
+        assert degraded_machine("cinnamon_12").num_chips == 8
+        assert degraded_machine("cinnamon_8").num_chips == 4
+        assert degraded_machine(4).num_chips == 2
+        assert degraded_machine(2).num_chips == 1
+
+    def test_single_chip_has_no_spares(self):
+        with pytest.raises(ValueError):
+            degraded_machine(1)
+
+    def test_multi_chip_loss_skips_rungs(self):
+        assert degraded_machine("cinnamon_12", dead_chips=5).num_chips == 4
+
+    def test_ladder_matches_paper_configs(self):
+        assert DEGRADE_LADDER == (12, 8, 4, 2, 1)
+        for rung in DEGRADE_LADDER:
+            assert config_for(rung).num_chips == rung
