@@ -13,6 +13,11 @@ Public surface:
   (:class:`~repro.serve.CinnamonServer` / :func:`repro.serve_requests`):
   admission queue, adaptive batching, retries + fault injection,
   metrics, and the ``python -m repro.serve.loadgen`` load generator;
+* :mod:`repro.tune` — simulator-guided autotuning of compiler & machine
+  configuration (:class:`~repro.tune.Tuner`, persisted
+  :class:`~repro.tune.TuningDB`, ``python -m repro.tune`` CLI); tuned
+  configs apply via ``repro.compile(tune=...)`` and
+  ``CinnamonServer(tuned=True)``;
 * :mod:`repro.resilience` — machine-level fault tolerance: seeded fault
   injection (:class:`~repro.resilience.FaultSchedule`), CRC-validated
   checkpoints, and degraded-mode recovery
@@ -39,7 +44,8 @@ __version__ = "1.2.0"
 from . import fhe  # noqa: F401  (cheap; pulls numpy only)
 
 
-def compile(program, params, machine=None, session=None, **options):
+def compile(program, params, machine=None, session=None, tune=None,
+            **options):
     """Compile a DSL program through the default cached runtime session.
 
     ``machine`` accepts a name (``"cinnamon_4"``), a chip count, or a
@@ -49,11 +55,16 @@ def compile(program, params, machine=None, session=None, **options):
     requests are served from the process-wide content-addressed cache.
     Pass an explicit :class:`~repro.runtime.CinnamonSession` via
     ``session`` for on-disk caching, batch execution, and trace export.
+
+    ``tune`` swaps in an autotuned configuration (see :mod:`repro.tune`):
+    ``"db"``/``True`` applies a persisted :class:`~repro.tune.TuningDB`
+    entry when one matches, ``"quick"``/``"full"`` run a budget-8/32
+    simulator-guided search on a DB miss first.
     """
     from .runtime.session import compile_program
 
     return compile_program(program, params, machine=machine,
-                           session=session, **options)
+                           session=session, tune=tune, **options)
 
 
 def serve_requests(requests, num_workers=2, **server_kwargs):
@@ -80,6 +91,9 @@ _LAZY_ATTRS = {
     "RequestResult": ("repro.serve", "RequestResult"),
     "serve": ("repro.serve", None),
     "CinnamonSession": ("repro.runtime", "CinnamonSession"),
+    "Tuner": ("repro.tune", "Tuner"),
+    "TuningDB": ("repro.tune", "TuningDB"),
+    "tune": ("repro.tune", None),
     "CompileJob": ("repro.runtime", "CompileJob"),
     "JobResult": ("repro.runtime", "JobResult"),
     "CompiledProgram": ("repro.core.compiler", "CompiledProgram"),
@@ -123,6 +137,8 @@ __all__ = [
     "InferenceRequest",
     "RequestResult",
     "CinnamonSession",
+    "Tuner",
+    "TuningDB",
     "CompileJob",
     "JobResult",
     "CompiledProgram",

@@ -23,6 +23,14 @@ from .compiler import (
     CommSummary,
     PassTiming,
 )
+from .ir.passes import (
+    KEYSWITCH_POLICIES,
+    KS_CIFHER,
+    KS_CINNAMON,
+    KS_INPUT_BROADCAST,
+    KS_SEQUENTIAL,
+    normalize_keyswitch_policy,
+)
 
 __all__ = [
     "CinnamonProgram",
@@ -34,4 +42,10 @@ __all__ = [
     "CompileStats",
     "CommSummary",
     "PassTiming",
+    "KEYSWITCH_POLICIES",
+    "KS_CINNAMON",
+    "KS_INPUT_BROADCAST",
+    "KS_CIFHER",
+    "KS_SEQUENTIAL",
+    "normalize_keyswitch_policy",
 ]

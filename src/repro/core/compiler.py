@@ -65,6 +65,13 @@ class CompilerOptions:
     machine: object = None  # MachineConfig | name | chip count; see above
 
     def __post_init__(self):
+        from .ir.passes import normalize_keyswitch_policy
+
+        # Canonicalize early so equivalent spellings ("KS_CIFHER",
+        # "cifher") produce identical cache fingerprints and a bad policy
+        # fails at options construction, not mid-pipeline.
+        self.keyswitch_policy = normalize_keyswitch_policy(
+            self.keyswitch_policy)
         if self.machine is not None:
             from ..sim.config import resolve_machine
 

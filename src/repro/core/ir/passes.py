@@ -34,8 +34,36 @@ KS_CIFHER = "cifher"
 KS_INPUT_BROADCAST = "input_broadcast"
 KS_OUTPUT_AGGREGATION = "output_aggregation"
 
+#: The pattern-driven policy of the paper (Section 7.3's *Cinnamon
+#: Keyswitch + Pass*): input-broadcast or output-aggregation per pattern.
+KS_CINNAMON = "cinnamon"
+
+#: Every keyswitch policy :class:`KeyswitchPass` accepts, canonical
+#: spelling.  Exported through :mod:`repro.core` so the autotuner and
+#: user code never hard-code the strings.
+KEYSWITCH_POLICIES = (KS_CINNAMON, KS_INPUT_BROADCAST, KS_CIFHER,
+                      KS_SEQUENTIAL)
+
 # Fused op introduced by pattern 2.
 ROTATE_SUM = "rotate_sum"
+
+
+def normalize_keyswitch_policy(policy: str) -> str:
+    """Canonicalize a keyswitch policy spelling.
+
+    Accepts any case, ``-``/``_`` interchangeably, and the constant-style
+    ``KS_`` prefix (``"KS_CIFHER"`` -> ``"cifher"``).  Raises
+    :class:`ValueError` naming every valid choice otherwise.
+    """
+    if isinstance(policy, str):
+        norm = policy.strip().lower().replace("-", "_")
+        if norm.startswith("ks_"):
+            norm = norm[len("ks_"):]
+        if norm in KEYSWITCH_POLICIES:
+            return norm
+    raise ValueError(
+        f"unknown keyswitch policy {policy!r}; valid choices: "
+        + ", ".join(repr(p) for p in KEYSWITCH_POLICIES))
 
 
 @dataclass
@@ -76,9 +104,7 @@ class KeyswitchPass:
         * ``"cifher"`` — the CiFHER baseline.
         * ``"sequential"`` — no parallel keyswitching (single-chip runs).
         """
-        if policy not in (KS_SEQUENTIAL, KS_CIFHER, KS_INPUT_BROADCAST, "cinnamon"):
-            raise ValueError(f"unknown keyswitch policy {policy!r}")
-        self.policy = policy
+        self.policy = normalize_keyswitch_policy(policy)
         self.enable_batching = enable_batching
         self.stats = KeyswitchPassStats()
 
@@ -87,7 +113,7 @@ class KeyswitchPass:
     def run(self, prog: CinnamonProgram) -> CinnamonProgram:
         self.stats = KeyswitchPassStats()
         self._seen_batches = set()
-        if self.policy == "cinnamon" and self.enable_batching:
+        if self.policy == KS_CINNAMON and self.enable_batching:
             prog = self._fuse_rotate_sums(prog)
         self._annotate(prog)
         return prog
@@ -188,7 +214,7 @@ class KeyswitchPass:
 
     def _annotate(self, prog: CinnamonProgram) -> None:
         default = {
-            "cinnamon": KS_INPUT_BROADCAST,
+            KS_CINNAMON: KS_INPUT_BROADCAST,
             KS_INPUT_BROADCAST: KS_INPUT_BROADCAST,
             KS_CIFHER: KS_CIFHER,
             KS_SEQUENTIAL: KS_SEQUENTIAL,

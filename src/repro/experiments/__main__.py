@@ -31,6 +31,9 @@ def main(argv=None) -> int:
                         help="experiment names (see `list`), or `all`")
     parser.add_argument("--full", action="store_true",
                         help="run full published sweep grids (slow)")
+    parser.add_argument("--tuned", action="store_true",
+                        help="use autotuned configs from the tuning DB "
+                             "where the experiment supports them (fig16)")
     args = parser.parse_args(argv)
 
     if args.names == ["list"]:
@@ -45,8 +48,16 @@ def main(argv=None) -> int:
             print(f"unknown experiment {name!r}; try `list`", file=sys.stderr)
             return 2
         module = ALL_EXPERIMENTS[name]
+        kwargs = {}
+        if args.tuned:
+            import inspect
+
+            if "tuned" in inspect.signature(module.run).parameters:
+                kwargs["tuned"] = True
+            else:
+                print(f"[{name}: --tuned not supported, using defaults]")
         start = time.perf_counter()
-        result = module.run(fast=not args.full)
+        result = module.run(fast=not args.full, **kwargs)
         elapsed = time.perf_counter() - start
         print(module.format_result(result))
         print(f"[{name}: {elapsed:.1f}s]")

@@ -48,6 +48,7 @@ def compile_bootstrap(
     keyswitch_policy: str = "cinnamon",
     enable_batching: bool = True,
     registers_per_chip: int = 224,
+    num_digits: int = None,
 ) -> CompiledProgram:
     """Compile (with caching) a bootstrap program for a machine layout."""
     params = ArchParams(max_level=plan.top_level)
@@ -58,6 +59,7 @@ def compile_bootstrap(
         keyswitch_policy=keyswitch_policy,
         enable_batching=enable_batching,
         registers_per_chip=registers_per_chip,
+        num_digits=num_digits,
         bootstrap_plan=plan,
     )
     compiled = _SESSION.compile(

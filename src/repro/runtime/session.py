@@ -62,6 +62,9 @@ class CompileJob:
     #: Wall-clock budget for this job's simulation (overrides the
     #: session-wide watchdog).
     watchdog_s: Optional[float] = None
+    #: Simulated-cycle cap: stop the simulation at this frontier and
+    #: return a truncated result (the autotuner's low-fidelity rungs).
+    max_cycles: Optional[int] = None
 
     @property
     def label(self) -> str:
@@ -193,7 +196,8 @@ class CinnamonSession:
                  tag: str = "", job: str = None, *,
                  fault_schedule=None, checkpoint_interval: int = None,
                  checkpoint_hook=None, resume_from=None,
-                 watchdog_s: Optional[float] = None) -> SimulationResult:
+                 watchdog_s: Optional[float] = None,
+                 max_cycles: Optional[int] = None) -> SimulationResult:
         """Cycle-simulate ``compiled`` on ``machine``, memoized per
         (artifact, machine, tag).
 
@@ -206,12 +210,17 @@ class CinnamonSession:
         wall time.  Only clean, from-scratch runs hit the memo cache —
         faulted or resumed simulations are never cached, because their
         result depends on state outside the cache key.
+
+        ``max_cycles`` caps the simulated cycle frontier: the run stops
+        there and returns a ``truncated=True`` partial result.  Truncated
+        runs are deterministic, so they memoize like clean runs (the cap
+        is part of the memo key).
         """
         resolved = resolve_machine(
             machine if machine is not None
             else (compiled.options.machine or compiled.options.num_chips))
         token = compiled.cache_key or id(compiled)
-        key = (token, resolved.name, repr(resolved.chip), tag)
+        key = (token, resolved.name, repr(resolved.chip), tag, max_cycles)
         label = job or compiled.name
         deadline = watchdog_s if watchdog_s is not None else self.watchdog_s
         perturbed = (bool(fault_schedule) or resume_from is not None
@@ -233,7 +242,7 @@ class CinnamonSession:
                 compiled.isa, fault_schedule=fault_schedule,
                 checkpoint_interval=checkpoint_interval,
                 checkpoint_hook=checkpoint_hook, resume_from=resume_from,
-                deadline_s=deadline)
+                deadline_s=deadline, max_cycles=max_cycles)
         except Exception as exc:
             self._recorder.record_simulate(
                 job=label, machine=resolved.name, tag=tag, cache=MISS,
@@ -254,6 +263,11 @@ class CinnamonSession:
         :meth:`repro.runtime.trace.TraceRecorder.record_recovery`)."""
         return self._recorder.record_recovery(**kwargs)
 
+    def record_tune(self, **kwargs) -> dict:
+        """Append an autotuning run to the run trace (see
+        :meth:`repro.runtime.trace.TraceRecorder.record_tune`)."""
+        return self._recorder.record_tune(**kwargs)
+
     # ------------------------------------------------------------------ #
     # Batch execution
 
@@ -267,7 +281,7 @@ class CinnamonSession:
             result = self.simulate(
                 compiled, job.sim_machine or job.machine, tag=job.tag,
                 job=job.label, fault_schedule=job.fault_schedule,
-                watchdog_s=job.watchdog_s)
+                watchdog_s=job.watchdog_s, max_cycles=job.max_cycles)
         return JobResult(job=job.label, key=compiled.cache_key,
                          cache=entry["cache"], compiled=compiled,
                          result=result)
@@ -347,8 +361,32 @@ def default_session() -> CinnamonSession:
 
 
 def compile_program(program: CinnamonProgram, params, machine=None,
-                    session: CinnamonSession = None,
+                    session: CinnamonSession = None, tune=None,
                     **options) -> CompiledProgram:
-    """Implementation of the :func:`repro.compile` facade."""
+    """Implementation of the :func:`repro.compile` facade.
+
+    ``tune`` consults the persisted :class:`~repro.tune.TuningDB`:
+    ``"db"``/``True`` applies an existing tuned config when one matches
+    this (program, params, machine) and falls through otherwise;
+    ``"quick"``/``"full"`` additionally run a budget-8/32 successive-
+    halving search on a DB miss before compiling with the winner.
+    """
     sess = session or default_session()
+    if tune:
+        from ..tune import apply_tuning  # lazy: tune imports this module
+
+        explicit = options.pop("options", None)
+        overrides = {k: v for k, v in options.items()
+                     if k not in ("emit_isa", "job")}
+        base = sess._resolve_options(machine, explicit, overrides)
+        tuned = apply_tuning(program, params, machine, base, tune,
+                             session=sess)
+        if tuned is not None:
+            passthrough = {k: options[k] for k in ("emit_isa", "job")
+                           if k in options}
+            return sess.compile(program, params, options=tuned,
+                                **passthrough)
+        options = dict(options)
+        if explicit is not None:
+            options["options"] = explicit
     return sess.compile(program, params, machine=machine, **options)

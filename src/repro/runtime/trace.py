@@ -55,6 +55,27 @@ the session performs and renders them as a single JSON document:
           "detection_s": 0.04,          # wall time to surface the fault
           "recompile_s": 0.85,          # degraded re-partitioning compile
           "replay_s": 0.31              # re-execution on the survivors
+        },
+        {
+          "job": "tune-bootstrap",      # one autotuning run (repro.tune)
+          "kind": "tune",
+          "workload": "bootstrap",
+          "machine": "Cinnamon-4",
+          "strategy": "halving",
+          "goal": "cycles",
+          "budget": 8,                  # candidate evaluations allowed
+          "candidates": 8,              # candidates actually tried
+          "pruned": 4,                  # dropped at a low-fidelity rung
+          "rungs": 2,                   # fidelity levels visited
+          "default_cycles": 405368,     # the stock CompilerOptions config
+          "best_cycles": 327000,
+          "best_config": {"num_digits": 2, ...},
+          "cache_hits": 3,              # compile cache hits during the run
+          "seconds": 12.8,
+          "trials": [                   # compact per-candidate log
+            {"config": {...}, "cycles": 327000, "rung": 1,
+             "pruned": false, "exact": true}
+          ]
         }
       ]
     }
@@ -78,7 +99,9 @@ from typing import Dict, List, Optional
 #: 2: added ``kind == "serve"`` entries (the repro.serve request log).
 #: 3: added ``kind == "recovery"`` entries (machine-level fault recovery)
 #:    and an optional ``error`` field on simulate entries.
-TRACE_SCHEMA_VERSION = 3
+#: 4: added ``kind == "tune"`` entries (repro.tune autotuning runs:
+#:    candidates tried, cycles, pruned-at-rung).
+TRACE_SCHEMA_VERSION = 4
 
 
 class TraceRecorder:
@@ -144,6 +167,35 @@ class TraceRecorder:
             "detection_s": detection_s,
             "recompile_s": recompile_s,
             "replay_s": replay_s,
+        }
+        self._append(entry)
+        return entry
+
+    def record_tune(self, *, job: str, workload: str, machine: str,
+                    strategy: str, goal: str, budget: int, candidates: int,
+                    pruned: int, rungs: int, default_cycles: int,
+                    best_cycles: int, best_config: dict, cache_hits: int,
+                    seconds: float,
+                    trials: Optional[List[dict]] = None) -> dict:
+        """One autotuning run (schema 4): what was searched, what each
+        candidate cost, which rung pruned it, and the winning config."""
+        entry = {
+            "job": job,
+            "kind": "tune",
+            "workload": workload,
+            "machine": machine,
+            "strategy": strategy,
+            "goal": goal,
+            "budget": budget,
+            "candidates": candidates,
+            "pruned": pruned,
+            "rungs": rungs,
+            "default_cycles": default_cycles,
+            "best_cycles": best_cycles,
+            "best_config": dict(best_config),
+            "cache_hits": cache_hits,
+            "seconds": seconds,
+            "trials": list(trials or []),
         }
         self._append(entry)
         return entry

@@ -66,6 +66,7 @@ class InferenceRequest:
     key: Optional[str] = None         # compile fingerprint
     machine_name: Optional[str] = None
     submitted_at: Optional[float] = None  # monotonic
+    tuned: bool = False               # options swapped from the tuning DB
 
     @property
     def label(self) -> str:

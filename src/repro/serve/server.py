@@ -86,6 +86,8 @@ class CinnamonServer:
     not carry one.  ``session_factory(shard_id)`` customizes shard
     construction (tests inject small caches; by default shards share one
     on-disk ``cache_dir`` so a restarted shard re-warms from disk).
+    ``tuned=True`` (or an explicit ``tuning_db``) applies persisted
+    :mod:`repro.tune` configurations to matching requests at admission.
     """
 
     def __init__(self, num_workers: int = 2, queue_depth: int = 64,
@@ -98,7 +100,8 @@ class CinnamonServer:
                  session_factory: Optional[Callable[[int], CinnamonSession]]
                  = None, metrics: Optional[MetricsRegistry] = None,
                  seed: int = 0, max_recoveries: int = 2,
-                 watchdog_s: Optional[float] = None):
+                 watchdog_s: Optional[float] = None,
+                 tuned: bool = False, tuning_db=None):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.num_workers = num_workers
@@ -119,6 +122,17 @@ class CinnamonServer:
             lambda shard_id: CinnamonSession(cache_dir=cache_dir,
                                              capacity=capacity,
                                              watchdog_s=watchdog_s))
+        #: With ``tuned=True`` each admitted request consults the
+        #: persisted tuning DB (``repro.tune``) and, on a hit for this
+        #: (program, params, machine), swaps in the tuned compiler
+        #: options *before* fingerprinting — so shard affinity and cache
+        #: keys align with the tuned artifact.  Only compiler axes apply;
+        #: the request's machine is still what gets simulated.
+        self._tuning_db = tuning_db
+        if tuned and self._tuning_db is None:
+            from ..tune.db import TuningDB, default_db_path
+
+            self._tuning_db = TuningDB(default_db_path(cache_dir))
         self._shards = [_Shard(i, self._session_factory(i))
                         for i in range(num_workers)]
         self._queue = AdmissionQueue(maxsize=queue_depth)
@@ -160,6 +174,9 @@ class CinnamonServer:
             "Simulations cancelled by the per-run watchdog deadline.")
         self._batches_total = m.counter(
             "serve_batches_total", "Batches dispatched to shards.")
+        self._tuned_total = m.counter(
+            "serve_tuned_requests_total",
+            "Requests whose options came from the tuning DB.")
         self._queue_depth = m.gauge(
             "serve_queue_depth", "Requests waiting for admission dispatch.")
         self._inflight_gauge = m.gauge(
@@ -249,10 +266,24 @@ class CinnamonServer:
         if request.deadline_s is None:
             request.deadline_s = self.request_timeout_s
         options = resolve_request_options(request.machine, request.options)
-        request.key = fingerprint(request.program, request.params, options)
         request.machine_name = resolve_machine(
             request.machine if request.machine is not None
             else (options.machine or options.num_chips)).name
+        if self._tuning_db is not None:
+            tuned_options = self._tuning_db.tuned_options(
+                request.program, request.params, request.machine_name,
+                options)
+            if tuned_options is not None:
+                # Swap before fingerprinting so cache keys and shard
+                # affinity follow the tuned artifact.  machine=None keeps
+                # resolve_request_options from clobbering the tuned
+                # num_chips/registers_per_chip downstream.
+                options = tuned_options
+                request.options = tuned_options
+                request.machine = None
+                request.tuned = True
+                self._tuned_total.inc()
+        request.key = fingerprint(request.program, request.params, options)
         request.submitted_at = time.monotonic()
         handle = RequestHandle(request)
         with self._pending_cond:

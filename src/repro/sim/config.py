@@ -156,6 +156,48 @@ def degraded_machine(machine, dead_chips: int = 1,
         f"of {resolved.name} (ladder {tuple(ladder)})")
 
 
+#: Resources :func:`machine_with` can scale, in Figure 16's order.
+MACHINE_RESOURCES = ("register_file", "link_bandwidth", "memory_bandwidth",
+                     "vector_width")
+
+
+def machine_with(machine, resource: str, factor: float) -> "MachineConfig":
+    """``machine`` with one chip resource scaled by ``factor``.
+
+    The resource axis of Figure 16's sensitivity sweep and of the
+    autotuner's machine dimension (:mod:`repro.tune`): ``resource`` is one
+    of :data:`MACHINE_RESOURCES`, ``machine`` is any spec
+    :func:`resolve_machine` understands.  ``factor == 1.0`` returns the
+    resolved machine unchanged; otherwise the result is renamed
+    ``"<name>[<resource>x<factor>]"`` so traces and sim-cache keys
+    distinguish it from the stock configuration.
+    """
+    resolved = resolve_machine(machine)
+    if resource not in MACHINE_RESOURCES:
+        raise ValueError(
+            f"unknown resource {resource!r}; valid choices: "
+            + ", ".join(repr(r) for r in MACHINE_RESOURCES))
+    if factor <= 0:
+        raise ValueError(f"resource factor must be positive, got {factor}")
+    if factor == 1.0:
+        return resolved
+    chip = resolved.chip
+    if resource == "register_file":
+        scaled = chip.scaled(register_file_mb=chip.register_file_mb * factor)
+    elif resource == "link_bandwidth":
+        scaled = chip.scaled(link_gbps=chip.link_gbps * factor)
+    elif resource == "memory_bandwidth":
+        scaled = chip.scaled(hbm_gbps=chip.hbm_gbps * factor)
+    else:  # vector_width
+        lanes = int(chip.lanes_per_cluster * factor)
+        if lanes < 1:
+            raise ValueError(
+                f"vector_width factor {factor} leaves no lanes per cluster")
+        scaled = chip.scaled(lanes_per_cluster=lanes)
+    return replace(resolved, chip=scaled,
+                   name=f"{resolved.name}[{resource}x{factor:g}]")
+
+
 MachineSpec = Union["MachineConfig", str, int, None]
 
 

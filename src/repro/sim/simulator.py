@@ -78,6 +78,10 @@ class SimulationResult:
     #: Non-fatal machine events applied during the run (link degradations,
     #: cluster slowdowns) as ``{"kind", "chip", "cycle", "factor"}`` dicts.
     events: List[dict] = field(default_factory=list)
+    #: True when the run was cut short by ``max_cycles`` (the autotuner's
+    #: low-fidelity rungs); ``cycles``/``instructions`` then cover only
+    #: the simulated prefix.
+    truncated: bool = False
 
     @property
     def seconds(self) -> float:
@@ -125,6 +129,7 @@ class SimulationResult:
             "per_chip_cycles": {str(cid): cyc for cid, cyc
                                 in sorted(self.per_chip_cycles.items())},
             "events": list(self.events),
+            "truncated": self.truncated,
         }
 
 
@@ -268,7 +273,8 @@ class SimulatorEngine:
             checkpoint_hook: Optional[Callable[[SimulationSnapshot], None]]
             = None,
             resume_from: Optional[SimulationSnapshot] = None,
-            deadline_s: Optional[float] = None) -> SimulationResult:
+            deadline_s: Optional[float] = None,
+            max_cycles: Optional[int] = None) -> SimulationResult:
         """Simulate ``isa_module``; optionally faulted/checkpointed.
 
         * ``fault_schedule`` — machine faults to apply; fatal ones raise
@@ -281,6 +287,10 @@ class SimulatorEngine:
         * ``deadline_s`` — wall-clock budget; exceeded -> raise
           :class:`WatchdogTimeout` (cooperative cancellation between
           simulation rounds, so the worker thread exits cleanly).
+        * ``max_cycles`` — stop once the global cycle frontier crosses
+          this many simulated cycles and return the partial result with
+          ``truncated=True`` (the autotuner's cheap low-fidelity rungs;
+          callers extrapolate from the retired-instruction fraction).
         """
         machine = self.machine
         chip_cfg = machine.chip
@@ -429,11 +439,15 @@ class SimulatorEngine:
                         machine=machine.name)
             if all_done:
                 break
+            if max_cycles is not None and now >= max_cycles:
+                break
             if not progress:
                 stuck = [(c.id, c.pc) for c in chips.values() if not c.done]
                 raise RuntimeError(f"simulation deadlock at {stuck}")
 
-        total_cycles = max(c.finish for c in chips.values())
+        truncated = not all(c.done for c in chips.values())
+        total_cycles = (frontier_cycle() if truncated
+                        else max(c.finish for c in chips.values()))
         n = len(chips)
         fu_busy = defaultdict(float)
         for chip in chips.values():
@@ -453,6 +467,7 @@ class SimulatorEngine:
             network_bytes=sum(c.link.bytes_moved for c in chips.values()),
             per_chip_cycles={c.id: c.finish for c in chips.values()},
             events=events,
+            truncated=truncated,
         )
 
     # ------------------------------------------------------------------ #

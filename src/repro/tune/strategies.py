@@ -1,0 +1,174 @@
+"""Search strategies over a :class:`~repro.tune.space.SearchSpace`.
+
+Three strategies share one protocol — ``run(space, oracle, budget)`` —
+where ``oracle`` is a cost function exposing::
+
+    oracle.evaluate_many(candidates, fidelity=1.0, rung=0) -> List[Trial]
+
+``budget`` counts *candidates admitted to the search* (the CLI's
+``--budget``): exhaustive grid and random search evaluate each admitted
+candidate once at full fidelity, while successive halving starts every
+admitted candidate on a cheap truncated simulation and only promotes the
+top ``1/eta`` fraction per rung to progressively fuller runs — the
+classic multi-fidelity bandit, with the compile cache making re-visited
+configs nearly free.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .space import Candidate, SearchSpace
+
+
+@dataclass
+class Trial:
+    """One candidate evaluation (possibly at reduced fidelity)."""
+
+    candidate: Candidate
+    cycles: float                 # estimated total simulated cycles
+    exact: bool                   # True when the simulation ran to completion
+    rung: int = 0                 # fidelity rung that produced this number
+    fidelity: float = 1.0
+    pruned: bool = False          # dropped by halving before the top rung
+    cache: str = ""               # where the compile came from
+    seconds: float = 0.0          # wall time of this evaluation
+    measured: dict = field(default_factory=dict)  # extra oracle metrics
+
+    def as_dict(self) -> dict:
+        return {
+            "config": self.candidate.as_dict(),
+            "cycles": self.cycles,
+            "exact": self.exact,
+            "rung": self.rung,
+            "fidelity": self.fidelity,
+            "pruned": self.pruned,
+            "cache": self.cache,
+            "seconds": self.seconds,
+        }
+
+
+class Strategy:
+    """Base class: deterministic given ``seed``."""
+
+    name = "strategy"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def _rng(self) -> random.Random:
+        return random.Random(self.seed)
+
+    def run(self, space: SearchSpace, oracle, budget: int) -> List[Trial]:
+        raise NotImplementedError
+
+
+class GridSearch(Strategy):
+    """Exhaustive enumeration at full fidelity (small spaces)."""
+
+    name = "grid"
+
+    def run(self, space: SearchSpace, oracle, budget: int) -> List[Trial]:
+        candidates = space.enumerate()
+        if budget and budget < len(candidates):
+            candidates = candidates[:budget]
+        return oracle.evaluate_many(candidates, fidelity=1.0, rung=0)
+
+
+class RandomSearch(Strategy):
+    """Seeded uniform sampling at full fidelity."""
+
+    name = "random"
+
+    def run(self, space: SearchSpace, oracle, budget: int) -> List[Trial]:
+        candidates = space.sample(budget, self._rng())
+        return oracle.evaluate_many(candidates, fidelity=1.0, rung=0)
+
+
+class SuccessiveHalving(Strategy):
+    """Multi-fidelity halving: truncated sims first, survivors promoted.
+
+    With ``n`` admitted candidates and elimination factor ``eta``, rung
+    ``r`` keeps ``ceil(n / eta**r)`` candidates and runs them at fidelity
+    ``eta**(r - R + 1)`` of the reference simulation length (the final
+    rung ``R - 1`` always runs at fidelity 1.0, i.e. to completion), so
+    losers are eliminated after simulating only a prefix of their
+    schedule.  Deterministic: sampling is seeded and promotion ties break
+    on the candidate's canonical key.
+    """
+
+    name = "halving"
+
+    def __init__(self, seed: int = 0, eta: int = 2,
+                 min_fidelity: float = 0.125):
+        super().__init__(seed)
+        if eta < 2:
+            raise ValueError(f"eta must be >= 2, got {eta}")
+        if not 0 < min_fidelity <= 1:
+            raise ValueError(f"min_fidelity must be in (0, 1], got "
+                             f"{min_fidelity}")
+        self.eta = eta
+        self.min_fidelity = min_fidelity
+
+    def plan(self, n: int) -> List[dict]:
+        """The rung schedule for ``n`` starting candidates.
+
+        Returns ``[{"rung", "keep", "fidelity"}, ...]`` — exposed
+        separately so the promotion math is unit-testable without a
+        simulator in the loop.
+        """
+        if n < 1:
+            return []
+        rungs = max(1, int(math.floor(math.log(n, self.eta))) + 1)
+        out = []
+        for r in range(rungs):
+            keep = max(1, math.ceil(n / self.eta ** r))
+            fidelity = max(self.min_fidelity,
+                           float(self.eta) ** (r - rungs + 1))
+            out.append({"rung": r, "keep": keep, "fidelity": fidelity})
+        out[-1]["fidelity"] = 1.0
+        return out
+
+    def run(self, space: SearchSpace, oracle, budget: int) -> List[Trial]:
+        survivors = space.sample(budget, self._rng())
+        schedule = self.plan(len(survivors))
+        all_trials: List[Trial] = []
+        for stage in schedule:
+            if len(survivors) > stage["keep"]:
+                survivors = survivors[:stage["keep"]]
+            trials = oracle.evaluate_many(
+                survivors, fidelity=stage["fidelity"], rung=stage["rung"])
+            ranked = sorted(trials,
+                            key=lambda t: (t.cycles, t.candidate.key()))
+            next_keep = (schedule[stage["rung"] + 1]["keep"]
+                         if stage["rung"] + 1 < len(schedule) else 1)
+            for i, trial in enumerate(ranked):
+                last = stage["rung"] == len(schedule) - 1
+                trial.pruned = (not last) and i >= next_keep
+            all_trials.extend(ranked)
+            survivors = [t.candidate for t in ranked if not t.pruned]
+        return all_trials
+
+
+STRATEGIES = {
+    GridSearch.name: GridSearch,
+    RandomSearch.name: RandomSearch,
+    SuccessiveHalving.name: SuccessiveHalving,
+}
+
+
+def make_strategy(name: str, seed: int = 0,
+                  eta: Optional[int] = None) -> Strategy:
+    """Instantiate a strategy by CLI name."""
+    try:
+        cls = STRATEGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {name!r}; valid choices: "
+            + ", ".join(sorted(STRATEGIES))) from None
+    if cls is SuccessiveHalving and eta is not None:
+        return cls(seed=seed, eta=eta)
+    return cls(seed=seed)

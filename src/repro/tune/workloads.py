@@ -1,0 +1,107 @@
+"""Named tunable workloads.
+
+The CLI's ``--workload`` names resolve here.  Each entry builds a
+``(program, params, base_options)`` triple at one of two scales:
+
+* ``"paper"`` — the architectural scale the paper evaluates (the real
+  BOOTSTRAP_13 plan, N = 64K-equivalent parameters).  A single compile
+  takes tens of seconds; tuning budgets amortize through the compile
+  cache.
+* ``"small"`` — structurally identical miniatures (the serving layer's
+  CI mix) that compile in well under a second, for smoke runs, tests,
+  and the tuning CI gate.
+
+The builders intentionally mirror :func:`repro.workloads.serving
+.serving_mix` and :func:`repro.experiments.common.compile_bootstrap`, so
+a DB entry tuned here matches the fingerprint those paths compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..core.compiler import CompilerOptions
+from ..core.dsl.program import CinnamonProgram
+from ..core.ir.bootstrap_graph import BOOTSTRAP_13
+from ..fhe.params import ArchParams
+from ..workloads.bootstrap import bootstrap_program
+from ..workloads.kernels import (
+    activation_kernel,
+    bootstrap_kernel,
+    matmul_kernel,
+)
+from ..workloads.serving import SMALL_BOOTSTRAP_PLAN
+
+SCALES = ("small", "paper")
+
+
+@dataclass(frozen=True)
+class TunableWorkload:
+    """One named tuning target at one scale."""
+
+    name: str
+    scale: str
+    build: Callable[[], Tuple[CinnamonProgram, object, CompilerOptions]]
+
+    def materialize(self) -> Tuple[CinnamonProgram, object, CompilerOptions]:
+        """``(program, params, base_options)`` for the oracle."""
+        return self.build()
+
+
+def _paper_bootstrap():
+    # Matches experiments.common.compile_bootstrap: same program shape,
+    # same params, same plan -> same tuning key as fig16's --tuned mode.
+    params = ArchParams(max_level=BOOTSTRAP_13.top_level)
+    program = bootstrap_program(BOOTSTRAP_13, num_streams=1)
+    return program, params, CompilerOptions(bootstrap_plan=BOOTSTRAP_13)
+
+
+def _small_bootstrap():
+    params = ArchParams(max_level=SMALL_BOOTSTRAP_PLAN.top_level)
+    program = bootstrap_kernel(SMALL_BOOTSTRAP_PLAN, entry_level=2)
+    return program, params, CompilerOptions()
+
+
+def _matmul(name: str, diagonals: int, level: int, params: ArchParams):
+    return (matmul_kernel(name, diagonals, level), params,
+            CompilerOptions())
+
+
+def _activation(name: str, degree: int, level: int, params: ArchParams):
+    return (activation_kernel(name, degree, level), params,
+            CompilerOptions())
+
+
+_BUILDERS: Dict[Tuple[str, str], Callable] = {
+    ("bootstrap", "paper"): _paper_bootstrap,
+    ("bootstrap", "small"): _small_bootstrap,
+    ("resnet-block", "paper"):
+        lambda: _matmul("conv", 27, 12, ArchParams()),
+    ("resnet-block", "small"):
+        lambda: _matmul("conv", 6, 6, ArchParams(max_level=16)),
+    ("helr-step", "paper"):
+        lambda: _activation("sigmoid", 7, 8, ArchParams()),
+    ("helr-step", "small"):
+        lambda: _activation("sigmoid", 3, 6, ArchParams(max_level=16)),
+    ("bert-layer", "paper"):
+        lambda: _matmul("qkv", 48, 12, ArchParams()),
+    ("bert-layer", "small"):
+        lambda: _matmul("qkv", 8, 6, ArchParams(max_level=16)),
+}
+
+WORKLOAD_NAMES = tuple(sorted({name for name, _ in _BUILDERS}))
+
+
+def get_workload(name: str, scale: str = "small") -> TunableWorkload:
+    """Resolve a named workload at a scale; raises with the valid names."""
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; valid choices: "
+                         + ", ".join(repr(s) for s in SCALES))
+    try:
+        build = _BUILDERS[(name, scale)]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; valid choices: "
+            + ", ".join(repr(n) for n in WORKLOAD_NAMES)) from None
+    return TunableWorkload(name=name, scale=scale, build=build)

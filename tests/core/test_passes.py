@@ -108,6 +108,28 @@ class TestPolicies:
         with pytest.raises(ValueError):
             KeyswitchPass("quantum")
 
+    def test_unknown_policy_error_lists_choices(self):
+        with pytest.raises(ValueError, match="'cinnamon'.*'cifher'"):
+            KeyswitchPass("quantum")
+
+    @pytest.mark.parametrize("spelling", [
+        "KS_CIFHER", "CiFHER", "cifher", "ks_cifher", "CIFHER",
+    ])
+    def test_constant_style_spellings_normalize(self, spelling):
+        assert KeyswitchPass(spelling).policy == "cifher"
+
+    def test_dashes_normalize_to_underscores(self):
+        assert KeyswitchPass("input-broadcast").policy == "input_broadcast"
+
+    def test_policy_names_exported_from_core(self):
+        from repro import core
+
+        assert core.KS_CINNAMON == "cinnamon"
+        assert set(core.KEYSWITCH_POLICIES) == {
+            "cinnamon", "input_broadcast", "cifher", "sequential"}
+        assert core.normalize_keyswitch_policy("KS-SEQUENTIAL") == \
+            core.KS_SEQUENTIAL
+
     def test_event_reduction_reported(self):
         ks = KeyswitchPass("cinnamon")
         ks.run(_rotation_fanout_program())

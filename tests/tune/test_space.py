@@ -1,0 +1,140 @@
+"""Search-space model: enumeration, constraints, candidate round-trips."""
+
+import random
+
+import pytest
+
+from repro.core.compiler import CompilerOptions
+from repro.sim.config import CINNAMON_4
+from repro.tune.space import (
+    Axis,
+    Candidate,
+    MachineVariant,
+    SearchSpace,
+    default_candidate,
+    default_space,
+)
+
+
+class TestMachineVariant:
+    def test_of_accepts_all_spec_forms(self):
+        assert MachineVariant.of("cinnamon_4").base == "Cinnamon-4"
+        assert MachineVariant.of(4).base == "Cinnamon-4"
+        assert MachineVariant.of(CINNAMON_4).base == "Cinnamon-4"
+
+    def test_resolve_scales_resources(self):
+        variant = MachineVariant("Cinnamon-4", "link_bandwidth", 0.5)
+        machine = variant.resolve()
+        assert machine.chip.link_gbps == 256.0
+        assert variant.label == "Cinnamon-4[link_bandwidthx0.5]"
+
+    def test_round_trip(self):
+        variant = MachineVariant("Cinnamon-4", "vector_width", 2.0)
+        assert MachineVariant.from_dict(variant.as_dict()) == variant
+        stock = MachineVariant("Cinnamon-4")
+        assert MachineVariant.from_dict(stock.as_dict()) == stock
+
+
+class TestCandidate:
+    def _candidate(self):
+        return Candidate.of(
+            keyswitch_policy="cifher", enable_batching=False, num_digits=3,
+            chips_per_stream=2, registers_per_chip=112,
+            machine=MachineVariant("Cinnamon-4"))
+
+    def test_options_override_base(self):
+        opts = self._candidate().options(CompilerOptions())
+        assert opts.keyswitch_policy == "cifher"
+        assert opts.enable_batching is False
+        assert opts.num_digits == 3
+        assert opts.chips_per_stream == 2
+        assert opts.num_chips == 4
+
+    def test_registers_axis_survives_options_resolution(self):
+        # CompilerOptions.__post_init__ clobbers registers_per_chip when
+        # a machine is set; the candidate must route around that.
+        opts = self._candidate().options(CompilerOptions(machine=4))
+        assert opts.registers_per_chip == 112
+        assert opts.machine is None
+
+    def test_key_is_canonical(self):
+        a = Candidate.of(x=1, y=2)
+        b = Candidate.of(y=2, x=1)
+        assert a.key() == b.key()
+
+    def test_round_trip_through_dict(self):
+        cand = self._candidate()
+        assert Candidate.from_dict(cand.as_dict()).key() == cand.key()
+
+
+class TestSearchSpace:
+    def test_enumeration_is_deterministic_and_pruned(self):
+        space = SearchSpace(
+            axes=[Axis("a", (1, 2, 3)), Axis("b", (True, False))],
+            constraints=[lambda asn: not (asn["a"] == 3 and asn["b"])])
+        cands = space.enumerate()
+        assert space.size == 6
+        assert len(cands) == 5
+        assert cands == space.enumerate()
+        assert not any(c.config == {"a": 3, "b": True} for c in cands)
+
+    def test_sample_is_seeded_and_distinct(self):
+        space = SearchSpace(axes=[Axis("a", tuple(range(10)))])
+        first = space.sample(5, random.Random(7))
+        second = space.sample(5, random.Random(7))
+        assert first == second
+        assert len({c.key() for c in first}) == 5
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(ValueError):
+            SearchSpace(axes=[Axis("a", (1,)), Axis("a", (2,))])
+
+
+class TestDefaultSpace:
+    def test_covers_the_paper_knobs(self):
+        space = default_space("cinnamon_4")
+        names = {axis.name for axis in space.axes}
+        assert names == {"keyswitch_policy", "enable_batching",
+                         "num_digits", "chips_per_stream",
+                         "registers_per_chip", "machine"}
+
+    def test_sequential_batching_canonicalized(self):
+        space = default_space("cinnamon_4")
+        seq = [c for c in space.enumerate()
+               if c.config["keyswitch_policy"] == "sequential"]
+        assert seq  # policy present on multi-chip machines...
+        assert all(c.config["enable_batching"] for c in seq)  # ...once
+
+    def test_single_chip_machine_prunes_distributed_policies(self):
+        space = default_space("cinnamon_1")
+        policies = {c.config["keyswitch_policy"]
+                    for c in space.enumerate()}
+        assert policies == {"sequential"}
+
+    def test_chips_per_stream_divides_machine(self):
+        space = default_space("cinnamon_12")
+        values = dict((a.name, a.values) for a in space.axes)
+        assert set(values["chips_per_stream"]) == {1, 2, 3, 4, 6, 12}
+
+    def test_machine_axis_optional(self):
+        stock = default_space("cinnamon_4")
+        swept = default_space("cinnamon_4", tune_machine=True)
+        stock_machines = dict((a.name, a.values)
+                              for a in stock.axes)["machine"]
+        swept_machines = dict((a.name, a.values)
+                              for a in swept.axes)["machine"]
+        assert len(stock_machines) == 1
+        assert len(swept_machines) == 9  # stock + 4 resources x {0.5, 2}
+
+    def test_registers_never_exceed_physical_file(self):
+        space = default_space("cinnamon_4", tune_machine=True)
+        for cand in space.enumerate():
+            machine = cand.machine.resolve()
+            assert cand.config["registers_per_chip"] <= machine.chip.registers
+
+    def test_default_candidate_is_in_stock_config(self):
+        cand = default_candidate("cinnamon_4")
+        assert cand.config["keyswitch_policy"] == "cinnamon"
+        assert cand.config["enable_batching"] is True
+        assert cand.config["registers_per_chip"] == 224
+        assert cand.machine.label == "Cinnamon-4"

@@ -1,0 +1,118 @@
+"""Strategy math: halving promotion schedules and deterministic runs.
+
+Uses a fake oracle (a lookup table of costs) so these tests exercise the
+search logic without a compiler or simulator in the loop.
+"""
+
+from typing import List
+
+import pytest
+
+from repro.tune.space import Axis, SearchSpace
+from repro.tune.strategies import (
+    GridSearch,
+    RandomSearch,
+    SuccessiveHalving,
+    Trial,
+    make_strategy,
+)
+
+
+class FakeOracle:
+    """Cost = the candidate's 'a' value; exact only at fidelity 1.0."""
+
+    def __init__(self):
+        self.calls: List[tuple] = []
+
+    def evaluate_many(self, candidates, fidelity=1.0, rung=0):
+        self.calls.append((len(candidates), fidelity, rung))
+        return [Trial(candidate=c, cycles=float(c.config["a"]),
+                      exact=fidelity == 1.0, rung=rung, fidelity=fidelity)
+                for c in candidates]
+
+
+def _space(n=16):
+    return SearchSpace(axes=[Axis("a", tuple(range(n)))])
+
+
+class TestHalvingPlan:
+    def test_budget_8_eta_2(self):
+        plan = SuccessiveHalving(eta=2).plan(8)
+        assert [s["keep"] for s in plan] == [8, 4, 2, 1]
+        assert [s["rung"] for s in plan] == [0, 1, 2, 3]
+        assert plan[-1]["fidelity"] == 1.0
+        fidelities = [s["fidelity"] for s in plan]
+        assert fidelities == sorted(fidelities)  # monotone promotion
+
+    def test_budget_9_eta_3(self):
+        plan = SuccessiveHalving(eta=3).plan(9)
+        assert [s["keep"] for s in plan] == [9, 3, 1]
+        assert plan[-1]["fidelity"] == 1.0
+
+    def test_min_fidelity_floor(self):
+        plan = SuccessiveHalving(eta=2, min_fidelity=0.25).plan(32)
+        assert min(s["fidelity"] for s in plan) >= 0.25
+
+    def test_single_candidate(self):
+        plan = SuccessiveHalving().plan(1)
+        assert plan == [{"rung": 0, "keep": 1, "fidelity": 1.0}]
+
+    def test_empty(self):
+        assert SuccessiveHalving().plan(0) == []
+
+    def test_bad_eta_rejected(self):
+        with pytest.raises(ValueError):
+            SuccessiveHalving(eta=1)
+
+
+class TestHalvingRun:
+    def test_survivors_promoted_by_cost(self):
+        oracle = FakeOracle()
+        trials = SuccessiveHalving(seed=3, eta=2).run(_space(), oracle, 8)
+        # Rung sizes follow the plan: 8, 4, 2, 1 evaluations.
+        assert [c for c, _, _ in oracle.calls] == [8, 4, 2, 1]
+        # The final survivor is the cheapest of the original sample.
+        finals = [t for t in trials if t.rung == 3]
+        assert len(finals) == 1 and finals[0].exact
+        sampled_costs = {t.cycles for t in trials if t.rung == 0}
+        assert finals[0].cycles == min(sampled_costs)
+        # Everything that never reached the top rung is marked pruned.
+        top_key = finals[0].candidate.key()
+        for trial in trials:
+            reached_top = any(t.rung == 3 and t.candidate.key() ==
+                              trial.candidate.key() for t in trials)
+            if not reached_top:
+                assert any(t.pruned for t in trials
+                           if t.candidate.key() == trial.candidate.key())
+        assert finals[0].candidate.key() == top_key
+
+    def test_deterministic_given_seed(self):
+        a = SuccessiveHalving(seed=11).run(_space(), FakeOracle(), 8)
+        b = SuccessiveHalving(seed=11).run(_space(), FakeOracle(), 8)
+        assert [t.candidate.key() for t in a] == \
+            [t.candidate.key() for t in b]
+
+    def test_budget_larger_than_space(self):
+        oracle = FakeOracle()
+        trials = SuccessiveHalving(seed=0).run(_space(4), oracle, 100)
+        assert {t.candidate.config["a"] for t in trials} == {0, 1, 2, 3}
+
+
+class TestOtherStrategies:
+    def test_grid_is_exhaustive_until_budget(self):
+        oracle = FakeOracle()
+        GridSearch().run(_space(6), oracle, 4)
+        assert oracle.calls == [(4, 1.0, 0)]
+
+    def test_random_is_seeded(self):
+        a = RandomSearch(seed=5).run(_space(), FakeOracle(), 6)
+        b = RandomSearch(seed=5).run(_space(), FakeOracle(), 6)
+        assert [t.candidate.key() for t in a] == \
+            [t.candidate.key() for t in b]
+        assert all(t.exact for t in a)
+
+    def test_make_strategy(self):
+        assert make_strategy("halving", eta=3).eta == 3
+        assert make_strategy("grid").name == "grid"
+        with pytest.raises(ValueError, match="halving"):
+            make_strategy("anneal")
