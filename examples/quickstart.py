@@ -9,7 +9,13 @@
    Cinnamon-4 — then compile again and observe the runtime cache hit.
 
 Run:  python examples/quickstart.py
+
+Set ``QUICKSTART_TRACE=trace.json`` to record the whole run with
+repro.obs cross-layer tracing and write one merged Chrome/Perfetto
+timeline (compile passes + simulated functional units).
 """
+
+import os
 
 import numpy as np
 
@@ -19,6 +25,9 @@ from repro.fhe import ArchParams, CKKSContext, Evaluator, make_params
 
 
 def main():
+    trace_out = os.environ.get("QUICKSTART_TRACE")
+    if trace_out:
+        repro.enable_tracing()
     # ------------------------------------------------------------------ #
     # 1. Functional CKKS: encrypt -> compute -> decrypt.
     params = make_params(ring_degree=256, levels=8, prime_bits=28)
@@ -87,6 +96,11 @@ def main():
     print(f"[runtime]  recompile of identical program: cache={last['cache']} "
           f"(same artifact: {again is big}), "
           f"{len(trace['jobs'])} traced jobs this session")
+
+    if trace_out:
+        events = repro.export_chrome_trace(trace_out)
+        print(f"[obs]      merged Chrome trace -> {trace_out} "
+              f"({events} events; load in Perfetto)")
 
 
 if __name__ == "__main__":

@@ -22,6 +22,11 @@ Public surface:
   injection (:class:`~repro.resilience.FaultSchedule`), CRC-validated
   checkpoints, and degraded-mode recovery
   (:class:`~repro.resilience.RecoveryOrchestrator`);
+* :mod:`repro.obs` — cross-layer observability: one ``trace_id`` from a
+  serve request down to simulated functional units
+  (``repro.enable_tracing()`` / :func:`repro.export_chrome_trace`),
+  unified metrics (:func:`repro.obs.default_registry`), and the
+  ``python -m repro.obs`` journal analyzer;
 * :mod:`repro.fhe` — functional RNS-CKKS (parameters, contexts, evaluator,
   parallel keyswitching, bootstrapping);
 * :mod:`repro.core` — the Cinnamon DSL, compiler, ISA, and emulator;
@@ -105,6 +110,9 @@ _LAZY_ATTRS = {
     "RecoveryOrchestrator": ("repro.resilience", "RecoveryOrchestrator"),
     "run_with_recovery": ("repro.resilience", "run_with_recovery"),
     "resilience": ("repro.resilience", None),
+    "obs": ("repro.obs", None),
+    "enable_tracing": ("repro.obs", "enable"),
+    "export_chrome_trace": ("repro.obs", "export_chrome_trace"),
     "runtime": ("repro.runtime", None),
     "core": ("repro.core", None),
     "sim": ("repro.sim", None),
@@ -149,5 +157,8 @@ __all__ = [
     "CheckpointStore",
     "RecoveryOrchestrator",
     "run_with_recovery",
+    "obs",
+    "enable_tracing",
+    "export_chrome_trace",
     "__version__",
 ]

@@ -1,0 +1,289 @@
+"""Cross-layer spans: one ``trace_id`` from serve admission to simulator.
+
+The observability layer's core is deliberately tiny and dependency-free:
+a :class:`Span` is a named wall-clock interval carrying a ``trace_id``
+shared by everything one request touched, and a :class:`Tracer` is the
+process-wide collector of finished spans.  Propagation uses
+``contextvars`` so nested ``start_span`` calls parent automatically —
+and because the serving stack hops threads (admission happens on the
+caller, execution inside a shard's ``ThreadPoolExecutor``, batch work on
+a session worker pool), spans can also be carried *explicitly*: attach a
+span to the object crossing the boundary and re-activate it on the far
+side with :meth:`Tracer.use_span`.
+
+Tracing is off by default (``start_span`` hands out the no-op
+:data:`NULL_SPAN`; nothing is recorded).  ``repro.obs.enable()`` turns
+it on for the process::
+
+    import repro.obs as obs
+
+    obs.enable()
+    ...  # serve / compile / simulate as usual
+    obs.export_chrome_trace("trace.json")   # one merged timeline
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import threading
+import time
+import uuid
+from typing import Dict, Iterator, List, Optional
+
+#: The active span of the current execution context (thread / task).
+_CURRENT: contextvars.ContextVar[Optional["Span"]] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None)
+
+
+def _new_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+class Span:
+    """One named interval of one trace.
+
+    ``start_s``/``end_s`` are ``time.perf_counter`` readings (comparable
+    across threads of one process); ``start_unix`` anchors the trace to
+    wall-clock time once per root.  ``attrs`` is a free-form string-keyed
+    dict rendered into trace exports; ``sim_events``/``sim_cycles`` hold
+    a captured :class:`~repro.sim.trace.TraceEvent` timeline for
+    ``simulate`` spans (scaled onto the span's wall-clock interval at
+    export time).
+    """
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "kind",
+                 "start_s", "end_s", "start_unix", "attrs",
+                 "sim_events", "sim_cycles")
+
+    def __init__(self, name: str, kind: str = "internal",
+                 trace_id: Optional[str] = None,
+                 parent_id: Optional[str] = None,
+                 attrs: Optional[dict] = None,
+                 start_s: Optional[float] = None):
+        self.name = name
+        self.kind = kind
+        self.trace_id = trace_id or _new_id()
+        self.span_id = _new_id()
+        self.parent_id = parent_id
+        self.start_s = time.perf_counter() if start_s is None else start_s
+        self.end_s: Optional[float] = None
+        self.start_unix = time.time()
+        self.attrs: Dict[str, object] = dict(attrs or {})
+        self.sim_events = None
+        self.sim_cycles = 0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def finished(self) -> bool:
+        return self.end_s is not None
+
+    @property
+    def duration_s(self) -> float:
+        end = self.end_s if self.end_s is not None else time.perf_counter()
+        return max(0.0, end - self.start_s)
+
+    def set_attr(self, key: str, value) -> "Span":
+        self.attrs[key] = value
+        return self
+
+    def finish(self, end_s: Optional[float] = None) -> "Span":
+        if self.end_s is None:
+            self.end_s = time.perf_counter() if end_s is None else end_s
+        return self
+
+    def as_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "duration_s": self.duration_s,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, kind={self.kind!r}, "
+                f"trace={self.trace_id}, {self.duration_s * 1e3:.2f}ms)")
+
+
+class _NullSpan(Span):
+    """The span handed out while tracing is disabled: accepts the full
+    :class:`Span` API, records nothing, and is never collected."""
+
+    def __init__(self):
+        super().__init__("null", kind="null", start_s=0.0)
+        self.trace_id = ""
+        self.span_id = ""
+
+    def set_attr(self, key: str, value) -> "Span":
+        return self
+
+    def finish(self, end_s: Optional[float] = None) -> "Span":
+        return self
+
+
+#: Shared no-op span: identity-comparable, safe to "activate" and finish.
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Process-wide span factory and collector.
+
+    Thread-safe: spans may start, finish, and be re-activated from any
+    thread.  Finished *and* still-open spans are both kept (a registry of
+    open spans lets exports include a crashed request's partial trace);
+    ``reset()`` drops everything, ``enable()``/``disable()`` gate whether
+    new spans are real or :data:`NULL_SPAN`.
+    """
+
+    def __init__(self, enabled: bool = False,
+                 capture_fu_timeline: bool = True):
+        self.enabled = enabled
+        #: When on, ``simulate`` spans get a per-functional-unit cycle
+        #: timeline attached (see :meth:`CinnamonSession.simulate`).
+        self.capture_fu_timeline = capture_fu_timeline
+        self._spans: List[Span] = []
+        self._lock = threading.Lock()
+        self.epoch_s = time.perf_counter()
+        self.epoch_unix = time.time()
+
+    # ------------------------------------------------------------------ #
+    # Span lifecycle
+
+    def begin(self, name: str, kind: str = "internal",
+              parent: Optional[Span] = None,
+              attrs: Optional[dict] = None) -> Span:
+        """Open a span *without* activating it (explicit lifecycle; the
+        serving layer begins a request's root span at admission and
+        finishes it at resolution, on a different thread)."""
+        if not self.enabled:
+            return NULL_SPAN
+        if parent is None:
+            parent = _CURRENT.get()
+        if parent is not None and parent is not NULL_SPAN:
+            span = Span(name, kind, trace_id=parent.trace_id,
+                        parent_id=parent.span_id, attrs=attrs)
+        else:
+            span = Span(name, kind, attrs=attrs)
+        with self._lock:
+            self._spans.append(span)
+        return span
+
+    @contextlib.contextmanager
+    def start_span(self, name: str, kind: str = "internal",
+                   parent: Optional[Span] = None,
+                   attrs: Optional[dict] = None) -> Iterator[Span]:
+        """Open, activate, and (on exit) finish a span."""
+        span = self.begin(name, kind, parent=parent, attrs=attrs)
+        if span is NULL_SPAN:
+            yield span
+            return
+        token = _CURRENT.set(span)
+        try:
+            yield span
+        except BaseException as exc:
+            span.set_attr("error", f"{type(exc).__name__}: {exc}")
+            raise
+        finally:
+            _CURRENT.reset(token)
+            span.finish()
+
+    @contextlib.contextmanager
+    def use_span(self, span: Optional[Span]) -> Iterator[Optional[Span]]:
+        """Re-activate ``span`` in this thread (cross-thread propagation:
+        attach the span to the unit of work, ``use_span`` it on arrival).
+        Does not finish the span on exit."""
+        if span is None or span is NULL_SPAN:
+            yield span
+            return
+        token = _CURRENT.set(span)
+        try:
+            yield span
+        finally:
+            _CURRENT.reset(token)
+
+    def add_span(self, span: Span) -> Span:
+        """Collect an externally built span (synthesized sub-timelines,
+        e.g. per-compiler-pass children derived from ``CompileStats``)."""
+        if self.enabled:
+            with self._lock:
+                self._spans.append(span)
+        return span
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+
+    def current(self) -> Optional[Span]:
+        span = _CURRENT.get()
+        return None if span is NULL_SPAN else span
+
+    def spans(self, trace_id: Optional[str] = None,
+              kind: Optional[str] = None) -> List[Span]:
+        with self._lock:
+            spans = list(self._spans)
+        if trace_id is not None:
+            spans = [s for s in spans if s.trace_id == trace_id]
+        if kind is not None:
+            spans = [s for s in spans if s.kind == kind]
+        return spans
+
+    def trace_ids(self) -> List[str]:
+        seen, ordered = set(), []
+        for span in self.spans():
+            if span.trace_id not in seen:
+                seen.add(span.trace_id)
+                ordered.append(span.trace_id)
+        return ordered
+
+    def reset(self) -> None:
+        with self._lock:
+            self._spans.clear()
+        self.epoch_s = time.perf_counter()
+        self.epoch_unix = time.time()
+
+
+# ---------------------------------------------------------------------- #
+# The process-global tracer behind `repro.obs`.
+
+_TRACER = Tracer()
+
+
+def tracer() -> Tracer:
+    """The process-wide :class:`Tracer`."""
+    return _TRACER
+
+
+def enable(capture_fu_timeline: bool = True, reset: bool = False) -> Tracer:
+    """Turn tracing on for the process; ``reset=True`` also drops spans
+    collected so far."""
+    if reset:
+        _TRACER.reset()
+    _TRACER.enabled = True
+    _TRACER.capture_fu_timeline = capture_fu_timeline
+    return _TRACER
+
+
+def disable() -> Tracer:
+    _TRACER.enabled = False
+    return _TRACER
+
+
+def enabled() -> bool:
+    return _TRACER.enabled
+
+
+def current_span() -> Optional[Span]:
+    """The active span of this execution context (None when untraced)."""
+    return _TRACER.current()
+
+
+def start_span(name: str, kind: str = "internal",
+               parent: Optional[Span] = None,
+               attrs: Optional[dict] = None):
+    """Module-level shorthand for ``tracer().start_span(...)``."""
+    return _TRACER.start_span(name, kind, parent=parent, attrs=attrs)

@@ -32,6 +32,7 @@ import uuid
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..obs.tracing import tracer
 from .checkpoint import Checkpoint, CheckpointStore
 from .faults import FaultSchedule, MachineFaultError
 
@@ -143,10 +144,26 @@ class RecoveryOrchestrator:
         ciphertexts, so callers can verify the recovered run decrypts to
         the same values as a fault-free one.
         """
-        from ..sim.config import degraded_machine, resolve_machine
-
         run_id = run_id or f"run-{uuid.uuid4().hex[:12]}"
         label = job or getattr(program, "name", "resilient-run")
+        # The whole ladder shares one span; every compile/simulate it
+        # performs (and every recovery row it records) joins that trace.
+        with tracer().start_span(f"recover:{label}", kind="recovery",
+                                 attrs={"run_id": run_id}) as span:
+            result = self._run_ladder(
+                program, params, machine, fault_schedule=fault_schedule,
+                inputs=inputs, context=context, plaintexts=plaintexts,
+                run_id=run_id, label=label,
+                emulate_outputs=emulate_outputs, watchdog_s=watchdog_s)
+            span.set_attr("machine", result.machine)
+            span.set_attr("recoveries", len(result.recoveries))
+            return result
+
+    def _run_ladder(self, program, params, machine, *, fault_schedule,
+                    inputs, context, plaintexts, run_id, label,
+                    emulate_outputs, watchdog_s) -> ResilientRunResult:
+        from ..sim.config import degraded_machine, resolve_machine
+
         schedule = fault_schedule or FaultSchedule()
         current = resolve_machine(machine, default_chips=4)
 
@@ -204,21 +221,30 @@ class RecoveryOrchestrator:
                         f"{label}: no degraded configuration left below "
                         f"{current.name}", events=events,
                         last_error=exc) from exc
+                step = tracer().begin(
+                    f"ladder:{current.name}->{degraded.name}",
+                    kind="recovery-step",
+                    attrs={"fault": exc.fault.kind if exc.fault
+                           else "unknown",
+                           "chip": exc.chip, "cycle": exc.cycle,
+                           "checkpoint_cycle": checkpoint_cycle})
                 recompile_started = time.perf_counter()
-                compiled = self.session.compile(
-                    program, params, machine=degraded, job=label)
-                recompile_s = time.perf_counter() - recompile_started
-                event = RecoveryEvent(
-                    fault=exc.fault.kind if exc.fault else "unknown",
-                    chip=exc.chip, cycle=exc.cycle,
-                    machine_from=current.name, machine_to=degraded.name,
-                    checkpoint_cycle=checkpoint_cycle,
-                    lost_cycles=max(0, exc.cycle - checkpoint_cycle),
-                    detection_s=detected - replay_started,
-                    recompile_s=recompile_s)
-                events.append(event)
-                trace_entries.append(self.session.record_recovery(
-                    job=label, **event.as_dict()))
+                with tracer().use_span(step):
+                    compiled = self.session.compile(
+                        program, params, machine=degraded, job=label)
+                    recompile_s = time.perf_counter() - recompile_started
+                    event = RecoveryEvent(
+                        fault=exc.fault.kind if exc.fault else "unknown",
+                        chip=exc.chip, cycle=exc.cycle,
+                        machine_from=current.name, machine_to=degraded.name,
+                        checkpoint_cycle=checkpoint_cycle,
+                        lost_cycles=max(0, exc.cycle - checkpoint_cycle),
+                        detection_s=detected - replay_started,
+                        recompile_s=recompile_s)
+                    events.append(event)
+                    trace_entries.append(self.session.record_recovery(
+                        job=label, **event.as_dict()))
+                step.finish()
                 schedule = schedule.for_survivors(
                     [exc.chip] if exc.chip is not None else [],
                     num_chips=degraded.num_chips)

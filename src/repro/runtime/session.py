@@ -32,6 +32,7 @@ from ..core.compiler import (
     CompilerOptions,
 )
 from ..core.dsl.program import CinnamonProgram
+from ..obs.tracing import NULL_SPAN, Span, tracer
 from ..sim.config import MachineConfig, resolve_machine
 from ..sim.simulator import SimulationResult, SimulatorEngine
 from .cache import MEMORY_HIT, MISS, CacheStats, CompileCache
@@ -65,6 +66,11 @@ class CompileJob:
     #: Simulated-cycle cap: stop the simulation at this frontier and
     #: return a truncated result (the autotuner's low-fidelity rungs).
     max_cycles: Optional[int] = None
+    #: Parent :class:`repro.obs.tracing.Span` to execute under.  The
+    #: batch pool runs jobs on worker threads where ``contextvars`` do
+    #: not follow; the span rides the job across the boundary and is
+    #: re-activated inside :meth:`CinnamonSession.run`.
+    span: object = None
 
     @property
     def label(self) -> str:
@@ -101,6 +107,28 @@ def resolve_request_options(machine, options: Optional[CompilerOptions],
     return replace(options, **overrides) if overrides else options
 
 
+def _add_pass_spans(parent, compile_stats, build_started: float) -> None:
+    """Synthesize one child span per compiler pass under ``parent``.
+
+    The compiler pipeline is not span-aware; its :class:`CompileStats`
+    already carries exact per-pass wall times, so the spans are rebuilt
+    from those timings laid end to end from the moment the driver
+    started (passes run sequentially, so the offsets are exact).
+    """
+    tr = tracer()
+    if parent is NULL_SPAN or not tr.enabled or compile_stats is None:
+        return
+    offset = build_started
+    for timing in compile_stats.passes:
+        child = Span(f"pass:{timing.name}", kind="pass",
+                     trace_id=parent.trace_id, parent_id=parent.span_id,
+                     start_s=offset,
+                     attrs={"seconds": timing.seconds})
+        child.finish(offset + timing.seconds)
+        tr.add_span(child)
+        offset += timing.seconds
+
+
 class CinnamonSession:
     """Cached + instrumented facade over the compiler and simulator.
 
@@ -117,6 +145,10 @@ class CinnamonSession:
         self._cache = CompileCache(capacity=capacity, cache_dir=cache_dir,
                                    schema_version=schema_version)
         self._sim_cache: Dict[Tuple, SimulationResult] = {}
+        #: Memoized per-FU timelines (repro.obs): keyed like the sim
+        #: cache, so a cache-hit simulation can still attach the exact
+        #: functional-unit occupancy timeline to its span.
+        self._fu_timelines: Dict[Tuple, list] = {}
         self._recorder = TraceRecorder()
         self._lock = threading.Lock()
         self._inflight: Dict[str, threading.Event] = {}
@@ -156,38 +188,49 @@ class CinnamonSession:
         key = fingerprint(program, params, opts, emit_isa,
                           schema_version=self.schema_version)
         label = job or program.name
-        started = time.perf_counter()
-        while True:
-            with self._lock:
-                compiled, source = self._cache.get(key)
-                if compiled is None and key not in self._inflight:
-                    self._inflight[key] = threading.Event()
-                    break
-                waiter = self._inflight.get(key)
-            if compiled is not None:
-                compiled.cache_key = key
-                entry = self._recorder.record_compile(
-                    job=label, key=key, cache=source,
-                    seconds=time.perf_counter() - started,
-                    compile_stats=None)
-                return compiled, entry
-            # Another thread is compiling the same key: wait, then retry.
-            waiter.wait()
+        tr = tracer()
+        with tr.start_span(f"compile:{label}", kind="compile",
+                           attrs={"key": key}) as span:
+            started = time.perf_counter()
+            while True:
+                with tr.start_span("cache-lookup", kind="cache") as lookup:
+                    with self._lock:
+                        compiled, source = self._cache.get(key)
+                        if compiled is None and key not in self._inflight:
+                            self._inflight[key] = threading.Event()
+                            lookup.set_attr("outcome", MISS)
+                            break
+                        waiter = self._inflight.get(key)
+                    lookup.set_attr("outcome", source if compiled is not None
+                                    else "inflight-wait")
+                if compiled is not None:
+                    compiled.cache_key = key
+                    span.set_attr("cache", source)
+                    entry = self._recorder.record_compile(
+                        job=label, key=key, cache=source,
+                        seconds=time.perf_counter() - started,
+                        compile_stats=None)
+                    return compiled, entry
+                # Another thread is compiling the same key: wait, then retry.
+                waiter.wait()
 
-        try:
-            compiled = CompilerDriver(params, opts).compile(
-                program, emit_isa=emit_isa)
-            compiled.cache_key = key
-            with self._lock:
-                self._cache.put(key, compiled)
-        finally:
-            with self._lock:
-                self._inflight.pop(key).set()
-        entry = self._recorder.record_compile(
-            job=label, key=key, cache=MISS,
-            seconds=time.perf_counter() - started,
-            compile_stats=compiled.compile_stats.as_dict())
-        return compiled, entry
+            build_started = time.perf_counter()
+            try:
+                compiled = CompilerDriver(params, opts).compile(
+                    program, emit_isa=emit_isa)
+                compiled.cache_key = key
+                with self._lock:
+                    self._cache.put(key, compiled)
+            finally:
+                with self._lock:
+                    self._inflight.pop(key).set()
+            span.set_attr("cache", MISS)
+            _add_pass_spans(span, compiled.compile_stats, build_started)
+            entry = self._recorder.record_compile(
+                job=label, key=key, cache=MISS,
+                seconds=time.perf_counter() - started,
+                compile_stats=compiled.compile_stats.as_dict())
+            return compiled, entry
 
     # ------------------------------------------------------------------ #
     # Simulation
@@ -226,37 +269,83 @@ class CinnamonSession:
         perturbed = (bool(fault_schedule) or resume_from is not None
                      or checkpoint_hook is not None
                      or checkpoint_interval is not None)
-        started = time.perf_counter()
-        if not perturbed:
-            with self._lock:
-                result = self._sim_cache.get(key)
-            if result is not None:
+        with tracer().start_span(
+                f"simulate:{label}", kind="simulate",
+                attrs={"machine": resolved.name, "tag": tag}) as span:
+            started = time.perf_counter()
+            if not perturbed:
+                with self._lock:
+                    result = self._sim_cache.get(key)
+                if result is not None:
+                    # Memo hits keep their simulate span (joins the
+                    # trace) but no FU timeline: re-attaching the same
+                    # lanes to every hit would bloat exports N-fold.
+                    span.set_attr("cache", MEMORY_HIT)
+                    span.set_attr("cycles", result.cycles)
+                    self._recorder.record_simulate(
+                        job=label, machine=resolved.name, tag=tag,
+                        cache=MEMORY_HIT,
+                        seconds=time.perf_counter() - started,
+                        result=None)
+                    return result
+            try:
+                result = SimulatorEngine(resolved).run(
+                    compiled.isa, fault_schedule=fault_schedule,
+                    checkpoint_interval=checkpoint_interval,
+                    checkpoint_hook=checkpoint_hook, resume_from=resume_from,
+                    deadline_s=deadline, max_cycles=max_cycles)
+            except Exception as exc:
                 self._recorder.record_simulate(
-                    job=label, machine=resolved.name, tag=tag,
-                    cache=MEMORY_HIT,
-                    seconds=time.perf_counter() - started,
-                    result=None)
-                return result
-        try:
-            result = SimulatorEngine(resolved).run(
-                compiled.isa, fault_schedule=fault_schedule,
-                checkpoint_interval=checkpoint_interval,
-                checkpoint_hook=checkpoint_hook, resume_from=resume_from,
-                deadline_s=deadline, max_cycles=max_cycles)
-        except Exception as exc:
+                    job=label, machine=resolved.name, tag=tag, cache=MISS,
+                    seconds=time.perf_counter() - started, result=None,
+                    error=f"{type(exc).__name__}: {exc}")
+                raise
+            if not perturbed:
+                with self._lock:
+                    self._sim_cache[key] = result
+            span.set_attr("cache", MISS)
+            span.set_attr("cycles", result.cycles)
+            self._attach_fu_timeline(span, compiled, resolved, key, result,
+                                     perturbed)
             self._recorder.record_simulate(
                 job=label, machine=resolved.name, tag=tag, cache=MISS,
-                seconds=time.perf_counter() - started, result=None,
-                error=f"{type(exc).__name__}: {exc}")
-            raise
-        if not perturbed:
+                seconds=time.perf_counter() - started,
+                result=result.as_dict())
+            return result
+
+    #: Cap on per-chip events captured into a span's FU timeline and on
+    #: memoized timelines kept alive (each entry is a list of small
+    #: dataclasses; 64 artifacts bound the obs overhead).  The per-chip
+    #: cap keeps one merged Chrome trace of a whole loadgen run in the
+    #: tens of megabytes, not hundreds.
+    FU_TIMELINE_LIMIT_PER_CHIP = 2500
+    FU_TIMELINE_CACHE_ENTRIES = 64
+
+    def _attach_fu_timeline(self, span, compiled, resolved, key, result,
+                            perturbed: bool) -> None:
+        """Capture the per-functional-unit cycle timeline onto a fresh
+        ``simulate`` span (only when ``repro.obs`` tracing is enabled
+        with timeline capture on).  The timeline is derived by
+        :class:`~repro.sim.trace.TracingSimulator` from the same ISA +
+        machine the engine just ran."""
+        tr = tracer()
+        if span is NULL_SPAN or not (tr.enabled and tr.capture_fu_timeline):
+            return
+        if getattr(compiled, "isa", None) is None or perturbed:
+            return
+        with self._lock:
+            events = self._fu_timelines.get(key)
+        if events is None:
+            from ..sim.trace import TracingSimulator
+
+            events = TracingSimulator(resolved).timeline(
+                compiled.isa,
+                limit_per_chip=self.FU_TIMELINE_LIMIT_PER_CHIP)
             with self._lock:
-                self._sim_cache[key] = result
-        self._recorder.record_simulate(
-            job=label, machine=resolved.name, tag=tag, cache=MISS,
-            seconds=time.perf_counter() - started,
-            result=result.as_dict())
-        return result
+                if len(self._fu_timelines) < self.FU_TIMELINE_CACHE_ENTRIES:
+                    self._fu_timelines[key] = events
+        span.sim_events = events
+        span.sim_cycles = max(1, result.cycles)
 
     def record_recovery(self, **kwargs) -> dict:
         """Append a machine-level recovery event to the run trace (see
@@ -272,19 +361,26 @@ class CinnamonSession:
     # Batch execution
 
     def run(self, job: CompileJob) -> JobResult:
-        """Compile (and optionally simulate) one job."""
-        compiled, entry = self._compile(
-            job.program, job.params, job.machine, job.options,
-            job.emit_isa, job.label, {})
-        result = None
-        if job.simulate and job.emit_isa:
-            result = self.simulate(
-                compiled, job.sim_machine or job.machine, tag=job.tag,
-                job=job.label, fault_schedule=job.fault_schedule,
-                watchdog_s=job.watchdog_s, max_cycles=job.max_cycles)
-        return JobResult(job=job.label, key=compiled.cache_key,
-                         cache=entry["cache"], compiled=compiled,
-                         result=result)
+        """Compile (and optionally simulate) one job.
+
+        When the job carries a :mod:`repro.obs` span, it is re-activated
+        here so the compile/simulate child spans (and their journal
+        rows) join the originating request's trace even though this runs
+        on a worker-pool thread.
+        """
+        with tracer().use_span(job.span):
+            compiled, entry = self._compile(
+                job.program, job.params, job.machine, job.options,
+                job.emit_isa, job.label, {})
+            result = None
+            if job.simulate and job.emit_isa:
+                result = self.simulate(
+                    compiled, job.sim_machine or job.machine, tag=job.tag,
+                    job=job.label, fault_schedule=job.fault_schedule,
+                    watchdog_s=job.watchdog_s, max_cycles=job.max_cycles)
+            return JobResult(job=job.label, key=compiled.cache_key,
+                             cache=entry["cache"], compiled=compiled,
+                             result=result)
 
     def run_batch(self, jobs: Sequence[CompileJob],
                   max_workers: int = None) -> List[JobResult]:

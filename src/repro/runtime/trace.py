@@ -82,10 +82,15 @@ the session performs and renders them as a single JSON document:
 
 The ``simulate`` payload follows the stable metrics schema of
 :meth:`repro.sim.simulator.SimulationResult.as_dict` (per-FU busy cycles
-and utilization, HBM/network bytes, per-chip cycles).  ``serve`` entries
-are appended by :class:`repro.serve.CinnamonServer` (schema 2);
-``recovery`` entries by the fault-tolerance layer
+and utilization, HBM/network bytes, per-chip cycles, per-link occupancy).
+``serve`` entries are appended by :class:`repro.serve.CinnamonServer`
+(schema 2); ``recovery`` entries by the fault-tolerance layer
 (:mod:`repro.resilience`, schema 3).
+
+Since schema 5, any entry recorded while a :mod:`repro.obs` span is
+active additionally carries ``trace_id`` and ``span_id`` fields, so the
+``serve``/``compile``/``simulate``/``recovery`` rows of one request are
+joinable (``python -m repro.obs`` does exactly that).
 """
 
 from __future__ import annotations
@@ -95,17 +100,32 @@ import threading
 import time
 from typing import Dict, List, Optional
 
+from ..obs.metrics import CYCLE_BUCKETS, default_registry
+from ..obs.tracing import current_span
+
 #: Version of the overall trace document layout.
 #: 2: added ``kind == "serve"`` entries (the repro.serve request log).
 #: 3: added ``kind == "recovery"`` entries (machine-level fault recovery)
 #:    and an optional ``error`` field on simulate entries.
 #: 4: added ``kind == "tune"`` entries (repro.tune autotuning runs:
 #:    candidates tried, cycles, pruned-at-rung).
-TRACE_SCHEMA_VERSION = 4
+#: 5: cross-layer observability (repro.obs): every entry carries
+#:    ``trace_id``/``span_id`` when recorded under an active span, so
+#:    serve/compile/simulate/recovery rows of one request are joinable;
+#:    serve entries gain a ``queue_s``/``batch_s``/``execute_s`` latency
+#:    split.
+TRACE_SCHEMA_VERSION = 5
 
 
 class TraceRecorder:
-    """Thread-safe accumulator of per-job trace entries."""
+    """Thread-safe accumulator of per-job trace entries.
+
+    Besides journaling, every ``record_*`` feeds the process-global
+    :func:`repro.obs.metrics.default_registry` — cache hit/miss counters,
+    per-pass compile-time histograms, simulated cycles per workload, and
+    recovery counts used to exist only as trace rows; now they are also
+    scrapeable.
+    """
 
     def __init__(self):
         self._lock = threading.Lock()
@@ -126,6 +146,19 @@ class TraceRecorder:
             "compile": compile_stats,
         }
         self._append(entry)
+        registry = default_registry()
+        registry.counter(
+            "runtime_compile_requests_total",
+            "Compile requests by cache outcome.",
+            labels={"cache": cache}).inc()
+        registry.histogram(
+            "runtime_compile_seconds",
+            "Wall time of one compile call (hits included).").observe(seconds)
+        for timing in (compile_stats or {}).get("passes", ()):
+            registry.histogram(
+                "runtime_compile_pass_seconds",
+                "Wall time per compiler pass (cache misses only).",
+                labels={"pass": timing["name"]}).observe(timing["seconds"])
         return entry
 
     def record_simulate(self, *, job: str, machine: str, tag: str,
@@ -144,6 +177,16 @@ class TraceRecorder:
         if error is not None:
             entry["error"] = error
         self._append(entry)
+        registry = default_registry()
+        registry.counter(
+            "runtime_simulations_total", "Simulations by cache outcome.",
+            labels={"cache": cache}).inc()
+        if result is not None and "cycles" in result:
+            registry.histogram(
+                "runtime_simulated_cycles",
+                "Simulated cycles per workload run.",
+                labels={"workload": job, "machine": machine},
+                buckets=CYCLE_BUCKETS).observe(result["cycles"])
         return entry
 
     def record_recovery(self, *, job: str, fault: str, chip: Optional[int],
@@ -169,6 +212,10 @@ class TraceRecorder:
             "replay_s": replay_s,
         }
         self._append(entry)
+        default_registry().counter(
+            "runtime_recoveries_total",
+            "Degraded-mode recoveries by fault kind.",
+            labels={"fault": fault}).inc()
         return entry
 
     def record_tune(self, *, job: str, workload: str, machine: str,
@@ -198,12 +245,22 @@ class TraceRecorder:
             "trials": list(trials or []),
         }
         self._append(entry)
+        default_registry().counter(
+            "runtime_tune_runs_total", "Autotuning runs recorded.",
+            labels={"strategy": strategy}).inc()
         return entry
 
     def record_serve(self, *, job: str, status: str, machine: str,
                      shard: Optional[int], attempts: int, batch_size: int,
-                     cache: Optional[str], seconds: float) -> dict:
-        """One serving-layer request outcome (see :mod:`repro.serve`)."""
+                     cache: Optional[str], seconds: float,
+                     queue_s: float = 0.0, batch_s: float = 0.0,
+                     execute_s: float = 0.0) -> dict:
+        """One serving-layer request outcome (see :mod:`repro.serve`).
+
+        Schema 5 splits the wall time: ``queue_s`` (admission queue),
+        ``batch_s`` (coalescing window), ``execute_s`` (inside the
+        shard); ``seconds`` stays end-to-end.
+        """
         entry = {
             "job": job,
             "kind": "serve",
@@ -214,11 +271,20 @@ class TraceRecorder:
             "batch_size": batch_size,
             "cache": cache,
             "seconds": seconds,
+            "queue_s": queue_s,
+            "batch_s": batch_s,
+            "execute_s": execute_s,
         }
         self._append(entry)
         return entry
 
     def _append(self, entry: dict) -> None:
+        # Stamp the active repro.obs span (if any) so rows from every
+        # layer of one request join on trace_id (schema 5).
+        span = current_span()
+        if span is not None:
+            entry.setdefault("trace_id", span.trace_id)
+            entry.setdefault("span_id", span.span_id)
         with self._lock:
             self._jobs.append(entry)
 

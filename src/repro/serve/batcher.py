@@ -63,6 +63,18 @@ class AdaptiveBatcher:
         if bucket is None:
             bucket = self._open[key] = Batch(key=key, opened_at=now)
         bucket.requests.append(request)
+        # Observability: the request leaves the admission queue here and
+        # starts waiting for company — stamp the transition and flip the
+        # open "queue" span over to a "batch" span (repro.obs).
+        request.batched_at = now
+        if request.queue_span is not None:
+            request.queue_span.finish()
+        if request.span is not None:
+            from ..obs.tracing import tracer
+
+            request.batch_span = tracer().begin(
+                "batch", kind="batch", parent=request.span,
+                attrs={"fingerprint": request.key})
         if len(bucket) >= self.max_batch:
             del self._open[key]
             return bucket

@@ -86,14 +86,15 @@ class LoadReport:
             f"  throughput    {self.throughput_rps:8.1f} req/s (ok only)",
             "  outcomes      " + "  ".join(
                 f"{k}={v}" for k, v in sorted(self.counts.items())),
-            f"  latency p50   {self.latency.get('p50', 0):8.4f} s   "
-            f"p95 {self.latency.get('p95', 0):8.4f} s   "
-            f"p99 {self.latency.get('p99', 0):8.4f} s",
-            f"  queue    p50  {self.queue_wait.get('p50', 0):8.4f} s   "
-            f"p95 {self.queue_wait.get('p95', 0):8.4f} s",
-            f"  batch size    mean {self.batch.get('mean', 0):.2f}  "
-            f"max {self.batch.get('max', 0):.0f}  "
-            f"({self.batch.get('count', 0):.0f} batches)",
+            # Empty histograms report None quantiles — render as 0.
+            f"  latency p50   {self.latency.get('p50') or 0:8.4f} s   "
+            f"p95 {self.latency.get('p95') or 0:8.4f} s   "
+            f"p99 {self.latency.get('p99') or 0:8.4f} s",
+            f"  queue    p50  {self.queue_wait.get('p50') or 0:8.4f} s   "
+            f"p95 {self.queue_wait.get('p95') or 0:8.4f} s",
+            f"  batch size    mean {self.batch.get('mean') or 0:.2f}  "
+            f"max {self.batch.get('max') or 0:.0f}  "
+            f"({self.batch.get('count') or 0:.0f} batches)",
             f"  cache         hit rate {self.cache.get('hit_rate', 0):.1%} "
             f"({self.cache.get('hits', 0):.0f}/"
             f"{self.cache.get('lookups', 0):.0f} lookups)",
@@ -226,7 +227,7 @@ def build_report(server: CinnamonServer, results: Sequence[RequestResult],
         duration_s=duration_s,
         counts=counts,
         throughput_rps=ok / duration_s if duration_s > 0 else 0.0,
-        latency={k: latency.get(k, 0.0)
+        latency={k: latency.get(k) or 0.0
                  for k in ("p50", "p95", "p99", "mean", "max")},
         queue_wait=_histogram_summary(server.metrics,
                                       "serve_queue_wait_seconds"),
@@ -300,10 +301,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="write the metrics JSON snapshot here")
     parser.add_argument("--trace-out", default=None,
                         help="write the request-level trace JSON here")
+    parser.add_argument("--obs", action="store_true",
+                        help="enable repro.obs tracing for the run "
+                             "(journal rows gain trace ids)")
+    parser.add_argument("--obs-trace-out", default=None, metavar="FILE",
+                        help="write the merged Chrome/Perfetto timeline "
+                             "here (implies --obs)")
     parser.add_argument("--fail-on-errors", action="store_true",
                         help="exit 1 if any request was not served OK")
     args = parser.parse_args(argv)
 
+    if args.obs or args.obs_trace_out:
+        from .. import obs
+
+        obs.enable()
     mix = serving_mix(args.scale,
                       weights=parse_mix_weights(args.mix) or None)
     faults = None
@@ -348,6 +359,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.trace_out:
             server.export_trace(args.trace_out)
             print(f"  trace JSON    {args.trace_out}")
+        if args.obs_trace_out:
+            from ..obs import export_chrome_trace
+
+            events = export_chrome_trace(args.obs_trace_out)
+            print(f"  chrome trace  {args.obs_trace_out} "
+                  f"({events} events)")
 
     if args.fail_on_errors and report.failed:
         print(f"loadgen: FAIL — {report.failed} request(s) not served OK",

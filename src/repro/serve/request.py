@@ -66,7 +66,13 @@ class InferenceRequest:
     key: Optional[str] = None         # compile fingerprint
     machine_name: Optional[str] = None
     submitted_at: Optional[float] = None  # monotonic
+    batched_at: Optional[float] = None    # monotonic; set by the batcher
     tuned: bool = False               # options swapped from the tuning DB
+    # repro.obs spans carried across the thread hops of the data path
+    # (admission thread -> dispatcher -> shard executor):
+    span: object = None               # root "serve" span of this request
+    queue_span: object = None         # open while waiting for dispatch
+    batch_span: object = None         # open while coalescing in a bucket
 
     @property
     def label(self) -> str:
@@ -83,12 +89,13 @@ class LatencyBreakdown:
     """Where one request's wall time went (seconds)."""
 
     queue_s: float = 0.0        # admission queue + batcher wait
+    batch_s: float = 0.0        # batcher coalescing portion of queue_s
     execute_s: float = 0.0      # compile + simulate inside the shard
     total_s: float = 0.0        # submit -> resolution
 
     def as_dict(self) -> dict:
-        return {"queue_s": self.queue_s, "execute_s": self.execute_s,
-                "total_s": self.total_s}
+        return {"queue_s": self.queue_s, "batch_s": self.batch_s,
+                "execute_s": self.execute_s, "total_s": self.total_s}
 
 
 @dataclass

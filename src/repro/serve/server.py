@@ -38,6 +38,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..obs.tracing import tracer
 from ..resilience.faults import MachineFaultError, WatchdogTimeout
 from ..runtime.cache import DISK_HIT, MEMORY_HIT
 from ..runtime.fingerprint import fingerprint
@@ -285,6 +286,16 @@ class CinnamonServer:
                 self._tuned_total.inc()
         request.key = fingerprint(request.program, request.params, options)
         request.submitted_at = time.monotonic()
+        # Observability root: one trace per request, opened at admission
+        # and closed at resolution (repro.obs; no-op unless enabled).
+        tr = tracer()
+        request.span = tr.begin(
+            f"serve:{request.label}", kind="serve", parent=None,
+            attrs={"request_id": request.request_id,
+                   "machine": request.machine_name,
+                   "fingerprint": request.key})
+        request.queue_span = tr.begin("queue", kind="queue",
+                                      parent=request.span)
         handle = RequestHandle(request)
         with self._pending_cond:
             self._handles[request.request_id] = handle
@@ -388,6 +399,16 @@ class CinnamonServer:
             if not pending:
                 return
             exec_start = time.monotonic()
+            # One "execute" span per request per attempt: it rides the
+            # CompileJob onto the session worker pool, where the compile
+            # and simulate child spans attach to it (repro.obs).
+            tr = tracer()
+            exec_spans = [
+                tr.begin("execute", kind="execute", parent=r.span,
+                         attrs={"shard": shard.id, "attempt": attempt,
+                                "batch_size": len(batch)})
+                for r in pending
+            ]
             try:
                 schedule = self.faults.on_dispatch(shard.id, batch,
                                                    shard.session)
@@ -398,8 +419,9 @@ class CinnamonServer:
                                    options=r.options,
                                    simulate=r.simulate, tag=r.tag,
                                    name=r.label, fault_schedule=schedule,
-                                   watchdog_s=self.watchdog_s)
-                        for r in pending]
+                                   watchdog_s=self.watchdog_s,
+                                   span=span)
+                        for r, span in zip(pending, exec_spans)]
                 results = shard.session.run_batch(
                     jobs, max_workers=min(4, len(jobs)))
                 for job_result in results:
@@ -469,6 +491,11 @@ class CinnamonServer:
                                          attempts=attempt, shard=shard.id,
                                          batch_size=len(batch))
                 return
+            finally:
+                # Close this attempt's execute spans on every exit path
+                # (success, retryable failure, recovery descent).
+                for span in exec_spans:
+                    span.finish()
             if attempt <= self.max_retries:
                 self._retries_total.inc()
                 backoff = (self.retry_backoff_s * (2 ** (attempt - 1))
@@ -493,11 +520,26 @@ class CinnamonServer:
                 dispatched: bool) -> None:
         self._requests_total[result.status].inc()
         self._latency_h.observe(result.latency.total_s)
-        self._recorder.record_serve(
-            job=request.label, status=result.status.value,
-            machine=request.machine_name or "", shard=result.shard,
-            attempts=result.attempts, batch_size=result.batch_size,
-            cache=result.cache, seconds=result.latency.total_s)
+        # Close whatever request spans are still open (a timeout can
+        # resolve a request while its queue/batch span is live), then
+        # journal the outcome under the root span so the serve row joins
+        # the compile/simulate rows on trace_id.
+        tr = tracer()
+        for span in (request.queue_span, request.batch_span, request.span):
+            if span is not None:
+                span.finish()
+        if request.span is not None:
+            request.span.set_attr("status", result.status.value)
+            request.span.set_attr("shard", result.shard)
+        with tr.use_span(request.span):
+            self._recorder.record_serve(
+                job=request.label, status=result.status.value,
+                machine=request.machine_name or "", shard=result.shard,
+                attempts=result.attempts, batch_size=result.batch_size,
+                cache=result.cache, seconds=result.latency.total_s,
+                queue_s=result.latency.queue_s,
+                batch_s=result.latency.batch_s,
+                execute_s=result.latency.execute_s)
         with self._pending_cond:
             handle = self._handles.pop(request.request_id, None)
             if dispatched:
@@ -515,6 +557,8 @@ class CinnamonServer:
                     batch_size: int) -> None:
         latency = LatencyBreakdown(
             queue_s=exec_start - (request.submitted_at or exec_start),
+            batch_s=(exec_start - request.batched_at
+                     if request.batched_at is not None else 0.0),
             execute_s=done - exec_start,
             total_s=self._elapsed(request, done))
         self._queue_wait_h.observe(latency.queue_s)
@@ -604,16 +648,24 @@ class CinnamonServer:
         return self.metrics.render_prometheus()
 
     def trace(self) -> dict:
-        """Merged trace document: serve entries + aggregate cache stats
-        (the :mod:`repro.runtime.trace` schema, ``kind == "serve"``)."""
-        return self._recorder.document(self.cache_stats())
+        """Merged trace document across the whole server: serve and
+        recovery entries from the server recorder *plus* the compile and
+        simulate entries of every shard session, with aggregate cache
+        stats (the :mod:`repro.runtime.trace` schema).  Rows recorded
+        under :mod:`repro.obs` tracing carry ``trace_id``, so one
+        request's serve/compile/simulate rows are joinable here."""
+        document = self._recorder.document(self.cache_stats())
+        for shard in self._shards:
+            document["jobs"].extend(shard.session.trace()["jobs"])
+        return document
 
     def export_trace(self, path):
+        import json
         from pathlib import Path
 
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self._recorder.to_json(self.cache_stats()))
+        path.write_text(json.dumps(self.trace(), indent=2))
         return path
 
 
@@ -621,11 +673,14 @@ class CinnamonServer:
 
 def serve_requests(requests: Sequence[InferenceRequest],
                    num_workers: int = 2, queue_depth: int = 0,
-                   **server_kwargs) -> List[RequestResult]:
+                   trace_out=None, **server_kwargs) -> List[RequestResult]:
     """One-call facade: serve ``requests`` to completion, results in
     submission order.  ``queue_depth=0`` (unbounded) by default so a
     batch submission is never rejected; pass a bound to exercise
-    backpressure."""
+    backpressure.  ``trace_out`` writes the merged trace journal (serve
+    + per-shard compile/simulate rows) before the transient server is
+    torn down — with :mod:`repro.obs` tracing enabled, that journal is
+    what ``python -m repro.obs`` analyzes."""
     server = CinnamonServer(num_workers=num_workers,
                             queue_depth=queue_depth, **server_kwargs)
     with server:
@@ -645,4 +700,6 @@ def serve_requests(requests: Sequence[InferenceRequest],
                     error="admission queue saturated"))
             else:
                 results.append(handle.result(timeout=600))
+        if trace_out is not None:
+            server.export_trace(trace_out)
     return results

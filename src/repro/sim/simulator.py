@@ -43,7 +43,8 @@ from .config import MachineConfig, resolve_machine
 
 #: Version of the dict layout produced by :meth:`SimulationResult.as_dict`.
 #: Bump when keys are renamed/removed so trace consumers can detect drift.
-#: (``events`` was added additively; the version stays 1.)
+#: (``events``, ``topology`` and per-link ``links`` occupancy were added
+#: additively; the version stays 1.)
 METRICS_SCHEMA_VERSION = 1
 
 _FU_CLASS = {
@@ -75,6 +76,13 @@ class SimulationResult:
     hbm_bytes: int
     network_bytes: int
     per_chip_cycles: Dict[int, int] = field(default_factory=dict)
+    #: Per-network-link accounting (one link resource per chip): busy
+    #: cycles and bytes carried, keyed by chip id.  ``topology`` names
+    #: the interconnect ("ring"/"switch") so consumers can report ring
+    #: vs. switch link utilization.
+    link_busy: Dict[int, int] = field(default_factory=dict)
+    link_bytes: Dict[int, int] = field(default_factory=dict)
+    topology: str = ""
     #: Non-fatal machine events applied during the run (link degradations,
     #: cluster slowdowns) as ``{"kind", "chip", "cycle", "factor"}`` dicts.
     events: List[dict] = field(default_factory=list)
@@ -107,6 +115,12 @@ class SimulationResult:
         return {name: min(1.0, busy / total)
                 for name, busy in sorted(self.fu_busy.items())}
 
+    def link_occupancy(self) -> Dict[int, float]:
+        """Fractional busy time of each chip's network link."""
+        total = max(1, self.cycles)
+        return {cid: min(1.0, busy / total)
+                for cid, busy in sorted(self.link_busy.items())}
+
     def as_dict(self) -> dict:
         """The stable metrics schema exported into runtime traces.
 
@@ -128,6 +142,15 @@ class SimulationResult:
             "utilization": self.utilization(),
             "per_chip_cycles": {str(cid): cyc for cid, cyc
                                 in sorted(self.per_chip_cycles.items())},
+            "topology": self.topology,
+            "links": {
+                str(cid): {
+                    "busy_cycles": busy,
+                    "bytes": self.link_bytes.get(cid, 0),
+                    "occupancy": min(1.0, busy / max(1, self.cycles)),
+                }
+                for cid, busy in sorted(self.link_busy.items())
+            },
             "events": list(self.events),
             "truncated": self.truncated,
         }
@@ -466,6 +489,9 @@ class SimulatorEngine:
             hbm_bytes=sum(c.hbm.bytes_moved for c in chips.values()),
             network_bytes=sum(c.link.bytes_moved for c in chips.values()),
             per_chip_cycles={c.id: c.finish for c in chips.values()},
+            link_busy={c.id: c.link.busy_cycles for c in chips.values()},
+            link_bytes={c.id: c.link.bytes_moved for c in chips.values()},
+            topology=machine.topology,
             events=events,
             truncated=truncated,
         )

@@ -1,0 +1,13 @@
+"""Tracer hygiene: every obs test starts clean and leaves tracing off."""
+
+import pytest
+
+from repro.obs import disable, tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    tracer().reset()
+    yield
+    disable()
+    tracer().reset()

@@ -1,0 +1,217 @@
+"""Acceptance: one traced serve run -> one joined timeline + journal.
+
+The paper-level payoff of repro.obs: a request's serve span, its
+compiler-pass child spans, and the scaled per-functional-unit simulator
+timeline all share one ``trace_id`` inside a single Chrome-trace file,
+and ``python -m repro.obs`` reconstructs the request's critical path
+from the trace journal alone.
+"""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.dsl.program import CinnamonProgram
+from repro.fhe import ArchParams
+from repro.obs import check, disable, enable, export_chrome_trace, tracer
+from repro.obs.__main__ import main as obs_main
+from repro.obs.analyze import registry_from_journal, trace_table
+from repro.obs.export import SIM_PID_BASE, WALL_PID, build_chrome_trace
+from repro.serve import InferenceRequest
+from repro.serve.server import serve_requests
+
+PARAMS = ArchParams(max_level=6)
+
+
+def _request(name, rotation=1):
+    prog = CinnamonProgram(f"obs-{name}", level=6)
+    a, b = prog.input("a"), prog.input("b")
+    prog.output("y", a * b + a.rotate(rotation))
+    return InferenceRequest(program=prog, params=PARAMS, machine=2,
+                            name=name)
+
+
+@pytest.fixture(scope="module")
+def traced(tmp_path_factory):
+    """One serve run with tracing on; everything captured before the
+    per-test tracer reset."""
+    out = tmp_path_factory.mktemp("obs-e2e")
+    journal_path = out / "journal.json"
+    chrome_path = out / "chrome.json"
+    enable(reset=True)
+    try:
+        requests = [_request("ra", 1), _request("rb", 1), _request("rc", 2)]
+        results = serve_requests(requests, num_workers=2,
+                                 trace_out=str(journal_path))
+        spans = tracer().spans()
+        chrome = build_chrome_trace()
+        export_chrome_trace(str(chrome_path))
+    finally:
+        disable()
+    with open(journal_path) as handle:
+        document = json.load(handle)
+    return SimpleNamespace(results=results, spans=spans, chrome=chrome,
+                           document=document,
+                           journal_path=str(journal_path),
+                           chrome_path=str(chrome_path))
+
+
+class TestOneTraceId:
+    def test_all_requests_served(self, traced):
+        assert [r.status.value for r in traced.results] == ["ok"] * 3
+
+    def test_serve_pass_and_sim_spans_share_the_trace(self, traced):
+        serve_spans = [s for s in traced.spans if s.kind == "serve"]
+        assert len(serve_spans) == 3
+        # The cache-missing request compiled for real: its trace holds
+        # per-compiler-pass children AND a simulate span with an
+        # attached FU timeline — all under the serve span's trace_id.
+        with_passes = [
+            root for root in serve_spans
+            if any(s.kind == "pass"
+                   for s in traced.spans if s.trace_id == root.trace_id)
+        ]
+        assert with_passes, "no trace carries compiler-pass spans"
+        root = with_passes[0]
+        kinds = {s.kind for s in traced.spans
+                 if s.trace_id == root.trace_id}
+        assert {"serve", "queue", "batch", "execute", "compile",
+                "cache", "pass", "simulate"} <= kinds
+        sims = [s for s in traced.spans
+                if s.trace_id == root.trace_id and s.kind == "simulate"]
+        assert any(s.sim_events for s in sims), "no FU timeline captured"
+
+    def test_span_tree_is_well_parented(self, traced):
+        by_id = {s.span_id: s for s in traced.spans}
+        for span in traced.spans:
+            assert span.finished, f"span {span.name} left open"
+            if span.parent_id is not None:
+                parent = by_id[span.parent_id]
+                assert parent.trace_id == span.trace_id
+
+    def test_journal_rows_join_on_trace_id(self, traced):
+        assert traced.document["schema"] == 5
+        assert check(traced.document) == []
+        table = trace_table(traced.document)
+        assert len(table) == 3
+        for split in table.values():
+            assert split["status"] == "ok"
+            assert split["compile"] > 0.0
+            assert split["sim"] > 0.0
+            assert split["total_s"] >= split["compile"] + split["sim"] \
+                - 1e-6
+
+
+class TestChromeExport:
+    def test_event_shape(self, traced):
+        events = traced.chrome["traceEvents"]
+        assert events
+        for event in events:
+            if event["ph"] == "M":
+                continue
+            assert event["ph"] == "X"
+            assert set(event) >= {"name", "ts", "dur", "pid", "tid",
+                                  "args"}
+            assert event["dur"] >= 1.0
+            assert {"trace_id", "span_id"} <= set(event["args"])
+
+    def test_wall_and_sim_tracks_coexist(self, traced):
+        events = [e for e in traced.chrome["traceEvents"]
+                  if e["ph"] == "X"]
+        pids = {e["pid"] for e in events}
+        assert WALL_PID in pids
+        assert any(pid >= SIM_PID_BASE for pid in pids)
+        assert any(e["cat"] == "isa" for e in events)
+        # chip/lane thread naming on the sim tracks
+        sim_tids = {e["tid"] for e in events if e["pid"] >= SIM_PID_BASE}
+        assert all(tid.startswith("chip") for tid in sim_tids)
+
+    def test_fu_timeline_scaled_into_enclosing_simulate_span(self, traced):
+        events = traced.chrome["traceEvents"]
+        sim_windows = {}  # trace_id -> (ts, ts+dur) of its simulate slice
+        for event in events:
+            if event.get("cat") == "simulate":
+                tid = event["args"]["trace_id"]
+                window = (event["ts"], event["ts"] + event["dur"])
+                prior = sim_windows.get(tid)
+                sim_windows[tid] = (min(window[0], prior[0]),
+                                    max(window[1], prior[1])) \
+                    if prior else window
+        isa = [e for e in events if e.get("cat") == "isa"]
+        assert isa
+        for event in isa:
+            lo, hi = sim_windows[event["args"]["trace_id"]]
+            assert lo - 1e-6 <= event["ts"]
+            # +1 slack: sub-microsecond cycles clamp to dur=1
+            assert event["ts"] + event["dur"] <= hi + 1.0 + 1e-6
+
+    def test_file_is_loadable_json(self, traced):
+        with open(traced.chrome_path) as handle:
+            payload = json.load(handle)
+        assert payload["traceEvents"]
+
+
+class TestCli:
+    def test_report_prints_critical_path(self, traced, capsys):
+        assert obs_main([traced.journal_path]) == 0
+        out = capsys.readouterr().out
+        assert "3 trace(s)" in out
+        for phase in ("queue", "batch", "compile", "sim", "recovery"):
+            assert phase in out
+        assert "utilization" in out
+
+    def test_single_trace_by_prefix(self, traced, capsys):
+        trace_id = next(iter(trace_table(traced.document)))
+        assert obs_main([traced.journal_path,
+                         "--trace-id", trace_id[:8]]) == 0
+        out = capsys.readouterr().out
+        assert "1 trace(s)" in out
+        assert trace_id in out
+
+    def test_check_passes_on_healthy_journal(self, traced, capsys):
+        assert obs_main([traced.journal_path, "--check"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_check_fails_on_unstamped_rows(self, traced, tmp_path,
+                                           capsys):
+        doctored = dict(traced.document)
+        doctored["jobs"] = [
+            {k: v for k, v in row.items()
+             if k not in ("trace_id", "span_id")}
+            for row in traced.document["jobs"]
+        ]
+        path = tmp_path / "doctored.json"
+        path.write_text(json.dumps(doctored))
+        assert obs_main([str(path), "--check"]) == 1
+        assert "missing trace_id" in capsys.readouterr().out
+
+    def test_check_fails_when_a_serve_trace_has_no_children(
+            self, traced, tmp_path, capsys):
+        doctored = dict(traced.document)
+        doctored["jobs"] = [row for row in traced.document["jobs"]
+                            if row["kind"] == "serve"]
+        path = tmp_path / "orphans.json"
+        path.write_text(json.dumps(doctored))
+        assert obs_main([str(path), "--check"]) == 1
+        out = capsys.readouterr().out
+        assert "no compile-or-cache child" in out
+        assert "no simulate child" in out
+
+    def test_prometheus_textfile_from_journal(self, traced, tmp_path,
+                                              capsys):
+        prom = tmp_path / "metrics.prom"
+        assert obs_main([traced.journal_path,
+                         "--prom-out", str(prom)]) == 0
+        text = prom.read_text()
+        assert "runtime_compile_requests_total" in text
+        assert "runtime_simulations_total" in text
+        assert 'serve_requests_total{status="ok"} 3' in text
+
+    def test_registry_replay_matches_row_counts(self, traced):
+        registry = registry_from_journal(traced.document)
+        snap = registry.snapshot()
+        compiles = sum(s["value"] for s in
+                       snap["runtime_compile_requests_total"]["series"])
+        assert compiles == sum(1 for r in traced.document["jobs"]
+                               if r["kind"] == "compile")

@@ -1,0 +1,66 @@
+"""Metrics hoist: serve shim identity + histogram quantile edge cases."""
+
+import repro.obs.metrics as obs_metrics
+import repro.serve.metrics as serve_metrics
+from repro.obs.metrics import Histogram, MetricsRegistry, default_registry
+
+
+class TestServeShim:
+    def test_reexports_are_the_same_objects(self):
+        # Back-compat: the serve-layer import path must keep working and
+        # resolve to the very same classes/values, not copies.
+        for name in ("Counter", "Gauge", "Histogram", "MetricsRegistry",
+                     "LabelSet", "DEFAULT_BUCKETS", "CYCLE_BUCKETS",
+                     "RESERVOIR_SIZE", "default_registry"):
+            assert getattr(serve_metrics, name) is \
+                getattr(obs_metrics, name), name
+
+    def test_shim_registry_instances_interoperate(self):
+        registry = serve_metrics.MetricsRegistry()
+        assert isinstance(registry, obs_metrics.MetricsRegistry)
+        counter = registry.counter("x_total", "x")
+        assert isinstance(counter, obs_metrics.Counter)
+
+    def test_default_registry_is_process_global(self):
+        assert serve_metrics.default_registry() is default_registry()
+        assert default_registry() is default_registry()
+
+
+class TestHistogramQuantiles:
+    def test_empty_reservoir_has_no_quantiles(self):
+        hist = Histogram("h", "", ())
+        assert hist.quantile(0.5) is None
+        assert hist.quantile(0.99) is None
+        snap = hist.snapshot_value()
+        assert snap["count"] == 0
+        assert snap["p50"] is None and snap["p99"] is None
+
+    def test_single_sample_is_every_quantile(self):
+        hist = Histogram("h", "", ())
+        hist.observe(0.125)
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert hist.quantile(q) == 0.125
+
+    def test_two_samples_bracket(self):
+        hist = Histogram("h", "", ())
+        hist.observe(1.0)
+        hist.observe(3.0)
+        assert hist.quantile(0.0) == 1.0
+        assert hist.quantile(1.0) == 3.0
+
+    def test_many_samples_monotone_and_exact_at_ends(self):
+        hist = Histogram("h", "", ())
+        for value in range(100):
+            hist.observe(float(value))
+        assert hist.quantile(0.0) == 0.0
+        assert hist.quantile(1.0) == 99.0
+        quantiles = [hist.quantile(q / 10) for q in range(11)]
+        assert quantiles == sorted(quantiles)
+        assert abs(hist.quantile(0.5) - 49.5) <= 1.0
+
+    def test_exposition_still_renders_empty_histograms(self):
+        registry = MetricsRegistry()
+        registry.histogram("latency_seconds", "lat", buckets=(1.0, 2.0))
+        text = registry.render_prometheus()
+        assert 'latency_seconds_bucket{le="+Inf"} 0' in text
+        assert "latency_seconds_count 0" in text

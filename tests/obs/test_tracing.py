@@ -1,0 +1,120 @@
+"""Span/Tracer API: lifecycle, context propagation, thread hand-off."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs import (NULL_SPAN, Span, current_span, disable, enable,
+                       enabled, start_span, tracer)
+
+
+class TestGate:
+    def test_disabled_by_default_hands_out_null_span(self):
+        assert not enabled()
+        with start_span("noop") as span:
+            assert span is NULL_SPAN
+        assert tracer().spans() == []
+
+    def test_null_span_absorbs_the_full_api(self):
+        NULL_SPAN.set_attr("k", "v")
+        NULL_SPAN.finish()
+        assert NULL_SPAN.attrs == {}
+        assert NULL_SPAN.trace_id == ""
+
+    def test_enable_reset_disable(self):
+        enable(reset=True)
+        assert enabled()
+        with start_span("real") as span:
+            assert span is not NULL_SPAN
+        assert len(tracer().spans()) == 1
+        disable()
+        with start_span("off") as span:
+            assert span is NULL_SPAN
+        assert len(tracer().spans()) == 1  # nothing new collected
+
+
+class TestPropagation:
+    def test_nesting_parents_via_contextvars(self):
+        enable(reset=True)
+        with start_span("outer") as outer:
+            with start_span("inner") as inner:
+                assert current_span() is inner
+            assert current_span() is outer
+        assert current_span() is None
+        assert inner.trace_id == outer.trace_id
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_begin_does_not_activate(self):
+        enable(reset=True)
+        span = tracer().begin("root", kind="serve")
+        assert current_span() is None
+        assert not span.finished
+        span.finish()
+        assert span.finished
+        assert span.duration_s >= 0.0
+
+    def test_use_span_carries_across_threads(self):
+        enable(reset=True)
+        root = tracer().begin("request", kind="serve")
+
+        def worker():
+            # A fresh executor thread has no inherited context...
+            assert current_span() is None
+            with tracer().use_span(root):
+                with start_span("child") as child:
+                    return child
+
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            child = pool.submit(worker).result()
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert not root.finished  # use_span never finishes
+
+    def test_use_span_tolerates_none_and_null(self):
+        with tracer().use_span(None):
+            pass
+        with tracer().use_span(NULL_SPAN):
+            assert current_span() is None
+
+    def test_exception_stamps_error_attr(self):
+        enable(reset=True)
+        with pytest.raises(ValueError):
+            with start_span("boom") as span:
+                raise ValueError("bad digit")
+        assert span.finished
+        assert "ValueError" in span.attrs["error"]
+
+
+class TestCollection:
+    def test_spans_filter_by_trace_and_kind(self):
+        enable(reset=True)
+        with start_span("a", kind="serve") as a:
+            with start_span("b", kind="compile"):
+                pass
+        with start_span("c", kind="serve") as c:
+            pass
+        assert len(tracer().spans()) == 3
+        assert len(tracer().spans(trace_id=a.trace_id)) == 2
+        assert [s.name for s in tracer().spans(kind="serve")] == ["a", "c"]
+        assert tracer().trace_ids() == [a.trace_id, c.trace_id]
+
+    def test_add_span_collects_synthesized_children(self):
+        enable(reset=True)
+        parent = tracer().begin("compile", kind="compile")
+        child = Span("pass:ntt", kind="pass", trace_id=parent.trace_id,
+                     parent_id=parent.span_id, start_s=parent.start_s)
+        child.finish(parent.start_s + 0.01)
+        tracer().add_span(child)
+        got = tracer().spans(trace_id=parent.trace_id, kind="pass")
+        assert got == [child]
+        assert abs(got[0].duration_s - 0.01) < 1e-9
+
+    def test_as_dict_round_trips(self):
+        enable(reset=True)
+        with start_span("x", attrs={"k": 1}) as span:
+            pass
+        doc = span.as_dict()
+        assert doc["trace_id"] == span.trace_id
+        assert doc["attrs"] == {"k": 1}
+        assert doc["duration_s"] >= 0.0

@@ -134,3 +134,62 @@ class TestSimulation:
         a = CycleSimulator(CINNAMON_4).run(four.isa)
         b = CycleSimulator(CINNAMON_4).run(four.isa)
         assert a.cycles == b.cycles
+
+
+class TestLinkOccupancy:
+    """Per-network-link accounting (schema-additive ``links`` key)."""
+
+    @pytest.fixture(scope="class")
+    def two_chip(self):
+        """A known two-chip broadcast: one rotate forces each chip to
+        exchange its shard with the other, so both links carry bytes."""
+        params = ArchParams(max_level=12)
+        prog = CinnamonProgram("bcast2", level=12)
+        a, b = prog.input("a"), prog.input("b")
+        prog.output("y", (a * b).rotate(1))
+        compiled = CinnamonCompiler(
+            params, CompilerOptions(num_chips=2)).compile(prog)
+        machine = config_for(2)
+        return CycleSimulator(machine).run(compiled.isa), machine
+
+    def test_every_link_accounted(self, two_chip):
+        result, _ = two_chip
+        assert set(result.link_busy) == {0, 1}
+        assert set(result.link_bytes) == {0, 1}
+        assert all(busy > 0 for busy in result.link_busy.values())
+        assert all(moved > 0 for moved in result.link_bytes.values())
+
+    def test_link_bytes_sum_to_network_bytes(self, two_chip):
+        result, _ = two_chip
+        assert sum(result.link_bytes.values()) == result.network_bytes
+
+    def test_network_busy_is_link_average(self, two_chip):
+        result, _ = two_chip
+        assert result.network_busy == pytest.approx(
+            sum(result.link_busy.values()) / len(result.link_busy))
+
+    def test_link_occupancy_fractions(self, two_chip):
+        result, _ = two_chip
+        occupancy = result.link_occupancy()
+        for cid, frac in occupancy.items():
+            assert 0.0 < frac <= 1.0
+            assert frac == pytest.approx(
+                min(1.0, result.link_busy[cid] / result.cycles))
+
+    def test_as_dict_links_payload(self, two_chip):
+        result, machine = two_chip
+        doc = result.as_dict()
+        assert doc["topology"] == machine.topology
+        assert set(doc["links"]) == {"0", "1"}
+        for link in doc["links"].values():
+            assert link["busy_cycles"] > 0
+            assert 0.0 < link["occupancy"] <= 1.0
+        assert sum(link["bytes"] for link in doc["links"].values()) \
+            == doc["network"]["bytes"]
+
+    def test_single_chip_link_stays_idle(self, arch_compiled):
+        one, _ = arch_compiled
+        result = CycleSimulator(CINNAMON_1).run(one.isa)
+        assert result.link_busy == {0: 0}
+        assert result.link_occupancy() == {0: 0.0}
+        assert result.as_dict()["links"]["0"]["bytes"] == 0

@@ -63,3 +63,53 @@ class TestChromeExport:
         assert count > 0
         payload = json.loads(path.read_text())
         assert len(payload["traceEvents"]) == count
+
+
+@pytest.fixture(scope="module")
+def bootstrap_compiled():
+    """The serving mix's shrunk-but-real bootstrap on two chips."""
+    from repro.workloads import SMALL_BOOTSTRAP_PLAN
+    from repro.workloads.kernels import bootstrap_kernel
+
+    params = ArchParams(max_level=16)
+    prog = bootstrap_kernel(SMALL_BOOTSTRAP_PLAN, entry_level=2)
+    return CinnamonCompiler(params,
+                            CompilerOptions(num_chips=2)).compile(prog)
+
+
+class TestBootstrapChromeTrace:
+    """Exported Chrome-trace JSON stays well-formed on a real bootstrap
+    module (the workload the serving layer traces most)."""
+
+    def test_export_well_formed(self, bootstrap_compiled, tmp_path):
+        from repro.sim.config import config_for
+
+        path = tmp_path / "bootstrap-trace.json"
+        count = export_chrome_trace(bootstrap_compiled.isa, config_for(2),
+                                    str(path), limit_per_chip=2000)
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        assert 0 < count == len(events)
+        for event in events:
+            assert event["ph"] == "X"
+            assert isinstance(event["ts"], int) and event["ts"] >= 0
+            assert event["dur"] >= 1
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], str)
+            assert event["name"]
+
+    def test_no_overlap_per_fu_lane(self, bootstrap_compiled):
+        from repro.sim.config import config_for
+
+        events = TracingSimulator(config_for(2)).timeline(
+            bootstrap_compiled.isa, limit_per_chip=2000)
+        lanes = {}
+        for event in events:
+            lanes.setdefault((event.chip, event.lane), []).append(event)
+        assert {chip for chip, _ in lanes} == {0, 1}
+        assert any(lane.startswith("ntt") for _, lane in lanes)
+        assert any(lane == "hbm" for _, lane in lanes)
+        for lane_events in lanes.values():
+            lane_events.sort(key=lambda e: e.start)
+            for prev, cur in zip(lane_events, lane_events[1:]):
+                assert cur.start >= prev.start + prev.duration
