@@ -1,0 +1,357 @@
+"""Performance-baseline harness: measure, record, and gate BENCH_*.json.
+
+This is the repo's first perf trajectory: three committed baseline files
+(``BENCH_kernels.json``, ``BENCH_serving.json``, ``BENCH_sim.json``) pin
+the headline numbers — NTT µs/limb per kernel backend, CKKS bootstrap
+latency, loadgen throughput, and simulator cycles/sec — and CI re-measures
+them on every push, failing when a gated metric regresses by more than
+:data:`REGRESSION_TOLERANCE` (see ``.github/workflows/bench.yml``).
+
+All BENCH files share one schema (``schema_version``, and the same metric
+vocabulary as ``SimulationResult.as_dict()`` /
+``repro.obs.analyze.utilization_summary``)::
+
+    {
+      "schema_version": 1,
+      "suite": "kernels",
+      "machine": {...},                  # informational, never gated
+      "context": {...},                  # workload shape, never gated
+      "metrics": {
+        "<name>": {"value": 12.3, "unit": "us/limb", "direction": "lower"}
+      }
+    }
+
+Usage::
+
+    python benchmarks/baseline.py                  # measure + rewrite files
+    python benchmarks/baseline.py --check          # measure + gate, no write
+    python benchmarks/baseline.py --quick --suite kernels,sim
+
+Timers use interleaved min-of-N: comparators alternate inside one process
+so cache state and machine noise hit them equally, and the minimum is
+reported (robust against multi-tenant jitter).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+SCHEMA_VERSION = 1
+#: A gated metric may drift this much against its committed baseline
+#: before ``--check`` fails (0.20 = 20%).  Load-invariant ratio metrics
+#: use this tight default; absolute wall-clock metrics carry the wider
+#: per-metric :data:`WALL_TOLERANCE` in their baseline entries.
+REGRESSION_TOLERANCE = 0.20
+#: Gate for absolute wall-clock metrics (seconds, us/limb, req/s,
+#: cycles/s) — these drift with multi-tenant host load even under
+#: interleaved min-of-N timing.
+WALL_TOLERANCE = 0.50
+
+SUITES = ("kernels", "serving", "sim")
+
+
+def _metric(value, unit, direction="lower", tolerance=None):
+    """One gated metric.  ``tolerance`` overrides the suite-wide gate for
+    metrics whose workload is inherently noisier (e.g. thread-scheduling
+    sensitive serving bursts on small hosts)."""
+    out = {"value": float(value), "unit": unit, "direction": direction}
+    if tolerance is not None:
+        out["tolerance"] = float(tolerance)
+    return out
+
+
+def _machine_info() -> dict:
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "processor": platform.processor() or platform.machine(),
+    }
+
+
+def _interleaved_min(fns: dict, rounds: int) -> dict:
+    """Best-of-``rounds`` wall time per labelled thunk, interleaved."""
+    best = {name: float("inf") for name in fns}
+    for _ in range(rounds):
+        for name, fn in fns.items():
+            start = time.perf_counter()
+            fn()
+            elapsed = time.perf_counter() - start
+            if elapsed < best[name]:
+                best[name] = elapsed
+    return best
+
+
+# --------------------------------------------------------------------- #
+# Suites
+
+
+def bench_kernels(quick: bool) -> dict:
+    """NTT µs/limb per backend at paper shape + small-bootstrap latency."""
+    from repro.fhe import CKKSContext, make_params
+    from repro.fhe.backend import available_backends, get_backend, use_backend
+    from repro.fhe.bootstrap import Bootstrapper
+    from repro.fhe.ntt import ntt_batch
+    from repro.fhe.primes import generate_primes
+
+    limbs, n = 24, 8192
+    primes = generate_primes(limbs, 28, n)
+    rng = np.random.default_rng(0)
+    stack = rng.integers(0, np.array(primes, dtype=np.uint64)[:, None],
+                         size=(limbs, n), dtype=np.uint64)
+
+    backends = available_backends()
+    for name in backends:                      # warm tables + plan caches
+        with use_backend(name):
+            ntt_batch(stack, primes)
+
+    def run_on(name):
+        def thunk():
+            with use_backend(name):
+                ntt_batch(stack, primes)
+        return thunk
+
+    rounds = 3 if quick else 7
+    best = _interleaved_min({b: run_on(b) for b in backends}, rounds)
+
+    # Absolute wall-clock metrics drift with multi-tenant host load even
+    # under interleaved min-of-N, so they carry a 50% gate; the speedup
+    # *ratio* is load-invariant and keeps the tight suite-wide gate.
+    metrics = {}
+    for name, seconds in best.items():
+        key = name.replace("-", "_")
+        metrics[f"ntt_us_per_limb_{key}"] = _metric(
+            seconds * 1e6 / limbs, "us/limb", tolerance=WALL_TOLERANCE)
+    default = get_backend().name
+    metrics["ntt_us_per_limb"] = _metric(
+        best[default] * 1e6 / limbs, "us/limb", tolerance=WALL_TOLERANCE)
+    if "numpy" in best:
+        metrics["ntt_speedup_vs_numpy"] = _metric(
+            best["numpy"] / best[default], "x", direction="higher")
+
+    params = make_params(ring_degree=256, levels=18, prime_bits=28,
+                         num_digits=3, secret_hamming_weight=32)
+    ctx = CKKSContext(params, seed=5)
+    bs = Bootstrapper(ctx)
+    z = np.linspace(-0.5, 0.5, params.slot_count)
+    ct = bs.encrypt_for_bootstrap(z)
+    bs.bootstrap(ct)                           # warm keys + compile caches
+    reps = 1 if quick else 2
+    best_boot = min(
+        _interleaved_min({"boot": lambda: bs.bootstrap(ct)}, reps).values())
+    metrics["bootstrap_latency_s"] = _metric(
+        best_boot, "s", tolerance=WALL_TOLERANCE)
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": "kernels",
+        "machine": _machine_info(),
+        "context": {
+            "ntt_shape": {"limbs": limbs, "ring_degree": n,
+                          "prime_bits": 28},
+            "bootstrap_params": {"ring_degree": 256, "levels": 18},
+            "backends": list(backends),
+            "default_backend": default,
+        },
+        "metrics": metrics,
+    }
+
+
+def bench_serving(quick: bool) -> dict:
+    """Loadgen throughput: mixed open-loop burst against a shard server."""
+    from repro.runtime import CinnamonSession
+    from repro.serve import CinnamonServer
+    from repro.serve.loadgen import LoadGenerator, build_report
+    from repro.workloads.serving import serving_mix
+
+    num_requests = 32 if quick else 96
+    reps = 1 if quick else 3
+
+    def one_burst():
+        server = CinnamonServer(
+            num_workers=1, max_batch=12, max_wait_s=0.01, queue_depth=0,
+            seed=5, session_factory=lambda i: CinnamonSession(capacity=4))
+        generator = LoadGenerator(server, serving_mix("small"), seed=5)
+        with server:
+            start = time.monotonic()
+            results = generator.run_open_loop(
+                num_requests, 20000.0, machine=2)
+            server.drain()
+            duration = time.monotonic() - start
+            return build_report(
+                server, results, duration, mode="open", machine="2",
+                scale="small", offered=num_requests,
+                per_class=generator._sent_per_class)
+
+    # Thread-scheduling jitter dominates a single burst, so report the
+    # best of ``reps`` bursts (same robustness story as _interleaved_min;
+    # the first burst additionally pays the compile-cache warmup).
+    reports = [one_burst() for _ in range(reps)]
+    report = max(reports, key=lambda r: r.throughput_rps)
+
+    metrics = {
+        "loadgen_throughput_rps": _metric(
+            report.throughput_rps, "req/s", direction="higher",
+            tolerance=WALL_TOLERANCE),
+        "loadgen_p95_latency_s": _metric(
+            min(r.latency.get("p95") or 0.0 for r in reports), "s",
+            tolerance=WALL_TOLERANCE),
+    }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": "serving",
+        "machine": _machine_info(),
+        "context": {"requests": num_requests, "mode": "open",
+                    "machine_sim": "cinnamon_2", "scale": "small",
+                    "counts": dict(report.counts)},
+        "metrics": metrics,
+    }
+
+
+def bench_sim(quick: bool) -> dict:
+    """Simulator throughput on the compiled bootstrap workload."""
+    import repro
+    from repro.fhe import ArchParams
+    from repro.workloads import bootstrap_program
+
+    params = ArchParams(max_level=24)
+    compiled = repro.compile(bootstrap_program(), params,
+                             machine="cinnamon_4")
+    result = compiled.simulate("cinnamon_4")   # warm: decode + plan caches
+    rounds = 3 if quick else 5
+    best = min(_interleaved_min(
+        {"sim": lambda: compiled.simulate("cinnamon_4")}, rounds).values())
+
+    metrics = {
+        "sim_cycles_per_sec": _metric(
+            result.cycles / best, "cycles/s", direction="higher",
+            tolerance=WALL_TOLERANCE),
+        "sim_instructions_per_sec": _metric(
+            result.instructions / best, "instr/s", direction="higher",
+            tolerance=WALL_TOLERANCE),
+        "sim_wall_s": _metric(best, "s", tolerance=WALL_TOLERANCE),
+    }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": "sim",
+        "machine": _machine_info(),
+        "context": {"workload": "bootstrap", "machine_sim": "cinnamon_4",
+                    "cycles": result.cycles,
+                    "instructions": result.instructions,
+                    "schema": result.as_dict()["schema_version"]},
+        "metrics": metrics,
+    }
+
+
+_RUNNERS = {"kernels": bench_kernels, "serving": bench_serving,
+            "sim": bench_sim}
+
+
+# --------------------------------------------------------------------- #
+# Gate
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float) -> list:
+    """Regressions of ``fresh`` vs ``baseline``; empty when within gate.
+
+    Only ``metrics`` entries present in the committed baseline are gated
+    (new metrics land ungated until the baseline is refreshed).  A metric
+    carrying its own ``tolerance`` in the baseline uses that instead of
+    the suite-wide ``tolerance``.
+    """
+    problems = []
+    base_metrics = baseline.get("metrics", {})
+    for name, base in base_metrics.items():
+        now = fresh.get("metrics", {}).get(name)
+        if now is None:
+            problems.append(f"{name}: missing from fresh run")
+            continue
+        old, new = base["value"], now["value"]
+        direction = base.get("direction", "lower")
+        gate = base.get("tolerance", tolerance)
+        if old <= 0:
+            continue
+        if direction == "lower":
+            ratio = new / old
+        else:
+            ratio = old / max(new, 1e-12)
+        if ratio > 1.0 + gate:
+            problems.append(
+                f"{name}: {new:.4g} vs baseline {old:.4g} "
+                f"({'+' if direction == 'lower' else '-'}"
+                f"{(ratio - 1) * 100:.1f}% worse, "
+                f"gate {gate * 100:.0f}%)")
+    return problems
+
+
+def bench_path(suite: str, out_dir: Path) -> Path:
+    return out_dir / f"BENCH_{suite}.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--suite", default=",".join(SUITES),
+                        help="comma-separated subset of "
+                             f"{','.join(SUITES)}")
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer rounds / smaller workloads")
+    parser.add_argument("--check", action="store_true",
+                        help="gate against the committed baselines "
+                             "instead of rewriting them")
+    parser.add_argument("--out-dir", type=Path, default=BENCH_DIR,
+                        help="where BENCH_*.json live (default: "
+                             "benchmarks/)")
+    parser.add_argument("--tolerance", type=float,
+                        default=REGRESSION_TOLERANCE,
+                        help="fractional regression allowed by --check")
+    args = parser.parse_args(argv)
+
+    suites = [s.strip() for s in args.suite.split(",") if s.strip()]
+    unknown = set(suites) - set(SUITES)
+    if unknown:
+        parser.error(f"unknown suite(s): {', '.join(sorted(unknown))}")
+
+    failures = []
+    for suite in suites:
+        print(f"[baseline] running {suite} "
+              f"({'quick' if args.quick else 'full'}) ...", flush=True)
+        fresh = _RUNNERS[suite](args.quick)
+        for name, m in sorted(fresh["metrics"].items()):
+            print(f"  {name:32s} {m['value']:12.4g} {m['unit']}")
+        path = bench_path(suite, args.out_dir)
+        if args.check:
+            if not path.exists():
+                failures.append(f"{suite}: no committed baseline at {path}")
+                continue
+            baseline = json.loads(path.read_text())
+            problems = compare(baseline, fresh, args.tolerance)
+            for problem in problems:
+                failures.append(f"{suite}: {problem}")
+            status = "FAIL" if problems else "ok"
+            print(f"  -> {status} vs {path.name}")
+        else:
+            path.write_text(json.dumps(fresh, indent=2, sort_keys=True)
+                            + "\n")
+            print(f"  -> wrote {path}")
+
+    if failures:
+        print("\nregression gate failed:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,7 +28,9 @@ Public surface:
   unified metrics (:func:`repro.obs.default_registry`), and the
   ``python -m repro.obs`` journal analyzer;
 * :mod:`repro.fhe` — functional RNS-CKKS (parameters, contexts, evaluator,
-  parallel keyswitching, bootstrapping);
+  parallel keyswitching, bootstrapping) with pluggable limb-stack kernel
+  backends (:func:`repro.set_kernel_backend`; see
+  :mod:`repro.fhe.backend`);
 * :mod:`repro.core` — the Cinnamon DSL, compiler, ISA, and emulator;
 * :mod:`repro.sim` — the cycle-level scale-out simulator;
 * :mod:`repro.arch` — area/yield/cost models;
@@ -80,6 +82,23 @@ def serve_requests(requests, num_workers=2, **server_kwargs):
     from .serve.server import serve_requests as _serve
 
     return _serve(requests, num_workers=num_workers, **server_kwargs)
+
+
+def set_kernel_backend(backend):
+    """Select the FHE kernel backend for this thread by name or instance
+    (``"numpy"``, ``"numpy-batched"``, ``"native"``, or a registered
+    custom backend; see :mod:`repro.fhe.backend`).  Returns the previous
+    backend so callers can restore it."""
+    from .fhe.backend import set_backend
+
+    return set_backend(backend)
+
+
+def get_kernel_backend():
+    """The active FHE kernel backend (see :mod:`repro.fhe.backend`)."""
+    from .fhe.backend import get_backend
+
+    return get_backend()
 
 
 def default_session():
@@ -140,6 +159,8 @@ __all__ = [
     "fhe",
     "compile",
     "serve_requests",
+    "set_kernel_backend",
+    "get_kernel_backend",
     "default_session",
     "CinnamonServer",
     "InferenceRequest",

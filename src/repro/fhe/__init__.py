@@ -9,6 +9,14 @@ Cinnamon compiler, ISA emulator, and parallel keyswitching algorithms are
 validated.
 """
 
+from .backend import (
+    KernelBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    set_backend,
+    use_backend,
+)
 from .params import ArchParams, CKKSParams, make_params, toy_params
 from .polynomial import RnsPolynomial
 from .ciphertext import Ciphertext
@@ -33,6 +41,12 @@ from .serialize import (
 )
 
 __all__ = [
+    "KernelBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "set_backend",
+    "use_backend",
     "ArchParams",
     "CKKSParams",
     "make_params",

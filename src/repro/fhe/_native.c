@@ -1,0 +1,90 @@
+/* Compiled limb-stack NTT kernels for the "native" kernel backend.
+ *
+ * Built on demand by repro.fhe.native with the system C compiler and
+ * loaded via ctypes; see that module for the ABI.  The arithmetic is the
+ * same Shoup-multiplication / Harvey-lazy-reduction scheme as the
+ * numpy-batched kernels in repro.fhe.kernels, so outputs are canonical
+ * residues bit-identical to the per-limb reference:
+ *
+ *   w_sh = floor(w * 2^32 / p),  q = (v * w_sh) >> 32,
+ *   s = v*w - q*p  in [0, 2p)         (requires v < 2^32, i.e. 4p < 2^32)
+ *
+ * Each limb (64 KB at N = 8192) is transformed start-to-finish before the
+ * next, so the working set stays cache-resident; the branch-free umin
+ * pattern lets the compiler auto-vectorize the butterflies.
+ */
+#include <stdint.h>
+
+static inline uint64_t umin(uint64_t a, uint64_t b) { return a < b ? a : b; }
+
+/* Forward negacyclic NTT, merged-twiddle Cooley-Tukey DIT, natural input,
+ * bit-reversed output.  Lazy values stay < 4p; output is canonical. */
+static void ntt_limb(uint64_t *restrict a, long n, const uint64_t *restrict psi,
+                     const uint64_t *restrict psi_sh, uint64_t p) {
+    uint64_t twop = p + p;
+    for (long m = 1, t = n >> 1; m < n; m <<= 1, t >>= 1) {
+        for (long j = 0; j < m; ++j) {
+            uint64_t w = psi[m + j], wsh = psi_sh[m + j];
+            uint64_t *restrict u = a + 2 * t * j;
+            uint64_t *restrict v = u + t;
+            for (long i = 0; i < t; ++i) {
+                uint64_t uu = umin(u[i], u[i] - twop);   /* < 2p */
+                uint64_t vv = v[i];                      /* < 4p < 2^32 */
+                uint64_t q = (vv * wsh) >> 32;
+                uint64_t s = vv * w - q * p;             /* < 2p */
+                u[i] = uu + s;
+                v[i] = uu + twop - s;
+            }
+        }
+    }
+    for (long i = 0; i < n; ++i) {
+        uint64_t x = umin(a[i], a[i] - twop);
+        a[i] = umin(x, x - p);
+    }
+}
+
+/* Inverse negacyclic NTT, Gentleman-Sande, bit-reversed input, natural
+ * output.  Lazy values stay < 2p; the final n^-1 scale canonicalizes. */
+static void intt_limb(uint64_t *restrict a, long n,
+                      const uint64_t *restrict ipsi,
+                      const uint64_t *restrict ipsi_sh,
+                      uint64_t p, uint64_t n_inv, uint64_t n_inv_sh) {
+    uint64_t twop = p + p;
+    for (long m = n >> 1, t = 1; m >= 1; m >>= 1, t <<= 1) {
+        for (long j = 0; j < m; ++j) {
+            uint64_t w = ipsi[m + j], wsh = ipsi_sh[m + j];
+            uint64_t *restrict u = a + 2 * t * j;
+            uint64_t *restrict v = u + t;
+            for (long i = 0; i < t; ++i) {
+                uint64_t uu = u[i], vv = v[i];           /* < 2p */
+                uint64_t su = uu + vv;                   /* < 4p */
+                uint64_t d = uu + twop - vv;             /* < 4p < 2^32 */
+                uint64_t q = (d * wsh) >> 32;
+                u[i] = umin(su, su - twop);              /* < 2p */
+                v[i] = d * w - q * p;                    /* < 2p */
+            }
+        }
+    }
+    for (long i = 0; i < n; ++i) {
+        uint64_t x = a[i];                               /* < 2p < 2^32 */
+        uint64_t q = (x * n_inv_sh) >> 32;
+        uint64_t r = x * n_inv - q * p;                  /* < 2p */
+        a[i] = umin(r, r - p);
+    }
+}
+
+void repro_ntt_batch(uint64_t *a, long limbs, long n,
+                     const uint64_t *psi, const uint64_t *psi_sh,
+                     const uint64_t *primes) {
+    for (long l = 0; l < limbs; ++l)
+        ntt_limb(a + l * n, n, psi + l * n, psi_sh + l * n, primes[l]);
+}
+
+void repro_intt_batch(uint64_t *a, long limbs, long n,
+                      const uint64_t *ipsi, const uint64_t *ipsi_sh,
+                      const uint64_t *primes, const uint64_t *n_inv,
+                      const uint64_t *n_inv_sh) {
+    for (long l = 0; l < limbs; ++l)
+        intt_limb(a + l * n, n, ipsi + l * n, ipsi_sh + l * n,
+                  primes[l], n_inv[l], n_inv_sh[l]);
+}

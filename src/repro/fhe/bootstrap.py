@@ -33,7 +33,8 @@ from .ciphertext import Ciphertext
 from .encoding import get_geometry
 from .evaluator import CKKSContext, Evaluator
 from .linear import bsgs_matvec
-from .modmath import centered, from_signed
+from .kernels import from_signed_batch
+from .modmath import centered
 from .polyeval import ChebyshevEvaluator
 from .polynomial import COEFF, RnsPolynomial
 
@@ -123,7 +124,7 @@ class Bootstrapper:
         polys = []
         for poly in ct.polys:
             coeffs = centered(poly.to_coeff().data[0], q0)
-            data = np.stack([from_signed(coeffs, q) for q in full])
+            data = from_signed_batch(coeffs, full)
             polys.append(RnsPolynomial(full, data, COEFF).to_eval())
         # Declaring the scale as q0 * s divides the plaintext t = m + q0*I
         # by q0 exactly, with zero noise — the slots now read t/q0.

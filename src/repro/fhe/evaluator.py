@@ -21,9 +21,10 @@ from .encoding import (
     rotation_galois_element,
 )
 from .keys import KeyChain
+from . import kernels as _kernels
+from .backend import get_backend
 from .keyswitch import hoisted_decompose, keyswitch, evalkey_accumulate, moddown_poly
-from .modmath import centered, from_signed, mod_inv
-from .ntt import ntt
+from .modmath import centered, mod_inv
 from .params import CKKSParams
 from .polynomial import EVAL, RnsPolynomial
 
@@ -349,16 +350,23 @@ class Evaluator:
         q_last = basis[-1]
         new_basis = basis[:-1]
         new_polys = []
+        backend = get_backend()
+        inv_col = np.array(
+            [mod_inv(q_last % q, q) for q in new_basis], dtype=np.uint64
+        )[:, None]
         for poly in ct.polys:
             poly = poly.to_eval()
             last_coeff = poly.drop_limbs(ct.level).select_limbs([ct.level - 1])
             last_centered = centered(last_coeff.to_coeff().data[0], q_last)
-            data = np.empty((len(new_basis), ct.ring_degree), dtype=np.uint64)
-            for j, q in enumerate(new_basis):
-                correction = ntt(from_signed(last_centered, q), q)
-                inv = mod_inv(q_last % q, q)
-                diff = (poly.data[j] + np.uint64(q) - correction % np.uint64(q)) % np.uint64(q)
-                data[j] = (diff * np.uint64(inv)) % np.uint64(q)
+            # One batched NTT of the correction term across all remaining
+            # limbs, then stack-wide subtract and per-limb inverse scale.
+            correction = backend.ntt_batch(
+                _kernels.from_signed_batch(last_centered, new_basis), new_basis
+            )
+            diff = _kernels.pointwise_submod(
+                poly.data[: len(new_basis)], correction, new_basis
+            )
+            data = backend.pointwise_mulmod(diff, inv_col, new_basis)
             new_polys.append(RnsPolynomial(new_basis, data, EVAL))
         out = Ciphertext(new_polys, ct.scale / q_last)
         if self._estimator is not None and getattr(ct, "noise", None) is not None:

@@ -1,0 +1,572 @@
+"""Limb-batched FHE kernels: whole ``(L, N)`` stacks per numpy op.
+
+This module is the fast half of the kernel-backend split (see
+:mod:`repro.fhe.backend`).  Where the seed kernels in :mod:`repro.fhe.ntt`
+and :mod:`repro.fhe.rns` loop over limbs in Python, everything here
+processes the full limb stack with a *per-limb modulus column* so that one
+numpy op covers all ``L`` residue rings at once.
+
+Three 64-bit-safe reduction strategies are used (all produce canonical
+residues in ``[0, p)`` bit-identical to the seed kernels' ``% p``):
+
+* **Shoup multiplication** for twiddle factors: with the precomputed
+  companion ``w_sh = floor(w * 2**32 / p)`` the product ``a * w mod p``
+  costs one high-half estimate ``q = (a * w_sh) >> 32`` and a correction
+  ``a*w - q*p`` in ``[0, 2p)``.  Valid whenever ``a < 2**32``.
+* **Harvey lazy butterflies** for the NTT/INTT: intermediate values are
+  only reduced where the Shoup bound (``< 2**32``) requires it, using the
+  branch-free "minimum trick" (``min(x, x - kp)`` picks the reduced value
+  because the unsigned wraparound is huge).  The forward transform runs a
+  per-plan *reduction schedule*: with 28-bit primes ``2**32/p = 16p``, so
+  most stages let values grow by ``2p`` unreduced and only one mid-pass
+  stage (plus the final canonicalization) pays for a reduction chain.
+  Requires ``4p < 2**32``, i.e. primes below
+  :data:`MAX_BATCHED_PRIME_BITS` bits; larger primes fall back to the
+  per-limb reference path.
+* **Float-quotient Barrett** for data-times-data products: the quotient
+  ``floor(z / p)`` is estimated in float64 (error at most 1 for all
+  ``z < 2**62``) and repaired with two minimum-trick steps.
+
+The butterfly loops are additionally *cache-blocked*: limbs are processed
+in chunks sized to the L2 cache, and the low-stride final stages run in a
+transposed layout so every numpy op streams over contiguous memory.  See
+``docs/kernels.md`` for the measured effect.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from .modmath import UINT, mod_inv, scratch_buffer
+from .ntt import get_tables
+from .rns import basis_product, get_conversion_plan
+
+PrimeTuple = Tuple[int, ...]
+
+#: Shift of the Shoup companion ``w_sh = floor(w << SHOUP_SHIFT / p)``.
+SHOUP_SHIFT = 32
+_S32 = UINT(SHOUP_SHIFT)
+
+#: Largest prime bit-width the lazy butterflies accept: Harvey's invariant
+#: keeps values in ``[0, 4p)`` and Shoup needs them ``< 2**32``, so
+#: ``p < 2**30``.  (The paper's datapath uses 28-bit primes.)
+MAX_BATCHED_PRIME_BITS = 29
+
+#: Stages with butterfly stride below this run in a transposed layout so
+#: the inner numpy loops stay contiguous.
+_TRANSPOSE_T = 64
+
+#: Per-chunk working-set budget for cache blocking (bytes).
+_CHUNK_BYTES = 1 << 21
+
+
+def shoup_companion(w: np.ndarray, p: np.ndarray) -> np.ndarray:
+    """``floor(w * 2**32 / p)`` for uint64 ``w < 2**31`` (vectorized)."""
+    return np.left_shift(np.asarray(w, dtype=UINT), _S32) // np.asarray(p, dtype=UINT)
+
+
+def _limb_chunk(total_limbs: int, n: int) -> int:
+    """Limbs per cache block: data + transpose + three scratch halves."""
+    per_limb = 8 * n * 4  # a, aT, and ~2.5 half-sized scratch rows
+    return max(1, min(total_limbs, _CHUNK_BYTES // max(1, per_limb)))
+
+
+# --------------------------------------------------------------------- #
+# NTT plans
+
+
+class BatchedNttPlan:
+    """Stacked twiddle tables (+ Shoup companions) for one prime set.
+
+    ``supported`` is False when any prime exceeds the lazy-butterfly bound;
+    callers then fall back to the per-limb reference kernels.
+    """
+
+    def __init__(self, primes: PrimeTuple, ring_degree: int):
+        self.primes = primes
+        self.n = ring_degree
+        self.p = np.array(primes, dtype=UINT)
+        self.supported = int(self.p.max()) < (1 << (MAX_BATCHED_PRIME_BITS + 1))
+        if not self.supported:
+            return
+        tables = [get_tables(int(q), ring_degree) for q in primes]
+        pcol = self.p[:, None]
+        self.psi = np.stack([t.psi_powers_bitrev for t in tables])
+        self.psi_sh = shoup_companion(self.psi, pcol)
+        self.ipsi = np.stack([t.psi_inv_powers_bitrev for t in tables])
+        self.ipsi_sh = shoup_companion(self.ipsi, pcol)
+        self.n_inv = np.array([t.n_inv for t in tables], dtype=UINT)
+        self.n_inv_sh = shoup_companion(self.n_inv, self.p)
+        # Constant-per-row modulus tables, materialized contiguous: ops
+        # against a stride-0 broadcast column hit numpy's non-SIMD inner
+        # loops (~2-3x slower per element), while these half-sized tables
+        # are reused by every stage and stay cache-resident.  Any reshape
+        # of a constant row is valid.
+        half = max(1, ring_degree // 2)
+        self.p_half = np.repeat(self.p[:, None], half, axis=1)
+        self.twop_half = self.p_half + self.p_half
+        self.n_inv_half = np.repeat(self.n_inv[:, None], half, axis=1)
+        self.n_inv_sh_half = np.repeat(self.n_inv_sh[:, None], half, axis=1)
+        self._multiples: Dict[int, np.ndarray] = {1: self.p_half,
+                                                  2: self.twop_half}
+        # First transposed stage index: stages m >= m1 (stride < the
+        # threshold) run on blocks of B = n // m1 elements, transposed.
+        self.m1 = max(1, ring_degree // _TRANSPOSE_T)
+        self._twiddles_t: Dict[Tuple[bool, int], Tuple[np.ndarray, np.ndarray]] = {}
+        # Forward lazy-reduction schedule (extended Harvey): the butterfly
+        # lets values grow by 2p per stage, and the only hard constraint is
+        # that Shoup inputs stay below 2**32.  For narrow primes (28-bit:
+        # 2**32/p = 16p) most stages therefore skip the explicit
+        # u-reduction entirely.  ``fwd_red[m]`` is the minimum-trick
+        # subtraction chain (as multiples of p) bringing u back under 2p
+        # at stage ``m`` — empty for the skipped stages; ``fwd_chain`` is
+        # the chain canonicalizing the final output.
+        bound_max = (1 << 32) // int(self.p.max())
+        bound = 1
+        self.fwd_red: Dict[int, Tuple[int, ...]] = {}
+        m = 1
+        while m < ring_degree:
+            if bound + 2 <= bound_max:
+                self.fwd_red[m] = ()
+                bound += 2
+            else:
+                self.fwd_red[m] = tuple(
+                    1 << j for j in range((bound - 1).bit_length() - 1, 0, -1)
+                )
+                bound = 4
+            m *= 2
+        self.fwd_chain: Tuple[int, ...] = tuple(
+            1 << j for j in range(max(bound - 1, 0).bit_length() - 1, -1, -1)
+        ) or (1,)
+
+    def multiple_half(self, k: int) -> np.ndarray:
+        """Contiguous half-table of ``k * p`` per limb row (cached)."""
+        table = self._multiples.get(k)
+        if table is None:
+            table = self._multiples[k] = self.p_half * UINT(k)
+        return table
+
+    def twiddles(self, m: int, inverse: bool) -> Tuple[np.ndarray, np.ndarray]:
+        """Stage-``m`` twiddles (+ Shoup companions) for the butterfly.
+
+        Strided stages (``m < m1``) get broadcastable ``(L, m, 1)`` views
+        of the power tables (small, cache-hot).  Transposed stages get a
+        compact cached ``(L, rel, 1, m1)`` array whose entry
+        ``[l, j1, 0, j0]`` is twiddle ``psi[l, m + j0*rel + j1]``,
+        matching how butterfly blocks land in the transposed buffer.
+        """
+        src, src_sh = (self.ipsi, self.ipsi_sh) if inverse else (self.psi, self.psi_sh)
+        if m < self.m1:
+            return src[:, m:2 * m, None], src_sh[:, m:2 * m, None]
+        key = (inverse, m)
+        cached = self._twiddles_t.get(key)
+        if cached is not None:
+            return cached
+        length = len(self.primes)
+        rel = m // self.m1
+        w = np.ascontiguousarray(
+            src[:, m:2 * m].reshape(length, self.m1, rel).transpose(0, 2, 1)
+        ).reshape(length, rel, 1, self.m1)
+        w_sh = np.ascontiguousarray(
+            src_sh[:, m:2 * m].reshape(length, self.m1, rel).transpose(0, 2, 1)
+        ).reshape(length, rel, 1, self.m1)
+        self._twiddles_t[key] = (w, w_sh)
+        return w, w_sh
+
+
+_NTT_PLAN_CACHE: Dict[Tuple[PrimeTuple, int], BatchedNttPlan] = {}
+
+
+def get_ntt_plan(primes: Sequence[int], ring_degree: int) -> BatchedNttPlan:
+    key = (tuple(int(q) for q in primes), ring_degree)
+    plan = _NTT_PLAN_CACHE.get(key)
+    if plan is None:
+        plan = BatchedNttPlan(key[0], ring_degree)
+        _NTT_PLAN_CACHE[key] = plan
+    return plan
+
+
+# --------------------------------------------------------------------- #
+# Batched butterflies
+
+
+def _butterfly_ct(u, v, w, w_sh, p, twop, qq, ss, red):
+    """One lazy Cooley-Tukey stage (in place).
+
+    ``red`` is the stage's reduction chain: ``k*p`` tables subtracted from
+    ``u`` with the minimum trick before combining.  An empty chain is the
+    fully lazy stage (bound grows by 2p); a non-empty chain brings ``u``
+    back under 2p first.  The Shoup product needs ``v < 2**32``, which the
+    plan's schedule guarantees.
+    """
+    np.multiply(v, w_sh, out=qq)
+    np.right_shift(qq, _S32, out=qq)
+    np.multiply(qq, p, out=qq)
+    np.multiply(v, w, out=ss)
+    np.subtract(ss, qq, out=ss)       # ss = v*w mod-ish, in [0, 2p)
+    for kp in red:
+        np.subtract(u, kp, out=qq)
+        np.minimum(u, qq, out=u)
+    np.subtract(u, ss, out=v)
+    np.add(v, twop, out=v)            # u - v*w + 2p
+    np.add(u, ss, out=u)              # u + v*w
+
+
+def _butterfly_gs(u, v, w, w_sh, p, twop, qq, ss, rr):
+    """One lazy Gentleman-Sande stage: inputs < 2p, outputs < 2p."""
+    np.add(u, v, out=ss)              # u + v, < 4p
+    np.subtract(u, v, out=qq)
+    np.add(qq, twop, out=qq)          # u - v + 2p, in (0, 4p)
+    np.multiply(qq, w_sh, out=rr)
+    np.right_shift(rr, _S32, out=rr)
+    np.multiply(rr, p, out=rr)
+    np.multiply(qq, w, out=v)
+    np.subtract(v, rr, out=v)         # (u - v)*w, in [0, 2p)
+    np.subtract(ss, twop, out=qq)
+    np.minimum(ss, qq, out=u)         # u + v reduced to [0, 2p)
+
+
+def _canonicalize_chain(a2, plan: BatchedNttPlan, lo: int, hi: int, qq) -> None:
+    """Reduce ``a2`` to canonical ``[0, p)`` with the plan's final chain.
+
+    ``a2`` is the chunk viewed as ``(limbs, 2, half)``; the ``k*p`` tables
+    broadcast over the middle axis (outer loop axis — no inner-loop cost).
+    """
+    limbs, _, half = a2.shape
+    for k in plan.fwd_chain:
+        kp = plan.multiple_half(k)[lo:hi].reshape(limbs, 1, half)
+        np.subtract(a2, kp, out=qq)
+        np.minimum(a2, qq, out=a2)
+
+
+def _ntt_chunk(a: np.ndarray, plan: BatchedNttPlan, lo: int, hi: int) -> None:
+    """Forward NTT of limb rows ``a`` (in place, canonical in/out)."""
+    limbs, n = a.shape
+    half = n // 2
+    qf = scratch_buffer("ntt-q", limbs * half)
+    sf = scratch_buffer("ntt-s", limbs * half)
+    p_h = plan.p_half[lo:hi]
+    twop_h = plan.twop_half[lo:hi]
+    qq2 = scratch_buffer("ntt-c", limbs * n)[:limbs * n].reshape(limbs, 2, half)
+    m = 1
+    while m < plan.m1:                          # strided phase (large t)
+        t = n // (2 * m)
+        view = a.reshape(limbs, m, 2, t)
+        shape = (limbs, m, t)
+        w, w_sh = plan.twiddles(m, inverse=False)
+        red = tuple(plan.multiple_half(k)[lo:hi].reshape(shape)
+                    for k in plan.fwd_red[m])
+        _butterfly_ct(view[:, :, 0, :], view[:, :, 1, :],
+                      w[lo:hi], w_sh[lo:hi],
+                      p_h.reshape(shape), twop_h.reshape(shape),
+                      qf[:limbs * half].reshape(shape),
+                      sf[:limbs * half].reshape(shape), red)
+        m *= 2
+    if m >= n:                                  # degenerate tiny ring
+        _canonicalize_chain(a.reshape(limbs, 2, half), plan, lo, hi, qq2)
+        return
+    # Transposed phase: remaining stages act inside blocks of B elements;
+    # transposing makes the innermost axis (the m1 blocks) contiguous.
+    m1 = m
+    block = n // m1
+    at = scratch_buffer("ntt-t", limbs * n)[:limbs * n].reshape(limbs, block, m1)
+    np.copyto(at, a.reshape(limbs, m1, block).transpose(0, 2, 1))
+    while m < n:
+        t = n // (2 * m)
+        rel = m // m1
+        view = at.reshape(limbs, rel, 2, t, m1)
+        shape = (limbs, rel, t, m1)
+        w, w_sh = plan.twiddles(m, inverse=False)
+        red = tuple(plan.multiple_half(k)[lo:hi].reshape(shape)
+                    for k in plan.fwd_red[m])
+        _butterfly_ct(view[:, :, 0], view[:, :, 1],
+                      w[lo:hi], w_sh[lo:hi],
+                      p_h.reshape(shape), twop_h.reshape(shape),
+                      qf[:limbs * half].reshape(shape),
+                      sf[:limbs * half].reshape(shape), red)
+        m *= 2
+    _canonicalize_chain(at.reshape(limbs, 2, half), plan, lo, hi, qq2)
+    np.copyto(a.reshape(limbs, m1, block), at.transpose(0, 2, 1))
+
+
+def _intt_chunk(a: np.ndarray, plan: BatchedNttPlan, lo: int, hi: int) -> None:
+    """Inverse NTT of limb rows ``a`` (in place, canonical in/out)."""
+    limbs, n = a.shape
+    half = n // 2
+    qf = scratch_buffer("ntt-q", limbs * half)
+    sf = scratch_buffer("ntt-s", limbs * half)
+    rf = scratch_buffer("ntt-r", limbs * half)
+    p_h = plan.p_half[lo:hi]
+    twop_h = plan.twop_half[lo:hi]
+    m = n // 2
+    if m >= plan.m1 and n > 1:
+        # Transposed phase first: the small-stride stages come first in
+        # the Gentleman-Sande ordering.
+        m1 = plan.m1
+        block = n // m1
+        at = scratch_buffer("ntt-t", limbs * n)[:limbs * n].reshape(limbs, block, m1)
+        np.copyto(at, a.reshape(limbs, m1, block).transpose(0, 2, 1))
+        while m >= m1:
+            t = n // (2 * m)
+            rel = m // m1
+            view = at.reshape(limbs, rel, 2, t, m1)
+            shape = (limbs, rel, t, m1)
+            w, w_sh = plan.twiddles(m, inverse=True)
+            _butterfly_gs(view[:, :, 0], view[:, :, 1],
+                          w[lo:hi], w_sh[lo:hi],
+                          p_h.reshape(shape), twop_h.reshape(shape),
+                          qf[:limbs * half].reshape(shape),
+                          sf[:limbs * half].reshape(shape),
+                          rf[:limbs * half].reshape(shape))
+            m //= 2
+        np.copyto(a.reshape(limbs, m1, block), at.transpose(0, 2, 1))
+    while m >= 1:                               # strided phase (large t)
+        t = n // (2 * m)
+        view = a.reshape(limbs, m, 2, t)
+        shape = (limbs, m, t)
+        w, w_sh = plan.twiddles(m, inverse=True)
+        _butterfly_gs(view[:, :, 0, :], view[:, :, 1, :],
+                      w[lo:hi], w_sh[lo:hi],
+                      p_h.reshape(shape), twop_h.reshape(shape),
+                      qf[:limbs * half].reshape(shape),
+                      sf[:limbs * half].reshape(shape),
+                      rf[:limbs * half].reshape(shape))
+        m //= 2
+    # Scale by n^-1 (Shoup) and canonicalize; values enter < 2p < 2**32.
+    a2 = a.reshape(limbs, 2, half)
+    p2 = p_h.reshape(limbs, 1, half)
+    ninv2 = plan.n_inv_half[lo:hi].reshape(limbs, 1, half)
+    ninv_sh2 = plan.n_inv_sh_half[lo:hi].reshape(limbs, 1, half)
+    qq2 = scratch_buffer("ntt-c", limbs * n)[:limbs * n].reshape(limbs, 2, half)
+    np.multiply(a2, ninv_sh2, out=qq2)
+    np.right_shift(qq2, _S32, out=qq2)
+    np.multiply(qq2, p2, out=qq2)
+    np.multiply(a2, ninv2, out=a2)
+    np.subtract(a2, qq2, out=a2)                # in [0, 2p)
+    np.subtract(a2, p2, out=qq2)
+    np.minimum(a2, qq2, out=a2)
+
+
+def _reference_stack(values: np.ndarray, primes: Sequence[int], inverse: bool) -> np.ndarray:
+    from . import ntt as _ntt  # late import; ntt is the reference impl
+
+    fn = _ntt.intt_reference if inverse else _ntt.ntt_reference
+    return np.stack([fn(values[i], int(q)) for i, q in enumerate(primes)])
+
+
+def ntt_batch(coeffs: np.ndarray, primes: Sequence[int]) -> np.ndarray:
+    """Forward negacyclic NTT of a limb stack ``(L, N)``, batched.
+
+    Bit-identical to the per-limb reference (canonical residues, same
+    bit-reversed output order).
+    """
+    coeffs = np.ascontiguousarray(coeffs, dtype=UINT)
+    if coeffs.ndim == 1:
+        return ntt_batch(coeffs[None, :], primes)[0]
+    length, n = coeffs.shape
+    plan = get_ntt_plan(primes, n)
+    if not plan.supported:
+        return _reference_stack(coeffs, primes, inverse=False)
+    out = coeffs.copy()
+    step = _limb_chunk(length, n)
+    for lo in range(0, length, step):
+        hi = min(length, lo + step)
+        _ntt_chunk(out[lo:hi], plan, lo, hi)
+    return out
+
+
+def intt_batch(values: np.ndarray, primes: Sequence[int]) -> np.ndarray:
+    """Inverse negacyclic NTT of a limb stack ``(L, N)``, batched."""
+    values = np.ascontiguousarray(values, dtype=UINT)
+    if values.ndim == 1:
+        return intt_batch(values[None, :], primes)[0]
+    length, n = values.shape
+    plan = get_ntt_plan(primes, n)
+    if not plan.supported:
+        return _reference_stack(values, primes, inverse=True)
+    out = values.copy()
+    step = _limb_chunk(length, n)
+    for lo in range(0, length, step):
+        hi = min(length, lo + step)
+        _intt_chunk(out[lo:hi], plan, lo, hi)
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Column-modulus pointwise kernels
+
+
+def _prime_column(primes: Sequence[int]) -> np.ndarray:
+    return np.array([int(q) for q in primes], dtype=UINT)[:, None]
+
+
+def pointwise_mulmod(a: np.ndarray, b: np.ndarray, primes: Sequence[int]) -> np.ndarray:
+    """``a * b mod p`` per limb row via float-quotient Barrett.
+
+    Works for all primes below 2**31 (products stay below 2**62, and the
+    float64 quotient estimate is off by at most one — repaired with two
+    minimum-trick corrections).
+    """
+    p = _prime_column(primes)
+    z = np.multiply(np.asarray(a, dtype=UINT), np.asarray(b, dtype=UINT))
+    quot = (z.astype(np.float64) * (1.0 / p.astype(np.float64))).astype(UINT)
+    r = z - quot * p
+    np.minimum(r, r + p, out=r)       # fix quotient overestimates
+    np.minimum(r, r - p, out=r)       # fix quotient underestimates
+    return r
+
+
+def _barrett_reduce(z: np.ndarray, p: np.ndarray) -> np.ndarray:
+    """Canonical ``z mod p`` for ``z < 2**62`` via the float quotient."""
+    quot = (z.astype(np.float64) * (1.0 / p.astype(np.float64))).astype(UINT)
+    r = z - quot * p
+    np.minimum(r, r + p, out=r)
+    np.minimum(r, r - p, out=r)
+    return r
+
+
+def pointwise_addmod(a: np.ndarray, b: np.ndarray, primes: Sequence[int]) -> np.ndarray:
+    """``a + b mod p`` per limb row (canonical inputs)."""
+    p = _prime_column(primes)
+    s = np.asarray(a, dtype=UINT) + np.asarray(b, dtype=UINT)
+    return np.minimum(s, s - p)
+
+
+def pointwise_submod(a: np.ndarray, b: np.ndarray, primes: Sequence[int]) -> np.ndarray:
+    """``a - b mod p`` per limb row (canonical inputs)."""
+    p = _prime_column(primes)
+    d = np.asarray(a, dtype=UINT) - np.asarray(b, dtype=UINT) + p
+    return np.minimum(d, d - p)
+
+
+def pointwise_negmod(a: np.ndarray, primes: Sequence[int]) -> np.ndarray:
+    """``-a mod p`` per limb row (canonical input)."""
+    p = _prime_column(primes)
+    r = p - np.asarray(a, dtype=UINT)
+    return np.minimum(r, r - p)
+
+
+def from_signed_batch(coeffs: np.ndarray, primes: Sequence[int]) -> np.ndarray:
+    """Reduce one signed int64 row into every limb ring at once."""
+    p = np.array([int(q) for q in primes], dtype=np.int64)[:, None]
+    return np.mod(np.asarray(coeffs, dtype=np.int64)[None, :], p).astype(UINT)
+
+
+# --------------------------------------------------------------------- #
+# Batched base conversion
+
+
+class BatchedConversionPlan:
+    """Matmul-form approximate base conversion between two fixed bases.
+
+    The accumulation ``sum_j scaled[j] * factors[j, k] mod p_k`` is two
+    float64 GEMMs on a 16-bit split of the scaled limbs: every partial sum
+    stays below 2**53, so the float arithmetic is exact and the result is
+    bit-identical to the per-limb reference.  Requires at most 64 source
+    limbs (``supported`` is False otherwise).
+    """
+
+    def __init__(self, source: PrimeTuple, target: PrimeTuple):
+        ref = get_conversion_plan(source, target)
+        self.source = ref.source
+        self.target = ref.target
+        self.q_hat_inv = ref.q_hat_inv[:, None]                # (Ls, 1)
+        self.source_p = np.array(ref.source, dtype=UINT)[:, None]
+        self.target_p = np.array(ref.target, dtype=UINT)[:, None]
+        self.supported = (
+            len(ref.source) <= 64
+            and max(ref.source + ref.target, default=0) < (1 << 31)
+        )
+        # factors.T as float64: (Lt, Ls); exact since factors < 2**31.
+        self.factors_f = ref.factors.astype(np.float64).T.copy()
+
+    def convert(self, limbs: np.ndarray) -> np.ndarray:
+        z = np.multiply(np.asarray(limbs, dtype=UINT), self.q_hat_inv)
+        scaled = _barrett_reduce(z, self.source_p)
+        lo = (scaled & UINT(0xFFFF)).astype(np.float64)
+        hi = (scaled >> UINT(16)).astype(np.float64)
+        acc_lo = (self.factors_f @ lo).astype(UINT)            # < 2**53
+        acc_hi = (self.factors_f @ hi).astype(UINT)            # < 2**52
+        p = self.target_p
+        combined = (_barrett_reduce(acc_hi, p) << UINT(16)) + acc_lo
+        return _barrett_reduce(combined, p)
+
+
+_CONV_PLAN_CACHE: Dict[Tuple[PrimeTuple, PrimeTuple], BatchedConversionPlan] = {}
+
+
+def get_batched_conversion_plan(source: Sequence[int],
+                                target: Sequence[int]) -> BatchedConversionPlan:
+    key = (tuple(int(q) for q in source), tuple(int(q) for q in target))
+    plan = _CONV_PLAN_CACHE.get(key)
+    if plan is None:
+        plan = BatchedConversionPlan(*key)
+        _CONV_PLAN_CACHE[key] = plan
+    return plan
+
+
+def base_convert(limbs: np.ndarray, source: Sequence[int],
+                 target: Sequence[int]) -> np.ndarray:
+    """Approximate base conversion, batched (falls back when unsupported)."""
+    plan = get_batched_conversion_plan(source, target)
+    if not plan.supported:
+        return get_conversion_plan(source, target).convert(limbs)
+    return plan.convert(np.asarray(limbs, dtype=UINT))
+
+
+class _ModUpPlan:
+    """Limb routing for :func:`mod_up` (which target rows are copies)."""
+
+    def __init__(self, source: PrimeTuple, target: PrimeTuple):
+        position = {p: i for i, p in enumerate(source)}
+        self.missing = tuple(p for p in target if p not in position)
+        self.copy_rows = [(k, position[p]) for k, p in enumerate(target)
+                          if p in position]
+        self.conv_rows = [k for k, p in enumerate(target) if p not in position]
+
+
+class _ModDownPlan:
+    """Cached ``P^{-1} mod q`` column for :func:`mod_down`."""
+
+    def __init__(self, base: PrimeTuple, extension: PrimeTuple):
+        p_total = basis_product(extension)
+        self.p_inv = np.array([mod_inv(p_total % q, q) for q in base],
+                              dtype=UINT)[:, None]
+
+
+_MODUP_PLAN_CACHE: Dict[Tuple[PrimeTuple, PrimeTuple], _ModUpPlan] = {}
+_MODDOWN_PLAN_CACHE: Dict[Tuple[PrimeTuple, PrimeTuple], _ModDownPlan] = {}
+
+
+def mod_up(limbs: np.ndarray, source: Sequence[int],
+           target: Sequence[int]) -> np.ndarray:
+    """Extend limbs to a superset basis (copies + one batched conversion)."""
+    key = (tuple(int(q) for q in source), tuple(int(q) for q in target))
+    plan = _MODUP_PLAN_CACHE.get(key)
+    if plan is None:
+        plan = _MODUP_PLAN_CACHE[key] = _ModUpPlan(*key)
+    out = np.empty((len(key[1]), limbs.shape[1]), dtype=UINT)
+    for row, src_row in plan.copy_rows:
+        out[row] = limbs[src_row]
+    if plan.missing:
+        out[plan.conv_rows] = base_convert(limbs, key[0], plan.missing)
+    return out
+
+
+def mod_down(limbs: np.ndarray, base: Sequence[int],
+             extension: Sequence[int]) -> np.ndarray:
+    """Scale down by the extension product, batched across base limbs."""
+    key = (tuple(int(q) for q in base), tuple(int(q) for q in extension))
+    plan = _MODDOWN_PLAN_CACHE.get(key)
+    if plan is None:
+        plan = _MODDOWN_PLAN_CACHE[key] = _ModDownPlan(*key)
+    n_base = len(key[0])
+    if limbs.shape[0] != n_base + len(key[1]):
+        raise ValueError(
+            f"expected {n_base + len(key[1])} limbs, got {limbs.shape[0]}"
+        )
+    approx = base_convert(limbs[n_base:], key[1], key[0])
+    diff = pointwise_submod(limbs[:n_base], approx, key[0])
+    return pointwise_mulmod(diff, plan.p_inv, key[0])

@@ -9,12 +9,33 @@ limbs (the paper uses a 28-bit datapath).
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 #: Largest prime bit-width for which ``a * b`` cannot overflow ``uint64``.
 MAX_PRIME_BITS = 31
 
 UINT = np.uint64
+
+_SCRATCH = threading.local()
+
+
+def scratch_buffer(name: str, size: int) -> np.ndarray:
+    """A reusable flat ``uint64`` scratch array of at least ``size`` elements.
+
+    Buffers are keyed by ``name`` and grow monotonically, so hot kernels
+    (the NTT butterflies, the simulator) avoid per-call allocation churn.
+    They are thread-local: each serving shard gets its own set.  Callers
+    slice and ``reshape`` the returned array; contents are undefined.
+    """
+    buffers = getattr(_SCRATCH, "buffers", None)
+    if buffers is None:
+        buffers = _SCRATCH.buffers = {}
+    buf = buffers.get(name)
+    if buf is None or buf.size < size:
+        buf = buffers[name] = np.empty(size, dtype=UINT)
+    return buf
 
 
 def _as_uint(a: np.ndarray) -> np.ndarray:

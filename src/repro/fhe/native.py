@@ -1,0 +1,189 @@
+"""Compile-on-demand C kernel backend ("native").
+
+The butterfly loops in :mod:`repro.fhe.kernels` are one numpy op per stage
+across the whole limb stack — portable, but each stage streams the stack
+through memory several times.  ``_native.c`` implements the same
+Shoup/Harvey arithmetic as tight C loops that keep one limb cache-resident
+per transform; on a single core with auto-vectorization this is ~10x the
+seed per-limb loop and ~5x the batched numpy kernels at (L=24, N=8192).
+
+The shared library is built lazily with the system C compiler (``$CC`` or
+``cc``) into ``_native_build/`` next to this file, keyed by a hash of the
+C source so stale objects are never reused.  Everything degrades
+gracefully: if no compiler is present, compilation fails, or the built
+library does not reproduce the reference kernels bit-for-bit on a smoke
+test, the ``"native"`` backend simply is not registered and the default
+stays ``"numpy-batched"``.  ``build_error()`` reports why.
+
+This is also the in-tree demonstration of the :mod:`repro.fhe.backend`
+extension story: an accelerated backend only implements the primitives it
+accelerates (here the two NTT directions) and delegates the rest.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+import threading
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from . import kernels as _kernels
+from .modmath import UINT
+
+_SOURCE = Path(__file__).with_name("_native.c")
+_CFLAGS = ("-O3", "-march=native", "-funroll-loops", "-shared", "-fPIC")
+
+_LOCK = threading.Lock()
+_LIB: Optional[ctypes.CDLL] = None
+_ERROR: Optional[str] = None
+_TRIED = False
+
+_U64P = ctypes.POINTER(ctypes.c_uint64)
+
+
+def _build_dir() -> Path:
+    """Writable directory for the compiled object (repo dir, else tmp)."""
+    preferred = _SOURCE.with_name("_native_build")
+    try:
+        preferred.mkdir(exist_ok=True)
+        return preferred
+    except OSError:
+        return Path(tempfile.mkdtemp(prefix="repro-native-"))
+
+
+def _compile() -> ctypes.CDLL:
+    source = _SOURCE.read_text()
+    tag = hashlib.sha256(source.encode()).hexdigest()[:16]
+    shared_object = _build_dir() / f"_native-{tag}.so"
+    if not shared_object.exists():
+        compiler = os.environ.get("CC", "cc")
+        scratch = str(shared_object) + f".tmp{os.getpid()}"
+        proc = subprocess.run(
+            [compiler, *_CFLAGS, "-o", scratch, str(_SOURCE)],
+            capture_output=True, text=True,
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"{compiler} failed ({proc.returncode}): {proc.stderr.strip()}"
+            )
+        os.replace(scratch, shared_object)
+    lib = ctypes.CDLL(str(shared_object))
+    lib.repro_ntt_batch.restype = None
+    lib.repro_ntt_batch.argtypes = [
+        _U64P, ctypes.c_long, ctypes.c_long, _U64P, _U64P, _U64P,
+    ]
+    lib.repro_intt_batch.restype = None
+    lib.repro_intt_batch.argtypes = [
+        _U64P, ctypes.c_long, ctypes.c_long, _U64P, _U64P, _U64P, _U64P, _U64P,
+    ]
+    return lib
+
+
+def _as_u64p(array: np.ndarray):
+    return array.ctypes.data_as(_U64P)
+
+
+def _run(lib: ctypes.CDLL, stack: np.ndarray, plan, inverse: bool) -> np.ndarray:
+    out = np.ascontiguousarray(stack, dtype=UINT).copy()
+    limbs, n = out.shape
+    if inverse:
+        lib.repro_intt_batch(
+            _as_u64p(out), limbs, n, _as_u64p(plan.ipsi), _as_u64p(plan.ipsi_sh),
+            _as_u64p(plan.p), _as_u64p(plan.n_inv), _as_u64p(plan.n_inv_sh),
+        )
+    else:
+        lib.repro_ntt_batch(
+            _as_u64p(out), limbs, n, _as_u64p(plan.psi), _as_u64p(plan.psi_sh),
+            _as_u64p(plan.p),
+        )
+    return out
+
+
+def _smoke_test(lib: ctypes.CDLL) -> None:
+    """Refuse to register a miscompiled library: round-trip vs reference."""
+    from .ntt import intt_reference, ntt_reference
+    from .primes import generate_primes
+
+    primes = generate_primes(2, 28, 64)
+    plan = _kernels.get_ntt_plan(primes, 64)
+    rng = np.random.default_rng(7)
+    stack = rng.integers(0, plan.p[:, None], size=(2, 64), dtype=UINT)
+    want_fwd = np.stack(
+        [ntt_reference(stack[i], int(q)) for i, q in enumerate(primes)]
+    )
+    got_fwd = _run(lib, stack, plan, inverse=False)
+    if not np.array_equal(got_fwd, want_fwd):
+        raise RuntimeError("forward NTT smoke test mismatch")
+    want_inv = np.stack(
+        [intt_reference(want_fwd[i], int(q)) for i, q in enumerate(primes)]
+    )
+    got_inv = _run(lib, got_fwd, plan, inverse=True)
+    if not np.array_equal(got_inv, want_inv):
+        raise RuntimeError("inverse NTT smoke test mismatch")
+
+
+def load_library() -> Optional[ctypes.CDLL]:
+    """Compile (once) and return the shared library, or None on failure."""
+    global _LIB, _ERROR, _TRIED
+    with _LOCK:
+        if not _TRIED:
+            _TRIED = True
+            try:
+                lib = _compile()
+                _smoke_test(lib)
+                _LIB = lib
+            except Exception as exc:  # no compiler, bad toolchain, ...
+                _ERROR = f"{type(exc).__name__}: {exc}"
+        return _LIB
+
+
+def available() -> bool:
+    """True when the compiled backend built and passed its smoke test."""
+    return load_library() is not None
+
+
+def build_error() -> Optional[str]:
+    """Why the native backend is unavailable (None when it is available)."""
+    load_library()
+    return _ERROR
+
+
+class NativeBackend:
+    """C NTT/INTT kernels; other primitives delegate to the batched ones."""
+
+    name = "native"
+
+    def ntt_batch(self, coeffs: np.ndarray, primes: Sequence[int]) -> np.ndarray:
+        return self._transform(coeffs, primes, inverse=False)
+
+    def intt_batch(self, values: np.ndarray, primes: Sequence[int]) -> np.ndarray:
+        return self._transform(values, primes, inverse=True)
+
+    def _transform(self, stack, primes, inverse):
+        stack = np.ascontiguousarray(stack, dtype=UINT)
+        if stack.ndim == 1:
+            return self._transform(stack[None, :], primes, inverse)[0]
+        lib = load_library()
+        plan = _kernels.get_ntt_plan(primes, stack.shape[1])
+        if lib is None or not plan.supported:
+            fall = _kernels.intt_batch if inverse else _kernels.ntt_batch
+            return fall(stack, primes)
+        return _run(lib, stack, plan, inverse)
+
+    def base_convert(self, limbs, source, target):
+        return _kernels.base_convert(limbs, source, target)
+
+    def mod_up(self, limbs, source, target):
+        return _kernels.mod_up(limbs, source, target)
+
+    def mod_down(self, limbs, base, extension):
+        return _kernels.mod_down(limbs, base, extension)
+
+    def pointwise_mulmod(self, a, b, primes):
+        return _kernels.pointwise_mulmod(a, b, primes)

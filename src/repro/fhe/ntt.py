@@ -17,7 +17,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
-from .modmath import UINT, mod_inv
+from .modmath import UINT, mod_inv, scratch_buffer
 from .primes import find_root_of_unity
 
 _TABLE_CACHE: Dict[Tuple[int, int], "NttTables"] = {}
@@ -69,59 +69,109 @@ def get_tables(prime: int, ring_degree: int) -> NttTables:
     return tables
 
 
-def ntt(coeffs: np.ndarray, prime: int) -> np.ndarray:
-    """Forward negacyclic NTT. Output is in bit-reversed order.
+def ntt_reference(coeffs: np.ndarray, prime: int) -> np.ndarray:
+    """Forward negacyclic NTT of one limb. Output is in bit-reversed order.
 
-    ``coeffs`` is a length-N uint64 array of residues mod ``prime``.
+    ``coeffs`` is a length-N uint64 array of residues mod ``prime``.  This
+    is the per-limb reference kernel; the public :func:`ntt` delegates to
+    the active backend (see :mod:`repro.fhe.backend`), which may batch
+    whole limb stacks instead.
     """
     n = coeffs.shape[-1]
     tables = get_tables(prime, n)
     p = UINT(prime)
     a = np.array(coeffs, dtype=UINT, copy=True)
     psi = tables.psi_powers_bitrev
+    half = n // 2
+    ubuf = scratch_buffer("ref-u", half)
+    vbuf = scratch_buffer("ref-v", half)
+    tbuf = scratch_buffer("ref-t", half)
     t = n
     m = 1
     while m < n:
         t //= 2
         view = a.reshape(m, 2, t)
         twiddles = psi[m : 2 * m].reshape(m, 1)
-        u = view[:, 0, :].copy()  # copy: the in-place write below would alias
-        v = (view[:, 1, :] * twiddles) % p
-        view[:, 0, :] = (u + v) % p
-        view[:, 1, :] = (u + p - v) % p
+        u = ubuf[:half].reshape(m, t)
+        v = vbuf[:half].reshape(m, t)
+        tmp = tbuf[:half].reshape(m, t)
+        np.copyto(u, view[:, 0, :])  # copy: the in-place write would alias
+        np.multiply(view[:, 1, :], twiddles, out=v)
+        v %= p
+        np.add(u, v, out=tmp)
+        tmp %= p
+        view[:, 0, :] = tmp
+        np.add(u, p, out=tmp)
+        np.subtract(tmp, v, out=tmp)
+        tmp %= p
+        view[:, 1, :] = tmp
         m *= 2
     return a
 
 
-def intt(values: np.ndarray, prime: int) -> np.ndarray:
-    """Inverse negacyclic NTT. Input in bit-reversed order, output natural."""
+def intt_reference(values: np.ndarray, prime: int) -> np.ndarray:
+    """Inverse negacyclic NTT of one limb: bit-reversed in, natural out."""
     n = values.shape[-1]
     tables = get_tables(prime, n)
     p = UINT(prime)
     a = np.array(values, dtype=UINT, copy=True)
     psi_inv = tables.psi_inv_powers_bitrev
+    half = n // 2
+    ubuf = scratch_buffer("ref-u", half)
+    vbuf = scratch_buffer("ref-v", half)
+    tbuf = scratch_buffer("ref-t", half)
     t = 1
     m = n
     while m > 1:
         m //= 2
         view = a.reshape(m, 2, t)
         twiddles = psi_inv[m : 2 * m].reshape(m, 1)
-        u = view[:, 0, :].copy()  # copy: the in-place write below would alias
-        v = view[:, 1, :].copy()
-        view[:, 0, :] = (u + v) % p
-        view[:, 1, :] = ((u + p - v) % p * twiddles) % p
+        u = ubuf[:half].reshape(m, t)
+        v = vbuf[:half].reshape(m, t)
+        tmp = tbuf[:half].reshape(m, t)
+        np.copyto(u, view[:, 0, :])  # copy: the in-place write would alias
+        np.copyto(v, view[:, 1, :])
+        np.add(u, v, out=tmp)
+        tmp %= p
+        view[:, 0, :] = tmp
+        np.add(u, p, out=tmp)
+        np.subtract(tmp, v, out=tmp)
+        tmp %= p
+        np.multiply(tmp, twiddles, out=tmp)
+        tmp %= p
+        view[:, 1, :] = tmp
         t *= 2
-    return (a * UINT(tables.n_inv)) % p
+    np.multiply(a, UINT(tables.n_inv), out=a)
+    a %= p
+    return a
+
+
+def ntt(coeffs: np.ndarray, prime: int) -> np.ndarray:
+    """Forward negacyclic NTT (thin shim over the active kernel backend)."""
+    from .backend import get_backend
+
+    return get_backend().ntt_batch(np.asarray(coeffs)[None, :], (int(prime),))[0]
+
+
+def intt(values: np.ndarray, prime: int) -> np.ndarray:
+    """Inverse negacyclic NTT (thin shim over the active kernel backend)."""
+    from .backend import get_backend
+
+    return get_backend().intt_batch(np.asarray(values)[None, :], (int(prime),))[0]
 
 
 def ntt_batch(coeffs: np.ndarray, primes) -> np.ndarray:
     """Forward NTT of a stack of limbs; ``coeffs`` has shape ``(L, N)``."""
-    return np.stack([ntt(coeffs[i], int(q)) for i, q in enumerate(primes)])
+    from .backend import get_backend
+
+    return get_backend().ntt_batch(coeffs, primes)
 
 
 def intt_batch(values: np.ndarray, primes) -> np.ndarray:
     """Inverse NTT of a stack of limbs; ``values`` has shape ``(L, N)``."""
-    return np.stack([intt(values[i], int(q)) for i, q in enumerate(primes)])
+    from .backend import get_backend
+
+    return get_backend().intt_batch(values, primes)
 
 
 _AUTO_PERM_CACHE: Dict[Tuple[int, int], np.ndarray] = {}

@@ -18,8 +18,9 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
-from .modmath import UINT, mod_add, mod_mul, mod_neg, mod_sub
-from .ntt import intt, ntt
+from . import kernels as _kernels
+from .modmath import UINT
+from .ntt import intt_batch, ntt_batch
 
 COEFF = "coeff"
 EVAL = "eval"
@@ -98,22 +99,16 @@ class RnsPolynomial:
 
     def __add__(self, other: "RnsPolynomial") -> "RnsPolynomial":
         self._check_compatible(other)
-        out = np.empty_like(self.data)
-        for j, q in enumerate(self.basis):
-            out[j] = mod_add(self.data[j], other.data[j], q)
+        out = _kernels.pointwise_addmod(self.data, other.data, self.basis)
         return RnsPolynomial(self.basis, out, self.domain)
 
     def __sub__(self, other: "RnsPolynomial") -> "RnsPolynomial":
         self._check_compatible(other)
-        out = np.empty_like(self.data)
-        for j, q in enumerate(self.basis):
-            out[j] = mod_sub(self.data[j], other.data[j], q)
+        out = _kernels.pointwise_submod(self.data, other.data, self.basis)
         return RnsPolynomial(self.basis, out, self.domain)
 
     def __neg__(self) -> "RnsPolynomial":
-        out = np.empty_like(self.data)
-        for j, q in enumerate(self.basis):
-            out[j] = mod_neg(self.data[j], q)
+        out = _kernels.pointwise_negmod(self.data, self.basis)
         return RnsPolynomial(self.basis, out, self.domain)
 
     def __mul__(self, other: "RnsPolynomial") -> "RnsPolynomial":
@@ -121,25 +116,25 @@ class RnsPolynomial:
         self._check_compatible(other)
         if self.domain != EVAL:
             raise DomainError("polynomial multiplication requires the evaluation domain")
-        out = np.empty_like(self.data)
-        for j, q in enumerate(self.basis):
-            out[j] = mod_mul(self.data[j], other.data[j], q)
+        from .backend import get_backend
+
+        out = get_backend().pointwise_mulmod(self.data, other.data, self.basis)
         return RnsPolynomial(self.basis, out, self.domain)
 
     def scalar_mul(self, scalar: int) -> "RnsPolynomial":
         """Multiply by a Python-int scalar (reduced per limb); any domain."""
-        out = np.empty_like(self.data)
-        for j, q in enumerate(self.basis):
-            out[j] = mod_mul(self.data[j], UINT(int(scalar) % q), q)
-        return RnsPolynomial(self.basis, out, self.domain)
+        return self.scalar_mul_rns([int(scalar)] * self.level)
 
     def scalar_mul_rns(self, residues: Sequence[int]) -> "RnsPolynomial":
         """Multiply limb ``j`` by ``residues[j]`` (per-limb scalar); any domain."""
         if len(residues) != self.level:
             raise ValueError("one residue per limb required")
-        out = np.empty_like(self.data)
-        for j, q in enumerate(self.basis):
-            out[j] = mod_mul(self.data[j], UINT(int(residues[j]) % q), q)
+        from .backend import get_backend
+
+        col = np.array(
+            [int(r) % q for r, q in zip(residues, self.basis)], dtype=UINT
+        )[:, None]
+        out = get_backend().pointwise_mulmod(self.data, col, self.basis)
         return RnsPolynomial(self.basis, out, self.domain)
 
     # ------------------------------------------------------------------ #
@@ -148,18 +143,12 @@ class RnsPolynomial:
     def to_eval(self) -> "RnsPolynomial":
         if self.domain == EVAL:
             return self
-        out = np.empty_like(self.data)
-        for j, q in enumerate(self.basis):
-            out[j] = ntt(self.data[j], q)
-        return RnsPolynomial(self.basis, out, EVAL)
+        return RnsPolynomial(self.basis, ntt_batch(self.data, self.basis), EVAL)
 
     def to_coeff(self) -> "RnsPolynomial":
         if self.domain == COEFF:
             return self
-        out = np.empty_like(self.data)
-        for j, q in enumerate(self.basis):
-            out[j] = intt(self.data[j], q)
-        return RnsPolynomial(self.basis, out, COEFF)
+        return RnsPolynomial(self.basis, intt_batch(self.data, self.basis), COEFF)
 
     # ------------------------------------------------------------------ #
     # Structural ops
@@ -188,12 +177,9 @@ class RnsPolynomial:
         dest = (idx * k) % (2 * n)
         sign_flip = dest >= n
         dest = dest % n
+        negated = _kernels.pointwise_negmod(poly.data, poly.basis)
         out = np.empty_like(poly.data)
-        for j, q in enumerate(poly.basis):
-            limb = poly.data[j]
-            moved = np.zeros(n, dtype=UINT)
-            moved[dest] = np.where(sign_flip, (UINT(q) - limb) % UINT(q), limb)
-            out[j] = moved
+        out[:, dest] = np.where(sign_flip[None, :], negated, poly.data)
         result = RnsPolynomial(poly.basis, out, COEFF)
         return result.to_eval() if was_eval else result
 

@@ -91,11 +91,31 @@ def get_conversion_plan(source: Sequence[int], target: Sequence[int]) -> BaseCon
 
 
 def base_convert(limbs: np.ndarray, source: Sequence[int], target: Sequence[int]) -> np.ndarray:
-    """Approximate base conversion of coefficient-domain limbs."""
-    return get_conversion_plan(source, target).convert(limbs)
+    """Approximate base conversion (shim over the active kernel backend)."""
+    from .backend import get_backend
+
+    return get_backend().base_convert(limbs, source, target)
 
 
 def mod_up(
+    limbs: np.ndarray, source: Sequence[int], target: Sequence[int]
+) -> np.ndarray:
+    """Extend limbs to a superset basis (shim over the active backend)."""
+    from .backend import get_backend
+
+    return get_backend().mod_up(limbs, source, target)
+
+
+def mod_down(
+    limbs: np.ndarray, base: Sequence[int], extension: Sequence[int]
+) -> np.ndarray:
+    """Scale down by the extension product (shim over the active backend)."""
+    from .backend import get_backend
+
+    return get_backend().mod_down(limbs, base, extension)
+
+
+def mod_up_reference(
     limbs: np.ndarray, source: Sequence[int], target: Sequence[int]
 ) -> np.ndarray:
     """Extend limbs from basis ``source`` to superset basis ``target``.
@@ -103,13 +123,15 @@ def mod_up(
     Limbs whose prime already exists in ``source`` are copied verbatim (the
     conversion is exact for them by construction); the remaining limbs are
     produced by approximate base conversion.  All arrays are in the
-    coefficient domain.
+    coefficient domain.  This is the per-limb reference implementation the
+    ``"numpy"`` backend uses.
     """
     source = tuple(int(p) for p in source)
     target = tuple(int(p) for p in target)
     missing = tuple(p for p in target if p not in source)
     position = {p: i for i, p in enumerate(source)}
-    converted = base_convert(limbs, source, missing) if missing else None
+    converted = (get_conversion_plan(source, missing).convert(limbs)
+                 if missing else None)
     out = np.empty((len(target), limbs.shape[1]), dtype=UINT)
     miss_idx = 0
     for k, p in enumerate(target):
@@ -121,7 +143,7 @@ def mod_up(
     return out
 
 
-def mod_down(
+def mod_down_reference(
     limbs: np.ndarray,
     base: Sequence[int],
     extension: Sequence[int],
@@ -134,7 +156,8 @@ def mod_down(
         y_q = (x_q - BaseConvert(x_E -> q)) * P^{-1}   (mod q)
 
     ``limbs`` must be ordered with the ``base`` limbs first, then the
-    ``extension`` limbs.  All arrays are in the coefficient domain.
+    ``extension`` limbs.  All arrays are in the coefficient domain.  This
+    is the per-limb reference implementation the ``"numpy"`` backend uses.
     """
     base = tuple(int(p) for p in base)
     extension = tuple(int(p) for p in extension)
@@ -144,7 +167,7 @@ def mod_down(
             f"expected {n_base + len(extension)} limbs, got {limbs.shape[0]}"
         )
     ext_limbs = limbs[n_base:]
-    approx = base_convert(ext_limbs, extension, base)
+    approx = get_conversion_plan(extension, base).convert(ext_limbs)
     p_total = basis_product(extension)
     out = np.empty((n_base, limbs.shape[1]), dtype=UINT)
     for i, q in enumerate(base):

@@ -104,8 +104,13 @@ def utilization_summary(document: dict) -> dict:
                 + link.get("busy_cycles", 0)
             link_bytes[cid] = link_bytes.get(cid, 0.0) \
                 + link.get("bytes", 0)
+    from ..sim.simulator import METRICS_SCHEMA_VERSION
+
     denom = max(1, total_cycles)
     return {
+        # Same metric vocabulary (and version) as SimulationResult.as_dict
+        # and the benchmarks/ BENCH_*.json files.
+        "schema_version": METRICS_SCHEMA_VERSION,
         "simulations": runs,
         "total_cycles": total_cycles,
         "fu_utilization": {name: min(1.0, busy / denom)

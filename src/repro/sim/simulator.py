@@ -61,6 +61,73 @@ _FU_CLASS = {
     VPRNG: "prng",
 }
 
+# Decoded-instruction kinds (first element of a decode tuple).
+_K_FU, _K_LD, _K_ST, _K_SND, _K_MOV, _K_COL, _K_RCV = range(7)
+
+
+def _decode_stream(stream) -> list:
+    """Pre-decode one ISA stream for the simulation inner loop.
+
+    Each instruction becomes a flat ``(kind, arg, dest, srcs, extra)``
+    tuple — opcode class, collective/send keys, and source registers
+    resolved once per module instead of once per simulated instruction.
+    ``arg`` is the FU class (``_K_FU``), the send/recv key (``_K_SND`` /
+    ``_K_MOV``) or the collective id (``_K_COL`` / ``_K_RCV``); ``extra``
+    carries a collective's payload limb count.
+    """
+    decoded = []
+    for ins in stream:
+        op = ins.opcode
+        cls = _FU_CLASS.get(op)
+        srcs = tuple(ins.srcs)
+        if cls is not None:
+            decoded.append((_K_FU, cls, ins.dest, srcs, None))
+        elif op == LD:
+            decoded.append((_K_LD, None, ins.dest, srcs, None))
+        elif op == ST:
+            decoded.append((_K_ST, None, None, srcs, None))
+        elif op == SND:
+            decoded.append((_K_SND, ins.attrs["key"], None, srcs, None))
+        elif op == MOV:
+            decoded.append((_K_MOV, ins.attrs["key"], ins.dest, srcs, None))
+        elif op == COL:
+            decoded.append(
+                (_K_COL, ins.attrs["cid"], None, srcs, ins.attrs["bytes"]))
+        elif op == RCV:
+            decoded.append((_K_RCV, ins.attrs["cid"], ins.dest, srcs, None))
+        else:
+            raise ValueError(f"unknown opcode {op!r}")
+    return decoded
+
+
+def _decoded_module(isa_module):
+    """Decoded streams + collective counts, cached on the module object.
+
+    Returns ``(streams, col_expected, rcv_expected)`` where ``streams``
+    maps chip id to the decoded tuple list.  The cache rides on the
+    module instance, so it lives exactly as long as the module does and
+    repeated simulations (autotuner sweeps, serving) skip the decode.
+    """
+    cached = getattr(isa_module, "_sim_decoded", None)
+    if cached is not None:
+        return cached
+    streams = {cid: _decode_stream(s)
+               for cid, s in isa_module.streams.items()}
+    col_expected: Dict[int, int] = defaultdict(int)
+    rcv_expected: Dict[int, int] = defaultdict(int)
+    for code in streams.values():
+        for entry in code:
+            if entry[0] == _K_COL:
+                col_expected[entry[1]] += 1
+            elif entry[0] == _K_RCV:
+                rcv_expected[entry[1]] += 1
+    cached = (streams, dict(col_expected), dict(rcv_expected))
+    try:
+        isa_module._sim_decoded = cached
+    except Exception:  # immutable/slotted module: decode per run
+        pass
+    return cached
+
 
 @dataclass
 class SimulationResult:
@@ -129,6 +196,7 @@ class SimulationResult:
         """
         return {
             "schema": METRICS_SCHEMA_VERSION,
+            "schema_version": METRICS_SCHEMA_VERSION,
             "machine": self.machine,
             "cycles": self.cycles,
             "seconds": self.seconds,
@@ -229,9 +297,10 @@ class _Bandwidth:
 
 
 class _ChipState:
-    def __init__(self, chip_id: int, stream, config):
+    def __init__(self, chip_id: int, stream, code, config):
         self.id = chip_id
         self.stream = stream
+        self.code = code                 # decoded tuples, same indexing
         self.pc = 0
         self.reg_ready: Dict[int, int] = defaultdict(int)
         self.issue_time = 0
@@ -318,23 +387,16 @@ class SimulatorEngine:
         machine = self.machine
         chip_cfg = machine.chip
         streams = isa_module.streams
+        decoded, col_expected, rcv_expected = _decoded_module(isa_module)
         chips = {
-            cid: _ChipState(cid, stream, chip_cfg)
+            cid: _ChipState(cid, stream, decoded[cid], chip_cfg)
             for cid, stream in streams.items()
         }
         # Collective bookkeeping: (cid, ...) -> contribution ready times.
         col_posted: Dict[int, List[int]] = defaultdict(list)
-        col_expected: Dict[int, int] = defaultdict(int)
         col_complete: Dict[tuple, Optional[int]] = {}
         col_bytes: Dict[int, int] = defaultdict(int)
         snd_ready: Dict[int, int] = {}
-        rcv_expected: Dict[int, int] = defaultdict(int)
-        for stream in streams.values():
-            for ins in stream:
-                if ins.opcode == COL:
-                    col_expected[ins.attrs["cid"]] += 1
-                elif ins.opcode == RCV:
-                    rcv_expected[ins.attrs["cid"]] += 1
 
         events: List[dict] = []
         applied: set = set()
@@ -364,7 +426,7 @@ class SimulatorEngine:
 
         limb_bytes = chip_cfg.limb_bytes
         occupancies = {
-            op: chip_cfg.occupancy(cls) for op, cls in _FU_CLASS.items()
+            cls: chip_cfg.occupancy(cls) for cls in set(_FU_CLASS.values())
         }
         latency = chip_cfg.pipeline_latency
         started_wall = time.monotonic()
@@ -519,82 +581,73 @@ class SimulatorEngine:
     def _step(self, chip: _ChipState, chips, col_posted, col_expected,
               col_complete, col_bytes, snd_ready, occupancies, latency,
               limb_bytes) -> bool:
-        ins = chip.stream[chip.pc]
-        op = ins.opcode
+        kind, arg, dest, srcs, extra = chip.code[chip.pc]
+        reg_ready = chip.reg_ready
         earliest = chip.issue_time
-        for reg in ins.srcs:
-            earliest = max(earliest, chip.reg_ready[reg])
+        for reg in srcs:
+            ready = reg_ready[reg]
+            if ready > earliest:
+                earliest = ready
 
-        if op in _FU_CLASS:
-            cls = _FU_CLASS[op]
-            pool = chip.fus[cls]
+        if kind == _K_FU:
+            pool = chip.fus[arg]
             # For the BCU the stage-1 buffer fill pipelines with the MAC of
             # the previous output limb, so each vbcv is charged only its
             # stage-2 pass (at the BCU's halved lane count).
-            occupancy = occupancies[op]
+            occupancy = occupancies[arg]
             if chip.occupancy_scale != 1.0:
                 occupancy = max(1, int(math.ceil(
                     occupancy * chip.occupancy_scale)))
             start = pool.reserve(earliest, occupancy)
             done = start + occupancy + latency
-            if ins.dest is not None:
-                chip.reg_ready[ins.dest] = done
-            chip.finish = max(chip.finish, done)
-        elif op == LD:
+            if dest is not None:
+                reg_ready[dest] = done
+        elif kind == _K_LD:
             done = chip.hbm.reserve(earliest, limb_bytes)
-            chip.reg_ready[ins.dest] = done
-            chip.finish = max(chip.finish, done)
-        elif op == ST:
+            reg_ready[dest] = done
+        elif kind == _K_ST:
             done = chip.hbm.reserve(earliest, limb_bytes)
-            chip.finish = max(chip.finish, done)
-        elif op == SND:
-            key = ins.attrs["key"]
+        elif kind == _K_SND:
             done = chip.link.reserve(earliest, limb_bytes)
-            snd_ready[key] = done
-            chip.finish = max(chip.finish, done)
-        elif op == MOV:
-            key = ins.attrs["key"]
-            if key not in snd_ready:
+            snd_ready[arg] = done
+        elif kind == _K_MOV:
+            if arg not in snd_ready:
                 return False
-            done = max(earliest, snd_ready.pop(key)) + \
+            done = max(earliest, snd_ready.pop(arg)) + \
                 self.machine.hop_latency
-            chip.reg_ready[ins.dest] = done
-            chip.finish = max(chip.finish, done)
-        elif op == COL:
-            cid = ins.attrs["cid"]
+            reg_ready[dest] = done
+        elif kind == _K_COL:
             # Contribution: the chip pushes its share onto its links.
-            nbytes = len(ins.srcs) * limb_bytes
+            nbytes = len(srcs) * limb_bytes
             done = chip.link.reserve(earliest, nbytes) if nbytes else earliest
-            col_posted[cid].append(done)
+            col_posted[arg].append(done)
             # Total payload the collective moves across chip boundaries
             # (limbs_moved from the limb IR), for the receivers' ingress.
-            col_bytes[cid] = ins.attrs["bytes"] * limb_bytes
-            chip.finish = max(chip.finish, done)
-        elif op == RCV:
-            cid = ins.attrs["cid"]
+            col_bytes[arg] = extra * limb_bytes
+        else:  # _K_RCV
             # A receive with no matching collective can never complete;
             # blocking here surfaces it as a deadlock instead of a crash.
-            if col_expected[cid] == 0 or \
-                    len(col_posted[cid]) < col_expected[cid]:
+            expected = col_expected.get(arg, 0)
+            posted = col_posted[arg]
+            if expected == 0 or len(posted) < expected:
                 return False
-            key = (cid, chip.id)
+            key = (arg, chip.id)
             if key not in col_complete:
                 # All contributions posted: this chip pulls its share of
                 # the payload off the interconnect through its own links.
-                arrive = max(col_posted[cid])
-                n = max(1, len(col_posted[cid]))
+                arrive = max(posted)
+                n = max(1, len(posted))
                 # Ring/switch collectives pipeline: each chip's links carry
                 # roughly 1/n of the total payload crossing boundaries.
-                per_chip = col_bytes[cid] / n
+                per_chip = col_bytes[arg] / n
                 done = chip.link.reserve(max(earliest, arrive), per_chip)
                 col_complete[key] = done + self.machine.collective_latency
             done = max(earliest, col_complete[key])
-            chip.reg_ready[ins.dest] = done
-            chip.finish = max(chip.finish, done)
-        else:
-            raise ValueError(f"unknown opcode {op!r}")
+            reg_ready[dest] = done
 
-        chip.issue_time = max(chip.issue_time + 1, 0)
+        if done > chip.finish:
+            chip.finish = done
+        chip.issue_time += 1
         chip.pc += 1
         return True
 

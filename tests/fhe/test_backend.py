@@ -1,0 +1,221 @@
+"""Cross-backend golden parity for the kernel-backend registry.
+
+Every registered :class:`repro.fhe.backend.KernelBackend` must produce
+*bit-identical* limbs to the per-limb reference kernels — the batched
+numpy kernels and the compiled ``"native"`` backend are alternative
+evaluation strategies, never alternative semantics.  These tests pin
+that contract for every backend the running environment registers
+(including ``"native"`` when a C toolchain is present) and exercise the
+selection API (``get_backend``/``set_backend``/``use_backend`` and the
+``repro.set_kernel_backend`` facade).
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.fhe import make_params
+from repro.fhe.backend import (
+    KernelBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    set_backend,
+    use_backend,
+)
+from repro.fhe.ntt import (
+    intt_reference,
+    negacyclic_convolve_reference,
+    ntt_reference,
+)
+from repro.fhe.primes import generate_primes
+from repro.fhe.rns import mod_down_reference, mod_up_reference
+
+BACKENDS = available_backends()
+
+
+def seeded_stack(primes, n, seed=0):
+    rng = np.random.default_rng(seed)
+    bound = np.array(primes, dtype=np.uint64)[:, None]
+    return rng.integers(0, bound, size=(len(primes), n), dtype=np.uint64)
+
+
+def reference_ntt_stack(stack, primes, inverse=False):
+    fn = intt_reference if inverse else ntt_reference
+    return np.stack([fn(stack[i], int(q)) for i, q in enumerate(primes)])
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert "numpy" in BACKENDS
+        assert "numpy-batched" in BACKENDS
+
+    def test_every_backend_satisfies_protocol(self):
+        for name in BACKENDS:
+            with use_backend(name) as backend:
+                assert isinstance(backend, KernelBackend)
+                assert backend.name == name
+
+    def test_set_backend_returns_previous(self):
+        original = get_backend()
+        previous = set_backend("numpy")
+        try:
+            assert previous is original
+            assert get_backend().name == "numpy"
+        finally:
+            set_backend(original)
+
+    def test_unknown_backend_rejected_with_listing(self):
+        with pytest.raises(ValueError, match="numpy-batched"):
+            set_backend("does-not-exist")
+
+    def test_use_backend_restores_on_exit(self):
+        before = get_backend().name
+        with use_backend("numpy"):
+            assert get_backend().name == "numpy"
+        assert get_backend().name == before
+
+    def test_repro_facade(self):
+        previous = repro.set_kernel_backend("numpy")
+        try:
+            assert repro.get_kernel_backend().name == "numpy"
+        finally:
+            repro.set_kernel_backend(previous)
+
+    def test_register_backend_decorator_roundtrip(self):
+        from repro.fhe import backend as backend_mod
+
+        @register_backend("parity-test-dummy")
+        class Dummy:
+            def ntt_batch(self, coeffs, primes):
+                return coeffs
+
+            def intt_batch(self, values, primes):
+                return values
+
+            def base_convert(self, limbs, source, target):
+                return limbs
+
+            def mod_up(self, limbs, source, target):
+                return limbs
+
+            def mod_down(self, limbs, base, extension):
+                return limbs
+
+            def pointwise_mulmod(self, a, b, primes):
+                return a
+
+        try:
+            assert "parity-test-dummy" in available_backends()
+            with use_backend("parity-test-dummy") as active:
+                assert active.name == "parity-test-dummy"
+        finally:
+            backend_mod._REGISTRY.pop("parity-test-dummy", None)
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+class TestGoldenParity:
+    """Bit-identity of every registered backend vs the reference kernels."""
+
+    @pytest.mark.parametrize("limbs,n", [(1, 64), (2, 64), (24, 64),
+                                         (1, 8192), (2, 8192), (24, 8192)])
+    def test_ntt_roundtrip_bit_identical(self, name, limbs, n):
+        primes = generate_primes(limbs, 28, n)
+        stack = seeded_stack(primes, n, seed=limbs * n)
+        with use_backend(name) as backend:
+            forward = backend.ntt_batch(stack, primes)
+            back = backend.intt_batch(forward, primes)
+        assert np.array_equal(forward, reference_ntt_stack(stack, primes))
+        assert np.array_equal(
+            back, reference_ntt_stack(forward, primes, inverse=True))
+        assert np.array_equal(back, stack)
+
+    def test_negacyclic_convolution_vs_schoolbook(self, name):
+        n = 64
+        primes = generate_primes(2, 28, n)
+        a = seeded_stack(primes, n, seed=11)
+        b = seeded_stack(primes, n, seed=22)
+        with use_backend(name) as backend:
+            prod = backend.intt_batch(
+                backend.pointwise_mulmod(
+                    backend.ntt_batch(a, primes),
+                    backend.ntt_batch(b, primes), primes),
+                primes)
+        for i, q in enumerate(primes):
+            want = negacyclic_convolve_reference(a[i], b[i], int(q))
+            assert np.array_equal(prod[i], want)
+
+    def test_mod_up_down_roundtrip_at_paper_params(self, name):
+        params = make_params(ring_degree=64, levels=8, prime_bits=28,
+                             num_digits=3)
+        base = params.moduli
+        ext = params.extension_moduli
+        stack = seeded_stack(base, params.ring_degree, seed=33)
+        with use_backend(name) as backend:
+            up = backend.mod_up(stack, base, base + ext)
+            down = backend.mod_down(up, base, ext)
+        # Golden parity: both directions bit-identical to the per-limb
+        # reference (mod_down divides by the extension product, so the
+        # round-trip is x/P — correctness of that rounding is pinned by
+        # tests/fhe/test_rns.py; here we pin backend bit-identity).
+        assert np.array_equal(up, mod_up_reference(stack, base, base + ext))
+        assert np.array_equal(down, mod_down_reference(up, base, ext))
+        assert np.array_equal(up[:len(base)], stack)
+
+    def test_base_convert_matches_reference(self, name):
+        n = 64
+        primes = generate_primes(8, 28, n)
+        source, target = primes[:3], primes[3:]
+        stack = seeded_stack(source, n, seed=44)
+        from repro.fhe.rns import get_conversion_plan
+
+        want = get_conversion_plan(source, target).convert(stack)
+        with use_backend(name) as backend:
+            got = backend.base_convert(stack, source, target)
+        assert np.array_equal(got, want)
+
+    def test_pointwise_mulmod_matches_reference(self, name):
+        n = 256
+        primes = generate_primes(3, 28, n)
+        a = seeded_stack(primes, n, seed=55)
+        b = seeded_stack(primes, n, seed=66)
+        want = np.stack([(a[i] * b[i]) % np.uint64(q)
+                         for i, q in enumerate(primes)])
+        with use_backend(name) as backend:
+            got = backend.pointwise_mulmod(a, b, primes)
+        assert np.array_equal(got, want)
+
+    def test_wide_prime_fallback_stays_bit_identical(self, name):
+        """30/31-bit primes exceed the lazy-butterfly bound; every backend
+        must fall back to the reference path, bit-identically."""
+        n = 256
+        primes = generate_primes(3, 30, n)
+        stack = seeded_stack(primes, n, seed=77)
+        with use_backend(name) as backend:
+            forward = backend.ntt_batch(stack, primes)
+            back = backend.intt_batch(forward, primes)
+        assert np.array_equal(forward, reference_ntt_stack(stack, primes))
+        assert np.array_equal(back, stack)
+
+
+class TestNativeBackendGating:
+    """The compiled backend registers itself only when usable."""
+
+    def test_availability_is_consistent(self):
+        from repro.fhe import native
+
+        if native.available():
+            assert "native" in available_backends()
+            assert native.build_error() is None
+        else:
+            assert "native" not in available_backends()
+            assert native.build_error()
+
+    def test_default_backend_prefers_native(self):
+        default = get_backend().name
+        from repro.fhe import native
+
+        if native.available():
+            assert default == "native"
+        else:
+            assert default == "numpy-batched"
