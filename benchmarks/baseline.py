@@ -1,9 +1,10 @@
 """Performance-baseline harness: measure, record, and gate BENCH_*.json.
 
-This is the repo's first perf trajectory: three committed baseline files
-(``BENCH_kernels.json``, ``BENCH_serving.json``, ``BENCH_sim.json``) pin
-the headline numbers — NTT µs/limb per kernel backend, CKKS bootstrap
-latency, loadgen throughput, and simulator cycles/sec — and CI re-measures
+This is the repo's first perf trajectory: four committed baseline files
+(``BENCH_kernels.json``, ``BENCH_serving.json``, ``BENCH_sim.json``,
+``BENCH_cluster.json``) pin the headline numbers — NTT µs/limb per kernel
+backend, CKKS bootstrap latency, loadgen throughput, multi-process
+scale-out speedup, and simulator cycles/sec — and CI re-measures
 them on every push, failing when a gated metric regresses by more than
 :data:`REGRESSION_TOLERANCE` (see ``.github/workflows/bench.yml``).
 
@@ -58,7 +59,7 @@ REGRESSION_TOLERANCE = 0.20
 #: interleaved min-of-N timing.
 WALL_TOLERANCE = 0.50
 
-SUITES = ("kernels", "serving", "sim")
+SUITES = ("kernels", "serving", "sim", "cluster")
 
 
 def _metric(value, unit, direction="lower", tolerance=None):
@@ -219,6 +220,106 @@ def bench_serving(quick: bool) -> dict:
     }
 
 
+def bench_cluster(quick: bool) -> dict:
+    """Multi-process scale-out: closed-loop rps at 1/2/4 cluster workers
+    vs the single-process one-shard server, under a working set larger
+    than one shard's artifact cache.
+
+    This is the scale-out regime the cluster exists for: ``VARIANTS``
+    distinct programs against ``capacity``-bounded sessions mean a
+    single shard recompiles on almost every request, while consistent-
+    hash routing gives N workers an aggregate warm cache that holds the
+    whole working set (1/N of the key space each).  Both sides run
+    memory-only sessions so the comparison isolates aggregate capacity,
+    not disk-cache luck.  On a one-core host the 4-worker speedup is
+    therefore a cache-architecture effect and reproduces well above the
+    2x acceptance line.
+    """
+    from repro.cluster import ClusterRouter
+    from repro.fhe import ArchParams
+    from repro.runtime import CinnamonSession
+    from repro.serve import CinnamonServer
+    from repro.serve.loadgen import LoadGenerator
+    from repro.workloads.kernels import matmul_kernel
+    from repro.workloads.serving import MixEntry
+
+    params = ArchParams(max_level=16)
+    variants = 8 if quick else 12
+    capacity = 4
+    num_requests = 48 if quick else 96
+    concurrency = 8
+
+    def variant_mix():
+        return {
+            f"qkv-v{i}": MixEntry(
+                f"qkv-v{i}",
+                (lambda i=i: matmul_kernel(f"qkv{i}", 6 + i, 6)),
+                params)
+            for i in range(variants)
+        }
+
+    def timed_pass(frontend, generator):
+        generator.run_closed_loop(num_requests, concurrency, machine=2)
+        start = time.monotonic()
+        results = generator.run_closed_loop(num_requests, concurrency,
+                                            machine=2)
+        frontend.drain()
+        duration = time.monotonic() - start
+        ok = sum(1 for r in results if r.ok)
+        return ok / duration, ok
+
+    def cluster_rps(workers: int):
+        router = ClusterRouter(num_workers=workers, capacity=capacity,
+                               disk_cache=False)
+        generator = LoadGenerator(router, variant_mix(), seed=5)
+        with router:
+            router.wait_ready(timeout=60)
+            return timed_pass(router, generator)
+
+    def single_rps():
+        server = CinnamonServer(
+            num_workers=1, max_batch=12, max_wait_s=0.01, queue_depth=0,
+            seed=5,
+            session_factory=lambda i: CinnamonSession(capacity=capacity))
+        generator = LoadGenerator(server, variant_mix(), seed=5)
+        with server:
+            return timed_pass(server, generator)
+
+    single, single_ok = single_rps()
+    per_workers = {w: cluster_rps(w) for w in (1, 2, 4)}
+    speedup = per_workers[4][0] / max(single, 1e-9)
+
+    # Cluster wall-clock numbers swing more than single-process ones
+    # (N processes contending for the host + ring-layout sensitivity),
+    # and the speedup is a ratio of two noisy measurements.  The wide
+    # speedup tolerance still floors the gate near 3x — above the 2x
+    # scale-out acceptance line this suite exists to defend.
+    metrics = {
+        "single_process_rps": _metric(single, "req/s",
+                                      direction="higher",
+                                      tolerance=WALL_TOLERANCE),
+        "cluster_speedup_4w": _metric(speedup, "x", direction="higher",
+                                      tolerance=1.5),
+    }
+    for workers, (rps, _ok) in per_workers.items():
+        metrics[f"cluster_rps_{workers}w"] = _metric(
+            rps, "req/s", direction="higher", tolerance=0.75)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": "cluster",
+        "machine": _machine_info(),
+        "context": {
+            "requests": num_requests, "mode": "closed",
+            "concurrency": concurrency, "machine_sim": "cinnamon_2",
+            "variants": variants, "session_capacity": capacity,
+            "disk_cache": False,
+            "ok": {"single": single_ok,
+                   **{f"{w}w": ok for w, (_r, ok) in per_workers.items()}},
+        },
+        "metrics": metrics,
+    }
+
+
 def bench_sim(quick: bool) -> dict:
     """Simulator throughput on the compiled bootstrap workload."""
     import repro
@@ -255,7 +356,7 @@ def bench_sim(quick: bool) -> dict:
 
 
 _RUNNERS = {"kernels": bench_kernels, "serving": bench_serving,
-            "sim": bench_sim}
+            "sim": bench_sim, "cluster": bench_cluster}
 
 
 # --------------------------------------------------------------------- #

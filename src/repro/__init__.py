@@ -111,6 +111,8 @@ def default_session():
 
 _LAZY_ATTRS = {
     "CinnamonServer": ("repro.serve", "CinnamonServer"),
+    "ClusterRouter": ("repro.cluster", "ClusterRouter"),
+    "cluster": ("repro.cluster", None),
     "InferenceRequest": ("repro.serve", "InferenceRequest"),
     "RequestResult": ("repro.serve", "RequestResult"),
     "serve": ("repro.serve", None),
@@ -163,6 +165,7 @@ __all__ = [
     "get_kernel_backend",
     "default_session",
     "CinnamonServer",
+    "ClusterRouter",
     "InferenceRequest",
     "RequestResult",
     "CinnamonSession",

@@ -1,0 +1,80 @@
+"""Queue-depth-driven worker autoscaling policy.
+
+Pure decision logic, separated from the router's mechanics so it is
+testable without processes: the router's monitor thread feeds one
+:class:`AutoscalerState` observation per tick and applies the returned
+target.  The policy is deliberately boring and hysteretic:
+
+* **scale up** (by one) when the backlog per live worker exceeds
+  ``scale_up_backlog``.  Backlog is the admission-queue depth *plus*
+  dispatched-but-unresolved requests beyond the fleet's execution
+  slots (``slots_per_worker * workers``) — the router dispatches
+  eagerly, so queue depth alone reads zero even when one worker is
+  buried under in-flight work;
+* **scale down** (by one) only after ``scale_down_ticks`` consecutive
+  idle observations (no backlog, inflight below one job per worker) —
+  a single quiet tick must not retire a worker the next burst needs;
+* never outside ``[min_workers, max_workers]``, and never below one.
+
+Spawning a worker costs a process fork + session warm-up, retiring one
+costs a drain cycle — both are orders of magnitude slower than one
+request, hence the asymmetric thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class AutoscalerState:
+    """One observation of the cluster, as seen by the monitor tick."""
+
+    workers: int          # live (connected, non-draining) workers
+    queue_depth: int      # admission backlog at the router
+    inflight: int         # dispatched, unresolved requests
+
+
+@dataclass
+class Autoscaler:
+    """Hysteretic min/max-bounded scaling policy (see module docstring)."""
+
+    min_workers: int = 1
+    max_workers: int = 4
+    #: Queued requests per live worker that trigger a scale-up.
+    scale_up_backlog: float = 4.0
+    #: Consecutive idle ticks before one worker is retired.
+    scale_down_ticks: int = 10
+    #: Concurrent executions one worker absorbs before further
+    #: in-flight requests count as backlog (the router sets this to its
+    #: ``worker_threads``).
+    slots_per_worker: int = 2
+
+    def __post_init__(self):
+        if not 1 <= self.min_workers <= self.max_workers:
+            raise ValueError(
+                f"need 1 <= min_workers ({self.min_workers}) <= "
+                f"max_workers ({self.max_workers})")
+        self._idle_ticks = 0
+
+    def decide(self, state: AutoscalerState) -> int:
+        """The worker count the cluster should be running after this
+        observation (callers clamp spawn/retire to one step per tick)."""
+        workers = max(1, state.workers)
+        target = min(max(state.workers, self.min_workers),
+                     self.max_workers)
+        slots = max(1, self.slots_per_worker) * workers
+        backlog = state.queue_depth + max(0, state.inflight - slots)
+        if backlog >= self.scale_up_backlog * workers:
+            self._idle_ticks = 0
+            return min(self.max_workers, target + 1)
+        idle = state.queue_depth == 0 and state.inflight < workers
+        if idle:
+            self._idle_ticks += 1
+            if (self._idle_ticks >= self.scale_down_ticks
+                    and target > self.min_workers):
+                self._idle_ticks = 0
+                return target - 1
+        else:
+            self._idle_ticks = 0
+        return target

@@ -1,0 +1,114 @@
+"""Merging per-worker observability into one cluster view.
+
+Each worker process owns its own :class:`~repro.obs.metrics.MetricsRegistry`
+and trace journal; the router periodically pulls ``snapshot()`` dicts and
+journal rows over the ``stats`` protocol message and folds them together:
+
+* **counters** — summed per (name, labels) series;
+* **gauges** — summed (queue depths, inflight counts: the cluster value
+  of a worker-local level *is* the sum);
+* **histograms** — ``count``/``sum``/``max`` merge exactly; ``mean`` is
+  recomputed from the merged sum/count; ``p50/p95/p99`` become
+  count-weighted averages of the per-worker quantiles (an approximation,
+  flagged by ``"quantiles": "weighted"`` in the merged series — exact
+  cluster quantiles would need the raw reservoirs on the wire).
+
+Journal rows merge by concatenation: rows are self-describing (schema 6
+stamps each absorbed row with its ``worker``) and already carry the
+``trace_id`` the router propagated, so one request's serve row (router
+side) and compile/simulate rows (worker side) join exactly as they do in
+a single process.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+_QUANTILES = ("p50", "p95", "p99")
+
+
+def _series_key(labels: dict) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def merge_histogram_values(values: List[dict]) -> dict:
+    """Fold N worker-side histogram snapshots into one."""
+    count = sum(v.get("count", 0) for v in values)
+    total = sum(v.get("sum", 0.0) for v in values)
+    merged = {
+        "count": count,
+        "sum": total,
+        "mean": total / count if count else 0.0,
+        "max": max((v.get("max", 0.0) for v in values), default=0.0),
+        "quantiles": "weighted",
+    }
+    for q in _QUANTILES:
+        weighted = [(v.get("count", 0), v[q]) for v in values
+                    if v.get(q) is not None and v.get("count", 0) > 0]
+        weight = sum(c for c, _ in weighted)
+        merged[q] = (sum(c * x for c, x in weighted) / weight
+                     if weight else None)
+    return merged
+
+
+def merge_snapshots(snapshots: Iterable[dict]) -> dict:
+    """Merge :meth:`MetricsRegistry.snapshot` dicts into one cluster
+    snapshot of the same shape."""
+    acc: Dict[str, dict] = {}
+    for snapshot in snapshots:
+        if not snapshot:
+            continue
+        for name, entry in snapshot.items():
+            kind = entry.get("type", "gauge")
+            slot = acc.setdefault(name, {"type": kind, "series": {}})
+            for series in entry.get("series", ()):
+                labels = series.get("labels", {})
+                slot["series"].setdefault(
+                    _series_key(labels),
+                    {"labels": dict(labels), "values": []},
+                )["values"].append(series.get("value"))
+    out: Dict[str, dict] = {}
+    for name, entry in acc.items():
+        kind = entry["type"]
+        merged_series = []
+        for bucket in entry["series"].values():
+            values = [v for v in bucket["values"] if v is not None]
+            if kind == "histogram":
+                value = merge_histogram_values(
+                    [v for v in values if isinstance(v, dict)])
+            else:  # counter and gauge both sum across processes
+                value = float(sum(values))
+            merged_series.append({"labels": bucket["labels"],
+                                  "value": value})
+        out[name] = {"type": kind, "series": merged_series}
+    return out
+
+
+def merged_scalar(snapshot: dict, name: str,
+                  labels: Optional[dict] = None) -> float:
+    """Convenience: one counter/gauge value out of a merged snapshot
+    (summed across label sets when ``labels`` is ``None``)."""
+    entry = snapshot.get(name)
+    if not entry:
+        return 0.0
+    want = _series_key(labels) if labels is not None else None
+    total = 0.0
+    for series in entry.get("series", ()):
+        if want is not None and _series_key(series["labels"]) != want:
+            continue
+        value = series.get("value")
+        if isinstance(value, (int, float)):
+            total += value
+    return total
+
+
+def merge_journals(journals: Dict[str, List[dict]]) -> List[dict]:
+    """Concatenate per-worker journal rows, stamping each with its
+    ``worker`` of origin (rows keep their own trace/span ids)."""
+    merged: List[dict] = []
+    for worker_id, rows in journals.items():
+        for row in rows:
+            row = dict(row)
+            row.setdefault("worker", worker_id)
+            merged.append(row)
+    return merged

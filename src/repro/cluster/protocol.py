@@ -1,0 +1,213 @@
+"""Length-prefixed wire protocol between router and worker processes.
+
+One frame on the wire is::
+
+    MAGIC (4B) | header_len u32 | header JSON | blob_len u32 | blob
+
+The header is a small JSON dict — always carrying ``kind`` — that frames
+routing/service metadata (ids, tenant, deadline, trace context).  The
+blob is an optional opaque payload: for ``submit`` it is the pickled
+``(program, params, machine, options)`` tuple, for ``result`` the
+pickled :class:`~repro.serve.request.RequestResult`.  The header records
+``crc32`` of the blob so a torn or corrupted payload is detected before
+unpickling (same posture as the checkpoint CRC framing in
+:mod:`repro.resilience`).
+
+Message kinds
+-------------
+
+========== ======== =======================================================
+kind       sender   meaning
+========== ======== =======================================================
+hello      worker   first frame after connect: worker_id + auth token
+submit     router   one inference request (blob: program/params/machine)
+result     worker   terminal outcome of one submit (blob: RequestResult)
+journal    worker   trace rows recorded since the last ship (eager, sent
+                    right behind each result so a later worker death
+                    cannot orphan an answered request's trace)
+ping       router   heartbeat probe
+pong       worker   heartbeat answer (carries quick queue stats)
+stats      router   request a metrics/trace snapshot
+stats_reply worker  metrics snapshot + journal rows since last ask
+drain      router   stop accepting, finish in-flight, reply ``drained``
+drained    worker   drain complete (carries final journal rows)
+shutdown   router   exit after this frame
+========== ======== =======================================================
+
+Pickle is only ever exchanged between the router and workers it spawned
+itself over a loopback socket authenticated by a per-cluster random
+token, mirroring :mod:`multiprocessing.connection`'s trust model.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import socket
+import struct
+import zlib
+from typing import Optional, Tuple
+
+#: First bytes of every frame; a mismatch means the peer is not speaking
+#: this protocol (or the stream lost sync) and the connection is dead.
+MAGIC = b"CNC1"
+
+#: Environment variable carrying the cluster's shared auth token (the
+#: router exports it; the worker echoes it in its ``hello`` frame).
+TOKEN_ENV = "CINNAMON_CLUSTER_TOKEN"
+
+#: Protocol revision, sent in ``hello`` and checked by the router.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on header/blob sizes — a corrupt length prefix must not make
+#: us try to allocate gigabytes.
+MAX_HEADER_BYTES = 1 << 20
+MAX_BLOB_BYTES = 1 << 30
+
+_U32 = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """The stream violated the framing contract (bad magic/crc/length)."""
+
+
+class ConnectionClosed(ConnectionError):
+    """The peer closed the socket (EOF mid-frame or between frames)."""
+
+
+# ---------------------------------------------------------------------- #
+# Framing
+
+def send_frame(sock: socket.socket, header: dict,
+               blob: bytes = b"") -> None:
+    """Serialize and send one frame (thread-unsafe per socket: callers
+    serialize writers, see the router's per-worker send lock)."""
+    if blob:
+        header = dict(header)
+        header["crc32"] = zlib.crc32(blob) & 0xFFFFFFFF
+    header_bytes = json.dumps(header, separators=(",", ":"),
+                              sort_keys=True).encode("utf-8")
+    frame = b"".join((
+        MAGIC,
+        _U32.pack(len(header_bytes)),
+        header_bytes,
+        _U32.pack(len(blob)),
+        blob,
+    ))
+    sock.sendall(frame)
+
+
+def recv_frame(sock: socket.socket) -> Tuple[dict, bytes]:
+    """Receive one frame; raises :class:`ConnectionClosed` on EOF and
+    :class:`ProtocolError` on framing/CRC violations."""
+    magic = _recv_exact(sock, len(MAGIC), eof_ok=True)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    (header_len,) = _U32.unpack(_recv_exact(sock, 4))
+    if header_len > MAX_HEADER_BYTES:
+        raise ProtocolError(f"header length {header_len} exceeds cap")
+    try:
+        header = json.loads(_recv_exact(sock, header_len))
+    except ValueError as exc:
+        raise ProtocolError(f"unparseable frame header: {exc}") from exc
+    if not isinstance(header, dict) or "kind" not in header:
+        raise ProtocolError("frame header missing 'kind'")
+    (blob_len,) = _U32.unpack(_recv_exact(sock, 4))
+    if blob_len > MAX_BLOB_BYTES:
+        raise ProtocolError(f"blob length {blob_len} exceeds cap")
+    blob = _recv_exact(sock, blob_len) if blob_len else b""
+    if blob:
+        expect = header.get("crc32")
+        actual = zlib.crc32(blob) & 0xFFFFFFFF
+        if expect != actual:
+            raise ProtocolError(
+                f"blob crc mismatch (header {expect}, actual {actual})")
+    return header, blob
+
+
+def _recv_exact(sock: socket.socket, n: int,
+                eof_ok: bool = False) -> bytes:
+    """Read exactly ``n`` bytes.  EOF before the first byte raises
+    :class:`ConnectionClosed`; EOF mid-read always does (a frame was
+    torn), regardless of ``eof_ok``."""
+    if n == 0:
+        return b""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 16))
+        if not chunk:
+            if chunks or not eof_ok:
+                got = n - remaining
+                raise ConnectionClosed(
+                    f"peer closed mid-frame ({got}/{n} bytes)"
+                    if got else "peer closed the connection")
+            raise ConnectionClosed("peer closed the connection")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# ---------------------------------------------------------------------- #
+# Payload helpers
+
+def pack_submit(request, resolved_options, key: str,
+                trace_id: Optional[str] = None,
+                parent_span_id: Optional[str] = None) -> Tuple[dict, bytes]:
+    """Frame one :class:`~repro.serve.request.InferenceRequest`.
+
+    The router ships the *resolved* compiler options (tuning swap already
+    applied) so the worker's session computes the identical fingerprint
+    and hits the shared disk cache.
+    """
+    header = {
+        "kind": "submit",
+        "request_id": request.request_id,
+        "name": request.label,
+        "tenant": request.tenant,
+        "priority": int(request.priority),
+        "deadline_s": request.deadline_s,
+        "simulate": request.simulate,
+        "tag": request.tag,
+        "key": key,
+        "tuned": request.tuned,
+    }
+    if trace_id:
+        header["trace_id"] = trace_id
+        header["parent_span_id"] = parent_span_id
+    blob = pickle.dumps(
+        (request.program, request.params, request.machine,
+         resolved_options),
+        pickle.HIGHEST_PROTOCOL)
+    return header, blob
+
+
+def unpack_submit(header: dict, blob: bytes):
+    """Inverse of :func:`pack_submit`: returns
+    ``(program, params, machine, options)``."""
+    return pickle.loads(blob)
+
+
+def pack_result(result) -> Tuple[dict, bytes]:
+    """Frame one RequestResult.  Compiled artifacts and simulator objects
+    stay worker-side (they can be ~GB); the result crossing the wire is
+    stripped to the outcome + latency + cycle count."""
+    slim = type(result)(
+        request_id=result.request_id,
+        name=result.name,
+        status=result.status,
+        latency=result.latency,
+        attempts=result.attempts,
+        shard=result.shard,
+        batch_size=result.batch_size,
+        cache=result.cache,
+        cycles=result.cycles,
+        error=result.error,
+    )
+    header = {"kind": "result", "request_id": result.request_id,
+              "status": str(result.status)}
+    return header, pickle.dumps(slim, pickle.HIGHEST_PROTOCOL)
+
+
+def unpack_result(header: dict, blob: bytes):
+    return pickle.loads(blob)

@@ -1,0 +1,118 @@
+"""Consistent-hash ring mapping program fingerprints to workers.
+
+Each worker owns ``vnodes`` points on a 2^64 ring (sha256 of
+``"{worker_id}#{replica}"``); a key routes to the first point clockwise
+from sha256(key).  The property the cluster cares about: when a worker
+joins or leaves, only ~1/N of the key space remaps — every other
+fingerprint keeps hitting the worker whose in-memory compile cache is
+already warm for it.  (The shared disk cache makes remapping a
+disk-hit, not a recompile, but memory affinity is still the fast path.)
+
+``preferred(key, n)`` returns distinct fallbacks in ring order, which is
+the router's failover order when the primary worker dies mid-request.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Optional
+
+#: Points per worker.  More vnodes -> tighter balance; 256 keeps the
+#: max per-worker deviation near ±11% at 8 workers (the ±20% balance
+#: test in tests/cluster/test_ring.py pins the behavior) at a membership
+#: cost of a few hundred microseconds per join/leave.
+DEFAULT_VNODES = 256
+
+
+def _hash64(data: str) -> int:
+    digest = hashlib.sha256(data.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring over string worker ids."""
+
+    def __init__(self, workers=(), vnodes: int = DEFAULT_VNODES):
+        self.vnodes = vnodes
+        self._points: List[int] = []        # sorted vnode hashes
+        self._owners: Dict[int, str] = {}   # vnode hash -> worker id
+        self._workers: Dict[str, List[int]] = {}
+        for worker_id in workers:
+            self.add(worker_id)
+
+    # ------------------------------------------------------------------ #
+
+    def add(self, worker_id: str) -> None:
+        if worker_id in self._workers:
+            return
+        points = []
+        for replica in range(self.vnodes):
+            point = _hash64(f"{worker_id}#{replica}")
+            # sha256 collisions across distinct labels are not a real
+            # concern; skip rather than silently steal an owned point.
+            if point in self._owners:
+                continue
+            self._owners[point] = worker_id
+            bisect.insort(self._points, point)
+            points.append(point)
+        self._workers[worker_id] = points
+
+    def remove(self, worker_id: str) -> None:
+        points = self._workers.pop(worker_id, None)
+        if not points:
+            return
+        for point in points:
+            del self._owners[point]
+            index = bisect.bisect_left(self._points, point)
+            del self._points[index]
+
+    # ------------------------------------------------------------------ #
+
+    def owner(self, key: str) -> Optional[str]:
+        """The worker owning ``key``, or ``None`` on an empty ring."""
+        if not self._points:
+            return None
+        index = bisect.bisect_right(self._points, _hash64(key))
+        if index == len(self._points):
+            index = 0
+        return self._owners[self._points[index]]
+
+    def preferred(self, key: str, n: Optional[int] = None) -> List[str]:
+        """Up to ``n`` distinct workers in ring order from ``key`` — the
+        failover sequence (element 0 is :meth:`owner`)."""
+        if not self._points:
+            return []
+        if n is None:
+            n = len(self._workers)
+        order: List[str] = []
+        start = bisect.bisect_right(self._points, _hash64(key))
+        for offset in range(len(self._points)):
+            point = self._points[(start + offset) % len(self._points)]
+            worker_id = self._owners[point]
+            if worker_id not in order:
+                order.append(worker_id)
+                if len(order) >= n:
+                    break
+        return order
+
+    # ------------------------------------------------------------------ #
+
+    def __contains__(self, worker_id: str) -> bool:
+        return worker_id in self._workers
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    @property
+    def workers(self) -> List[str]:
+        return sorted(self._workers)
+
+    def spread(self, keys) -> Dict[str, int]:
+        """How many of ``keys`` land on each worker (balance probe)."""
+        counts = {worker_id: 0 for worker_id in self._workers}
+        for key in keys:
+            owner = self.owner(key)
+            if owner is not None:
+                counts[owner] += 1
+        return counts

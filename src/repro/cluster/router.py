@@ -1,0 +1,955 @@
+"""The cluster front-end: routing, quotas, failover, autoscaling.
+
+``ClusterRouter`` is API-compatible with
+:class:`~repro.serve.CinnamonServer` (``submit``/``drain``/``shutdown``/
+``metrics_snapshot``/``trace``/context manager), but instead of a pool
+of in-process thread shards it owns N *worker processes*, each hosting
+one :class:`~repro.runtime.session.CinnamonSession` — so compiles and
+simulations run on separate interpreters and the GIL stops being the
+cluster's throughput ceiling.
+
+Data path of one request::
+
+    submit() --fingerprint/tuning-swap--> FairShareQueue (quotas)
+        --dispatcher--> HashRing.owner(fingerprint) --> worker socket
+        --worker session--> result frame --> RequestHandle
+
+Design notes:
+
+* **Topology.**  The router binds one loopback listener; workers are
+  spawned with ``python -m repro.cluster.worker --connect PORT`` and
+  dial *in*, authenticating with a per-cluster random token passed via
+  the environment.  One reader thread per worker demultiplexes result/
+  pong/stats frames; sends are serialized per socket.
+* **Routing.**  Consistent hashing on the compile fingerprint gives
+  every program a home worker whose in-memory cache stays warm, and
+  :meth:`HashRing.preferred` yields the failover order when that worker
+  is gone.  Membership changes remap only ~1/N of the key space.
+* **Failover.**  A worker death (EOF on its socket — covers SIGKILL)
+  removes it from the ring, requeues its in-flight requests with
+  ``force=True`` (bypassing quotas and the drain-closed check: they were
+  already admitted once), and lets the monitor respawn a replacement up
+  to the current target.  Requests exceeding ``max_retries`` failovers
+  resolve FAILED.  Zero requests are ever dropped.
+* **Autoscaling.**  The monitor thread feeds queue-depth/inflight
+  observations to :class:`~repro.cluster.autoscaler.Autoscaler` and
+  spawns or drains workers between ``min_workers``/``max_workers``.
+* **Observability.**  The router opens one long-lived ``cluster`` root
+  span; membership/failover events become ``kind="cluster"`` journal
+  rows under it (trace schema 6).  Each submit ships its request span's
+  ``trace_id`` to the worker, whose compile/simulate rows come back in
+  ``stats``/``drained`` replies and are absorbed into the router's
+  journal — one merged timeline across processes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+import secrets
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..obs.tracing import tracer
+from ..runtime.fingerprint import fingerprint
+from ..runtime.session import resolve_request_options
+from ..runtime.trace import TraceRecorder
+from ..serve.metrics import MetricsRegistry
+from ..serve.queue import Empty, QueueClosedError, QueueSaturatedError
+from ..serve.request import (InferenceRequest, LatencyBreakdown,
+                             RequestHandle, RequestResult, RequestStatus)
+from ..serve.server import ServerClosedError
+from ..sim.config import resolve_machine
+from .autoscaler import Autoscaler, AutoscalerState
+from .merge import merge_snapshots
+from .protocol import (ConnectionClosed, ProtocolError, TOKEN_ENV,
+                       pack_submit, recv_frame, send_frame, unpack_result)
+from .quotas import FairShareQueue, QuotaExceededError, TenantQuota
+from .ring import HashRing
+
+#: Dispatcher poll period while idle.
+_IDLE_POLL_S = 0.05
+
+
+class _Worker:
+    """Router-side state of one worker process."""
+
+    def __init__(self, worker_id: str, index: int,
+                 proc: subprocess.Popen):
+        self.id = worker_id
+        self.index = index             # numeric shard id in results
+        self.proc = proc
+        self.sock: Optional[socket.socket] = None
+        self.reader: Optional[threading.Thread] = None
+        self.send_lock = threading.Lock()
+        self.connected = threading.Event()
+        self.drained = threading.Event()
+        self.pending: Dict[int, InferenceRequest] = {}
+        self.dispatched_at: Dict[int, float] = {}
+        self.last_pong = time.monotonic()
+        self.draining = False
+        self.retired = False
+        self.dead = False
+        self.snapshot: dict = {}
+        self.cache: dict = {}
+
+    @property
+    def live(self) -> bool:
+        return self.connected.is_set() and not self.dead \
+            and not self.draining
+
+    def send(self, header: dict, blob: bytes = b"") -> None:
+        sock = self.sock
+        if sock is None:
+            raise OSError("worker not connected")
+        with self.send_lock:
+            send_frame(sock, header, blob)
+
+
+class ClusterRouter:
+    """Multi-process scale-out serving front-end (see module docstring).
+
+    ``num_workers`` is the initial (and, without autoscaling, constant)
+    process count; ``autoscale=True`` lets the cluster breathe between
+    ``min_workers`` and ``max_workers``.  ``quotas`` maps tenant name to
+    :class:`~repro.cluster.quotas.TenantQuota`; ``default_quota`` (if
+    set) applies to tenants without an explicit entry.  ``cache_dir``
+    is the shared on-disk compile cache every worker mounts — by default
+    a private temporary directory that lives as long as the router.
+    """
+
+    def __init__(self, num_workers: int = 2, queue_depth: int = 256,
+                 max_retries: int = 2,
+                 request_timeout_s: Optional[float] = None,
+                 default_machine=None, cache_dir=None,
+                 capacity: Optional[int] = None,
+                 quotas: Optional[Dict[str, TenantQuota]] = None,
+                 default_quota: Optional[TenantQuota] = None,
+                 autoscale: bool = False, min_workers: int = 1,
+                 max_workers: Optional[int] = None,
+                 autoscaler: Optional[Autoscaler] = None,
+                 disk_cache: bool = True,
+                 worker_threads: int = 2, heartbeat_s: float = 0.5,
+                 liveness_timeout_s: float = 15.0,
+                 stats_interval_s: float = 2.0,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tuned: bool = False, tuning_db=None,
+                 spawn_workers: bool = True):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.max_retries = max_retries
+        self.request_timeout_s = request_timeout_s
+        self.default_machine = default_machine
+        self.worker_threads = worker_threads
+        self.capacity = capacity
+        self.heartbeat_s = heartbeat_s
+        self.liveness_timeout_s = liveness_timeout_s
+        self.stats_interval_s = stats_interval_s
+        self._spawn_enabled = spawn_workers
+
+        self._tmpdir: Optional[tempfile.TemporaryDirectory] = None
+        if cache_dir is None and disk_cache:
+            self._tmpdir = tempfile.TemporaryDirectory(
+                prefix="cinnamon-cluster-")
+            cache_dir = self._tmpdir.name
+        # None = workers run memory-only sessions (bench isolation mode).
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+
+        self._tuning_db = tuning_db
+        if tuned and self._tuning_db is None:
+            from ..tune.db import TuningDB, default_db_path
+
+            self._tuning_db = TuningDB(default_db_path(self.cache_dir))
+
+        self._queue = FairShareQueue(maxsize=queue_depth, quotas=quotas,
+                                     default_quota=default_quota)
+        self._ring = HashRing()
+        self._recorder = TraceRecorder()
+        self._workers: Dict[str, _Worker] = {}
+        self._worker_seq = itertools.count()
+        self._handles: Dict[int, RequestHandle] = {}
+        self._attempts: Dict[int, int] = {}
+        self._pending_cond = threading.Condition()
+        self._lock = threading.RLock()
+        self._target = num_workers
+        self._autoscaler = autoscaler
+        if autoscale and self._autoscaler is None:
+            self._autoscaler = Autoscaler(
+                min_workers=min_workers,
+                max_workers=max_workers or max(num_workers, min_workers),
+                slots_per_worker=worker_threads)
+        self._token = secrets.token_hex(16)
+        self._stats_waiters: Dict[str, threading.Event] = {}
+
+        self._started = False
+        self._stopping = False
+        self._listener: Optional[socket.socket] = None
+        self._port: Optional[int] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._dispatcher: Optional[threading.Thread] = None
+        self._monitor: Optional[threading.Thread] = None
+        self._monitor_stop = threading.Event()
+        self._cluster_span = None
+
+        self.metrics = metrics or MetricsRegistry()
+        m = self.metrics
+        self._requests_total = {
+            status: m.counter("serve_requests_total",
+                              "Requests by terminal status.",
+                              labels={"status": status.value})
+            for status in RequestStatus
+        }
+        self._retries_total = m.counter(
+            "serve_retries_total", "Request re-dispatches after failover.")
+        self._tuned_total = m.counter(
+            "serve_tuned_requests_total",
+            "Requests whose options came from the tuning DB.")
+        self._queue_depth_g = m.gauge(
+            "serve_queue_depth", "Requests waiting for dispatch.")
+        self._inflight_g = m.gauge(
+            "serve_inflight_requests", "Requests dispatched, not resolved.")
+        self._queue_wait_h = m.histogram(
+            "serve_queue_wait_seconds",
+            "Admission wait before dispatch to a worker.")
+        self._execute_h = m.histogram(
+            "serve_execute_seconds", "Worker-side execution time.")
+        self._latency_h = m.histogram(
+            "serve_request_latency_seconds",
+            "End-to-end latency, submit to resolution.")
+        self._workers_g = m.gauge(
+            "cluster_workers", "Live (connected, serving) workers.")
+        self._deaths_total = m.counter(
+            "cluster_worker_deaths_total",
+            "Workers lost to crashes/kills (not graceful retirement).")
+        self._requeued_total = m.counter(
+            "cluster_requeued_total",
+            "Requests re-queued after their worker died.")
+        self._quota_rejected_total = m.counter(
+            "cluster_quota_rejections_total",
+            "Submits rejected by a tenant's token bucket.")
+        self._dispatch_total = m.counter(
+            "cluster_dispatches_total", "Submit frames sent to workers.")
+        self._autoscale_total = {
+            direction: m.counter(
+                "cluster_autoscale_events_total",
+                "Autoscaler decisions applied.",
+                labels={"direction": direction})
+            for direction in ("up", "down")
+        }
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+
+    def start(self) -> "ClusterRouter":
+        if self._started:
+            return self
+        self._started = True
+        tr = tracer()
+        if tr.enabled:
+            # Long-lived root span: membership/failover journal rows
+            # recorded under it carry a trace_id (obs check() invariant).
+            self._cluster_span = tr.begin(
+                "cluster", kind="cluster",
+                attrs={"target_workers": self._target})
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(64)
+        self._port = self._listener.getsockname()[1]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="cluster-accept", daemon=True)
+        self._accept_thread.start()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="cluster-dispatch",
+            daemon=True)
+        self._dispatcher.start()
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="cluster-monitor", daemon=True)
+        self._monitor.start()
+        if self._spawn_enabled:
+            for _ in range(self._target):
+                self._spawn_worker()
+        return self
+
+    def __enter__(self) -> "ClusterRouter":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(drain=exc_type is None)
+
+    def wait_ready(self, count: Optional[int] = None,
+                   timeout: float = 30.0) -> bool:
+        """Block until ``count`` (default: the target) workers are
+        connected; loadgen uses this so throughput timing starts with
+        the fleet actually up."""
+        want = count if count is not None else self._target
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if len(self._live_workers()) >= want:
+                return True
+            time.sleep(0.02)
+        return False
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admission and wait until all accepted work resolves."""
+        self._queue.close()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._pending_cond:
+            while len(self._handles) > 0:
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._pending_cond.wait(
+                    remaining if remaining is not None else 0.1)
+        return True
+
+    def shutdown(self, drain: bool = True,
+                 timeout: Optional[float] = None) -> None:
+        if self._stopping:
+            return
+        self._queue.close()
+        if drain and self._started:
+            self.drain(timeout=timeout)
+        else:
+            while True:
+                try:
+                    request = self._queue.get(timeout=0)
+                except Empty:
+                    break
+                self._resolve_rejected(request, "cluster shut down")
+        self._stopping = True
+        self._monitor_stop.set()
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=10)
+        if self._monitor is not None:
+            self._monitor.join(timeout=5)
+        # Graceful worker teardown: drain (collect the final journal),
+        # then shutdown; SIGKILL only as a last resort.
+        with self._lock:
+            workers = list(self._workers.values())
+        for worker in workers:
+            if worker.dead or worker.sock is None:
+                continue
+            try:
+                worker.send({"kind": "drain"})
+            except OSError:
+                continue
+        for worker in workers:
+            if worker.dead or worker.sock is None:
+                continue
+            worker.drained.wait(timeout=15)
+            try:
+                worker.send({"kind": "shutdown"})
+            except OSError:
+                pass
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for worker in workers:
+            if worker.proc.poll() is None:
+                try:
+                    worker.proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    worker.proc.kill()
+                    worker.proc.wait(timeout=5)
+            if not worker.dead and not worker.retired:
+                self._record_cluster("worker_exit", worker=worker.id,
+                                     detail={"pid": worker.proc.pid})
+                worker.retired = True
+        if self._cluster_span is not None:
+            self._cluster_span.finish()
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+
+    # ------------------------------------------------------------------ #
+    # Admission (mirrors CinnamonServer.submit)
+
+    def submit(self, request: InferenceRequest) -> RequestHandle:
+        """Admit one request; raises
+        :class:`~repro.serve.queue.QueueSaturatedError` under
+        backpressure, :class:`~repro.cluster.quotas.QuotaExceededError`
+        over quota, and :class:`~repro.serve.server.ServerClosedError`
+        after shutdown."""
+        if not self._started:
+            self.start()
+        if request.machine is None and request.options is None \
+                and self.default_machine is not None:
+            request.machine = self.default_machine
+        if request.deadline_s is None:
+            request.deadline_s = self.request_timeout_s
+        options = resolve_request_options(request.machine, request.options)
+        request.machine_name = resolve_machine(
+            request.machine if request.machine is not None
+            else (options.machine or options.num_chips)).name
+        if self._tuning_db is not None:
+            tuned_options = self._tuning_db.tuned_options(
+                request.program, request.params, request.machine_name,
+                options)
+            if tuned_options is not None:
+                options = tuned_options
+                request.options = tuned_options
+                request.machine = None
+                request.tuned = True
+                self._tuned_total.inc()
+        # The resolved options ship to the worker so its session computes
+        # the identical fingerprint (shared disk-cache affinity).
+        request.options = options
+        request.machine = None
+        request.key = fingerprint(request.program, request.params, options)
+        request.submitted_at = time.monotonic()
+        tr = tracer()
+        request.span = tr.begin(
+            f"serve:{request.label}", kind="serve", parent=None,
+            attrs={"request_id": request.request_id,
+                   "machine": request.machine_name,
+                   "tenant": request.tenant,
+                   "fingerprint": request.key})
+        request.queue_span = tr.begin("queue", kind="queue",
+                                      parent=request.span)
+        handle = RequestHandle(request)
+        with self._pending_cond:
+            self._handles[request.request_id] = handle
+        self._attempts[request.request_id] = 0
+        try:
+            self._queue.put(request)
+        except QuotaExceededError:
+            self._quota_rejected_total.inc()
+            self._resolve_rejected(request, "tenant quota exceeded")
+            raise
+        except QueueSaturatedError:
+            self._resolve_rejected(request, "admission queue saturated")
+            raise
+        except QueueClosedError as exc:
+            self._resolve_rejected(request, "cluster shutting down")
+            raise ServerClosedError(str(exc)) from exc
+        self._queue_depth_g.set(self._queue.depth())
+        return handle
+
+    def submit_many(self, requests: Sequence[InferenceRequest]
+                    ) -> List[RequestHandle]:
+        return [self.submit(request) for request in requests]
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+
+    def _dispatch_loop(self) -> None:
+        while not self._stopping:
+            try:
+                request = self._queue.get(timeout=_IDLE_POLL_S)
+            except Empty:
+                if (self._queue.closed and self._queue.depth() == 0
+                        and self._total_pending() == 0):
+                    return
+                continue
+            self._dispatch(request)
+            self._queue_depth_g.set(self._queue.depth())
+
+    def _total_pending(self) -> int:
+        with self._lock:
+            return sum(len(w.pending) for w in self._workers.values())
+
+    def _live_workers(self) -> List[_Worker]:
+        with self._lock:
+            return [w for w in self._workers.values() if w.live]
+
+    def _dispatch(self, request: InferenceRequest) -> None:
+        now = time.monotonic()
+        if request.expired(now):
+            self._resolve_timeout(request, now, stage="queued")
+            return
+        worker = self._pick_worker(request.key)
+        if worker is None:
+            # No live worker right now (cold start or mid-failover):
+            # park briefly and requeue — admission already happened, so
+            # force past quotas and a drain-closed queue.
+            time.sleep(0.02)
+            self._queue.put(request, force=True)
+            return
+        self._attempts[request.request_id] = \
+            self._attempts.get(request.request_id, 0) + 1
+        span = request.span
+        header, blob = pack_submit(
+            request, request.options, request.key,
+            trace_id=span.trace_id if span is not None else None,
+            parent_span_id=span.span_id if span is not None else None)
+        with self._lock:
+            worker.pending[request.request_id] = request
+            worker.dispatched_at[request.request_id] = now
+        try:
+            worker.send(header, blob)
+        except OSError:
+            # The send never reached a worker: not an execution attempt.
+            # Stop routing to this socket now (the reader thread's EOF
+            # does the full worker_lost bookkeeping) or the dispatcher
+            # would tight-loop the corpse until the EOF lands.
+            with self._lock:
+                worker.pending.pop(request.request_id, None)
+                worker.dispatched_at.pop(request.request_id, None)
+                self._attempts[request.request_id] = max(
+                    0, self._attempts.get(request.request_id, 1) - 1)
+            worker.connected.clear()
+            try:
+                worker.sock.close()
+            except OSError:
+                pass
+            self._queue.put(request, force=True)
+            return
+        self._dispatch_total.inc()
+        self._inflight_g.set(self._total_pending())
+
+    def _pick_worker(self, key: str) -> Optional[_Worker]:
+        with self._lock:
+            for worker_id in self._ring.preferred(key):
+                worker = self._workers.get(worker_id)
+                if worker is not None and worker.live:
+                    return worker
+            # Ring empty (all lost): any connected, non-draining worker.
+            for worker in self._workers.values():
+                if worker.live:
+                    return worker
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Worker processes
+
+    def _spawn_worker(self) -> _Worker:
+        index = next(self._worker_seq)
+        worker_id = f"w{index}"
+        argv = [sys.executable, "-m", "repro.cluster.worker",
+                "--connect", str(self._port),
+                "--worker-id", worker_id,
+                "--threads", str(self.worker_threads)]
+        if self.cache_dir is not None:
+            argv += ["--cache-dir", str(self.cache_dir)]
+        if self.capacity is not None:
+            argv += ["--capacity", str(self.capacity)]
+        if tracer().enabled:
+            argv += ["--obs"]
+        env = dict(os.environ)
+        src_root = str(Path(__file__).resolve().parents[2])
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH",
+                                                            "")
+        env[TOKEN_ENV] = self._token
+        proc = subprocess.Popen(argv, env=env)
+        worker = _Worker(worker_id, index, proc)
+        with self._lock:
+            self._workers[worker_id] = worker
+        return worker
+
+    def _accept_loop(self) -> None:
+        while not self._stopping:
+            try:
+                sock, _addr = self._listener.accept()
+            except OSError:
+                return
+            sock.settimeout(5)
+            try:
+                header, _blob = recv_frame(sock)
+            except (ConnectionClosed, ProtocolError, OSError):
+                sock.close()
+                continue
+            if header.get("kind") != "hello" \
+                    or header.get("token") != self._token:
+                sock.close()
+                continue
+            worker_id = str(header.get("worker_id"))
+            with self._lock:
+                worker = self._workers.get(worker_id)
+            if worker is None or worker.connected.is_set():
+                sock.close()
+                continue
+            sock.settimeout(None)
+            worker.sock = sock
+            worker.last_pong = time.monotonic()
+            worker.connected.set()
+            with self._lock:
+                self._ring.add(worker_id)
+            self._workers_g.set(len(self._live_workers()))
+            self._record_cluster(
+                "worker_spawned", worker=worker_id,
+                detail={"pid": header.get("pid"),
+                        "ring_size": len(self._ring)})
+            worker.reader = threading.Thread(
+                target=self._reader_loop, args=(worker,),
+                name=f"cluster-read-{worker_id}", daemon=True)
+            worker.reader.start()
+
+    def _reader_loop(self, worker: _Worker) -> None:
+        while True:
+            try:
+                header, blob = recv_frame(worker.sock)
+            except (ConnectionClosed, ProtocolError, OSError):
+                break
+            kind = header.get("kind")
+            if kind == "result":
+                self._on_result(worker, header, blob)
+            elif kind == "pong":
+                worker.last_pong = time.monotonic()
+            elif kind == "journal":
+                try:
+                    rows = pickle.loads(blob)
+                except Exception:
+                    rows = []
+                if rows:
+                    self._recorder.absorb(rows, worker=worker.id)
+            elif kind in ("stats_reply", "drained"):
+                self._on_stats(worker, header, blob,
+                               drained=kind == "drained")
+        self._on_worker_lost(worker)
+
+    def _on_stats(self, worker: _Worker, header: dict, blob: bytes,
+                  drained: bool) -> None:
+        try:
+            payload = pickle.loads(blob)
+        except Exception:
+            payload = {}
+        rows = payload.get("journal") or []
+        if rows:
+            self._recorder.absorb(rows, worker=worker.id)
+        worker.snapshot = payload.get("snapshot") or worker.snapshot
+        worker.cache = payload.get("cache") or worker.cache
+        waiter = self._stats_waiters.pop(worker.id, None)
+        if waiter is not None:
+            waiter.set()
+        if drained:
+            worker.drained.set()
+
+    def _on_result(self, worker: _Worker, header: dict,
+                   blob: bytes) -> None:
+        request_id = header.get("request_id")
+        with self._lock:
+            request = worker.pending.pop(request_id, None)
+            dispatched_at = worker.dispatched_at.pop(request_id, None)
+        if request is None:
+            return  # already resolved (e.g. raced with a timeout)
+        self._inflight_g.set(self._total_pending())
+        try:
+            result = unpack_result(header, blob)
+        except Exception as exc:
+            self._fail_or_retry(request, f"undecodable result: {exc}")
+            return
+        now = time.monotonic()
+        if header.get("retryable") and not result.ok:
+            # Worker refused (draining race): not a real failure.
+            self._fail_or_retry(request, result.error or "worker refused")
+            return
+        if request.expired(now):
+            self._resolve_timeout(request, now, stage="dispatched",
+                                  shard=worker.index)
+            return
+        queue_s = ((dispatched_at or now)
+                   - (request.submitted_at or now))
+        latency = LatencyBreakdown(
+            queue_s=max(0.0, queue_s),
+            execute_s=result.latency.execute_s,
+            total_s=now - (request.submitted_at or now))
+        final = RequestResult(
+            request_id=request.request_id, name=request.label,
+            status=result.status, latency=latency,
+            attempts=self._attempts.get(request.request_id, 1),
+            shard=worker.index, batch_size=result.batch_size,
+            cache=result.cache, cycles=result.cycles,
+            error=result.error)
+        self._queue_wait_h.observe(latency.queue_s)
+        self._execute_h.observe(latency.execute_s)
+        self._finish(request, final)
+
+    def _fail_or_retry(self, request: InferenceRequest,
+                       error: str) -> None:
+        attempts = self._attempts.get(request.request_id, 1)
+        if attempts > self.max_retries:
+            now = time.monotonic()
+            result = RequestResult(
+                request_id=request.request_id, name=request.label,
+                status=RequestStatus.FAILED,
+                latency=LatencyBreakdown(
+                    total_s=now - (request.submitted_at or now)),
+                attempts=attempts, error=error)
+            self._finish(request, result)
+            return
+        self._retries_total.inc()
+        self._queue.put(request, force=True)
+
+    def _on_worker_lost(self, worker: _Worker) -> None:
+        with self._lock:
+            if worker.dead:
+                return
+            worker.dead = True
+            self._ring.remove(worker.id)
+            orphans = list(worker.pending.values())
+            worker.pending.clear()
+            worker.dispatched_at.clear()
+        waiter = self._stats_waiters.pop(worker.id, None)
+        if waiter is not None:
+            waiter.set()
+        worker.drained.set()
+        self._workers_g.set(len(self._live_workers()))
+        if worker.retired or self._stopping:
+            self._record_cluster("worker_exit", worker=worker.id,
+                                 detail={"pid": worker.proc.pid})
+            return
+        self._deaths_total.inc()
+        self._record_cluster(
+            "worker_lost", worker=worker.id,
+            detail={"pid": worker.proc.pid,
+                    "orphaned_requests": len(orphans),
+                    "ring_size": len(self._ring)})
+        # Zero-loss failover: everything in flight on the dead worker
+        # goes back through the dispatcher to the ring's survivors.
+        for request in orphans:
+            self._requeued_total.inc()
+            self._record_cluster(
+                "requeued", worker=worker.id,
+                detail={"request_id": request.request_id,
+                        "name": request.label})
+            self._fail_or_retry(request,
+                                f"worker {worker.id} died mid-request")
+        self._inflight_g.set(self._total_pending())
+
+    # ------------------------------------------------------------------ #
+    # Monitor: heartbeats, respawn, autoscale, stats polling
+
+    def _monitor_loop(self) -> None:
+        last_stats = 0.0
+        while not self._monitor_stop.wait(self.heartbeat_s):
+            now = time.monotonic()
+            for worker in self._live_workers():
+                try:
+                    worker.send({"kind": "ping"})
+                except OSError:
+                    pass
+                if now - worker.last_pong > self.liveness_timeout_s:
+                    # Hung worker: kill it; the reader's EOF path does
+                    # the failover bookkeeping.
+                    worker.proc.kill()
+            self._reap_and_respawn()
+            self._autoscale_tick()
+            if now - last_stats >= self.stats_interval_s:
+                last_stats = now
+                self._poll_stats(timeout=0)
+
+    def _reap_and_respawn(self) -> None:
+        if self._stopping or not self._spawn_enabled:
+            return
+        with self._lock:
+            live_or_starting = [
+                w for w in self._workers.values()
+                if not w.dead and not w.retired and not w.draining
+                and w.proc.poll() is None
+            ]
+            deficit = self._target - len(live_or_starting)
+        for _ in range(max(0, deficit)):
+            self._spawn_worker()
+
+    def _autoscale_tick(self) -> None:
+        if self._autoscaler is None or self._stopping:
+            return
+        live = self._live_workers()
+        state = AutoscalerState(workers=len(live),
+                                queue_depth=self._queue.depth(),
+                                inflight=self._total_pending())
+        target = self._autoscaler.decide(state)
+        if target > self._target:
+            self._autoscale_total["up"].inc()
+            self._record_cluster("scale_up",
+                                 detail={"from": self._target,
+                                         "to": target, **vars(state)})
+            self._target = target
+        elif target < self._target:
+            self._autoscale_total["down"].inc()
+            self._record_cluster("scale_down",
+                                 detail={"from": self._target,
+                                         "to": target, **vars(state)})
+            self._target = target
+            self._retire_one()
+
+    def _retire_one(self) -> None:
+        """Gracefully drain the newest live worker out of the fleet."""
+        with self._lock:
+            live = [w for w in self._workers.values() if w.live]
+            if len(live) <= 1:
+                return
+            worker = max(live, key=lambda w: w.index)
+            worker.draining = True
+            worker.retired = True
+            self._ring.remove(worker.id)
+        self._workers_g.set(len(self._live_workers()))
+        try:
+            worker.send({"kind": "drain"})
+        except OSError:
+            return
+
+        def _finish_retirement():
+            worker.drained.wait(timeout=30)
+            try:
+                worker.send({"kind": "shutdown"})
+            except OSError:
+                pass
+
+        threading.Thread(target=_finish_retirement, daemon=True).start()
+
+    def _poll_stats(self, timeout: float = 2.0) -> None:
+        """Ask every live worker for metrics + fresh journal rows; with
+        ``timeout > 0`` wait for the replies (trace()/metrics use this
+        for a consistent cut)."""
+        waiters = []
+        for worker in self._live_workers():
+            event = threading.Event()
+            self._stats_waiters[worker.id] = event
+            try:
+                worker.send({"kind": "stats"})
+            except OSError:
+                self._stats_waiters.pop(worker.id, None)
+                continue
+            waiters.append(event)
+        if timeout > 0:
+            deadline = time.monotonic() + timeout
+            for event in waiters:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                event.wait(remaining)
+
+    # ------------------------------------------------------------------ #
+    # Resolution
+
+    def _record_cluster(self, event: str, worker: Optional[str] = None,
+                        detail: Optional[dict] = None) -> None:
+        with tracer().use_span(self._cluster_span):
+            self._recorder.record_cluster(event=event, worker=worker,
+                                          detail=detail)
+
+    def _finish(self, request: InferenceRequest,
+                result: RequestResult) -> None:
+        self._requests_total[result.status].inc()
+        self._latency_h.observe(result.latency.total_s)
+        tr = tracer()
+        for span in (request.queue_span, request.span):
+            if span is not None:
+                span.finish()
+        if request.span is not None:
+            request.span.set_attr("status", result.status.value)
+            request.span.set_attr("shard", result.shard)
+        with tr.use_span(request.span):
+            self._recorder.record_serve(
+                job=request.label, status=result.status.value,
+                machine=request.machine_name or "", shard=result.shard,
+                attempts=result.attempts, batch_size=result.batch_size,
+                cache=result.cache, seconds=result.latency.total_s,
+                queue_s=result.latency.queue_s,
+                execute_s=result.latency.execute_s)
+        self._attempts.pop(request.request_id, None)
+        with self._pending_cond:
+            handle = self._handles.pop(request.request_id, None)
+            self._pending_cond.notify_all()
+        if handle is not None:
+            handle.resolve(result)
+
+    def _elapsed(self, request: InferenceRequest, now: float) -> float:
+        return now - (request.submitted_at or now)
+
+    def _resolve_timeout(self, request, now: float, *, stage: str,
+                         shard: Optional[int] = None) -> None:
+        result = RequestResult(
+            request_id=request.request_id, name=request.label,
+            status=RequestStatus.TIMEOUT,
+            latency=LatencyBreakdown(total_s=self._elapsed(request, now)),
+            attempts=self._attempts.get(request.request_id, 0),
+            shard=shard,
+            error=f"deadline of {request.deadline_s}s exceeded "
+                  f"while {stage}")
+        self._finish(request, result)
+
+    def _resolve_rejected(self, request, reason: str) -> None:
+        result = RequestResult(
+            request_id=request.request_id, name=request.label,
+            status=RequestStatus.REJECTED,
+            latency=LatencyBreakdown(
+                total_s=self._elapsed(request, time.monotonic())),
+            error=reason)
+        self._finish(request, result)
+
+    # ------------------------------------------------------------------ #
+    # Introspection (CinnamonServer-compatible surface)
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.depth()
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._live_workers())
+
+    def worker_ids(self) -> List[str]:
+        return [w.id for w in self._live_workers()]
+
+    def cache_stats(self) -> dict:
+        """Summed compile-cache counters across worker processes."""
+        if not self._stopping:
+            self._poll_stats(timeout=2.0)
+        return self._cache_totals()
+
+    def _cache_totals(self) -> dict:
+        totals: Dict[str, int] = {}
+        with self._lock:
+            caches = [dict(w.cache) for w in self._workers.values()]
+        for cache in caches:
+            for field, value in cache.items():
+                totals[field] = totals.get(field, 0) + value
+        return totals
+
+    def metrics_snapshot(self) -> dict:
+        """Merged cluster snapshot: the router's own registry plus every
+        worker's last-polled snapshot (counters/gauges summed,
+        histograms count-weight merged)."""
+        if not self._stopping:
+            self._poll_stats(timeout=2.0)
+        with self._lock:
+            worker_snaps = [dict(w.snapshot)
+                            for w in self._workers.values() if w.snapshot]
+        return merge_snapshots([self.metrics.snapshot()] + worker_snaps)
+
+    def trace(self) -> dict:
+        """The merged journal: router-side serve/cluster rows plus every
+        absorbed worker row (compile/simulate), trace_ids intact."""
+        if not self._stopping:
+            self._poll_stats(timeout=2.0)
+        return self._recorder.document(self._cache_totals())
+
+    def export_trace(self, path):
+        import json
+
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.trace(), indent=2))
+        return path
+
+    def metrics_prometheus(self) -> str:
+        return self.metrics.render_prometheus()
+
+    # ------------------------------------------------------------------ #
+    # Chaos hooks (tests / loadgen --chaos-kill-worker)
+
+    def kill_worker(self, worker_id: Optional[str] = None) -> Optional[str]:
+        """SIGKILL one live worker (default: the one with the most
+        in-flight requests — the most disruptive choice).  Returns the
+        killed worker's id, or ``None`` if none are live."""
+        with self._lock:
+            live = [w for w in self._workers.values() if w.live]
+            if worker_id is not None:
+                live = [w for w in live if w.id == worker_id]
+            if not live:
+                return None
+            victim = max(live, key=lambda w: len(w.pending))
+        victim.proc.kill()
+        return victim.id

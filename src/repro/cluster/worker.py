@@ -1,0 +1,285 @@
+"""The cluster worker process: one socket, one session, a small pool.
+
+``python -m repro.cluster.worker --connect PORT --worker-id w0`` dials
+the router's loopback listener, authenticates with the token the router
+exported in ``CINNAMON_CLUSTER_TOKEN``, and then serves frames until the
+socket closes or a ``shutdown`` frame arrives:
+
+* ``submit`` frames are handed to a small thread pool (default 2) where
+  a :class:`~repro.runtime.session.CinnamonSession` compiles/simulates
+  the job and the ``result`` frame goes back under a send lock;
+* ``ping`` is answered inline with ``pong`` (carrying inflight depth) so
+  heartbeats stay timely while the pool is busy;
+* ``stats`` streams back the process's metrics snapshot plus the journal
+  rows recorded since the previous ask (a cursor, so nothing is ever
+  shipped twice or lost);
+* ``drain`` stops accepting new submits, waits out the in-flight jobs,
+  and answers ``drained`` with the final stats payload.
+
+Trace propagation: a ``submit`` carrying ``trace_id``/``parent_span_id``
+executes under a re-hydrated :class:`~repro.obs.tracing.Span`, so the
+compile/simulate journal rows recorded in *this* process join the
+router-side serve row on the same ``trace_id`` (trace schema 6).
+
+The worker trusts its socket because the router spawned it and handed it
+a per-cluster random token over the environment — the same trust model
+as ``multiprocessing.connection`` — and listens on loopback only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pickle
+import socket
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+
+from ..obs import tracing
+from ..obs.metrics import default_registry
+from ..runtime.session import CinnamonSession, CompileJob
+from ..serve.request import LatencyBreakdown, RequestResult, RequestStatus
+from .protocol import (ConnectionClosed, PROTOCOL_VERSION, ProtocolError,
+                       TOKEN_ENV, pack_result, recv_frame, send_frame,
+                       unpack_submit)
+
+
+class ClusterWorker:
+    """One worker process's event loop (see module docstring)."""
+
+    def __init__(self, worker_id: str, host: str, port: int,
+                 token: str = "", cache_dir=None,
+                 capacity: Optional[int] = None, threads: int = 2,
+                 watchdog_s: Optional[float] = None):
+        self.worker_id = worker_id
+        self.host = host
+        self.port = port
+        self.token = token
+        self.threads = threads
+        self.session = CinnamonSession(cache_dir=cache_dir,
+                                       capacity=capacity,
+                                       watchdog_s=watchdog_s)
+        self._pool = ThreadPoolExecutor(
+            max_workers=threads,
+            thread_name_prefix=f"cluster-{worker_id}")
+        self._sock: Optional[socket.socket] = None
+        self._send_lock = threading.Lock()
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
+        self._draining = False
+        self._journal_cursor = 0
+        self._journal_lock = threading.Lock()
+        self._metrics = default_registry()
+        self._submits_total = self._metrics.counter(
+            "cluster_worker_submits_total",
+            "Submit frames accepted by this worker.")
+        self._inflight_gauge = self._metrics.gauge(
+            "cluster_worker_inflight",
+            "Jobs executing or queued on the worker pool.")
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+
+    def run(self) -> int:
+        """Connect, say hello, serve frames until EOF/shutdown."""
+        self._sock = socket.create_connection((self.host, self.port),
+                                              timeout=30)
+        self._sock.settimeout(None)
+        self._send({"kind": "hello", "worker_id": self.worker_id,
+                    "token": self.token, "pid": os.getpid(),
+                    "protocol": PROTOCOL_VERSION})
+        try:
+            while True:
+                try:
+                    header, blob = recv_frame(self._sock)
+                except (ConnectionClosed, OSError):
+                    # Router went away: nothing to serve results to.
+                    return 0
+                if not self._handle(header, blob):
+                    return 0
+        finally:
+            self._pool.shutdown(wait=False)
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def _handle(self, header: dict, blob: bytes) -> bool:
+        """Process one frame; returns ``False`` to exit the loop."""
+        kind = header.get("kind")
+        if kind == "submit":
+            self._accept_submit(header, blob)
+        elif kind == "ping":
+            self._send({"kind": "pong", "worker_id": self.worker_id,
+                        "inflight": self._inflight,
+                        "draining": self._draining,
+                        "ts": time.time()})
+        elif kind == "stats":
+            self._send_stats("stats_reply")
+        elif kind == "drain":
+            self._draining = True
+            with self._inflight_cond:
+                while self._inflight > 0:
+                    self._inflight_cond.wait(0.05)
+            self._send_stats("drained")
+        elif kind == "shutdown":
+            return False
+        else:
+            raise ProtocolError(f"worker got unexpected frame {kind!r}")
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Submit execution
+
+    def _accept_submit(self, header: dict, blob: bytes) -> None:
+        if self._draining:
+            self._send_error(header, "worker is draining")
+            return
+        self._submits_total.inc()
+        with self._inflight_cond:
+            self._inflight += 1
+        self._inflight_gauge.set(self._inflight)
+        self._pool.submit(self._execute, header, blob)
+
+    def _execute(self, header: dict, blob: bytes) -> None:
+        started = time.monotonic()
+        request_id = header.get("request_id", 0)
+        name = header.get("name", f"req-{request_id}")
+        span = None
+        trace_id = header.get("trace_id")
+        if trace_id:
+            # Re-hydrate the router-side request span as this job's
+            # parent so every journal row recorded here joins the trace.
+            span = tracing.Span(
+                f"worker:{name}", kind="execute", trace_id=trace_id,
+                parent_id=header.get("parent_span_id"),
+                attrs={"worker": self.worker_id,
+                       "request_id": request_id})
+            tracing.tracer().add_span(span)
+        try:
+            program, params, machine, options = unpack_submit(header, blob)
+            # Options arrive pre-resolved (machine folded in, tuning swap
+            # applied) so the fingerprint here matches the router's and
+            # the shared disk cache key lines up; machine=None keeps the
+            # session from re-resolving on top.
+            job = CompileJob(
+                program=program, params=params, machine=None,
+                options=options, simulate=header.get("simulate", True),
+                tag=header.get("tag", ""), name=name, span=span)
+            job_result = self.session.run(job)
+            done = time.monotonic()
+            sim = job_result.result
+            result = RequestResult(
+                request_id=request_id, name=name,
+                status=RequestStatus.OK,
+                latency=LatencyBreakdown(execute_s=done - started,
+                                         total_s=done - started),
+                attempts=1, shard=None, batch_size=1,
+                cache=job_result.cache,
+                cycles=sim.cycles if sim is not None else None)
+        except Exception as exc:
+            result = RequestResult(
+                request_id=request_id, name=name,
+                status=RequestStatus.FAILED,
+                latency=LatencyBreakdown(
+                    total_s=time.monotonic() - started),
+                attempts=1, batch_size=1,
+                error=f"{type(exc).__name__}: {exc}")
+        finally:
+            if span is not None:
+                span.finish()
+            with self._inflight_cond:
+                self._inflight -= 1
+                self._inflight_cond.notify_all()
+            self._inflight_gauge.set(self._inflight)
+        res_header, res_blob = pack_result(result)
+        res_header["worker_id"] = self.worker_id
+        try:
+            self._send(res_header, res_blob)
+            # Ship journal rows eagerly behind every result: any request
+            # whose result the router holds also has its compile/simulate
+            # trace rows router-side, so a later SIGKILL of this process
+            # cannot orphan an already-answered trace.
+            self._ship_journal()
+        except OSError:
+            pass  # router died; its failover path re-runs the request
+
+    def _send_error(self, header: dict, reason: str) -> None:
+        result = RequestResult(
+            request_id=header.get("request_id", 0),
+            name=header.get("name", "?"), status=RequestStatus.FAILED,
+            error=reason)
+        res_header, res_blob = pack_result(result)
+        res_header["worker_id"] = self.worker_id
+        res_header["retryable"] = True
+        self._send(res_header, res_blob)
+
+    # ------------------------------------------------------------------ #
+    # Stats / journal shipping
+
+    def _fresh_journal_rows(self) -> list:
+        """Journal rows recorded since the last ship (cursor semantics:
+        each row crosses the wire exactly once)."""
+        with self._journal_lock:
+            jobs = self.session.trace()["jobs"]
+            fresh = jobs[self._journal_cursor:]
+            self._journal_cursor = len(jobs)
+        return fresh
+
+    def _ship_journal(self) -> None:
+        fresh = self._fresh_journal_rows()
+        if fresh:
+            self._send({"kind": "journal", "worker_id": self.worker_id},
+                       pickle.dumps(fresh, pickle.HIGHEST_PROTOCOL))
+
+    def _send_stats(self, kind: str) -> None:
+        payload = {
+            "snapshot": self._metrics.snapshot(),
+            "journal": self._fresh_journal_rows(),
+            "cache": self.session.cache_stats.as_dict(),
+        }
+        self._send({"kind": kind, "worker_id": self.worker_id,
+                    "inflight": self._inflight},
+                   pickle.dumps(payload, pickle.HIGHEST_PROTOCOL))
+
+    def _send(self, header: dict, blob: bytes = b"") -> None:
+        with self._send_lock:
+            send_frame(self._sock, header, blob)
+
+
+# ---------------------------------------------------------------------- #
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster.worker",
+        description="Cinnamon cluster worker (spawned by ClusterRouter).")
+    parser.add_argument("--connect", type=int, required=True,
+                        help="router listener port on --host")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--worker-id", required=True)
+    parser.add_argument("--cache-dir", default=None,
+                        help="shared on-disk compile cache directory")
+    parser.add_argument("--capacity", type=int, default=None,
+                        help="in-memory LRU bound for the session cache")
+    parser.add_argument("--threads", type=int, default=2,
+                        help="session thread pool size")
+    parser.add_argument("--watchdog-s", type=float, default=None)
+    parser.add_argument("--obs", action="store_true",
+                        help="enable repro.obs span tracing in-process")
+    args = parser.parse_args(argv)
+    if args.obs:
+        tracing.enable()
+    worker = ClusterWorker(
+        worker_id=args.worker_id, host=args.host, port=args.connect,
+        token=os.environ.get(TOKEN_ENV, ""), cache_dir=args.cache_dir,
+        capacity=args.capacity, threads=args.threads,
+        watchdog_s=args.watchdog_s)
+    return worker.run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -182,6 +182,11 @@ def registry_from_journal(document: dict,
             registry.counter(
                 "runtime_tune_runs_total", "Autotuning runs recorded.",
                 labels={"strategy": row.get("strategy", "?")}).inc()
+        elif kind == "cluster":
+            registry.counter(
+                "cluster_events_total",
+                "Cluster control-plane events by kind.",
+                labels={"event": row.get("event", "?")}).inc()
     return registry
 
 

@@ -11,14 +11,28 @@ version differs from the running code's (or whose key does not match the
 filename, e.g. after a hash-algorithm change) are treated as misses and
 deleted, so bumping :data:`~repro.runtime.fingerprint.CACHE_SCHEMA_VERSION`
 invalidates every stale artifact without manual cleanup.
+
+The disk layer is safe for concurrent *processes*, not just threads — a
+:mod:`repro.cluster` deployment points every worker at one ``cache_dir``:
+
+* artifact files are written to a temp file and ``os.replace``d, so a
+  concurrent reader sees either the old artifact or the new one, never a
+  torn pickle;
+* the directory's ``index.json`` (key -> stored-at/size metadata, the
+  cross-process listing used by :meth:`CompileCache.disk_entries`) is
+  only ever updated under an advisory ``flock``
+  (:class:`~repro.runtime.locking.FileLock` on ``.index.lock``), as is
+  the multi-file delete of ``invalidate()``.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
 import tempfile
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -26,6 +40,12 @@ from typing import Optional, Tuple
 
 from ..core.compiler import CompiledProgram
 from .fingerprint import CACHE_SCHEMA_VERSION
+from .locking import FileLock
+
+#: Name of the per-directory index of on-disk artifacts.
+INDEX_FILENAME = "index.json"
+#: Lock file guarding index read-modify-write cycles across processes.
+INDEX_LOCK_FILENAME = ".index.lock"
 
 #: Where a compile was served from (also the trace's ``cache`` field).
 MISS = "miss"
@@ -66,9 +86,11 @@ class CompileCache:
         self._lock = threading.RLock()
         if self.schema_version is None:
             self.schema_version = CACHE_SCHEMA_VERSION
+        self._index_lock: Optional[FileLock] = None
         if self.cache_dir is not None:
             self.cache_dir = Path(self.cache_dir)
             self.cache_dir.mkdir(parents=True, exist_ok=True)
+            self._index_lock = FileLock(self.cache_dir / INDEX_LOCK_FILENAME)
 
     # ------------------------------------------------------------------ #
 
@@ -100,12 +122,21 @@ class CompileCache:
             if key is None:
                 self._memory.clear()
                 if self.cache_dir is not None:
-                    for path in self.cache_dir.glob("*.pkl"):
-                        path.unlink(missing_ok=True)
+                    # Multi-file delete: exclude concurrent writers so a
+                    # clear cannot interleave with a store and leave the
+                    # index claiming artifacts the sweep just removed.
+                    with self._index_lock:
+                        for path in self.cache_dir.glob("*.pkl"):
+                            path.unlink(missing_ok=True)
+                        self._write_index({})
                 return
             self._memory.pop(key, None)
             if self.cache_dir is not None:
-                self._path(key).unlink(missing_ok=True)
+                with self._index_lock:
+                    self._path(key).unlink(missing_ok=True)
+                    index = self._read_index()
+                    if index.pop(key, None) is not None:
+                        self._write_index(index)
 
     def __len__(self) -> int:
         with self._lock:
@@ -143,7 +174,11 @@ class CompileCache:
                 or payload.get("schema") != self.schema_version
                 or payload.get("key") != key):
             self.stats.invalidated += 1
-            path.unlink(missing_ok=True)
+            with self._index_lock:
+                path.unlink(missing_ok=True)
+                index = self._read_index()
+                if index.pop(key, None) is not None:
+                    self._write_index(index)
             return None
         return payload["compiled"]
 
@@ -160,7 +195,63 @@ class CompileCache:
         try:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(payload, handle, pickle.HIGHEST_PROTOCOL)
+            size = os.path.getsize(tmp)
             os.replace(tmp, self._path(key))
+        except Exception:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        # Index read-modify-write happens under the cross-process flock:
+        # two workers storing different keys must not lose each other's
+        # index rows to a last-writer-wins overwrite.
+        with self._index_lock:
+            index = self._read_index()
+            index[key] = {
+                "schema": self.schema_version,
+                "size": size,
+                "stored_unix": time.time(),
+            }
+            self._write_index(index)
+
+    # ------------------------------------------------------------------ #
+    # Cross-process index
+
+    def disk_entries(self) -> dict:
+        """The on-disk index: key -> {schema, size, stored_unix}.
+
+        A cross-process view — entries written by *other* processes
+        sharing this ``cache_dir`` are visible here without having been
+        loaded into this instance's memory layer.
+        """
+        if self.cache_dir is None:
+            return {}
+        with self._index_lock:
+            return self._read_index()
+
+    def _index_path(self) -> Path:
+        return self.cache_dir / INDEX_FILENAME
+
+    def _read_index(self) -> dict:
+        """Load the index (caller holds the index flock).  A missing or
+        corrupt index is an empty one — artifact files remain loadable
+        either way; the index is metadata, not a source of truth."""
+        try:
+            doc = json.loads(self._index_path().read_text())
+        except (OSError, ValueError):
+            return {}
+        entries = doc.get("entries") if isinstance(doc, dict) else None
+        return dict(entries) if isinstance(entries, dict) else {}
+
+    def _write_index(self, entries: dict) -> None:
+        """Atomically replace the index (caller holds the index flock)."""
+        doc = {"schema": self.schema_version, "entries": entries}
+        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(doc, handle, sort_keys=True)
+            os.replace(tmp, self._index_path())
         except Exception:
             try:
                 os.unlink(tmp)

@@ -114,7 +114,11 @@ from ..obs.tracing import current_span
 #:    serve/compile/simulate/recovery rows of one request are joinable;
 #:    serve entries gain a ``queue_s``/``batch_s``/``execute_s`` latency
 #:    split.
-TRACE_SCHEMA_VERSION = 5
+#: 6: added ``kind == "cluster"`` entries (repro.cluster membership and
+#:    failover events: worker spawn/exit/kill, drain, requeue-on-death,
+#:    autoscale decisions) plus ``worker`` attribution on rows absorbed
+#:    from worker-process journals into the router's merged journal.
+TRACE_SCHEMA_VERSION = 6
 
 
 class TraceRecorder:
@@ -277,6 +281,38 @@ class TraceRecorder:
         }
         self._append(entry)
         return entry
+
+    def record_cluster(self, *, event: str, worker: Optional[str] = None,
+                       detail: Optional[dict] = None) -> dict:
+        """One cluster-control-plane event (schema 6): membership changes
+        (``worker_spawned``/``worker_exit``), failure handling
+        (``worker_lost``/``requeued``), and autoscale decisions
+        (``scale_up``/``scale_down``)."""
+        entry = {
+            "job": worker or "cluster",
+            "kind": "cluster",
+            "event": event,
+            "worker": worker,
+        }
+        if detail:
+            entry.update(detail)
+        self._append(entry)
+        default_registry().counter(
+            "cluster_events_total", "Cluster control-plane events by kind.",
+            labels={"event": event}).inc()
+        return entry
+
+    def absorb(self, rows, worker: Optional[str] = None) -> None:
+        """Merge pre-stamped journal rows (from a worker process) into
+        this recorder.  Rows keep their own ``trace_id``/``span_id`` —
+        they were recorded under the request's propagated span in the
+        worker — and gain a ``worker`` attribution (schema 6)."""
+        with self._lock:
+            for row in rows:
+                row = dict(row)
+                if worker is not None:
+                    row.setdefault("worker", worker)
+                self._jobs.append(row)
 
     def _append(self, entry: dict) -> None:
         # Stamp the active repro.obs span (if any) so rows from every

@@ -20,6 +20,13 @@ Usage::
 
     python -m repro.serve.loadgen --requests 200 --workers 4 \\
         --machine cinnamon_4 --scale small --mode open --rate 100
+
+``--cluster N`` swaps the in-process :class:`CinnamonServer` for a
+:class:`~repro.cluster.ClusterRouter` fronting ``N`` worker *processes*
+(multi-process scale-out; see :mod:`repro.cluster`); the report, metrics
+snapshot, and trace outputs work identically.  ``--chaos-kill-worker K``
+SIGKILLs a live worker ``K`` times mid-run to exercise the router's
+zero-loss failover.
 """
 
 from __future__ import annotations
@@ -272,6 +279,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--machine", default="cinnamon_4")
     parser.add_argument("--workers", type=int, default=4,
                         help="server session shards")
+    parser.add_argument("--cluster", type=int, default=0, metavar="N",
+                        help="serve through a ClusterRouter with N worker "
+                             "processes instead of the in-process server")
     parser.add_argument("--max-batch", type=int, default=8)
     parser.add_argument("--max-wait", type=float, default=0.005,
                         help="batching window, seconds")
@@ -295,6 +305,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "--machine)")
     parser.add_argument("--chaos-cycle", type=int, default=1000,
                         help="simulated cycle at which the chip dies")
+    parser.add_argument("--chaos-kill-worker", type=int, default=0,
+                        metavar="K",
+                        help="cluster mode: SIGKILL a live worker K times "
+                             "mid-run (failover must lose zero requests)")
+    parser.add_argument("--chaos-kill-delay", type=float, default=1.0,
+                        help="seconds between run start and each kill")
     parser.add_argument("--watchdog", type=float, default=None,
                         help="per-simulation wall-clock budget, seconds")
     parser.add_argument("--metrics-out", default=None,
@@ -326,15 +342,45 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             chip = resolve_machine(args.machine).num_chips - 1
         faults = FaultInjector().chip_crash(
             chip=chip, cycle=args.chaos_cycle, count=args.chaos_chip_crash)
-    server = CinnamonServer(
-        num_workers=args.workers, queue_depth=args.queue_depth,
-        max_batch=args.max_batch, max_wait_s=args.max_wait,
-        default_machine=args.machine, seed=args.seed, faults=faults,
-        watchdog_s=args.watchdog)
+    if args.cluster > 0:
+        if args.chaos_chip_crash > 0:
+            parser.error("--chaos-chip-crash is in-process only; "
+                         "cluster mode's chaos is --chaos-kill-worker")
+        from ..cluster import ClusterRouter
+
+        server = ClusterRouter(num_workers=args.cluster,
+                               queue_depth=args.queue_depth,
+                               default_machine=args.machine)
+    else:
+        if args.chaos_kill_worker > 0:
+            parser.error("--chaos-kill-worker requires --cluster N")
+        server = CinnamonServer(
+            num_workers=args.workers, queue_depth=args.queue_depth,
+            max_batch=args.max_batch, max_wait_s=args.max_wait,
+            default_machine=args.machine, seed=args.seed, faults=faults,
+            watchdog_s=args.watchdog)
     generator = LoadGenerator(server, mix, seed=args.seed,
                               deadline_s=args.deadline)
 
     with server:
+        if args.cluster > 0:
+            server.wait_ready(timeout=60)
+        killer = None
+        if args.chaos_kill_worker > 0:
+            stop_chaos = threading.Event()
+
+            def _kill_loop():
+                for _ in range(args.chaos_kill_worker):
+                    if stop_chaos.wait(args.chaos_kill_delay):
+                        return
+                    victim = server.kill_worker()
+                    if victim:
+                        print(f"  chaos         SIGKILL -> {victim}",
+                              file=sys.stderr)
+
+            killer = threading.Thread(target=_kill_loop,
+                                      name="chaos-kill", daemon=True)
+            killer.start()
         start = time.monotonic()
         if args.mode == "open":
             results = generator.run_open_loop(args.requests, args.rate,
@@ -345,10 +391,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                                 args.machine)
         server.drain()
         duration = time.monotonic() - start
+        if killer is not None:
+            stop_chaos.set()
+            killer.join(timeout=5)
         report = build_report(
             server, results, duration, mode=args.mode,
             machine=args.machine, scale=args.scale,
             offered=args.requests, per_class=generator._sent_per_class)
+        if args.cluster > 0:
+            report.chaos = {
+                "worker_deaths": _counter_value(
+                    server.metrics, "cluster_worker_deaths_total"),
+                "requeued": _counter_value(
+                    server.metrics, "cluster_requeued_total"),
+                "retries": _counter_value(
+                    server.metrics, "serve_retries_total"),
+            }
         print(report.render())
         if args.metrics_out:
             snapshot = server.metrics_snapshot()

@@ -60,6 +60,7 @@ class InferenceRequest:
     simulate: bool = True
     tag: str = ""
     name: Optional[str] = None
+    tenant: str = "default"           # quota/fair-share accounting unit
     request_id: int = field(default_factory=lambda: next(_REQUEST_IDS))
 
     # Filled in at admission by the server:

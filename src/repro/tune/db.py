@@ -12,6 +12,13 @@ Entries survive processes (``repro.compile(tune=...)`` and
 ``CinnamonServer(tuned=True)`` pick them up as defaults) and the whole
 file self-invalidates when :data:`TUNING_DB_SCHEMA` is bumped, exactly
 like the compile cache's pickle schema.
+
+Concurrent *writers* are safe too: :meth:`TuningDB.save` runs under an
+advisory ``flock`` (a ``tuning.json.lock`` sibling file), re-reads the
+entries another process may have persisted meanwhile, and merges them
+per-key keeping the faster incumbent before atomically replacing the
+file — so two cluster workers tuning disjoint (or even the same)
+targets never clobber each other's results.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from pathlib import Path
 from typing import Dict, Optional
 
 from ..runtime.fingerprint import params_signature, program_signature
+from ..runtime.locking import FileLock
 from .space import Candidate
 
 #: Bump whenever the entry layout or the key derivation changes; entries
@@ -58,6 +66,8 @@ class TuningDB:
         self.schema_version = (TUNING_DB_SCHEMA if schema_version is None
                                else schema_version)
         self._lock = threading.Lock()
+        self._file_lock = FileLock(
+            self.path.with_name(self.path.name + ".lock"))
         self._entries: Dict[str, dict] = {}
         self.invalidated = 0
         self._load()
@@ -65,43 +75,71 @@ class TuningDB:
     # ------------------------------------------------------------------ #
 
     def _load(self) -> None:
+        disk = self._read_disk()
+        if disk is not None:
+            self._entries = disk
+
+    def _read_disk(self) -> Optional[Dict[str, dict]]:
+        """Entries currently persisted, or ``None`` if absent/invalid."""
         if not self.path.exists():
-            return
+            return None
         try:
             doc = json.loads(self.path.read_text())
         except (OSError, ValueError):
             self.invalidated += 1
-            return
+            return None
         if not isinstance(doc, dict) \
                 or doc.get("schema") != self.schema_version:
             # Schema bump: every persisted config is stale by definition.
             self.invalidated += 1
-            return
+            return None
         entries = doc.get("entries", {})
-        if isinstance(entries, dict):
-            self._entries = {str(k): dict(v) for k, v in entries.items()
-                             if isinstance(v, dict)}
+        if not isinstance(entries, dict):
+            return None
+        return {str(k): dict(v) for k, v in entries.items()
+                if isinstance(v, dict)}
+
+    @staticmethod
+    def _better(a: dict, b: dict) -> dict:
+        """Of two records for one key, the one with fewer cycles wins."""
+        if b.get("cycles", float("inf")) < a.get("cycles", float("inf")):
+            return b
+        return a
 
     def save(self) -> Path:
-        """Atomically persist the current entries; returns the path."""
+        """Persist the current entries; returns the path.
+
+        Safe against concurrent writer *processes*: the read-merge-write
+        cycle runs under a cross-process ``flock``, re-reading what other
+        writers persisted since our load and keeping, per key, whichever
+        record has the faster (fewer-cycles) config.  The final write is
+        temp + ``os.replace`` so readers never see a torn file.
+        """
         with self._lock:
-            doc = {
-                "schema": self.schema_version,
-                "updated_unix": time.time(),
-                "entries": self._entries,
-            }
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=self.path.parent, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w") as handle:
-                    json.dump(doc, handle, indent=2, sort_keys=True)
-                os.replace(tmp, self.path)
-            except Exception:
+            with self._file_lock:
+                disk = self._read_disk() or {}
+                for key, record in disk.items():
+                    mine = self._entries.get(key)
+                    self._entries[key] = (record if mine is None
+                                          else self._better(mine, record))
+                doc = {
+                    "schema": self.schema_version,
+                    "updated_unix": time.time(),
+                    "entries": self._entries,
+                }
+                fd, tmp = tempfile.mkstemp(dir=self.path.parent,
+                                           suffix=".tmp")
                 try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+                    with os.fdopen(fd, "w") as handle:
+                        json.dump(doc, handle, indent=2, sort_keys=True)
+                    os.replace(tmp, self.path)
+                except Exception:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
         return self.path
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,106 @@
+"""The hysteretic autoscaling policy (pure decisions, no processes)."""
+
+import pytest
+
+from repro.cluster.autoscaler import Autoscaler, AutoscalerState
+
+
+def state(workers, depth=0, inflight=0):
+    return AutoscalerState(workers=workers, queue_depth=depth,
+                           inflight=inflight)
+
+
+class TestScaleUp:
+    def test_backlog_triggers_plus_one(self):
+        policy = Autoscaler(min_workers=1, max_workers=4,
+                            scale_up_backlog=4.0)
+        assert policy.decide(state(2, depth=8)) == 3
+
+    def test_below_threshold_holds(self):
+        policy = Autoscaler(min_workers=1, max_workers=4,
+                            scale_up_backlog=4.0)
+        assert policy.decide(state(2, depth=7)) == 2
+
+    def test_clamped_at_max(self):
+        policy = Autoscaler(min_workers=1, max_workers=2,
+                            scale_up_backlog=1.0)
+        assert policy.decide(state(2, depth=100)) == 2
+
+    def test_threshold_scales_with_fleet(self):
+        policy = Autoscaler(min_workers=1, max_workers=8,
+                            scale_up_backlog=4.0)
+        assert policy.decide(state(4, depth=15)) == 4   # < 4*4
+        assert policy.decide(state(4, depth=16)) == 5
+
+    def test_inflight_beyond_slots_counts_as_backlog(self):
+        """The router dispatches eagerly, so a buried worker shows up
+        as inflight, not queue depth — it must still trigger."""
+        policy = Autoscaler(min_workers=1, max_workers=4,
+                            scale_up_backlog=2.0, slots_per_worker=2)
+        assert policy.decide(state(1, inflight=3)) == 1   # 3-2=1 < 2
+        assert policy.decide(state(1, inflight=4)) == 2   # 4-2=2 >= 2
+
+    def test_inflight_within_slots_is_not_backlog(self):
+        policy = Autoscaler(min_workers=1, max_workers=4,
+                            scale_up_backlog=1.0, slots_per_worker=4)
+        assert policy.decide(state(2, inflight=8)) == 2
+
+    def test_queue_and_inflight_backlogs_add(self):
+        policy = Autoscaler(min_workers=1, max_workers=4,
+                            scale_up_backlog=4.0, slots_per_worker=2)
+        assert policy.decide(state(1, depth=2, inflight=3)) == 1
+        assert policy.decide(state(1, depth=2, inflight=4)) == 2
+
+
+class TestScaleDown:
+    def test_requires_consecutive_idle_ticks(self):
+        policy = Autoscaler(min_workers=1, max_workers=4,
+                            scale_down_ticks=3)
+        assert policy.decide(state(3)) == 3
+        assert policy.decide(state(3)) == 3
+        assert policy.decide(state(3)) == 2   # third idle tick retires
+
+    def test_busy_tick_resets_the_count(self):
+        policy = Autoscaler(min_workers=1, max_workers=4,
+                            scale_down_ticks=2)
+        assert policy.decide(state(3)) == 3
+        assert policy.decide(state(3, inflight=3)) == 3   # busy: reset
+        assert policy.decide(state(3)) == 3
+        assert policy.decide(state(3)) == 2
+
+    def test_never_below_min(self):
+        policy = Autoscaler(min_workers=2, max_workers=4,
+                            scale_down_ticks=1)
+        for _ in range(5):
+            target = policy.decide(state(2))
+        assert target == 2
+
+    def test_inflight_below_one_per_worker_counts_as_idle(self):
+        policy = Autoscaler(min_workers=1, max_workers=4,
+                            scale_down_ticks=2)
+        policy.decide(state(4, inflight=2))
+        assert policy.decide(state(4, inflight=3)) == 3
+
+
+class TestBounds:
+    def test_target_raised_to_min(self):
+        policy = Autoscaler(min_workers=2, max_workers=4)
+        assert policy.decide(state(0)) == 2
+
+    def test_target_lowered_to_max(self):
+        policy = Autoscaler(min_workers=1, max_workers=2)
+        assert policy.decide(state(5)) == 2
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Autoscaler(min_workers=3, max_workers=2)
+        with pytest.raises(ValueError):
+            Autoscaler(min_workers=0, max_workers=2)
+
+    def test_scale_up_wins_over_idle_countdown(self):
+        policy = Autoscaler(min_workers=1, max_workers=4,
+                            scale_up_backlog=2.0, scale_down_ticks=2)
+        policy.decide(state(2))
+        assert policy.decide(state(2, depth=4)) == 3   # burst arrives
+        assert policy.decide(state(3)) == 3            # count restarted
+        assert policy.decide(state(3)) == 2

@@ -1,0 +1,172 @@
+"""Wire framing: roundtrips, corruption detection, size caps."""
+
+import socket
+import struct
+import threading
+import zlib
+
+import pytest
+
+from repro.cluster.protocol import (MAGIC, MAX_BLOB_BYTES,
+                                    MAX_HEADER_BYTES, ConnectionClosed,
+                                    ProtocolError, pack_result,
+                                    pack_submit, recv_frame, send_frame,
+                                    unpack_result, unpack_submit)
+from repro.serve.request import (InferenceRequest, LatencyBreakdown,
+                                 RequestResult, RequestStatus)
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestFraming:
+    def test_roundtrip_header_only(self, pair):
+        a, b = pair
+        send_frame(a, {"kind": "ping", "n": 1})
+        header, blob = recv_frame(b)
+        assert header == {"kind": "ping", "n": 1}
+        assert blob == b""
+
+    def test_roundtrip_with_blob(self, pair):
+        a, b = pair
+        payload = b"x" * 100_000
+        send_frame(a, {"kind": "result"}, payload)
+        header, blob = recv_frame(b)
+        assert blob == payload
+        assert header["crc32"] == zlib.crc32(payload) & 0xFFFFFFFF
+
+    def test_many_frames_stay_in_sync(self, pair):
+        a, b = pair
+        for i in range(20):
+            send_frame(a, {"kind": "ping", "i": i}, bytes([i]) * i)
+        for i in range(20):
+            header, blob = recv_frame(b)
+            assert header["i"] == i
+            assert blob == bytes([i]) * i
+
+    def test_concurrent_senders_with_lock(self, pair):
+        a, b = pair
+        lock = threading.Lock()
+
+        def sender(tag):
+            for i in range(50):
+                with lock:
+                    send_frame(a, {"kind": "ping", "tag": tag, "i": i})
+
+        threads = [threading.Thread(target=sender, args=(t,))
+                   for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        seen = [recv_frame(b)[0] for _ in range(200)]
+        assert len(seen) == 200  # nothing torn
+
+
+class TestCorruption:
+    def test_bad_magic(self, pair):
+        a, b = pair
+        a.sendall(b"XXXX" + b"\x00" * 16)
+        with pytest.raises(ProtocolError, match="magic"):
+            recv_frame(b)
+
+    def test_blob_crc_mismatch(self, pair):
+        a, b = pair
+        blob = b"payload"
+        header = (b'{"crc32":1,"kind":"result"}')
+        a.sendall(MAGIC + struct.pack(">I", len(header)) + header
+                  + struct.pack(">I", len(blob)) + blob)
+        with pytest.raises(ProtocolError, match="crc"):
+            recv_frame(b)
+
+    def test_header_not_json(self, pair):
+        a, b = pair
+        bad = b"not-json"
+        a.sendall(MAGIC + struct.pack(">I", len(bad)) + bad
+                  + struct.pack(">I", 0))
+        with pytest.raises(ProtocolError, match="header"):
+            recv_frame(b)
+
+    def test_header_missing_kind(self, pair):
+        a, b = pair
+        bad = b'{"x":1}'
+        a.sendall(MAGIC + struct.pack(">I", len(bad)) + bad
+                  + struct.pack(">I", 0))
+        with pytest.raises(ProtocolError, match="kind"):
+            recv_frame(b)
+
+    def test_giant_header_length_rejected_before_allocation(self, pair):
+        a, b = pair
+        a.sendall(MAGIC + struct.pack(">I", MAX_HEADER_BYTES + 1))
+        with pytest.raises(ProtocolError, match="header length"):
+            recv_frame(b)
+
+    def test_giant_blob_length_rejected(self, pair):
+        a, b = pair
+        header = b'{"kind":"x"}'
+        a.sendall(MAGIC + struct.pack(">I", len(header)) + header
+                  + struct.pack(">I", (MAX_BLOB_BYTES + 1) & 0xFFFFFFFF))
+        with pytest.raises(ProtocolError, match="blob length"):
+            recv_frame(b)
+
+
+class TestEOF:
+    def test_clean_eof_between_frames(self, pair):
+        a, b = pair
+        a.close()
+        with pytest.raises(ConnectionClosed):
+            recv_frame(b)
+
+    def test_eof_mid_frame(self, pair):
+        a, b = pair
+        a.sendall(MAGIC + struct.pack(">I", 100) + b"partial")
+        a.close()
+        with pytest.raises(ConnectionClosed, match="mid-frame"):
+            recv_frame(b)
+
+
+class TestPayloadHelpers:
+    def test_submit_roundtrip(self, pair):
+        a, b = pair
+        request = InferenceRequest(
+            program={"name": "prog"}, params={"p": 1}, machine=2,
+            tenant="acme", name="job-1", deadline_s=9.0, tag="t")
+        header, blob = pack_submit(request, {"opt": True}, "deadbeef",
+                                   trace_id="tid", parent_span_id="sid")
+        send_frame(a, header, blob)
+        got_header, got_blob = recv_frame(b)
+        assert got_header["kind"] == "submit"
+        assert got_header["tenant"] == "acme"
+        assert got_header["key"] == "deadbeef"
+        assert got_header["trace_id"] == "tid"
+        assert got_header["parent_span_id"] == "sid"
+        assert got_header["deadline_s"] == 9.0
+        program, params, machine, options = unpack_submit(got_header,
+                                                          got_blob)
+        assert program == {"name": "prog"}
+        assert machine == 2
+        assert options == {"opt": True}
+
+    def test_submit_without_trace_omits_ids(self):
+        request = InferenceRequest(program=1, params=2)
+        header, _ = pack_submit(request, None, "k")
+        assert "trace_id" not in header
+
+    def test_result_roundtrip_strips_heavy_fields(self):
+        fat = RequestResult(
+            request_id=7, name="job", status=RequestStatus.OK,
+            latency=LatencyBreakdown(execute_s=0.5, total_s=0.6),
+            attempts=2, shard=1, cache="memory", cycles=1234,
+            sim=object(), compiled=object())
+        header, blob = pack_result(fat)
+        slim = unpack_result(header, blob)
+        assert slim.request_id == 7
+        assert slim.status is RequestStatus.OK
+        assert slim.cycles == 1234
+        assert slim.latency.execute_s == 0.5
+        assert slim.sim is None and slim.compiled is None

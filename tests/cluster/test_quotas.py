@@ -1,0 +1,183 @@
+"""Token buckets, tenant quotas, and fair-share admission."""
+
+import threading
+
+import pytest
+
+from repro.cluster.quotas import (Empty, FairShareQueue,
+                                  QueueClosedError, QueueSaturatedError,
+                                  QuotaExceededError, TenantQuota,
+                                  TokenBucket)
+from repro.serve import InferenceRequest
+from repro.serve.request import Priority
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def req(tenant="default", priority=Priority.NORMAL, name=None):
+    return InferenceRequest(program=object(), params=object(),
+                            tenant=tenant, priority=priority, name=name)
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_s=1.0, burst=3, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True, True, True, False]
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_s=2.0, burst=2, clock=clock)
+        bucket.try_acquire(2)
+        assert not bucket.try_acquire()
+        clock.advance(0.5)        # +1 token
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_never_exceeds_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_s=10.0, burst=2, clock=clock)
+        clock.advance(100)
+        assert bucket.tokens == pytest.approx(2.0)
+
+    def test_retry_after(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_s=2.0, burst=1, clock=clock)
+        bucket.try_acquire()
+        assert bucket.retry_after_s() == pytest.approx(0.5)
+        assert TokenBucket(1, 1).retry_after_s() == 0.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0, 1)
+        with pytest.raises(ValueError):
+            TokenBucket(1, 0)
+
+
+class TestQuotaEnforcement:
+    def test_tenant_over_quota_rejected_others_fine(self):
+        clock = FakeClock()
+        queue = FairShareQueue(
+            quotas={"noisy": TenantQuota(rate_per_s=1, burst=2)},
+            clock=clock)
+        queue.put(req("noisy"))
+        queue.put(req("noisy"))
+        with pytest.raises(QuotaExceededError) as info:
+            queue.put(req("noisy"))
+        assert info.value.tenant == "noisy"
+        assert info.value.retry_after_s > 0
+        for _ in range(10):     # unquota'd tenant is unaffected
+            queue.put(req("quiet"))
+        assert queue.rejected_quota == 1
+
+    def test_default_quota_applies_to_unknown_tenants(self):
+        clock = FakeClock()
+        queue = FairShareQueue(
+            default_quota=TenantQuota(rate_per_s=1, burst=1), clock=clock)
+        queue.put(req("anyone"))
+        with pytest.raises(QuotaExceededError):
+            queue.put(req("anyone"))
+        clock.advance(1.0)
+        queue.put(req("anyone"))
+
+    def test_set_quota_at_runtime(self):
+        clock = FakeClock()
+        queue = FairShareQueue(clock=clock)
+        queue.put(req("t"))      # unquota'd: unlimited
+        queue.set_quota("t", TenantQuota(rate_per_s=1, burst=1))
+        queue.put(req("t"))
+        with pytest.raises(QuotaExceededError):
+            queue.put(req("t"))
+
+    def test_force_bypasses_quota_and_close(self):
+        clock = FakeClock()
+        queue = FairShareQueue(
+            quotas={"t": TenantQuota(rate_per_s=1, burst=1)}, clock=clock)
+        queue.put(req("t"))
+        queue.close()
+        with pytest.raises(QueueClosedError):
+            queue.put(req("t"))
+        queue.put(req("t"), force=True)      # failover requeue path
+        assert queue.depth() == 2
+
+
+class TestFairShare:
+    def test_round_robin_across_tenants(self):
+        queue = FairShareQueue()
+        for i in range(3):
+            queue.put(req("a", name=f"a{i}"))
+        queue.put(req("b", name="b0"))
+        order = [queue.get(timeout=0).tenant for _ in range(4)]
+        # b's single request is served before a's backlog drains.
+        assert order.index("b") <= 1
+        assert order.count("a") == 3
+
+    def test_priority_within_tenant(self):
+        queue = FairShareQueue()
+        queue.put(req("a", Priority.LOW, name="low"))
+        queue.put(req("a", Priority.HIGH, name="high"))
+        assert queue.get(timeout=0).name == "high"
+
+    def test_fifo_within_priority(self):
+        queue = FairShareQueue()
+        for i in range(3):
+            queue.put(req("a", name=f"r{i}"))
+        assert [queue.get(timeout=0).name for _ in range(3)] == [
+            "r0", "r1", "r2"]
+
+    def test_depth_by_tenant(self):
+        queue = FairShareQueue()
+        queue.put(req("a"))
+        queue.put(req("a"))
+        queue.put(req("b"))
+        assert queue.depth_by_tenant() == {"a": 2, "b": 1}
+        assert queue.depth() == len(queue) == 3
+
+
+class TestQueueContract:
+    """Same semantics as the serve-layer AdmissionQueue."""
+
+    def test_saturation(self):
+        queue = FairShareQueue(maxsize=2)
+        queue.put(req())
+        queue.put(req())
+        with pytest.raises(QueueSaturatedError):
+            queue.put(req())
+        assert queue.rejected_saturated == 1
+        queue.put(req(), force=True)         # requeue ignores the bound
+
+    def test_get_timeout_raises_empty(self):
+        with pytest.raises(Empty):
+            FairShareQueue().get(timeout=0.01)
+
+    def test_closed_queue_drains_then_empty(self):
+        queue = FairShareQueue()
+        queue.put(req(name="last"))
+        queue.close()
+        assert queue.closed
+        assert queue.get(timeout=0).name == "last"
+        with pytest.raises(Empty):
+            queue.get(timeout=5)             # immediate, no wait
+
+    def test_get_wakes_on_put(self):
+        queue = FairShareQueue()
+        got = []
+
+        def consumer():
+            got.append(queue.get(timeout=5))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        queue.put(req(name="x"))
+        thread.join(timeout=5)
+        assert got and got[0].name == "x"

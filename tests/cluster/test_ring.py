@@ -1,0 +1,128 @@
+"""Consistent-hash ring: balance, minimal remapping, failover order."""
+
+from repro.cluster.ring import DEFAULT_VNODES, HashRing, _hash64
+
+WORKERS_8 = [f"w{i}" for i in range(8)]
+KEYS = [f"fingerprint-{i:05d}" for i in range(20000)]
+
+
+class TestBalance:
+    def test_spread_within_20pct_across_8_workers(self):
+        ring = HashRing(WORKERS_8)
+        counts = ring.spread(KEYS)
+        expected = len(KEYS) / len(WORKERS_8)
+        assert set(counts) == set(WORKERS_8)
+        for worker, count in counts.items():
+            assert abs(count - expected) / expected <= 0.20, (
+                f"{worker} owns {count} keys, expected {expected:.0f}"
+                f" +/- 20%")
+
+    def test_every_key_owned(self):
+        ring = HashRing(WORKERS_8)
+        assert sum(ring.spread(KEYS).values()) == len(KEYS)
+
+    def test_more_vnodes_tighter_balance(self):
+        def imbalance(vnodes):
+            ring = HashRing(WORKERS_8, vnodes=vnodes)
+            counts = ring.spread(KEYS)
+            expected = len(KEYS) / len(WORKERS_8)
+            return max(abs(c - expected) / expected
+                       for c in counts.values())
+
+        assert imbalance(192) < imbalance(8)
+
+
+class TestRemap:
+    def test_join_remaps_at_most_1_over_n(self):
+        ring = HashRing(WORKERS_8)
+        before = {key: ring.owner(key) for key in KEYS}
+        ring.add("w8")
+        moved = sum(1 for key in KEYS if ring.owner(key) != before[key])
+        # Ideal is 1/9 of the key space; 1.2/9 allows vnode variance.
+        assert moved / len(KEYS) <= 1.2 / 9
+        # Every moved key moved TO the joiner, never between incumbents.
+        for key in KEYS:
+            owner = ring.owner(key)
+            assert owner == before[key] or owner == "w8"
+
+    def test_leave_remaps_at_most_1_over_n(self):
+        ring = HashRing(WORKERS_8)
+        before = {key: ring.owner(key) for key in KEYS}
+        ring.remove("w3")
+        moved = sum(1 for key in KEYS if ring.owner(key) != before[key])
+        assert moved / len(KEYS) <= 1.2 / 8
+        # Only w3's keys moved.
+        for key in KEYS:
+            if before[key] != "w3":
+                assert ring.owner(key) == before[key]
+
+    def test_remove_then_add_restores_mapping(self):
+        ring = HashRing(WORKERS_8)
+        before = {key: ring.owner(key) for key in KEYS[:500]}
+        ring.remove("w5")
+        ring.add("w5")
+        assert {key: ring.owner(key) for key in KEYS[:500]} == before
+
+
+class TestFailoverOrder:
+    def test_preferred_starts_with_owner(self):
+        ring = HashRing(WORKERS_8)
+        for key in KEYS[:100]:
+            order = ring.preferred(key)
+            assert order[0] == ring.owner(key)
+            assert sorted(order) == sorted(WORKERS_8)  # all, distinct
+
+    def test_preferred_n_limits(self):
+        ring = HashRing(WORKERS_8)
+        assert len(ring.preferred("k", n=3)) == 3
+
+    def test_preferred_is_stable_under_unrelated_leave(self):
+        """Failover target for a key is the next worker in ring order,
+        which does not change when a worker later in the order leaves."""
+        ring = HashRing(WORKERS_8)
+        key = KEYS[0]
+        primary, secondary = ring.preferred(key, n=2)
+        victim = next(w for w in WORKERS_8
+                      if w not in (primary, secondary))
+        ring.remove(victim)
+        assert ring.preferred(key, n=2) == [primary, secondary]
+
+    def test_failover_owner_is_old_secondary(self):
+        ring = HashRing(WORKERS_8)
+        key = KEYS[1]
+        primary, secondary = ring.preferred(key, n=2)
+        ring.remove(primary)
+        assert ring.owner(key) == secondary
+
+
+class TestBasics:
+    def test_empty_ring(self):
+        ring = HashRing()
+        assert ring.owner("k") is None
+        assert ring.preferred("k") == []
+        assert len(ring) == 0
+
+    def test_contains_and_workers(self):
+        ring = HashRing(["b", "a"])
+        assert "a" in ring and "c" not in ring
+        assert ring.workers == ["a", "b"]
+
+    def test_add_idempotent(self):
+        ring = HashRing(["a"])
+        points = len(ring._points)
+        ring.add("a")
+        assert len(ring._points) == points
+
+    def test_remove_unknown_is_noop(self):
+        ring = HashRing(["a"])
+        ring.remove("zz")
+        assert "a" in ring
+
+    def test_default_vnodes(self):
+        ring = HashRing(["a"])
+        assert len(ring._workers["a"]) == DEFAULT_VNODES
+
+    def test_hash64_is_deterministic(self):
+        assert _hash64("x") == _hash64("x")
+        assert _hash64("x") != _hash64("y")
+        assert 0 <= _hash64("x") < 2 ** 64

@@ -1,0 +1,200 @@
+"""ClusterRouter end-to-end: real worker processes over the socket
+protocol.  One shared 2-worker cluster serves most tests (spawning
+interpreters is the expensive part); the kill test restores the fleet
+before handing the cluster back.
+"""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.cluster import ClusterRouter, QuotaExceededError, TenantQuota
+from repro.cluster.merge import merged_scalar
+from repro.obs.analyze import check
+from repro.serve.server import ServerClosedError
+
+from .conftest import make_request
+
+RESULT_TIMEOUT_S = 120.0
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    obs.enable()
+    router = ClusterRouter(
+        num_workers=2,
+        quotas={"limited": TenantQuota(rate_per_s=0.001, burst=2)},
+        heartbeat_s=0.2)
+    router.start()
+    assert router.wait_ready(timeout=60), "workers failed to connect"
+    yield router
+    router.shutdown(drain=False)
+    obs.disable()
+
+
+def submit_and_wait(cluster, requests):
+    handles = [cluster.submit(r) for r in requests]
+    return [h.result(timeout=RESULT_TIMEOUT_S) for h in handles]
+
+
+class TestRoundTrip:
+    def test_requests_resolve_ok_across_workers(self, cluster):
+        results = submit_and_wait(cluster, [
+            make_request(name=f"rt-{i}", rotation=i % 4)
+            for i in range(12)
+        ])
+        assert all(r.ok for r in results), [r.error for r in results]
+        assert all(r.cycles and r.cycles > 0 for r in results)
+        assert {r.shard for r in results} == {0, 1}  # both workers served
+
+    def test_fingerprint_affinity(self, cluster):
+        """Repeats of one program always land on its ring owner."""
+        results = submit_and_wait(cluster, [
+            make_request(name=f"aff-{i}", rotation=7) for i in range(6)
+        ])
+        assert len({r.shard for r in results}) == 1
+        assert {r.cache for r in results[1:]} <= {"memory", "disk"}
+
+    def test_submit_many_preserves_order(self, cluster):
+        requests = [make_request(name=f"many-{i}", rotation=i % 3)
+                    for i in range(4)]
+        handles = cluster.submit_many(requests)
+        results = [h.result(timeout=RESULT_TIMEOUT_S) for h in handles]
+        assert [r.request_id for r in results] == [
+            r.request_id for r in requests]
+
+
+class TestObservability:
+    def test_merged_journal_is_end_to_end(self, cluster):
+        submit_and_wait(cluster, [
+            make_request(name=f"obs-{i}", rotation=10 + i)
+            for i in range(3)
+        ])
+        document = cluster.trace()
+        assert document["schema"] >= 6
+        rows = document["jobs"]
+        kinds = {row["kind"] for row in rows}
+        assert {"serve", "compile", "simulate", "cluster"} <= kinds
+        # Worker-side rows carry their origin; router-side serve rows
+        # join them on the same trace ids — the obs invariants hold
+        # across the process boundary.
+        assert any(row.get("worker") for row in rows
+                   if row["kind"] == "compile")
+        assert check(document) == []
+
+    def test_cluster_events_recorded(self, cluster):
+        events = {row["event"] for row in cluster.trace()["jobs"]
+                  if row["kind"] == "cluster"}
+        assert "worker_spawned" in events
+
+    def test_metrics_snapshot_merges_router_and_workers(self, cluster):
+        results = submit_and_wait(
+            cluster, [make_request(name="m-0", rotation=2)])
+        assert results[0].ok
+        snapshot = cluster.metrics_snapshot()
+        assert merged_scalar(snapshot, "serve_requests_total",
+                             {"status": "ok"}) >= 1
+        assert merged_scalar(snapshot, "cluster_workers") >= 2
+        # Worker-process-side counter, visible only through the merge:
+        assert merged_scalar(snapshot,
+                             "cluster_worker_submits_total") >= 1
+
+    def test_cache_stats_aggregate_workers(self, cluster):
+        submit_and_wait(cluster, [make_request(name="c-0", rotation=3),
+                                  make_request(name="c-1", rotation=3)])
+        totals = cluster.cache_stats()
+        assert totals.get("misses", 0) + totals.get("memory_hits", 0) > 0
+
+
+class TestQuotas:
+    def test_tenant_over_quota_rejected_at_submit(self, cluster):
+        first = cluster.submit(
+            make_request(name="q-0", rotation=4, tenant="limited"))
+        second = cluster.submit(
+            make_request(name="q-1", rotation=4, tenant="limited"))
+        with pytest.raises(QuotaExceededError) as info:
+            cluster.submit(
+                make_request(name="q-2", rotation=4, tenant="limited"))
+        assert info.value.tenant == "limited"
+        assert first.result(timeout=RESULT_TIMEOUT_S).ok
+        assert second.result(timeout=RESULT_TIMEOUT_S).ok
+
+    def test_other_tenants_unaffected(self, cluster):
+        results = submit_and_wait(cluster, [
+            make_request(name=f"qa-{i}", rotation=5, tenant=f"t{i}")
+            for i in range(4)
+        ])
+        assert all(r.ok for r in results)
+
+
+class TestFailover:
+    def test_sigkill_mid_run_loses_zero_requests(self, cluster):
+        """The acceptance scenario: SIGKILL a worker while its queue is
+        full of dispatched requests; every request still resolves OK and
+        the recovery is visible as traced cluster events."""
+        deaths_before = merged_scalar(cluster.metrics.snapshot(),
+                                      "cluster_worker_deaths_total")
+        handles = [cluster.submit(make_request(
+            name=f"kill-{i}", rotation=20 + i)) for i in range(10)]
+        victim = cluster.kill_worker()
+        assert victim is not None
+        results = [h.result(timeout=RESULT_TIMEOUT_S) for h in handles]
+        assert all(r.ok for r in results), [
+            (r.name, r.status.value, r.error) for r in results
+            if not r.ok]
+        snapshot = cluster.metrics.snapshot()
+        assert merged_scalar(snapshot, "cluster_worker_deaths_total") \
+            == deaths_before + 1
+        events = [row for row in cluster.trace()["jobs"]
+                  if row["kind"] == "cluster"]
+        assert any(e["event"] == "worker_lost"
+                   and e["worker"] == victim for e in events)
+        # The monitor respawns a replacement up to the target.
+        assert cluster.wait_ready(count=2, timeout=60)
+
+    def test_replacement_serves_after_failover(self, cluster):
+        results = submit_and_wait(cluster, [
+            make_request(name=f"after-{i}", rotation=i % 4)
+            for i in range(6)
+        ])
+        assert all(r.ok for r in results)
+        assert {r.shard for r in results if r.shard is not None}
+
+
+class TestLifecycle:
+    def test_drain_waits_and_closes_admission(self):
+        router = ClusterRouter(num_workers=1)
+        with router:
+            assert router.wait_ready(timeout=60)
+            handle = router.submit(make_request(name="d-0", rotation=1))
+            assert router.drain(timeout=RESULT_TIMEOUT_S)
+            assert handle.result(timeout=1).ok
+            with pytest.raises(ServerClosedError):
+                router.submit(make_request(name="d-1"))
+
+    def test_autoscaler_spawns_under_backlog(self):
+        from repro.cluster import Autoscaler
+
+        router = ClusterRouter(
+            num_workers=1, autoscale=True,
+            autoscaler=Autoscaler(min_workers=1, max_workers=2,
+                                  scale_up_backlog=1.0,
+                                  scale_down_ticks=10 ** 6),
+            heartbeat_s=0.1)
+        with router:
+            assert router.wait_ready(count=1, timeout=60)
+            handles = [router.submit(make_request(
+                name=f"as-{i}", rotation=30 + i)) for i in range(16)]
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if router.num_workers >= 2:
+                    break
+                time.sleep(0.05)
+            assert router.num_workers >= 2, "no scale-up under backlog"
+            results = [h.result(timeout=RESULT_TIMEOUT_S)
+                       for h in handles]
+            assert all(r.ok for r in results)
+            events = {row["event"] for row in router.trace()["jobs"]
+                      if row["kind"] == "cluster"}
+            assert "scale_up" in events

@@ -1,0 +1,200 @@
+"""Cross-*process* safety of the CompileCache disk layer.
+
+A :mod:`repro.cluster` deployment points every worker process at one
+``cache_dir``.  Artifact writes are temp+``os.replace`` atomic, and the
+``index.json`` read-modify-write cycle runs under an advisory ``flock``
+(:class:`repro.runtime.locking.FileLock`) — so N processes hammering one
+directory must end with every artifact loadable, the index consistent
+with the artifacts on disk, and no leaked ``*.tmp`` files.
+"""
+
+import json
+import multiprocessing
+import os
+import pickle
+
+import pytest
+
+from repro.runtime import CompileCache
+from repro.runtime.cache import INDEX_FILENAME
+from repro.runtime.locking import FileLock, FileLockTimeout
+
+N_PROCS = 4
+OPS_PER_PROC = 40
+KEYS = [f"key-{i:02d}" for i in range(12)]
+
+
+class FakeArtifact:
+    """Stands in for a CompiledProgram: the cache never inspects it."""
+
+    def __init__(self, token):
+        self.token = token
+
+    def __eq__(self, other):
+        return isinstance(other, FakeArtifact) and other.token == self.token
+
+
+def _hammer(cache_dir, proc_id, error_queue):
+    """One worker process: interleaved puts/gets/invalidates."""
+    try:
+        cache = CompileCache(capacity=4, cache_dir=cache_dir)
+        for i in range(OPS_PER_PROC):
+            key = KEYS[(proc_id * 5 + i) % len(KEYS)]
+            op = (proc_id + i) % 4
+            if op in (0, 1):
+                cache.put(key, FakeArtifact((proc_id, i)))
+            elif op == 2:
+                compiled, source = cache.get(key)
+                if compiled is not None:
+                    assert isinstance(compiled, FakeArtifact), source
+            else:
+                cache.invalidate(key)
+    except Exception as exc:  # pragma: no cover - failure path
+        error_queue.put(f"proc {proc_id}: {exc!r}")
+
+
+@pytest.fixture
+def mp_ctx():
+    # fork is cheap and inherits sys.path; the test module itself is
+    # importable either way because it lives in a package.
+    return multiprocessing.get_context("fork")
+
+
+class TestMultiProcessHammer:
+    def test_hammer_four_processes(self, tmp_path, mp_ctx):
+        error_queue = mp_ctx.SimpleQueue()
+        procs = [
+            mp_ctx.Process(target=_hammer, args=(tmp_path, p, error_queue))
+            for p in range(N_PROCS)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+        assert all(p.exitcode == 0 for p in procs)
+        errors = []
+        while not error_queue.empty():
+            errors.append(error_queue.get())
+        assert not errors
+
+        # No torn temp files survive the hammer.
+        assert not list(tmp_path.glob("*.tmp"))
+
+        # Every artifact on disk unpickles cleanly and is self-consistent.
+        fresh = CompileCache(cache_dir=tmp_path)
+        for path in tmp_path.glob("*.pkl"):
+            key = path.stem
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            assert payload["key"] == key
+            compiled, source = fresh.get(key)
+            assert source == "disk" or compiled is not None
+
+        # Index rows describe exactly the artifacts that exist.
+        index = fresh.disk_entries()
+        on_disk = {p.stem for p in tmp_path.glob("*.pkl")}
+        assert set(index) == on_disk
+        for key, row in index.items():
+            assert row["size"] == (tmp_path / f"{key}.pkl").stat().st_size
+
+    def test_concurrent_writers_keep_each_others_index_rows(
+            self, tmp_path, mp_ctx):
+        """Two processes storing disjoint keys: neither write is lost."""
+
+        def store(lo, hi):
+            cache = CompileCache(cache_dir=tmp_path)
+            for i in range(lo, hi):
+                cache.put(f"disjoint-{i:02d}", FakeArtifact(i))
+
+        procs = [mp_ctx.Process(target=store, args=(lo, lo + 10))
+                 for lo in (0, 10)]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+        assert all(p.exitcode == 0 for p in procs)
+
+        index = CompileCache(cache_dir=tmp_path).disk_entries()
+        assert set(index) == {f"disjoint-{i:02d}" for i in range(20)}
+
+
+class TestIndexMaintenance:
+    def test_put_and_invalidate_update_index(self, tmp_path):
+        cache = CompileCache(cache_dir=tmp_path)
+        cache.put("a", FakeArtifact(1))
+        cache.put("b", FakeArtifact(2))
+        assert set(cache.disk_entries()) == {"a", "b"}
+        cache.invalidate("a")
+        assert set(cache.disk_entries()) == {"b"}
+        cache.invalidate()
+        assert cache.disk_entries() == {}
+        assert not list(tmp_path.glob("*.pkl"))
+
+    def test_index_visible_to_other_instances(self, tmp_path):
+        CompileCache(cache_dir=tmp_path).put("shared", FakeArtifact(7))
+        other = CompileCache(cache_dir=tmp_path)
+        assert "shared" in other.disk_entries()
+        compiled, source = other.get("shared")
+        assert source == "disk" and compiled == FakeArtifact(7)
+
+    def test_corrupt_index_is_tolerated(self, tmp_path):
+        cache = CompileCache(cache_dir=tmp_path)
+        cache.put("x", FakeArtifact(0))
+        (tmp_path / INDEX_FILENAME).write_text("{ not json")
+        assert cache.disk_entries() == {}
+        cache.put("y", FakeArtifact(1))  # rebuilds from empty
+        assert "y" in cache.disk_entries()
+
+    def test_stale_schema_load_drops_index_row(self, tmp_path):
+        cache = CompileCache(cache_dir=tmp_path)
+        cache.put("old", FakeArtifact(0))
+        stale = CompileCache(cache_dir=tmp_path,
+                             schema_version=cache.schema_version + 1)
+        compiled, source = stale.get("old")
+        assert compiled is None and source == "miss"
+        assert "old" not in stale.disk_entries()
+        assert not (tmp_path / "old.pkl").exists()
+
+    def test_memory_only_cache_has_no_index(self):
+        cache = CompileCache()
+        cache.put("k", FakeArtifact(1))
+        assert cache.disk_entries() == {}
+
+
+class TestFileLock:
+    def test_exclusion_across_processes(self, tmp_path, mp_ctx):
+        """While the parent holds the flock, a child cannot acquire it."""
+        lock = FileLock(tmp_path / "test.lock")
+
+        def try_lock(result_queue):
+            child = FileLock(tmp_path / "test.lock", timeout_s=0.2)
+            try:
+                with child:
+                    result_queue.put("acquired")
+            except FileLockTimeout:
+                result_queue.put("timeout")
+
+        result_queue = mp_ctx.SimpleQueue()
+        with lock:
+            proc = mp_ctx.Process(target=try_lock, args=(result_queue,))
+            proc.start()
+            proc.join(timeout=30)
+        assert result_queue.get() == "timeout"
+        # After release, the same child path succeeds.
+        proc = mp_ctx.Process(target=try_lock, args=(result_queue,))
+        proc.start()
+        proc.join(timeout=30)
+        assert result_queue.get() == "acquired"
+
+    def test_reentrant_use_as_context_manager(self, tmp_path):
+        lock = FileLock(tmp_path / "cm.lock")
+        with lock:
+            assert lock.held
+        assert not lock.held
+
+    def test_index_written_atomically(self, tmp_path):
+        cache = CompileCache(cache_dir=tmp_path)
+        cache.put("k", FakeArtifact(1))
+        doc = json.loads((tmp_path / INDEX_FILENAME).read_text())
+        assert doc["schema"] == cache.schema_version
+        assert "k" in doc["entries"]

@@ -1,0 +1,132 @@
+"""Concurrent-writer safety of :class:`TuningDB.save`.
+
+Cluster workers share one ``tuning.json``.  ``save()`` must not be a
+blind overwrite of the in-memory view: under the cross-process flock it
+re-reads what other writers persisted and merges per key, keeping the
+faster incumbent — so neither disjoint keys nor competing records for
+one key are ever lost.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.tune.db import TUNING_DB_SCHEMA, TuningDB
+
+
+@pytest.fixture
+def mp_ctx():
+    return multiprocessing.get_context("fork")
+
+
+def _writer(db_path, keys, cycles, barrier):
+    db = TuningDB(db_path)
+    barrier.wait()  # both processes loaded *before* either saves
+    for key in keys:
+        db.put(key, {"cycles": cycles, "assignment": {}, "by": str(cycles)},
+               persist=False)
+    db.save()
+
+
+class TestConcurrentSave:
+    def test_disjoint_writers_both_survive(self, tmp_path, mp_ctx):
+        """Two processes persisting disjoint keys: the union survives."""
+        db_path = tmp_path / "tuning.json"
+        barrier = mp_ctx.Barrier(2)
+        a_keys = [f"a-{i}" for i in range(5)]
+        b_keys = [f"b-{i}" for i in range(5)]
+        procs = [
+            mp_ctx.Process(target=_writer,
+                           args=(db_path, keys, 100, barrier))
+            for keys in (a_keys, b_keys)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+        assert all(p.exitcode == 0 for p in procs)
+
+        merged = TuningDB(db_path)
+        for key in a_keys + b_keys:
+            assert key in merged
+
+    def test_same_key_keeps_faster_incumbent(self, tmp_path, mp_ctx):
+        """Competing records for one key: the fewer-cycles one wins,
+        regardless of which process saves last."""
+        db_path = tmp_path / "tuning.json"
+        barrier = mp_ctx.Barrier(2)
+        procs = [
+            mp_ctx.Process(target=_writer,
+                           args=(db_path, ["shared"], cycles, barrier))
+            for cycles in (5000, 3000)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+        assert all(p.exitcode == 0 for p in procs)
+
+        entry = TuningDB(db_path).get("shared")
+        assert entry is not None and entry["cycles"] == 3000
+
+    def test_hammer_many_writers(self, tmp_path, mp_ctx):
+        """4 processes x competing keys: file stays valid JSON and every
+        key holds its global-best record."""
+        db_path = tmp_path / "tuning.json"
+        barrier = mp_ctx.Barrier(4)
+        keys = [f"k-{i}" for i in range(6)]
+        # Process p writes cycles 1000*(p+1) for every key -> best is 1000.
+        procs = [
+            mp_ctx.Process(target=_writer,
+                           args=(db_path, keys, 1000 * (p + 1), barrier))
+            for p in range(4)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+        assert all(p.exitcode == 0 for p in procs)
+
+        doc = json.loads(db_path.read_text())
+        assert doc["schema"] == TUNING_DB_SCHEMA
+        merged = TuningDB(db_path)
+        for key in keys:
+            assert merged.get(key)["cycles"] == 1000
+
+
+class TestMergeSemantics:
+    def test_save_merges_what_another_instance_persisted(self, tmp_path):
+        """Sequential cross-instance save: later save does not clobber."""
+        db_path = tmp_path / "tuning.json"
+        first = TuningDB(db_path)   # loads empty
+        second = TuningDB(db_path)  # also empty
+        first.put("only-first", {"cycles": 10, "assignment": {}})
+        # ``second`` was loaded before first's save, so a naive overwrite
+        # would drop "only-first" here.
+        second.put("only-second", {"cycles": 20, "assignment": {}})
+        merged = TuningDB(db_path)
+        assert "only-first" in merged and "only-second" in merged
+
+    def test_slower_record_on_disk_does_not_displace_faster(self, tmp_path):
+        db_path = tmp_path / "tuning.json"
+        fast = TuningDB(db_path)
+        slow = TuningDB(db_path)
+        slow.put("k", {"cycles": 9000, "assignment": {}})
+        fast.put("k", {"cycles": 1000, "assignment": {}})
+        assert TuningDB(db_path).get("k")["cycles"] == 1000
+        # And the other order: a slower save after a faster one merges
+        # the disk incumbent back instead of overwriting it.
+        slower = TuningDB(tmp_path / "other.json")
+        slower.put("k", {"cycles": 9000, "assignment": {}}, persist=False)
+        slower.path = db_path  # redirect its save at the shared file
+        slower._file_lock.path = db_path.with_name("tuning.json.lock")
+        slower.save()
+        assert TuningDB(db_path).get("k")["cycles"] == 1000
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        db = TuningDB(tmp_path / "tuning.json")
+        db.put("k", {"cycles": 1, "assignment": {}})
+        leftovers = [p for p in tmp_path.iterdir()
+                     if p.suffix == ".tmp"]
+        assert not leftovers
