@@ -22,6 +22,12 @@ Public surface:
   injection (:class:`~repro.resilience.FaultSchedule`), CRC-validated
   checkpoints, and degraded-mode recovery
   (:class:`~repro.resilience.RecoveryOrchestrator`);
+* :mod:`repro.trust` — artifact integrity & key lifecycle: signed
+  cache/checkpoint manifests with tamper quarantine
+  (:class:`~repro.trust.ArtifactManifest`), versioned evaluation-key
+  rotation (:class:`~repro.trust.KeyVault`), request freshness / replay
+  windows (:class:`~repro.trust.ReplayGuard`), and the
+  ``python -m repro.trust --rebuild-check`` reproducibility gate;
 * :mod:`repro.obs` — cross-layer observability: one ``trace_id`` from a
   serve request down to simulated functional units
   (``repro.enable_tracing()`` / :func:`repro.export_chrome_trace`),
@@ -126,6 +132,10 @@ _LAZY_ATTRS = {
     "CompilerOptions": ("repro.core.compiler", "CompilerOptions"),
     "CinnamonProgram": ("repro.core.dsl.program", "CinnamonProgram"),
     "resolve_machine": ("repro.sim.config", "resolve_machine"),
+    "ArtifactManifest": ("repro.trust", "ArtifactManifest"),
+    "KeyVault": ("repro.trust", "KeyVault"),
+    "ReplayGuard": ("repro.trust", "ReplayGuard"),
+    "trust": ("repro.trust", None),
     "FaultSchedule": ("repro.resilience", "FaultSchedule"),
     "CheckpointStore": ("repro.resilience", "CheckpointStore"),
     "RecoveryOrchestrator": ("repro.resilience", "RecoveryOrchestrator"),
@@ -177,6 +187,9 @@ __all__ = [
     "CompilerOptions",
     "CinnamonProgram",
     "resolve_machine",
+    "ArtifactManifest",
+    "KeyVault",
+    "ReplayGuard",
     "FaultSchedule",
     "CheckpointStore",
     "RecoveryOrchestrator",

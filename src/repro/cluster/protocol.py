@@ -37,10 +37,29 @@ shutdown   router   exit after this frame
 Pickle is only ever exchanged between the router and workers it spawned
 itself over a loopback socket authenticated by a per-cluster random
 token, mirroring :mod:`multiprocessing.connection`'s trust model.
+
+Trust extensions (:mod:`repro.trust`):
+
+* frames may carry an ``auth`` field — an HMAC-SHA256 over the canonical
+  header (sans ``auth``) plus the blob, keyed by the cluster token —
+  verified when present (:func:`frame_auth`); a mismatch is a
+  :class:`ProtocolError`, the frame never reaches pickle;
+* ``submit`` headers carry a freshness envelope (``nonce`` /
+  ``issued_unix`` / ``seq`` / ``sender``, see
+  :class:`repro.trust.freshness.FreshnessEnvelope`) plus the tenant's
+  ``key_version``, letting the worker re-check replay and key staleness
+  independently of the router;
+* bounded reads: :func:`recv_frame` with a socket timeout raises
+  :class:`FrameTimeout` when the timeout expires *between* frames (a
+  clean boundary — the caller may retry or probe liveness) and
+  :class:`ProtocolError` when it expires *mid-frame* (the stream lost
+  sync and the connection is unusable).
 """
 
 from __future__ import annotations
 
+import hashlib
+import hmac
 import json
 import pickle
 import socket
@@ -71,20 +90,46 @@ class ProtocolError(RuntimeError):
     """The stream violated the framing contract (bad magic/crc/length)."""
 
 
+class FrameTimeout(ProtocolError):
+    """A bounded read expired at a clean frame boundary — no bytes were
+    consumed, the stream is still in sync, and the caller may retry,
+    probe liveness, or reconnect."""
+
+
 class ConnectionClosed(ConnectionError):
     """The peer closed the socket (EOF mid-frame or between frames)."""
+
+
+# ---------------------------------------------------------------------- #
+# Frame authentication
+
+def frame_auth(header: dict, blob: bytes, token: str) -> str:
+    """HMAC-SHA256 over the canonical header (sans ``auth``) + blob."""
+    payload = {k: v for k, v in header.items() if k != "auth"}
+    blob_hdr = json.dumps(payload, separators=(",", ":"),
+                          sort_keys=True).encode("utf-8")
+    mac = hmac.new(token.encode("utf-8"), blob_hdr, hashlib.sha256)
+    mac.update(blob)
+    return mac.hexdigest()
 
 
 # ---------------------------------------------------------------------- #
 # Framing
 
 def send_frame(sock: socket.socket, header: dict,
-               blob: bytes = b"") -> None:
+               blob: bytes = b"", token: Optional[str] = None) -> None:
     """Serialize and send one frame (thread-unsafe per socket: callers
-    serialize writers, see the router's per-worker send lock)."""
-    if blob:
+    serialize writers, see the router's per-worker send lock).
+
+    With ``token``, the frame carries an ``auth`` HMAC binding header
+    and blob to the cluster token.
+    """
+    if blob or token:
         header = dict(header)
+    if blob:
         header["crc32"] = zlib.crc32(blob) & 0xFFFFFFFF
+    if token:
+        header["auth"] = frame_auth(header, blob, token)
     header_bytes = json.dumps(header, separators=(",", ":"),
                               sort_keys=True).encode("utf-8")
     frame = b"".join((
@@ -97,9 +142,16 @@ def send_frame(sock: socket.socket, header: dict,
     sock.sendall(frame)
 
 
-def recv_frame(sock: socket.socket) -> Tuple[dict, bytes]:
-    """Receive one frame; raises :class:`ConnectionClosed` on EOF and
-    :class:`ProtocolError` on framing/CRC violations."""
+def recv_frame(sock: socket.socket,
+               token: Optional[str] = None) -> Tuple[dict, bytes]:
+    """Receive one frame; raises :class:`ConnectionClosed` on EOF,
+    :class:`FrameTimeout` when a socket timeout expires between frames,
+    and :class:`ProtocolError` on framing/CRC/auth violations (including
+    a timeout that strikes mid-frame).
+
+    With ``token``, an ``auth`` field is verified when present — frames
+    from pre-trust peers (no ``auth``) still pass, tampered ones do not.
+    """
     magic = _recv_exact(sock, len(MAGIC), eof_ok=True)
     if magic != MAGIC:
         raise ProtocolError(f"bad frame magic {magic!r}")
@@ -122,6 +174,11 @@ def recv_frame(sock: socket.socket) -> Tuple[dict, bytes]:
         if expect != actual:
             raise ProtocolError(
                 f"blob crc mismatch (header {expect}, actual {actual})")
+    if token is not None and "auth" in header:
+        expected = frame_auth(header, blob, token)
+        if not hmac.compare_digest(str(header["auth"]), expected):
+            raise ProtocolError(
+                f"frame auth mismatch on {header.get('kind')!r}")
     return header, blob
 
 
@@ -129,13 +186,24 @@ def _recv_exact(sock: socket.socket, n: int,
                 eof_ok: bool = False) -> bytes:
     """Read exactly ``n`` bytes.  EOF before the first byte raises
     :class:`ConnectionClosed`; EOF mid-read always does (a frame was
-    torn), regardless of ``eof_ok``."""
+    torn), regardless of ``eof_ok``.  A socket timeout before the first
+    byte of a frame raises :class:`FrameTimeout` (clean boundary, retry
+    is safe); mid-frame it raises :class:`ProtocolError` (stream
+    desynchronized)."""
     if n == 0:
         return b""
     chunks = []
     remaining = n
     while remaining:
-        chunk = sock.recv(min(remaining, 1 << 16))
+        try:
+            chunk = sock.recv(min(remaining, 1 << 16))
+        except socket.timeout:
+            if not chunks and eof_ok:
+                raise FrameTimeout(
+                    "no frame arrived within the read timeout") from None
+            got = n - remaining
+            raise ProtocolError(
+                f"read timed out mid-frame ({got}/{n} bytes)") from None
         if not chunk:
             if chunks or not eof_ok:
                 got = n - remaining
@@ -153,12 +221,19 @@ def _recv_exact(sock: socket.socket, n: int,
 
 def pack_submit(request, resolved_options, key: str,
                 trace_id: Optional[str] = None,
-                parent_span_id: Optional[str] = None) -> Tuple[dict, bytes]:
+                parent_span_id: Optional[str] = None,
+                envelope=None,
+                key_version: Optional[int] = None) -> Tuple[dict, bytes]:
     """Frame one :class:`~repro.serve.request.InferenceRequest`.
 
     The router ships the *resolved* compiler options (tuning swap already
     applied) so the worker's session computes the identical fingerprint
-    and hits the shared disk cache.
+    and hits the shared disk cache.  ``envelope`` (a
+    :class:`~repro.trust.freshness.FreshnessEnvelope`) and
+    ``key_version`` ride in the header so the worker can re-check
+    freshness and key staleness on its side; the router mints a *fresh*
+    envelope per dispatch attempt, so a legitimate failover re-dispatch
+    is never mistaken for a replay.
     """
     header = {
         "kind": "submit",
@@ -172,6 +247,10 @@ def pack_submit(request, resolved_options, key: str,
         "key": key,
         "tuned": request.tuned,
     }
+    if envelope is not None:
+        header.update(envelope.as_header_fields())
+    if key_version is not None:
+        header["key_version"] = int(key_version)
     if trace_id:
         header["trace_id"] = trace_id
         header["parent_span_id"] = parent_span_id

@@ -67,6 +67,9 @@ from ..serve.request import (InferenceRequest, LatencyBreakdown,
                              RequestHandle, RequestResult, RequestStatus)
 from ..serve.server import ServerClosedError
 from ..sim.config import resolve_machine
+from ..trust.errors import FreshnessError, KeyVaultError
+from ..trust.freshness import (DEFAULT_WINDOW_S, EnvelopeMinter,
+                               ReplayGuard)
 from .autoscaler import Autoscaler, AutoscalerState
 from .merge import merge_snapshots
 from .protocol import (ConnectionClosed, ProtocolError, TOKEN_ENV,
@@ -99,6 +102,7 @@ class _Worker:
         self.dead = False
         self.snapshot: dict = {}
         self.cache: dict = {}
+        self.token = ""                # cluster token: HMAC frame auth
 
     @property
     def live(self) -> bool:
@@ -110,7 +114,7 @@ class _Worker:
         if sock is None:
             raise OSError("worker not connected")
         with self.send_lock:
-            send_frame(sock, header, blob)
+            send_frame(sock, header, blob, token=self.token or None)
 
 
 class ClusterRouter:
@@ -141,7 +145,10 @@ class ClusterRouter:
                  stats_interval_s: float = 2.0,
                  metrics: Optional[MetricsRegistry] = None,
                  tuned: bool = False, tuning_db=None,
-                 spawn_workers: bool = True):
+                 spawn_workers: bool = True,
+                 keyvault=None,
+                 replay_window_s: float = DEFAULT_WINDOW_S,
+                 chaos_chip_crash: int = 0, chaos_cycle: int = 2000):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.max_retries = max_retries
@@ -187,6 +194,19 @@ class ClusterRouter:
                 slots_per_worker=worker_threads)
         self._token = secrets.token_hex(16)
         self._stats_waiters: Dict[str, threading.Event] = {}
+
+        # Trust layer (repro.trust): evaluation-key lifecycle, replay
+        # window on client submits, fresh per-dispatch envelopes so a
+        # legitimate failover re-dispatch is never itself "a replay".
+        self.keyvault = keyvault
+        if keyvault is not None and keyvault.on_event is None:
+            keyvault.on_event = self._on_key_event
+        self._replay_guard = ReplayGuard(window_s=replay_window_s)
+        self._minter = EnvelopeMinter(sender="router")
+        # Chaos: every spawned worker injects up to N chip-crash faults
+        # (worker-side degrade-ladder recovery, mirroring the serve path).
+        self.chaos_chip_crash = chaos_chip_crash
+        self.chaos_cycle = chaos_cycle
 
         self._started = False
         self._stopping = False
@@ -234,6 +254,13 @@ class ClusterRouter:
         self._quota_rejected_total = m.counter(
             "cluster_quota_rejections_total",
             "Submits rejected by a tenant's token bucket.")
+        self._trust_rejected_total = {
+            reason: m.counter(
+                "cluster_trust_rejections_total",
+                "Submits rejected by the trust layer.",
+                labels={"reason": reason})
+            for reason in ("replay", "stale-request", "stale-key")
+        }
         self._dispatch_total = m.counter(
             "cluster_dispatches_total", "Submit frames sent to workers.")
         self._autoscale_total = {
@@ -420,6 +447,39 @@ class ClusterRouter:
         with self._pending_cond:
             self._handles[request.request_id] = handle
         self._attempts[request.request_id] = 0
+        # Trust admission: key-version staleness, then replay/freshness.
+        # Typed errors propagate to the caller; the handle resolves
+        # REJECTED so an attacker's submit can never hang a waiter.
+        if self.keyvault is not None:
+            try:
+                self.keyvault.validate(request.tenant, request.key_version)
+            except KeyVaultError as exc:
+                self._trust_rejected_total["stale-key"].inc()
+                self._record_trust(
+                    "stale_key", target=request.tenant, request=request,
+                    detail={"key_version": request.key_version,
+                            "error": str(exc)})
+                self._resolve_rejected(request, str(exc))
+                raise
+        if request.envelope is not None:
+            try:
+                self._replay_guard.check(request.envelope)
+            except FreshnessError as exc:
+                reason = getattr(exc, "reason", "stale-request")
+                self._trust_rejected_total[
+                    "replay" if reason in ("nonce-reuse",
+                                           "sequence-reorder")
+                    else "stale-request"].inc()
+                event = ("replay_rejected"
+                         if reason in ("nonce-reuse", "sequence-reorder")
+                         else "stale_request")
+                self._record_trust(
+                    event, target=request.tenant, request=request,
+                    detail={"reason": reason,
+                            "nonce": getattr(exc, "nonce", ""),
+                            "name": request.label})
+                self._resolve_rejected(request, str(exc))
+                raise
         try:
             self._queue.put(request)
         except QuotaExceededError:
@@ -478,10 +538,14 @@ class ClusterRouter:
         self._attempts[request.request_id] = \
             self._attempts.get(request.request_id, 0) + 1
         span = request.span
+        # A fresh envelope per dispatch attempt: the worker-side replay
+        # guard must accept a legitimate failover re-dispatch.
         header, blob = pack_submit(
             request, request.options, request.key,
             trace_id=span.trace_id if span is not None else None,
-            parent_span_id=span.span_id if span is not None else None)
+            parent_span_id=span.span_id if span is not None else None,
+            envelope=self._minter.mint(),
+            key_version=request.key_version)
         with self._lock:
             worker.pending[request.request_id] = request
             worker.dispatched_at[request.request_id] = now
@@ -535,6 +599,14 @@ class ClusterRouter:
             argv += ["--capacity", str(self.capacity)]
         if tracer().enabled:
             argv += ["--obs"]
+        if self.chaos_chip_crash > 0:
+            # Every worker carries the fault budget: hash routing may
+            # concentrate the whole mix on one worker, and a budget
+            # armed on an idle process would never fire.  Workers
+            # refund faults that don't land, so each loaded worker
+            # injects at most chaos_chip_crash faults.
+            argv += ["--chaos-chip-crash", str(self.chaos_chip_crash),
+                     "--chaos-cycle", str(self.chaos_cycle)]
         env = dict(os.environ)
         src_root = str(Path(__file__).resolve().parents[2])
         env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH",
@@ -542,6 +614,7 @@ class ClusterRouter:
         env[TOKEN_ENV] = self._token
         proc = subprocess.Popen(argv, env=env)
         worker = _Worker(worker_id, index, proc)
+        worker.token = self._token
         with self._lock:
             self._workers[worker_id] = worker
         return worker
@@ -554,7 +627,8 @@ class ClusterRouter:
                 return
             sock.settimeout(5)
             try:
-                header, _blob = recv_frame(sock)
+                header, _blob = recv_frame(sock,
+                                           token=self._token or None)
             except (ConnectionClosed, ProtocolError, OSError):
                 sock.close()
                 continue
@@ -565,7 +639,12 @@ class ClusterRouter:
             worker_id = str(header.get("worker_id"))
             with self._lock:
                 worker = self._workers.get(worker_id)
-            if worker is None or worker.connected.is_set():
+            if worker is None or worker.connected.is_set() \
+                    or worker.dead or worker.retired:
+                # Unknown id, duplicate hello, or a reconnect attempt
+                # from a worker the router already failed over (its
+                # replacement is spawning): refuse, the process exits
+                # cleanly once its reconnect budget drains.
                 sock.close()
                 continue
             sock.settimeout(None)
@@ -579,6 +658,9 @@ class ClusterRouter:
                 "worker_spawned", worker=worker_id,
                 detail={"pid": header.get("pid"),
                         "ring_size": len(self._ring)})
+            # Hello-time key replication: the worker validates key
+            # versions against the same vault view as the router.
+            self._replicate_keys([worker])
             worker.reader = threading.Thread(
                 target=self._reader_loop, args=(worker,),
                 name=f"cluster-read-{worker_id}", daemon=True)
@@ -587,7 +669,8 @@ class ClusterRouter:
     def _reader_loop(self, worker: _Worker) -> None:
         while True:
             try:
-                header, blob = recv_frame(worker.sock)
+                header, blob = recv_frame(worker.sock,
+                                          token=self._token or None)
             except (ConnectionClosed, ProtocolError, OSError):
                 break
             kind = header.get("kind")
@@ -828,6 +911,45 @@ class ClusterRouter:
         with tracer().use_span(self._cluster_span):
             self._recorder.record_cluster(event=event, worker=worker,
                                           detail=detail)
+
+    def _record_trust(self, event: str, target: str = "",
+                      request: Optional[InferenceRequest] = None,
+                      detail: Optional[dict] = None) -> None:
+        """Journal one trust decision under the request's span (so the
+        rejection joins its trace) or the long-lived cluster span."""
+        span = getattr(request, "span", None) or self._cluster_span
+        with tracer().use_span(span):
+            self._recorder.record_trust(event=event, target=target,
+                                        detail=detail)
+
+    def _on_key_event(self, event: str, record) -> None:
+        """KeyVault rotation/revocation hook: journal it and push the
+        refreshed signed key manifest to every live worker."""
+        self._record_trust(
+            "key_rotation" if event == "rotation" else "key_revocation",
+            target=record.tenant,
+            detail={"version": record.version, "key_id": record.key_id})
+        self._replicate_keys(self._live_workers())
+
+    def _replicate_keys(self, workers) -> int:
+        """Ship the vault's signed key manifest to ``workers``."""
+        if self.keyvault is None:
+            return 0
+        doc = self.keyvault.manifest()
+        blob = pickle.dumps(doc, pickle.HIGHEST_PROTOCOL)
+        shipped = 0
+        for worker in workers:
+            try:
+                worker.send({"kind": "keys"}, blob)
+                shipped += 1
+            except OSError:
+                continue
+        if shipped:
+            self._record_trust(
+                "keys_replicated", target="cluster",
+                detail={"workers": shipped,
+                        "records": len(doc.get("records", ()))})
+        return shipped
 
     def _finish(self, request: InferenceRequest,
                 result: RequestResult) -> None:

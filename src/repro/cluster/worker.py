@@ -24,6 +24,32 @@ router-side serve row on the same ``trace_id`` (trace schema 6).
 The worker trusts its socket because the router spawned it and handed it
 a per-cluster random token over the environment — the same trust model
 as ``multiprocessing.connection`` — and listens on loopback only.
+
+Robustness & trust (:mod:`repro.trust`):
+
+* reads are *bounded* (``read_timeout_s``), never a blocking-forever
+  ``recv`` on a half-open socket: the router heartbeats every ~0.5s, so
+  when no frame of any kind has arrived for ``liveness_timeout_s`` the
+  connection is presumed half-open and the worker reconnects with
+  exponential backoff (re-sending ``hello``); it exits cleanly only
+  when the router stays unreachable;
+* every frame is sent with (and verified against) the cluster token's
+  HMAC (:func:`~repro.cluster.protocol.frame_auth`);
+* a ``keys`` frame replaces the worker's metadata-only
+  :class:`~repro.trust.keyvault.KeyVault` with the router's signed key
+  manifest (verify-then-install), so the worker re-checks each submit's
+  ``key_version`` independently — rejecting *revoked* or never-issued
+  versions (merely retired ones are left to the router's grace-window
+  adjudication, avoiding a mid-rotation race);
+* submit freshness envelopes pass a worker-side
+  :class:`~repro.trust.freshness.ReplayGuard`, so a replayed frame is
+  refused even if it somehow got past the router;
+* ``--chaos-chip-crash N`` arms N scripted chip-kill faults
+  (:class:`~repro.resilience.FaultSchedule`), one per submit — refunded
+  if a run ends before the crash cycle, so every armed fault fires;
+  the worker recovers in-process by recompiling for the degrade
+  ladder's next rung (mirroring the serve layer's recovery path) so a
+  chaos run loses zero legitimate requests.
 """
 
 from __future__ import annotations
@@ -40,11 +66,21 @@ from typing import Optional
 
 from ..obs import tracing
 from ..obs.metrics import default_registry
+from ..resilience.faults import FaultSchedule, MachineFaultError
 from ..runtime.session import CinnamonSession, CompileJob
 from ..serve.request import LatencyBreakdown, RequestResult, RequestStatus
-from .protocol import (ConnectionClosed, PROTOCOL_VERSION, ProtocolError,
-                       TOKEN_ENV, pack_result, recv_frame, send_frame,
-                       unpack_submit)
+from ..sim.config import degraded_machine
+from ..trust.errors import (FreshnessError, ReplayError, StaleKeyError,
+                            UnknownKeyError)
+from ..trust.freshness import FreshnessEnvelope, ReplayGuard
+from ..trust.keyvault import KeyVault, REVOKED
+from .protocol import (ConnectionClosed, FrameTimeout, PROTOCOL_VERSION,
+                       ProtocolError, TOKEN_ENV, pack_result, recv_frame,
+                       send_frame, unpack_submit)
+
+#: How many in-process degrade-ladder recoveries one submit may consume
+#: before its chip fault surfaces as a FAILED result.
+MAX_RECOVERIES = 2
 
 
 class ClusterWorker:
@@ -53,12 +89,20 @@ class ClusterWorker:
     def __init__(self, worker_id: str, host: str, port: int,
                  token: str = "", cache_dir=None,
                  capacity: Optional[int] = None, threads: int = 2,
-                 watchdog_s: Optional[float] = None):
+                 watchdog_s: Optional[float] = None,
+                 read_timeout_s: float = 5.0,
+                 liveness_timeout_s: float = 15.0,
+                 reconnect_attempts: int = 5,
+                 chaos_chip_crash: int = 0, chaos_cycle: int = 2000):
         self.worker_id = worker_id
         self.host = host
         self.port = port
         self.token = token
         self.threads = threads
+        self.read_timeout_s = read_timeout_s
+        self.liveness_timeout_s = liveness_timeout_s
+        self.reconnect_attempts = reconnect_attempts
+        self.chaos_cycle = chaos_cycle
         self.session = CinnamonSession(cache_dir=cache_dir,
                                        capacity=capacity,
                                        watchdog_s=watchdog_s)
@@ -72,6 +116,17 @@ class ClusterWorker:
         self._draining = False
         self._journal_cursor = 0
         self._journal_lock = threading.Lock()
+        self._last_frame = time.monotonic()
+        # Trust plumbing: an (initially empty) metadata-only vault filled
+        # by the router's "keys" frames, and an independent replay guard.
+        self._keyvault = KeyVault()
+        self._replay_guard = ReplayGuard()
+        # Scripted chip-kill chaos: a thread-safe budget.  A submit
+        # arms one fault; if its simulation finishes before the crash
+        # cycle (short program, simulate=False) the budget is refunded
+        # so the fault re-arms until it actually lands.
+        self._chaos_lock = threading.Lock()
+        self._chaos_remaining = chaos_chip_crash
         self._metrics = default_registry()
         self._submits_total = self._metrics.counter(
             "cluster_worker_submits_total",
@@ -84,20 +139,42 @@ class ClusterWorker:
     # Lifecycle
 
     def run(self) -> int:
-        """Connect, say hello, serve frames until EOF/shutdown."""
-        self._sock = socket.create_connection((self.host, self.port),
-                                              timeout=30)
-        self._sock.settimeout(None)
-        self._send({"kind": "hello", "worker_id": self.worker_id,
-                    "token": self.token, "pid": os.getpid(),
-                    "protocol": PROTOCOL_VERSION})
+        """Connect, say hello, serve frames until shutdown (or until the
+        router stays unreachable across the reconnect budget).
+
+        Reads are bounded: a :class:`FrameTimeout` at a clean frame
+        boundary is routine (the read timeout is shorter than the
+        heartbeat gap only under load) and merely prompts a liveness
+        check — a socket silent past ``liveness_timeout_s`` is half-open
+        and gets replaced.  A mid-frame timeout or torn frame means the
+        stream lost sync; the connection is unusable and is replaced
+        too.
+        """
+        if not self._connect():
+            return 1
         try:
             while True:
                 try:
-                    header, blob = recv_frame(self._sock)
-                except (ConnectionClosed, OSError):
-                    # Router went away: nothing to serve results to.
-                    return 0
+                    header, blob = recv_frame(self._sock,
+                                              token=self.token or None)
+                except FrameTimeout:
+                    # Nothing arrived within the read timeout.  The
+                    # router pings every ~0.5s, so prolonged total
+                    # silence means the connection is half-open.
+                    silent_s = time.monotonic() - self._last_frame
+                    if silent_s < self.liveness_timeout_s:
+                        continue
+                    if not self._reconnect():
+                        return 0
+                    continue
+                except (ConnectionClosed, ProtocolError, OSError):
+                    # EOF or stream desync: this socket is done.  Come
+                    # back through a fresh one; exit cleanly when the
+                    # router is really gone.
+                    if not self._reconnect():
+                        return 0
+                    continue
+                self._last_frame = time.monotonic()
                 if not self._handle(header, blob):
                     return 0
         finally:
@@ -106,6 +183,40 @@ class ClusterWorker:
                 self._sock.close()
             except OSError:
                 pass
+
+    def _connect(self) -> bool:
+        """Dial the router and say hello; bounded reads from then on."""
+        try:
+            sock = socket.create_connection((self.host, self.port),
+                                            timeout=30)
+        except OSError:
+            return False
+        sock.settimeout(self.read_timeout_s)
+        self._sock = sock
+        self._last_frame = time.monotonic()
+        try:
+            self._send({"kind": "hello", "worker_id": self.worker_id,
+                        "token": self.token, "pid": os.getpid(),
+                        "protocol": PROTOCOL_VERSION})
+        except OSError:
+            return False
+        return True
+
+    def _reconnect(self) -> bool:
+        """Replace a dead or half-open socket, with exponential backoff.
+        Returns ``False`` when the router stays unreachable — the caller
+        exits cleanly instead of spinning forever."""
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        delay = 0.1
+        for _ in range(self.reconnect_attempts):
+            time.sleep(delay)
+            delay = min(delay * 2, 2.0)
+            if self._connect():
+                return True
+        return False
 
     def _handle(self, header: dict, blob: bytes) -> bool:
         """Process one frame; returns ``False`` to exit the loop."""
@@ -117,6 +228,8 @@ class ClusterWorker:
                         "inflight": self._inflight,
                         "draining": self._draining,
                         "ts": time.time()})
+        elif kind == "keys":
+            self._install_keys(blob)
         elif kind == "stats":
             self._send_stats("stats_reply")
         elif kind == "drain":
@@ -132,11 +245,91 @@ class ClusterWorker:
         return True
 
     # ------------------------------------------------------------------ #
+    # Trust: replicated keys + worker-side freshness/staleness re-checks
+
+    def _install_keys(self, blob: bytes) -> None:
+        """Adopt the router's signed key manifest (verify-then-install);
+        a bad signature leaves the previous vault state untouched."""
+        try:
+            count = self._keyvault.install_manifest(pickle.loads(blob))
+        except Exception as exc:  # ManifestSignatureError, bad pickle...
+            self.session.record_trust(
+                event="key_manifest_rejected", target=self.worker_id,
+                detail={"error": f"{type(exc).__name__}: {exc}"})
+        else:
+            self.session.record_trust(
+                event="keys_installed", target=self.worker_id,
+                detail={"records": count})
+
+    def _trust_check(self, header: dict) -> Optional[str]:
+        """Re-check a submit's freshness envelope and key version on this
+        side of the wire; returns a rejection reason or ``None``.
+
+        The router mints a *fresh* envelope per dispatch attempt, so a
+        legitimate submit (including a failover re-dispatch) never trips
+        this guard — only a frame replayed on the wire does.  Key checks
+        reject only *revoked* or never-issued versions: a merely retired
+        one may be a mid-rotation race the router already admitted under
+        its grace window.
+        """
+        tenant = header.get("tenant", "default")
+        envelope = FreshnessEnvelope.from_header(header)
+        if envelope is not None:
+            try:
+                self._replay_guard.check(envelope)
+            except FreshnessError as exc:
+                event = ("replay_rejected" if isinstance(exc, ReplayError)
+                         else "stale_request")
+                self.session.record_trust(
+                    event=event, target=tenant,
+                    detail={"worker": self.worker_id,
+                            "nonce": envelope.nonce,
+                            "reason": getattr(exc, "reason", "stale")})
+                return f"{type(exc).__name__}: {exc}"
+        version = header.get("key_version")
+        if version is not None and self._keyvault.tenants():
+            try:
+                self._keyvault.validate(tenant, int(version))
+            except UnknownKeyError as exc:
+                self.session.record_trust(
+                    event="stale_key", target=tenant,
+                    detail={"worker": self.worker_id, "version": version,
+                            "status": "unknown"})
+                return f"{type(exc).__name__}: {exc}"
+            except StaleKeyError as exc:
+                if exc.status == REVOKED:
+                    self.session.record_trust(
+                        event="stale_key", target=tenant,
+                        detail={"worker": self.worker_id,
+                                "version": version, "status": REVOKED})
+                    return f"{type(exc).__name__}: {exc}"
+        return None
+
+    def _take_chaos_fault(self) -> Optional[FaultSchedule]:
+        """Consume one armed chip-kill fault (None once drained)."""
+        if self._chaos_remaining <= 0:
+            return None
+        with self._chaos_lock:
+            if self._chaos_remaining <= 0:
+                return None
+            self._chaos_remaining -= 1
+        return FaultSchedule().chip_crash(chip=0, cycle=self.chaos_cycle)
+
+    def _refund_chaos_fault(self) -> None:
+        """Re-arm a fault that was taken but never fired."""
+        with self._chaos_lock:
+            self._chaos_remaining += 1
+
+    # ------------------------------------------------------------------ #
     # Submit execution
 
     def _accept_submit(self, header: dict, blob: bytes) -> None:
         if self._draining:
             self._send_error(header, "worker is draining")
+            return
+        reason = self._trust_check(header)
+        if reason is not None:
+            self._send_error(header, reason, retryable=False)
             return
         self._submits_total.inc()
         with self._inflight_cond:
@@ -165,11 +358,50 @@ class ClusterWorker:
             # applied) so the fingerprint here matches the router's and
             # the shared disk cache key lines up; machine=None keeps the
             # session from re-resolving on top.
-            job = CompileJob(
-                program=program, params=params, machine=None,
-                options=options, simulate=header.get("simulate", True),
-                tag=header.get("tag", ""), name=name, span=span)
-            job_result = self.session.run(job)
+            schedule = self._take_chaos_fault()
+            recoveries = 0
+            attempts = 0
+            while True:
+                attempts += 1
+                job = CompileJob(
+                    program=program, params=params, machine=None,
+                    options=options,
+                    simulate=header.get("simulate", True),
+                    tag=header.get("tag", ""), name=name,
+                    fault_schedule=schedule, span=span)
+                try:
+                    job_result = self.session.run(job)
+                    if schedule is not None:
+                        # Armed but never fired — the program ended
+                        # before the crash cycle.  Put the budget back
+                        # so a later submit triggers the drill.
+                        self._refund_chaos_fault()
+                    break
+                except MachineFaultError as exc:
+                    # A die died mid-simulation (chaos or real): recover
+                    # in-process by recompiling for the degrade ladder's
+                    # next rung, exactly like the serve layer.  The
+                    # fault budget was spent on the faulted attempt, so
+                    # the replay runs clean.
+                    schedule = None
+                    if recoveries >= MAX_RECOVERIES:
+                        raise
+                    machine_name = exc.machine or getattr(
+                        getattr(options, "machine", None), "name", "")
+                    try:
+                        degraded = degraded_machine(machine_name)
+                    except (ValueError, TypeError):
+                        raise exc  # out of rungs (or unresolvable)
+                    recoveries += 1
+                    self.session.record_recovery(
+                        job=name,
+                        fault=(exc.fault.kind if exc.fault
+                               else "chip_crash"),
+                        chip=exc.chip, cycle=exc.cycle,
+                        machine_from=machine_name,
+                        machine_to=degraded.name,
+                        detection_s=time.monotonic() - started)
+                    options = options.with_machine(degraded)
             done = time.monotonic()
             sim = job_result.result
             result = RequestResult(
@@ -177,7 +409,7 @@ class ClusterWorker:
                 status=RequestStatus.OK,
                 latency=LatencyBreakdown(execute_s=done - started,
                                          total_s=done - started),
-                attempts=1, shard=None, batch_size=1,
+                attempts=attempts, shard=None, batch_size=1,
                 cache=job_result.cache,
                 cycles=sim.cycles if sim is not None else None)
         except Exception as exc:
@@ -207,14 +439,17 @@ class ClusterWorker:
         except OSError:
             pass  # router died; its failover path re-runs the request
 
-    def _send_error(self, header: dict, reason: str) -> None:
+    def _send_error(self, header: dict, reason: str,
+                    retryable: bool = True) -> None:
+        """``retryable=False`` marks a terminal rejection (a trust
+        refusal): re-dispatching the same frame cannot succeed."""
         result = RequestResult(
             request_id=header.get("request_id", 0),
             name=header.get("name", "?"), status=RequestStatus.FAILED,
             error=reason)
         res_header, res_blob = pack_result(result)
         res_header["worker_id"] = self.worker_id
-        res_header["retryable"] = True
+        res_header["retryable"] = retryable
         self._send(res_header, res_blob)
 
     # ------------------------------------------------------------------ #
@@ -240,6 +475,11 @@ class ClusterWorker:
             "snapshot": self._metrics.snapshot(),
             "journal": self._fresh_journal_rows(),
             "cache": self.session.cache_stats.as_dict(),
+            "trust": {
+                "replay": self._replay_guard.stats(),
+                "keys": self._keyvault.counts(),
+                "chaos_chip_crash_remaining": self._chaos_remaining,
+            },
         }
         self._send({"kind": kind, "worker_id": self.worker_id,
                     "inflight": self._inflight},
@@ -247,7 +487,8 @@ class ClusterWorker:
 
     def _send(self, header: dict, blob: bytes = b"") -> None:
         with self._send_lock:
-            send_frame(self._sock, header, blob)
+            send_frame(self._sock, header, blob,
+                       token=self.token or None)
 
 
 # ---------------------------------------------------------------------- #
@@ -268,6 +509,17 @@ def main(argv=None) -> int:
     parser.add_argument("--threads", type=int, default=2,
                         help="session thread pool size")
     parser.add_argument("--watchdog-s", type=float, default=None)
+    parser.add_argument("--read-timeout-s", type=float, default=5.0,
+                        help="bounded per-read socket timeout")
+    parser.add_argument("--liveness-timeout-s", type=float, default=15.0,
+                        help="silence past this means a half-open router "
+                             "connection (reconnect with backoff)")
+    parser.add_argument("--chaos-chip-crash", type=int, default=0,
+                        help="arm N scripted chip-kill faults, one per "
+                             "submit, refunded until each fires "
+                             "(chaos testing)")
+    parser.add_argument("--chaos-cycle", type=int, default=2000,
+                        help="simulated cycle at which a chaos chip dies")
     parser.add_argument("--obs", action="store_true",
                         help="enable repro.obs span tracing in-process")
     args = parser.parse_args(argv)
@@ -277,7 +529,11 @@ def main(argv=None) -> int:
         worker_id=args.worker_id, host=args.host, port=args.connect,
         token=os.environ.get(TOKEN_ENV, ""), cache_dir=args.cache_dir,
         capacity=args.capacity, threads=args.threads,
-        watchdog_s=args.watchdog_s)
+        watchdog_s=args.watchdog_s,
+        read_timeout_s=args.read_timeout_s,
+        liveness_timeout_s=args.liveness_timeout_s,
+        chaos_chip_crash=args.chaos_chip_crash,
+        chaos_cycle=args.chaos_cycle)
     return worker.run()
 
 

@@ -62,7 +62,8 @@ def breakdown(rows: List[dict]) -> dict:
         "compile": compile_s, "sim": sim_s, "recovery": recovery_s,
         "other": 0.0,
         "rows": {kind: sum(1 for r in rows if r.get("kind") == kind)
-                 for kind in ("serve", "compile", "simulate", "recovery")},
+                 for kind in ("serve", "compile", "simulate", "recovery",
+                              "trust")},
     }
     if serve is not None:
         queue_s = serve.get("queue_s", 0.0) or 0.0
@@ -187,6 +188,30 @@ def registry_from_journal(document: dict,
                 "cluster_events_total",
                 "Cluster control-plane events by kind.",
                 labels={"event": row.get("event", "?")}).inc()
+        elif kind == "trust":
+            # Mirrors TraceRecorder.record_trust's live counters so a
+            # journal artifact replays to the same Prometheus series.
+            event = row.get("event", "?")
+            registry.counter(
+                "trust_events_total", "Trust-layer events by kind.",
+                labels={"event": event}).inc()
+            if event == "tamper_detected":
+                registry.counter(
+                    "trust_tamper_detected_total",
+                    "Artifacts whose bytes mismatched their signed "
+                    "manifest.",
+                    labels={"target": row.get("target") or "unknown"}
+                ).inc()
+            elif event in ("replay_rejected", "stale_request"):
+                registry.counter(
+                    "trust_replay_rejected_total",
+                    "Requests rejected by the replay/freshness guard.",
+                    labels={"reason": row.get("reason", event)}).inc()
+            elif event == "stale_key":
+                registry.counter(
+                    "trust_stale_key_rejections_total",
+                    "Requests rejected for stale/revoked/unknown keys."
+                ).inc()
     return registry
 
 

@@ -14,6 +14,16 @@ The :class:`CheckpointStore` persists snapshots as versioned, CRC32-
 validated blobs (in memory or under a directory); a bit-flipped or
 truncated snapshot fails loudly with :class:`CorruptCheckpointError`
 instead of resuming from garbage.
+
+Directory-backed stores additionally keep a signed
+:class:`~repro.trust.manifest.ArtifactManifest` per run directory: every
+saved blob is recorded (sha256 of the file bytes), every load verifies
+against the manifest before deserializing, and a recorded-but-mismatched
+blob is *tampering* — :meth:`CheckpointStore.load` quarantines it and
+raises :class:`CorruptCheckpointError` (after reporting through
+``on_tamper``), while :meth:`CheckpointStore.list` skips it read-only.
+Blobs with no manifest row (pre-trust checkpoint dirs) fall back to the
+CRC-only validation they were written under.
 """
 
 from __future__ import annotations
@@ -28,6 +38,8 @@ from typing import Dict, List, Optional
 
 from ..fhe.serialize import dump_ciphertext, load_ciphertext
 from ..sim.simulator import SimulationSnapshot
+from ..trust.errors import TamperDetectedError
+from ..trust.manifest import ArtifactManifest
 
 #: Version of the checkpoint blob layout; bump on incompatible change.
 CHECKPOINT_VERSION = 1
@@ -124,12 +136,25 @@ class CheckpointStore:
 
     SUFFIX = ".cnmnckpt"
 
-    def __init__(self, root=None, keep: int = 3):
+    def __init__(self, root=None, keep: int = 3, trust_key=None,
+                 on_tamper=None):
         if keep < 1:
             raise ValueError("keep must be >= 1")
         self.root = Path(root) if root is not None else None
         self.keep = keep
+        self.trust_key = trust_key
+        self.on_tamper = on_tamper
         self._memory: Dict[str, List[Checkpoint]] = {}
+        self._manifests: Dict[Path, ArtifactManifest] = {}
+
+    def _manifest(self, run_dir: Path) -> ArtifactManifest:
+        manifest = self._manifests.get(run_dir)
+        if manifest is None:
+            manifest = ArtifactManifest(run_dir, key=self.trust_key,
+                                        target="checkpoint",
+                                        on_tamper=self.on_tamper)
+            self._manifests[run_dir] = manifest
+        return manifest
 
     # ------------------------------------------------------------------ #
 
@@ -144,29 +169,47 @@ class CheckpointStore:
         run_dir.mkdir(parents=True, exist_ok=True)
         path = run_dir / f"ckpt-{checkpoint.seq:06d}{self.SUFFIX}"
         path.write_bytes(checkpoint.to_bytes())
+        self._manifest(run_dir).record(path.name, path=path)
         self._prune(run_dir)
         return path
 
     def load(self, path) -> Checkpoint:
-        """Read + validate one snapshot file."""
-        return Checkpoint.from_bytes(Path(path).read_bytes())
+        """Read + validate one snapshot file.
+
+        Manifest-recorded blobs whose bytes mismatch are quarantined and
+        fail with :class:`CorruptCheckpointError` (never deserialized);
+        unrecorded blobs fall back to CRC-only validation.
+        """
+        path = Path(path)
+        data = path.read_bytes()
+        manifest = self._manifest(path.parent)
+        try:
+            manifest.verify_bytes(path.name, data)
+        except TamperDetectedError as exc:
+            manifest.quarantine(path.name, path=path)
+            raise CorruptCheckpointError(str(exc)) from exc
+        return Checkpoint.from_bytes(data)
 
     def list(self, run_id: str) -> List[Checkpoint]:
         """All retained checkpoints of a run, oldest first.
 
-        Directory-backed stores skip (but keep) corrupt files here;
-        :meth:`load` on the specific path still reports the corruption.
+        Directory-backed stores skip (but keep) corrupt or tampered
+        files here; :meth:`load` on the specific path still reports the
+        corruption (and quarantines tampering).
         """
         if self.root is None:
             return list(self._memory.get(run_id, []))
         run_dir = self.root / run_id
         if not run_dir.is_dir():
             return []
+        manifest = self._manifest(run_dir)
         out = []
         for path in sorted(run_dir.glob(f"ckpt-*{self.SUFFIX}")):
             try:
-                out.append(self.load(path))
-            except CorruptCheckpointError:
+                data = path.read_bytes()
+                manifest.verify_bytes(path.name, data)
+                out.append(Checkpoint.from_bytes(data))
+            except (CorruptCheckpointError, TamperDetectedError, OSError):
                 continue
         return out
 
@@ -181,5 +224,7 @@ class CheckpointStore:
 
     def _prune(self, run_dir: Path) -> None:
         paths = sorted(run_dir.glob(f"ckpt-*{self.SUFFIX}"))
+        manifest = self._manifest(run_dir)
         for stale in paths[:-self.keep]:
             stale.unlink(missing_ok=True)
+            manifest.forget(stale.name)

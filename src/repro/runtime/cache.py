@@ -23,10 +23,26 @@ The disk layer is safe for concurrent *processes*, not just threads — a
   only ever updated under an advisory ``flock``
   (:class:`~repro.runtime.locking.FileLock` on ``.index.lock``), as is
   the multi-file delete of ``invalidate()``.
+
+Integrity (:mod:`repro.trust`): every stored artifact is recorded in a
+signed per-directory :class:`~repro.trust.manifest.ArtifactManifest`
+(file-bytes sha256 + deterministic content digest), and every disk load
+verifies the bytes against that manifest *before* unpickling.  A
+recorded-but-mismatched file is tampering: it degrades to a cache miss,
+the file moves to ``quarantine/`` as evidence, ``stats.tampered`` /
+``stats.quarantined`` bump, and the ``on_tamper`` hook fires (the
+session uses it to journal a ``kind: "trust"`` row and bump
+``trust_tamper_detected_total``).  A file with *no* manifest row is
+merely unrecorded — a concurrent writer may be mid-store (the manifest
+row lands after the artifact file by contract) — and is treated as a
+plain miss without quarantine; crucially it is still never unpickled,
+so deleting the manifest cannot re-open the unpickle-untrusted-bytes
+path it exists to close.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pickle
@@ -39,6 +55,8 @@ from pathlib import Path
 from typing import Optional, Tuple
 
 from ..core.compiler import CompiledProgram
+from ..trust.errors import TamperDetectedError
+from ..trust.manifest import ArtifactManifest
 from .fingerprint import CACHE_SCHEMA_VERSION
 from .locking import FileLock
 
@@ -63,11 +81,13 @@ class CacheStats:
     stores: int = 0
     evictions: int = 0
     invalidated: int = 0  # on-disk entries dropped for schema/key mismatch
+    tampered: int = 0     # manifest hash mismatches caught before unpickle
+    quarantined: int = 0  # tampered files moved into quarantine/
 
     def as_dict(self) -> dict:
         return {f: getattr(self, f) for f in (
             "memory_hits", "disk_hits", "misses", "stores", "evictions",
-            "invalidated")}
+            "invalidated", "tampered", "quarantined")}
 
 
 @dataclass
@@ -78,6 +98,10 @@ class CompileCache:
     cache_dir: Optional[Path] = None  # None = memory-only
     schema_version: Optional[int] = None
     stats: CacheStats = field(default_factory=CacheStats)
+    trust_key: Optional[bytes] = None  # manifest signing key override
+    #: Called with each TamperDetectedError after stats are bumped; the
+    #: session points this at its trace recorder (kind:"trust" rows).
+    on_tamper: Optional[object] = None
 
     def __post_init__(self):
         self._memory: "OrderedDict[str, CompiledProgram]" = OrderedDict()
@@ -87,10 +111,14 @@ class CompileCache:
         if self.schema_version is None:
             self.schema_version = CACHE_SCHEMA_VERSION
         self._index_lock: Optional[FileLock] = None
+        self._manifest: Optional[ArtifactManifest] = None
         if self.cache_dir is not None:
             self.cache_dir = Path(self.cache_dir)
             self.cache_dir.mkdir(parents=True, exist_ok=True)
             self._index_lock = FileLock(self.cache_dir / INDEX_LOCK_FILENAME)
+            self._manifest = ArtifactManifest(
+                self.cache_dir, key=self.trust_key, target="cache",
+                on_tamper=self._note_tamper)
 
     # ------------------------------------------------------------------ #
 
@@ -129,6 +157,7 @@ class CompileCache:
                         for path in self.cache_dir.glob("*.pkl"):
                             path.unlink(missing_ok=True)
                         self._write_index({})
+                        self._manifest.clear()
                 return
             self._memory.pop(key, None)
             if self.cache_dir is not None:
@@ -137,6 +166,7 @@ class CompileCache:
                     index = self._read_index()
                     if index.pop(key, None) is not None:
                         self._write_index(index)
+                    self._manifest.forget(self._path(key).name)
 
     def __len__(self) -> int:
         with self._lock:
@@ -159,15 +189,48 @@ class CompileCache:
     def _path(self, key: str) -> Path:
         return self.cache_dir / f"{key}.pkl"
 
+    def _note_tamper(self, error: TamperDetectedError) -> None:
+        """Manifest tamper callback: count, then forward to the session
+        (or server) hook that journals the ``kind:"trust"`` row."""
+        self.stats.tampered += 1
+        if self.on_tamper is not None:
+            self.on_tamper(error)
+
     def _disk_load(self, key: str) -> Optional[CompiledProgram]:
         if self.cache_dir is None:
             return None
         path = self._path(key)
         if not path.exists():
             return None
+        # The (file bytes, manifest row) pair is read under the same
+        # cross-process flock every mutator holds, so a racing writer's
+        # half-applied update can never masquerade as tampering.
+        with self._index_lock:
+            try:
+                data = path.read_bytes()
+            except OSError:
+                return None
+            # Verify-before-unpickle: untrusted bytes never reach pickle.
+            try:
+                recorded = self._manifest.verify_bytes(path.name, data)
+            except TamperDetectedError:
+                # _note_tamper already counted and reported; keep the
+                # file as evidence (quarantine/), drop its index row, and
+                # degrade to a miss.
+                if self._manifest.quarantine(path.name,
+                                             path=path) is not None:
+                    self.stats.quarantined += 1
+                index = self._read_index()
+                if index.pop(key, None) is not None:
+                    self._write_index(index)
+                return None
+        if not recorded:
+            # No manifest row: a concurrent writer mid-store, or a
+            # pre-trust cache directory.  Not tampering — but also not
+            # verifiable, so it stays a plain miss.
+            return None
         try:
-            with open(path, "rb") as handle:
-                payload = pickle.load(handle)
+            payload = pickle.loads(data)
         except Exception:
             payload = None
         if (not isinstance(payload, dict)
@@ -179,6 +242,7 @@ class CompileCache:
                 index = self._read_index()
                 if index.pop(key, None) is not None:
                     self._write_index(index)
+            self._manifest.forget(path.name)
             return None
         return payload["compiled"]
 
@@ -190,30 +254,46 @@ class CompileCache:
             "key": key,
             "compiled": compiled,
         }
+        data = pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)
+        from ..trust.rebuild import artifact_digest
+
+        digest = artifact_digest(compiled)
         # Write-then-rename so concurrent readers never see a torn pickle.
         fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(payload, handle, pickle.HIGHEST_PROTOCOL)
-            size = os.path.getsize(tmp)
-            os.replace(tmp, self._path(key))
+                handle.write(data)
         except Exception:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
             raise
-        # Index read-modify-write happens under the cross-process flock:
-        # two workers storing different keys must not lose each other's
-        # index rows to a last-writer-wins overwrite.
+        # Rename + manifest row + index row commit as one unit under the
+        # cross-process flock: two workers racing on the same key must
+        # never leave worker A's file paired with worker B's manifest
+        # row (a reader would see that as tampering), and workers on
+        # different keys must not lose each other's index rows to a
+        # last-writer-wins overwrite.  The artifact file still lands
+        # before its manifest row (the write-ordering contract).
         with self._index_lock:
+            os.replace(tmp, self._path(key))
+            self._manifest.record(
+                self._path(key).name,
+                sha256=hashlib.sha256(data).hexdigest(),
+                digest=digest, size=len(data))
             index = self._read_index()
             index[key] = {
                 "schema": self.schema_version,
-                "size": size,
+                "size": len(data),
                 "stored_unix": time.time(),
             }
             self._write_index(index)
+
+    @property
+    def manifest(self) -> Optional[ArtifactManifest]:
+        """The signed artifact manifest (None for memory-only caches)."""
+        return self._manifest
 
     # ------------------------------------------------------------------ #
     # Cross-process index

@@ -25,7 +25,10 @@ from ..core.dsl.program import CinnamonProgram
 #: Bump whenever the pickled artifact layout or the meaning of the
 #: fingerprint changes; on-disk entries written under a different version
 #: are ignored (and lazily rewritten).
-CACHE_SCHEMA_VERSION = 1
+#: 2: the trust layer (repro.trust) — disk loads verify against the
+#:    signed MANIFEST.json before unpickling, so pre-trust cache
+#:    directories (no manifest rows) must re-compile, not half-load.
+CACHE_SCHEMA_VERSION = 2
 
 
 def _canonical(value):

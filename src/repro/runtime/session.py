@@ -150,6 +150,9 @@ class CinnamonSession:
         #: functional-unit occupancy timeline to its span.
         self._fu_timelines: Dict[Tuple, list] = {}
         self._recorder = TraceRecorder()
+        # Disk-cache tamper detections journal a kind:"trust" row (and
+        # bump trust_tamper_detected_total) through this session.
+        self._cache.on_tamper = self._record_tamper
         self._lock = threading.Lock()
         self._inflight: Dict[str, threading.Event] = {}
         self.max_workers = max_workers
@@ -158,6 +161,12 @@ class CinnamonSession:
         #: :class:`repro.resilience.WatchdogTimeout` instead of wedging
         #: the worker thread.
         self.watchdog_s = watchdog_s
+
+    def _record_tamper(self, error) -> None:
+        """Cache on_tamper hook: one journal row + counter per detection."""
+        self._recorder.record_trust(
+            event="tamper_detected", target=error.target,
+            detail={"name": error.name})
 
     # ------------------------------------------------------------------ #
     # Compilation
@@ -351,6 +360,11 @@ class CinnamonSession:
         """Append a machine-level recovery event to the run trace (see
         :meth:`repro.runtime.trace.TraceRecorder.record_recovery`)."""
         return self._recorder.record_recovery(**kwargs)
+
+    def record_trust(self, **kwargs) -> dict:
+        """Append a trust event (tamper/replay/stale-key) to the run
+        trace (see :meth:`repro.runtime.trace.TraceRecorder.record_trust`)."""
+        return self._recorder.record_trust(**kwargs)
 
     def record_tune(self, **kwargs) -> dict:
         """Append an autotuning run to the run trace (see

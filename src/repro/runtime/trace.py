@@ -85,7 +85,9 @@ The ``simulate`` payload follows the stable metrics schema of
 and utilization, HBM/network bytes, per-chip cycles, per-link occupancy).
 ``serve`` entries are appended by :class:`repro.serve.CinnamonServer`
 (schema 2); ``recovery`` entries by the fault-tolerance layer
-(:mod:`repro.resilience`, schema 3).
+(:mod:`repro.resilience`, schema 3); ``trust`` entries (schema 7) by
+the integrity layer (:mod:`repro.trust`) — e.g. ``{"kind": "trust",
+"event": "tamper_detected", "target": "cache", "name": "<key>.pkl"}``.
 
 Since schema 5, any entry recorded while a :mod:`repro.obs` span is
 active additionally carries ``trace_id`` and ``span_id`` fields, so the
@@ -118,7 +120,11 @@ from ..obs.tracing import current_span
 #:    failover events: worker spawn/exit/kill, drain, requeue-on-death,
 #:    autoscale decisions) plus ``worker`` attribution on rows absorbed
 #:    from worker-process journals into the router's merged journal.
-TRACE_SCHEMA_VERSION = 6
+#: 7: added ``kind == "trust"`` entries (repro.trust security events:
+#:    tampered artifacts detected+quarantined, stale/revoked key
+#:    rejections, replayed or reordered request envelopes, key
+#:    rotations and manifest replications).
+TRACE_SCHEMA_VERSION = 7
 
 
 class TraceRecorder:
@@ -300,6 +306,45 @@ class TraceRecorder:
         default_registry().counter(
             "cluster_events_total", "Cluster control-plane events by kind.",
             labels={"event": event}).inc()
+        return entry
+
+    def record_trust(self, *, event: str, target: str = "",
+                     job: Optional[str] = None,
+                     detail: Optional[dict] = None) -> dict:
+        """One trust-layer security event (schema 7).
+
+        ``event`` is the decision (``tamper_detected``, ``stale_key``,
+        ``replay_rejected``, ``stale_request``, ``key_rotation``,
+        ``keys_replicated``); ``target`` names what it hit (``cache``,
+        ``checkpoint``, a tenant, a frame kind).
+        """
+        entry = {
+            "job": job or target or "trust",
+            "kind": "trust",
+            "event": event,
+            "target": target,
+        }
+        if detail:
+            entry.update(detail)
+        self._append(entry)
+        registry = default_registry()
+        registry.counter(
+            "trust_events_total", "Trust-layer events by kind.",
+            labels={"event": event}).inc()
+        if event == "tamper_detected":
+            registry.counter(
+                "trust_tamper_detected_total",
+                "Artifacts whose bytes mismatched their signed manifest.",
+                labels={"target": target or "unknown"}).inc()
+        elif event in ("replay_rejected", "stale_request"):
+            registry.counter(
+                "trust_replay_rejected_total",
+                "Requests rejected by the replay/freshness guard.",
+                labels={"reason": (detail or {}).get("reason", event)}).inc()
+        elif event == "stale_key":
+            registry.counter(
+                "trust_stale_key_rejections_total",
+                "Requests rejected for stale/revoked/unknown keys.").inc()
         return entry
 
     def absorb(self, rows, worker: Optional[str] = None) -> None:

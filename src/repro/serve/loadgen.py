@@ -26,7 +26,26 @@ Usage::
 (multi-process scale-out; see :mod:`repro.cluster`); the report, metrics
 snapshot, and trace outputs work identically.  ``--chaos-kill-worker K``
 SIGKILLs a live worker ``K`` times mid-run to exercise the router's
-zero-loss failover.
+zero-loss failover; ``--chaos-chip-crash`` arms simulated die deaths
+(in-process via the fault injector, cluster via the first worker's
+degrade-ladder recovery).
+
+Trust chaos (:mod:`repro.trust`) injects *attacks* mid-run and asserts
+the hardening layer absorbs them with zero lost legitimate requests:
+
+* ``--chaos-tamper-cache N`` bit-flips every on-disk cache artifact N
+  times — each flip must degrade to a verified miss + quarantine
+  (``trust_tamper_detected_total``), never a crash or a poisoned load;
+* ``--chaos-stale-key K`` (cluster) submits K requests pinned to a
+  *revoked* key version — each must be rejected with a typed
+  :class:`~repro.trust.errors.StaleKeyError`;
+* ``--chaos-replay K`` (cluster) replays one freshness envelope K times
+  — each replay must be rejected with a typed
+  :class:`~repro.trust.errors.ReplayError`.
+
+Attack submissions are accounted separately from the legitimate stream
+(``attacks`` in the report); ``--fail-on-errors`` also fails the run if
+any attack *leaked* (was accepted instead of rejected).
 """
 
 from __future__ import annotations
@@ -38,6 +57,7 @@ import sys
 import threading
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from ..workloads.serving import MixEntry, serving_mix
@@ -215,6 +235,35 @@ def _counter_value(metrics: MetricsRegistry, name: str) -> int:
     return int(sum(series["value"] for series in snap["series"]))
 
 
+def _snapshot_counter(snapshot: dict, name: str) -> int:
+    """Sum a counter's series out of an already-merged snapshot dict."""
+    entry = snapshot.get(name)
+    if not entry or not entry.get("series"):
+        return 0
+    return int(sum(series["value"] for series in entry["series"]))
+
+
+def tamper_cache_dir(cache_dir) -> int:
+    """Bit-flip one byte of every artifact pickle under ``cache_dir`` —
+    the exact attack the signed manifest exists to catch.  Returns the
+    number of files flipped."""
+    flipped = 0
+    for path in sorted(Path(cache_dir).glob("*.pkl")):
+        try:
+            data = bytearray(path.read_bytes())
+        except OSError:
+            continue
+        if not data:
+            continue
+        data[len(data) // 2] ^= 0x01
+        try:
+            path.write_bytes(bytes(data))
+        except OSError:
+            continue
+        flipped += 1
+    return flipped
+
+
 def build_report(server: CinnamonServer, results: Sequence[RequestResult],
                  duration_s: float, *, mode: str, machine: str,
                  scale: str, offered: int,
@@ -310,7 +359,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="cluster mode: SIGKILL a live worker K times "
                              "mid-run (failover must lose zero requests)")
     parser.add_argument("--chaos-kill-delay", type=float, default=1.0,
-                        help="seconds between run start and each kill")
+                        help="seconds between run start and each kill "
+                             "(also spaces tamper/attack injections)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="shared on-disk compile cache directory "
+                             "(cluster mode defaults to a private "
+                             "temporary one)")
+    parser.add_argument("--capacity", type=int, default=None,
+                        help="per-shard (or per-worker) in-memory LRU "
+                             "bound; 1 forces disk reloads, which is what "
+                             "--chaos-tamper-cache needs to bite")
+    parser.add_argument("--chaos-tamper-cache", type=int, default=0,
+                        metavar="N",
+                        help="bit-flip every on-disk cache artifact N "
+                             "times mid-run; the signed manifest must "
+                             "degrade each to miss + quarantine")
+    parser.add_argument("--chaos-stale-key", type=int, default=0,
+                        metavar="K",
+                        help="cluster mode: submit K requests pinned to "
+                             "a revoked key version (typed rejection "
+                             "expected)")
+    parser.add_argument("--chaos-replay", type=int, default=0,
+                        metavar="K",
+                        help="cluster mode: replay one freshness "
+                             "envelope K times (typed rejection expected)")
     parser.add_argument("--watchdog", type=float, default=None,
                         help="per-simulation wall-clock budget, seconds")
     parser.add_argument("--metrics-out", default=None,
@@ -333,42 +405,75 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         obs.enable()
     mix = serving_mix(args.scale,
                       weights=parse_mix_weights(args.mix) or None)
-    faults = None
-    if args.chaos_chip_crash > 0:
-        from ..sim.config import resolve_machine
-
-        chip = args.chaos_chip
-        if chip is None:
-            chip = resolve_machine(args.machine).num_chips - 1
-        faults = FaultInjector().chip_crash(
-            chip=chip, cycle=args.chaos_cycle, count=args.chaos_chip_crash)
+    keyvault = None
     if args.cluster > 0:
-        if args.chaos_chip_crash > 0:
-            parser.error("--chaos-chip-crash is in-process only; "
-                         "cluster mode's chaos is --chaos-kill-worker")
         from ..cluster import ClusterRouter
 
+        if args.chaos_stale_key > 0:
+            from ..trust.keyvault import KeyVault
+
+            keyvault = KeyVault()
+            keyvault.issue("default")
         server = ClusterRouter(num_workers=args.cluster,
                                queue_depth=args.queue_depth,
-                               default_machine=args.machine)
+                               default_machine=args.machine,
+                               cache_dir=args.cache_dir,
+                               capacity=args.capacity,
+                               keyvault=keyvault,
+                               chaos_chip_crash=args.chaos_chip_crash,
+                               chaos_cycle=args.chaos_cycle)
     else:
-        if args.chaos_kill_worker > 0:
-            parser.error("--chaos-kill-worker requires --cluster N")
+        for flag, value in (("--chaos-kill-worker", args.chaos_kill_worker),
+                            ("--chaos-stale-key", args.chaos_stale_key),
+                            ("--chaos-replay", args.chaos_replay)):
+            if value > 0:
+                parser.error(f"{flag} requires --cluster N")
+        faults = None
+        if args.chaos_chip_crash > 0:
+            from ..sim.config import resolve_machine
+
+            chip = args.chaos_chip
+            if chip is None:
+                chip = resolve_machine(args.machine).num_chips - 1
+            faults = FaultInjector().chip_crash(
+                chip=chip, cycle=args.chaos_cycle,
+                count=args.chaos_chip_crash)
         server = CinnamonServer(
             num_workers=args.workers, queue_depth=args.queue_depth,
             max_batch=args.max_batch, max_wait_s=args.max_wait,
             default_machine=args.machine, seed=args.seed, faults=faults,
+            cache_dir=args.cache_dir, capacity=args.capacity,
             watchdog_s=args.watchdog)
+    if args.chaos_tamper_cache > 0 \
+            and getattr(server, "cache_dir", None) is None:
+        parser.error("--chaos-tamper-cache needs a server with an "
+                     "on-disk cache")
     generator = LoadGenerator(server, mix, seed=args.seed,
                               deadline_s=args.deadline)
 
     with server:
         if args.cluster > 0:
             server.wait_ready(timeout=60)
-        killer = None
-        if args.chaos_kill_worker > 0:
-            stop_chaos = threading.Event()
+        stop_chaos = threading.Event()
+        chaos_threads: List[threading.Thread] = []
+        attacks: Dict[str, int] = {}
+        attacks_lock = threading.Lock()
 
+        def _count(key: str, n: int = 1) -> None:
+            with attacks_lock:
+                attacks[key] = attacks.get(key, 0) + n
+
+        def _attack_request(tag: str) -> InferenceRequest:
+            # Built outside the generator so attack traffic never skews
+            # the legitimate stream's per-class/offered accounting.
+            name = next(iter(mix))
+            entry = mix[name]
+            return InferenceRequest(
+                program=generator._programs[name], params=entry.params,
+                machine=args.machine, priority=Priority.LOW,
+                name=f"attack-{tag}")
+
+        if args.chaos_kill_worker > 0:
             def _kill_loop():
                 for _ in range(args.chaos_kill_worker):
                     if stop_chaos.wait(args.chaos_kill_delay):
@@ -378,9 +483,88 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         print(f"  chaos         SIGKILL -> {victim}",
                               file=sys.stderr)
 
-            killer = threading.Thread(target=_kill_loop,
-                                      name="chaos-kill", daemon=True)
-            killer.start()
+            chaos_threads.append(threading.Thread(
+                target=_kill_loop, name="chaos-kill", daemon=True))
+
+        if args.chaos_tamper_cache > 0:
+            def _tamper_loop():
+                for _ in range(args.chaos_tamper_cache):
+                    if stop_chaos.wait(args.chaos_kill_delay):
+                        return
+                    flipped = tamper_cache_dir(server.cache_dir)
+                    _count("tamper_flips", flipped)
+                    print(f"  chaos         bit-flipped {flipped} "
+                          f"cached artifact(s)", file=sys.stderr)
+
+            chaos_threads.append(threading.Thread(
+                target=_tamper_loop, name="chaos-tamper", daemon=True))
+
+        if args.chaos_stale_key > 0:
+            def _stale_key_loop():
+                from ..trust.errors import KeyVaultError
+
+                if stop_chaos.wait(args.chaos_kill_delay):
+                    return
+                # Rotate to v2, revoke v1, then hammer with v1-pinned
+                # requests: every one must draw a typed rejection.
+                keyvault.rotate("default")
+                keyvault.revoke("default", 1)
+                for i in range(args.chaos_stale_key):
+                    request = _attack_request(f"stale-key-{i}")
+                    request.key_version = 1
+                    _count("stale_key_sent")
+                    try:
+                        server.submit(request)
+                    except KeyVaultError:
+                        _count("stale_key_rejected")
+                    else:
+                        _count("stale_key_leaked")
+                    if stop_chaos.wait(0.02):
+                        return
+
+            chaos_threads.append(threading.Thread(
+                target=_stale_key_loop, name="chaos-stale-key",
+                daemon=True))
+
+        if args.chaos_replay > 0:
+            def _replay_loop():
+                from ..trust.errors import ReplayError
+                from ..trust.freshness import EnvelopeMinter
+
+                if stop_chaos.wait(args.chaos_kill_delay):
+                    return
+                envelope = EnvelopeMinter(sender="loadgen-attacker").mint()
+                probe = _attack_request("replay-probe")
+                probe.envelope = envelope
+                probe_handle = None
+                try:
+                    probe_handle = server.submit(probe)
+                    _count("replay_probe_sent")
+                except Exception:
+                    _count("replay_probe_failed")
+                for i in range(args.chaos_replay):
+                    replayed = _attack_request(f"replay-{i}")
+                    replayed.envelope = envelope
+                    _count("replay_sent")
+                    try:
+                        server.submit(replayed)
+                    except ReplayError:
+                        _count("replay_rejected")
+                    else:
+                        _count("replay_leaked")
+                    if stop_chaos.wait(0.02):
+                        return
+                if probe_handle is not None:
+                    try:
+                        probe_handle.result(timeout=RESULT_TIMEOUT_S)
+                    except Exception:
+                        pass
+
+            chaos_threads.append(threading.Thread(
+                target=_replay_loop, name="chaos-replay", daemon=True))
+
+        for thread in chaos_threads:
+            thread.start()
         start = time.monotonic()
         if args.mode == "open":
             results = generator.run_open_loop(args.requests, args.rate,
@@ -391,9 +575,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                                 args.machine)
         server.drain()
         duration = time.monotonic() - start
-        if killer is not None:
-            stop_chaos.set()
-            killer.join(timeout=5)
+        stop_chaos.set()
+        for thread in chaos_threads:
+            thread.join(timeout=5)
         report = build_report(
             server, results, duration, mode=args.mode,
             machine=args.machine, scale=args.scale,
@@ -407,6 +591,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 "retries": _counter_value(
                     server.metrics, "serve_retries_total"),
             }
+            # Trust counters live partly worker-side (tamper detections
+            # happen where the disk load happens): read them from the
+            # *merged* snapshot, not the router-local registry.
+            merged = server.metrics_snapshot()
+            for key, metric in (
+                    ("tamper_detected", "trust_tamper_detected_total"),
+                    ("replay_rejected", "trust_replay_rejected_total"),
+                    ("stale_key_rejections",
+                     "trust_stale_key_rejections_total"),
+                    ("trust_rejections", "cluster_trust_rejections_total"),
+                    ("recoveries", "runtime_recoveries_total")):
+                value = _snapshot_counter(merged, metric)
+                if value:
+                    report.chaos[key] = value
+        elif args.chaos_tamper_cache > 0:
+            report.chaos["tamper_detected"] = _counter_value(
+                server.metrics, "trust_tamper_detected_total")
+        if attacks:
+            report.chaos.update(attacks)
         print(report.render())
         if args.metrics_out:
             snapshot = server.metrics_snapshot()
@@ -428,6 +631,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"loadgen: FAIL — {report.failed} request(s) not served OK",
               file=sys.stderr)
         return 1
+    if args.fail_on_errors:
+        leaked = sum(v for k, v in report.chaos.items()
+                     if str(k).endswith("_leaked"))
+        if leaked:
+            print(f"loadgen: FAIL — {leaked} attack(s) leaked past the "
+                  f"trust layer", file=sys.stderr)
+            return 1
     return 0
 
 

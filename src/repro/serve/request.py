@@ -62,6 +62,11 @@ class InferenceRequest:
     name: Optional[str] = None
     tenant: str = "default"           # quota/fair-share accounting unit
     request_id: int = field(default_factory=lambda: next(_REQUEST_IDS))
+    # repro.trust: the client's freshness claim (nonce + timestamp + seq,
+    # checked by the router's ReplayGuard when set) and the evaluation-key
+    # version the request is pinned to (None = whatever is active).
+    envelope: object = None           # trust.freshness.FreshnessEnvelope
+    key_version: Optional[int] = None
 
     # Filled in at admission by the server:
     key: Optional[str] = None         # compile fingerprint

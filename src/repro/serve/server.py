@@ -111,6 +111,10 @@ class CinnamonServer:
         self.retry_jitter = retry_jitter
         self.request_timeout_s = request_timeout_s
         self.default_machine = default_machine
+        #: Shared shard cache directory (None = memory-only shards);
+        #: exposed so chaos tooling can aim tamper attacks at the disk
+        #: layer (repro.trust).
+        self.cache_dir = cache_dir
         self.faults = faults or NO_FAULTS
         #: Degrade-ladder descents allowed per batch after chip failures
         #: (these do NOT consume regular retries: losing a die is a

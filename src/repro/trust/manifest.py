@@ -1,0 +1,326 @@
+"""Signed per-directory artifact manifests.
+
+One :class:`ArtifactManifest` guards one directory of on-disk artifacts
+(the compile cache's pickles, a checkpoint store's ``CNCK`` blobs).  The
+manifest file (``MANIFEST.json``) maps artifact name to
+
+* ``sha256`` — hash of the exact file bytes (tamper detection), and
+* ``digest`` — an optional caller-supplied *content* digest that is
+  deterministic across rebuilds (the reproducibility gate compares
+  these; wall-clock compile timings inside a pickle make the raw file
+  hash non-reproducible),
+
+and is itself signed: an HMAC-SHA256 over the canonical JSON of the
+entries, keyed by the deployment's trust key (``CINNAMON_TRUST_KEY`` or
+an explicit ``key=``).  A manifest whose signature does not verify is
+quarantined wholesale — every entry in it is untrusted.
+
+Concurrency: updates happen under the same cross-process ``flock``
+discipline as the cache index (:class:`~repro.runtime.locking.FileLock`
+on ``.manifest.lock``), so cluster workers sharing one cache directory
+cannot lose each other's rows.  Verification is lock-free (reads one
+atomic snapshot).
+
+Write ordering contract: artifact files are ``os.replace``d *before*
+their manifest row lands.  A reader that finds a file with no manifest
+row therefore treats it as *unrecorded* (a plain cache miss — a writer
+may be mid-update), while a row whose hash mismatches the file is
+*tampering* and quarantines the file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+from .errors import ManifestSignatureError, TamperDetectedError
+
+#: Name of the signed per-directory manifest.
+MANIFEST_FILENAME = "MANIFEST.json"
+#: Lock file guarding manifest read-modify-write cycles across processes.
+MANIFEST_LOCK_FILENAME = ".manifest.lock"
+#: Subdirectory tampered artifacts are moved into (never deleted: they
+#: are evidence).
+QUARANTINE_DIRNAME = "quarantine"
+
+#: Environment variable carrying the deployment's manifest-signing key.
+TRUST_KEY_ENV = "CINNAMON_TRUST_KEY"
+
+#: Manifest document layout version.
+MANIFEST_SCHEMA_VERSION = 1
+
+#: Fallback signing key for deployments that have not provisioned one.
+#: It still turns accidental corruption and casual tampering into loud
+#: failures; real deployments must set ``CINNAMON_TRUST_KEY`` (see
+#: docs/trust.md for the threat model).
+_DEFAULT_KEY = b"cinnamon-dev-trust-key"
+
+
+def resolve_trust_key(key=None) -> bytes:
+    """The manifest-signing key: explicit ``key`` > environment >
+    built-in development default."""
+    if key is not None:
+        return key.encode("utf-8") if isinstance(key, str) else bytes(key)
+    env = os.environ.get(TRUST_KEY_ENV)
+    if env:
+        return env.encode("utf-8")
+    return _DEFAULT_KEY
+
+
+def sha256_file(path) -> str:
+    """Streaming SHA-256 of a file's bytes (hex digest)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def sign_entries(entries: dict, key: bytes,
+                 schema: int = MANIFEST_SCHEMA_VERSION) -> str:
+    """HMAC-SHA256 over the canonical JSON of ``(schema, entries)``."""
+    blob = json.dumps({"schema": schema, "entries": entries},
+                      sort_keys=True, separators=(",", ":"))
+    return hmac.new(key, blob.encode("utf-8"), hashlib.sha256).hexdigest()
+
+
+class ArtifactManifest:
+    """Signed hash manifest of one artifact directory (see module doc).
+
+    ``on_tamper`` (optional) is called with a
+    :class:`~repro.trust.errors.TamperDetectedError` every time this
+    manifest detects tampering — the cache layer uses it to bump the
+    ``trust_tamper_detected_total`` counter and journal a ``kind:
+    "trust"`` row without the manifest importing any of that machinery.
+    """
+
+    def __init__(self, directory, key=None, target: str = "cache",
+                 on_tamper=None):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.key = resolve_trust_key(key)
+        self.target = target
+        self.on_tamper = on_tamper
+        # Imported here, not at module scope: runtime.cache imports this
+        # module, so a top-level import of repro.runtime would be circular.
+        from ..runtime.locking import FileLock
+        self._lock = FileLock(self.directory / MANIFEST_LOCK_FILENAME)
+
+    # ------------------------------------------------------------------ #
+    # Paths
+
+    @property
+    def path(self) -> Path:
+        return self.directory / MANIFEST_FILENAME
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.directory / QUARANTINE_DIRNAME
+
+    # ------------------------------------------------------------------ #
+    # Load / store
+
+    def entries(self) -> Dict[str, dict]:
+        """The verified manifest entries (empty if absent).
+
+        An unverifiable signature is treated as tampering with the
+        manifest itself: the file is quarantined and an empty manifest
+        takes its place (every artifact becomes unrecorded, i.e. a cache
+        miss — fail closed, not open).
+        """
+        try:
+            return self._read_verified()
+        except ManifestSignatureError:
+            self._report(TamperDetectedError(
+                self.target, MANIFEST_FILENAME, expected="valid-hmac",
+                actual="bad-hmac"))
+            with self._lock:
+                self._quarantine_file(self.path)
+                self._write(dict())
+            return {}
+
+    def _read_verified(self) -> Dict[str, dict]:
+        try:
+            doc = json.loads(self.path.read_text())
+        except FileNotFoundError:
+            return {}
+        except (OSError, ValueError) as exc:
+            raise ManifestSignatureError(
+                f"unreadable manifest {self.path}: {exc}") from exc
+        if not isinstance(doc, dict):
+            raise ManifestSignatureError("manifest is not a JSON object")
+        entries = doc.get("entries")
+        if not isinstance(entries, dict):
+            raise ManifestSignatureError("manifest has no entries map")
+        schema = doc.get("schema", MANIFEST_SCHEMA_VERSION)
+        expected = sign_entries(entries, self.key, schema=schema)
+        if not hmac.compare_digest(str(doc.get("sig", "")), expected):
+            raise ManifestSignatureError(
+                f"manifest signature mismatch in {self.directory}")
+        return entries
+
+    def _write(self, entries: Dict[str, dict]) -> None:
+        """Atomically replace the manifest (caller holds the flock)."""
+        doc = {
+            "schema": MANIFEST_SCHEMA_VERSION,
+            "entries": entries,
+            "sig": sign_entries(entries, self.key),
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(doc, handle, sort_keys=True, indent=1)
+            os.replace(tmp, self.path)
+        except Exception:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------ #
+    # Recording
+
+    def record(self, name: str, *, sha256: Optional[str] = None,
+               path=None, digest: Optional[str] = None,
+               size: Optional[int] = None) -> dict:
+        """Record (or refresh) one artifact row and re-sign.
+
+        Pass either the precomputed ``sha256`` of the file bytes or a
+        ``path`` to hash.  ``digest`` is the deterministic content
+        digest compared by ``--rebuild-check``.
+        """
+        if sha256 is None:
+            if path is None:
+                raise ValueError("record() needs sha256 or path")
+            sha256 = sha256_file(path)
+            if size is None:
+                size = os.path.getsize(path)
+        entry = {"sha256": sha256, "recorded_unix": time.time()}
+        if digest is not None:
+            entry["digest"] = digest
+        if size is not None:
+            entry["size"] = int(size)
+        with self._lock:
+            entries = self.entries()
+            entries[name] = entry
+            self._write(entries)
+        return entry
+
+    def forget(self, name: str) -> None:
+        with self._lock:
+            entries = self.entries()
+            if entries.pop(name, None) is not None:
+                self._write(entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._write({})
+
+    # ------------------------------------------------------------------ #
+    # Verification
+
+    def verify_bytes(self, name: str, data: bytes) -> bool:
+        """Verify in-memory artifact bytes against the manifest.
+
+        Returns ``True`` when the entry exists and matches, ``False``
+        when the artifact is *unrecorded* (plain miss), and raises
+        :class:`TamperDetectedError` on a hash mismatch.
+        """
+        entry = self.entries().get(name)
+        if entry is None:
+            return False
+        actual = hashlib.sha256(data).hexdigest()
+        if not hmac.compare_digest(entry["sha256"], actual):
+            error = TamperDetectedError(self.target, name,
+                                        expected=entry["sha256"],
+                                        actual=actual)
+            self._report(error)
+            raise error
+        return True
+
+    def verify_file(self, name: str, path) -> bool:
+        """Like :meth:`verify_bytes` for an on-disk file (streaming)."""
+        entry = self.entries().get(name)
+        if entry is None:
+            return False
+        actual = sha256_file(path)
+        if not hmac.compare_digest(entry["sha256"], actual):
+            error = TamperDetectedError(self.target, name,
+                                        expected=entry["sha256"],
+                                        actual=actual)
+            self._report(error)
+            raise error
+        return True
+
+    def verify_directory(self) -> dict:
+        """Audit every recorded artifact that exists on disk.
+
+        Returns ``{"verified": [...], "tampered": [...], "missing":
+        [...]}`` without quarantining anything — the CLI's read-only
+        audit mode.
+        """
+        report = {"verified": [], "tampered": [], "missing": []}
+        for name, entry in sorted(self.entries().items()):
+            path = self.directory / name
+            if not path.exists():
+                report["missing"].append(name)
+                continue
+            if hmac.compare_digest(entry["sha256"], sha256_file(path)):
+                report["verified"].append(name)
+            else:
+                report["tampered"].append(name)
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Quarantine
+
+    def quarantine(self, name: str, path=None) -> Optional[Path]:
+        """Move a tampered artifact into ``quarantine/`` (evidence, not
+        deletion) and drop its manifest row.  Returns the new path, or
+        ``None`` if the file was already gone."""
+        path = Path(path) if path is not None else self.directory / name
+        with self._lock:
+            entries = self.entries()
+            if entries.pop(name, None) is not None:
+                self._write(entries)
+            return self._quarantine_file(path)
+
+    def _quarantine_file(self, path: Path) -> Optional[Path]:
+        if not path.exists():
+            return None
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        stamp = int(time.time() * 1e6)
+        dest = self.quarantine_dir / f"{path.name}.{stamp}"
+        try:
+            os.replace(path, dest)
+        except OSError:
+            return None
+        return dest
+
+    def _report(self, error: TamperDetectedError) -> None:
+        if self.on_tamper is not None:
+            try:
+                self.on_tamper(error)
+            except Exception:  # pragma: no cover - observer must not mask
+                pass
+
+    # ------------------------------------------------------------------ #
+
+    def digests(self) -> Dict[str, str]:
+        """name -> deterministic content digest (reproducibility view)."""
+        return {name: entry["digest"]
+                for name, entry in self.entries().items()
+                if "digest" in entry}
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.entries()

@@ -122,6 +122,40 @@ class TestCheckpointStore:
         with pytest.raises(CorruptCheckpointError):
             store.load(path)
 
+    def test_tampered_checkpoint_quarantined_recovery_continues(
+            self, tmp_path):
+        """Flipping bytes in a signed checkpoint must not poison
+        recovery: load() quarantines the evidence and raises, list()
+        falls back to the surviving older snapshot, and the on_tamper
+        hook reports the attack."""
+        from repro.trust.errors import TamperDetectedError
+
+        seen = []
+        store = CheckpointStore(tmp_path, keep=3, on_tamper=seen.append)
+        store.save(make_checkpoint(seq=0, cycle=100))
+        path = store.save(make_checkpoint(seq=1, cycle=200))
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CorruptCheckpointError):
+            store.load(path)
+        assert seen and isinstance(seen[0], TamperDetectedError)
+        # Evidence moved aside, not deleted; recovery uses seq 0.
+        assert not path.exists()
+        assert list((tmp_path / "run-1" / "quarantine")
+                    .glob(f"{path.name}.*"))
+        assert store.latest("run-1").seq == 0
+
+    def test_pre_trust_checkpoint_still_loads(self, tmp_path):
+        """A checkpoint dir written before the manifest existed (no rows)
+        falls back to CRC-only validation instead of rejecting history."""
+        store = CheckpointStore(tmp_path, keep=3)
+        path = store.save(make_checkpoint(seq=0, cycle=100))
+        (tmp_path / "run-1" / "MANIFEST.json").unlink()
+        fresh = CheckpointStore(tmp_path, keep=3)
+        assert fresh.load(path).cycle == 100
+        assert [c.seq for c in fresh.list("run-1")] == [0]
+
     def test_missing_run_is_empty(self, tmp_path):
         store = CheckpointStore(tmp_path)
         assert store.list("no-such-run") == []

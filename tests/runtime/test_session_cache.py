@@ -138,14 +138,58 @@ class TestDiskCache:
         assert bumped.cache_stats.disk_hits == 0
         assert bumped.cache_stats.misses == 1
 
-    def test_stale_payload_is_dropped_not_crashed(self, tmp_path):
+    def test_unrecorded_payload_is_a_miss_never_unpickled(self, tmp_path):
+        """A file with no signed-manifest row (dropped out-of-band into
+        the cache dir) is a plain miss: its bytes never reach pickle, and
+        it is left in place — a racing writer's manifest row may simply
+        not have landed yet."""
         cache = CompileCache(cache_dir=tmp_path)
         key = "0" * 64
         (tmp_path / f"{key}.pkl").write_bytes(b"not a pickle")
         compiled, source = cache.get(key)
         assert compiled is None and source == "miss"
-        assert cache.stats.invalidated == 1
-        assert not (tmp_path / f"{key}.pkl").exists()
+        assert cache.stats.invalidated == 0
+        assert cache.stats.tampered == 0
+        assert (tmp_path / f"{key}.pkl").exists()
+
+    def test_bitflipped_payload_degrades_to_miss_and_quarantine(
+            self, tmp_path):
+        """An attacker flipping one bit of an on-disk pickle gets a
+        recompile, not a crash — and never an unpickle: the signed
+        manifest catches the hash mismatch first, the evidence moves to
+        quarantine/, and the tamper is journaled as a trust row."""
+        writer = CinnamonSession(cache_dir=tmp_path)
+        original = writer.compile(build_program(), PARAMS, machine=2)
+        victim = tmp_path / f"{original.cache_key}.pkl"
+        data = bytearray(victim.read_bytes())
+        data[len(data) // 2] ^= 0x01
+        victim.write_bytes(bytes(data))
+
+        reader = CinnamonSession(cache_dir=tmp_path)
+        restored = reader.compile(build_program(), PARAMS, machine=2)
+        # Degraded to a miss: recompiled from source, same semantics.
+        assert reader.cache_stats.disk_hits == 0
+        assert reader.cache_stats.misses == 1
+        assert reader.cache_stats.tampered == 1
+        assert reader.cache_stats.quarantined == 1
+        assert disassemble(restored.isa) == disassemble(original.isa)
+        # Evidence preserved; the path itself holds the freshly
+        # recompiled (re-recorded) artifact, not the poisoned bytes.
+        quarantined = list((tmp_path / "quarantine")
+                           .glob(f"{victim.name}.*"))
+        assert len(quarantined) == 1
+        assert quarantined[0].read_bytes() == bytes(data)
+        assert victim.read_bytes() != bytes(data)
+        # The detection is journaled (trace schema 7 trust rows).
+        trust_rows = [row for row in reader.trace()["jobs"]
+                      if row.get("kind") == "trust"]
+        assert any(row.get("event") == "tamper_detected"
+                   for row in trust_rows)
+        # The recompile healed the cache: next session disk-hits again.
+        healed = CinnamonSession(cache_dir=tmp_path)
+        healed.compile(build_program(), PARAMS, machine=2)
+        assert healed.cache_stats.disk_hits == 1
+        assert healed.cache_stats.tampered == 0
 
     def test_invalidate_clears_both_layers(self, tmp_path):
         session = CinnamonSession(cache_dir=tmp_path)

@@ -1,0 +1,129 @@
+"""Evaluation-key lifecycle: versioned rotation, grace windows, revocation,
+and signed manifest replication."""
+
+import pytest
+
+from repro.trust.errors import (ManifestSignatureError, StaleKeyError,
+                                UnknownKeyError)
+from repro.trust.keyvault import ACTIVE, RETIRED, REVOKED, KeyVault
+
+
+class TestLifecycle:
+    def test_issue_is_idempotent(self):
+        vault = KeyVault()
+        first = vault.issue("tenant-a")
+        second = vault.issue("tenant-a")
+        assert first.version == second.version == 1
+        assert vault.active_version("tenant-a") == 1
+
+    @staticmethod
+    def statuses(vault, tenant):
+        return {r["version"]: r["status"]
+                for r in vault.manifest()["records"]
+                if r["tenant"] == tenant}
+
+    def test_rotate_retires_the_predecessor(self):
+        vault = KeyVault()
+        vault.issue("tenant-a")
+        record = vault.rotate("tenant-a")
+        assert record.version == 2 and record.status == ACTIVE
+        assert self.statuses(vault, "tenant-a") == {1: RETIRED, 2: ACTIVE}
+
+    def test_revoke(self):
+        vault = KeyVault()
+        vault.issue("tenant-a")
+        vault.rotate("tenant-a")
+        vault.revoke("tenant-a", 1)
+        assert self.statuses(vault, "tenant-a")[1] == REVOKED
+        # Active key is the newest non-revoked one.
+        assert vault.active("tenant-a").version == 2
+
+
+class TestValidate:
+    def test_none_version_resolves_to_active(self):
+        vault = KeyVault()
+        vault.issue("tenant-a")
+        assert vault.validate("tenant-a", None).version == 1
+
+    def test_unknown_tenant_and_version(self):
+        vault = KeyVault()
+        with pytest.raises(UnknownKeyError):
+            vault.validate("nobody", None)
+        vault.issue("tenant-a")
+        with pytest.raises(UnknownKeyError):
+            vault.validate("tenant-a", 99)
+
+    def test_revoked_key_is_stale_with_revoked_status(self):
+        vault = KeyVault()
+        vault.issue("tenant-a")
+        vault.rotate("tenant-a")
+        vault.revoke("tenant-a", 1)
+        with pytest.raises(StaleKeyError) as info:
+            vault.validate("tenant-a", 1)
+        assert info.value.status == REVOKED
+        assert info.value.active == 2
+
+    def test_grace_window(self):
+        vault = KeyVault(grace_versions=1)
+        vault.issue("tenant-a")
+        vault.rotate("tenant-a")   # v1 retired, within grace of v2
+        assert vault.validate("tenant-a", 1).version == 1
+        vault.rotate("tenant-a")   # v1 now two behind v3
+        with pytest.raises(StaleKeyError) as info:
+            vault.validate("tenant-a", 1)
+        assert info.value.status == RETIRED
+
+    def test_no_grace_rejects_retired_immediately(self):
+        vault = KeyVault(grace_versions=0)
+        vault.issue("tenant-a")
+        vault.rotate("tenant-a")
+        with pytest.raises(StaleKeyError):
+            vault.validate("tenant-a", 1)
+
+
+class TestReplication:
+    def test_manifest_roundtrip(self):
+        vault = KeyVault()
+        vault.issue("tenant-a")
+        vault.rotate("tenant-a")
+        vault.issue("tenant-b")
+        doc = vault.manifest()
+        replica = KeyVault()
+        assert replica.install_manifest(doc) == 3
+        assert replica.active_version("tenant-a") == 2
+        assert replica.active_version("tenant-b") == 1
+        # Revocations propagate on the next replication.
+        vault.revoke("tenant-a", 1)
+        replica.install_manifest(vault.manifest())
+        with pytest.raises(StaleKeyError):
+            replica.validate("tenant-a", 1)
+
+    def test_manifest_carries_no_secrets(self):
+        vault = KeyVault()
+        vault.issue("tenant-a")
+        doc = vault.manifest()
+        # Metadata only: ids, fingerprints, status — never key material
+        # or seeds.
+        assert set(doc["records"][0]) == {
+            "tenant", "version", "key_id", "fingerprint", "status",
+            "created_unix"}
+        assert str(vault._seed) not in repr(doc["records"])
+
+    def test_forged_manifest_rejected_and_vault_untouched(self):
+        vault = KeyVault()
+        vault.issue("tenant-a")
+        doc = vault.manifest()
+        doc["records"][0]["tenant"] = "mallory"
+        replica = KeyVault()
+        replica.issue("tenant-b")
+        with pytest.raises(ManifestSignatureError):
+            replica.install_manifest(doc)
+        # Verify-then-install: the forgery changed nothing.
+        assert replica.tenants() == ["tenant-b"]
+
+    def test_wrong_signing_key_rejected(self):
+        vault = KeyVault(signing_key=b"router-key")
+        vault.issue("tenant-a")
+        replica = KeyVault(signing_key=b"other-key")
+        with pytest.raises(ManifestSignatureError):
+            replica.install_manifest(vault.manifest())

@@ -1,0 +1,134 @@
+"""Signed artifact manifests: record/verify, tamper quarantine, and the
+fail-closed posture when the manifest itself is attacked."""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.trust.errors import TamperDetectedError
+from repro.trust.manifest import (ArtifactManifest, MANIFEST_FILENAME,
+                                  QUARANTINE_DIRNAME, sha256_file)
+
+
+def put(directory, name, data: bytes):
+    path = directory / name
+    path.write_bytes(data)
+    return path
+
+
+class TestRecordVerify:
+    def test_recorded_bytes_verify(self, tmp_path):
+        manifest = ArtifactManifest(tmp_path)
+        put(tmp_path, "a.pkl", b"artifact-a")
+        manifest.record("a.pkl", sha256=hashlib.sha256(b"artifact-a")
+                        .hexdigest())
+        assert manifest.verify_bytes("a.pkl", b"artifact-a") is True
+        assert "a.pkl" in manifest
+        assert len(manifest) == 1
+
+    def test_record_by_path_hashes_the_file(self, tmp_path):
+        manifest = ArtifactManifest(tmp_path)
+        path = put(tmp_path, "b.pkl", b"artifact-b")
+        entry = manifest.record("b.pkl", path=path)
+        assert entry["sha256"] == sha256_file(path)
+        assert entry["size"] == len(b"artifact-b")
+        assert manifest.verify_file("b.pkl", path) is True
+
+    def test_unrecorded_is_false_not_an_error(self, tmp_path):
+        manifest = ArtifactManifest(tmp_path)
+        assert manifest.verify_bytes("ghost.pkl", b"whatever") is False
+
+    def test_mismatch_raises_typed_error_and_fires_hook(self, tmp_path):
+        seen = []
+        manifest = ArtifactManifest(tmp_path, target="cache",
+                                    on_tamper=seen.append)
+        manifest.record("c.pkl", sha256=hashlib.sha256(b"good").hexdigest())
+        with pytest.raises(TamperDetectedError) as info:
+            manifest.verify_bytes("c.pkl", b"evil")
+        assert info.value.target == "cache"
+        assert info.value.name == "c.pkl"
+        assert seen and seen[0] is info.value
+
+    def test_forget_and_clear(self, tmp_path):
+        manifest = ArtifactManifest(tmp_path)
+        manifest.record("a.pkl", sha256="0" * 64)
+        manifest.record("b.pkl", sha256="1" * 64)
+        manifest.forget("a.pkl")
+        assert "a.pkl" not in manifest and "b.pkl" in manifest
+        manifest.clear()
+        assert len(manifest) == 0
+
+    def test_digests_view(self, tmp_path):
+        manifest = ArtifactManifest(tmp_path)
+        manifest.record("a.pkl", sha256="0" * 64, digest="d" * 64)
+        manifest.record("b.pkl", sha256="1" * 64)  # no content digest
+        assert manifest.digests() == {"a.pkl": "d" * 64}
+
+
+class TestQuarantine:
+    def test_tampered_file_moves_to_quarantine(self, tmp_path):
+        manifest = ArtifactManifest(tmp_path)
+        path = put(tmp_path, "a.pkl", b"payload")
+        manifest.record("a.pkl", path=path)
+        path.write_bytes(b"tampered")
+        with pytest.raises(TamperDetectedError):
+            manifest.verify_file("a.pkl", path)
+        dest = manifest.quarantine("a.pkl")
+        assert dest is not None and dest.exists()
+        assert dest.parent.name == QUARANTINE_DIRNAME
+        assert not path.exists()          # moved, not copied
+        assert "a.pkl" not in manifest    # row dropped
+
+    def test_quarantine_of_missing_file_is_none(self, tmp_path):
+        manifest = ArtifactManifest(tmp_path)
+        assert manifest.quarantine("never-existed.pkl") is None
+
+
+class TestManifestItselfAttacked:
+    def test_forged_signature_fails_closed(self, tmp_path):
+        """Editing the manifest (rows or sig) voids everything in it:
+        every artifact becomes unrecorded — a miss, never unpickled."""
+        manifest = ArtifactManifest(tmp_path)
+        put(tmp_path, "a.pkl", b"payload")
+        manifest.record("a.pkl", sha256=hashlib.sha256(b"payload")
+                        .hexdigest())
+        doc = json.loads((tmp_path / MANIFEST_FILENAME).read_text())
+        doc["entries"]["evil.pkl"] = {"sha256": "f" * 64}
+        (tmp_path / MANIFEST_FILENAME).write_text(json.dumps(doc))
+        assert manifest.entries() == {}
+        # The forged manifest is itself quarantined as evidence.
+        assert list(manifest.quarantine_dir.glob(
+            f"{MANIFEST_FILENAME}.*"))
+
+    def test_deleting_manifest_means_all_unrecorded(self, tmp_path):
+        manifest = ArtifactManifest(tmp_path)
+        put(tmp_path, "a.pkl", b"payload")
+        manifest.record("a.pkl", sha256=hashlib.sha256(b"payload")
+                        .hexdigest())
+        (tmp_path / MANIFEST_FILENAME).unlink()
+        # No row -> unrecorded -> miss; the bytes must never be trusted.
+        assert manifest.verify_bytes("a.pkl", b"payload") is False
+
+    def test_key_mismatch_voids_the_manifest(self, tmp_path):
+        ArtifactManifest(tmp_path, key=b"key-one").record(
+            "a.pkl", sha256="0" * 64)
+        other = ArtifactManifest(tmp_path, key=b"key-two")
+        assert other.entries() == {}
+
+
+class TestDirectoryAudit:
+    def test_verify_directory_classifies(self, tmp_path):
+        manifest = ArtifactManifest(tmp_path)
+        ok = put(tmp_path, "ok.pkl", b"fine")
+        manifest.record("ok.pkl", path=ok)
+        bad = put(tmp_path, "bad.pkl", b"fine-too")
+        manifest.record("bad.pkl", path=bad)
+        bad.write_bytes(b"flipped")
+        manifest.record("gone.pkl", sha256="0" * 64)
+        report = manifest.verify_directory()
+        assert report["verified"] == ["ok.pkl"]
+        assert report["tampered"] == ["bad.pkl"]
+        assert report["missing"] == ["gone.pkl"]
+        # Read-only audit: nothing was quarantined or forgotten.
+        assert bad.exists() and len(manifest) == 3
