@@ -1,10 +1,11 @@
 """Performance-baseline harness: measure, record, and gate BENCH_*.json.
 
-This is the repo's first perf trajectory: four committed baseline files
+This is the repo's perf trajectory: the committed baseline files
 (``BENCH_kernels.json``, ``BENCH_serving.json``, ``BENCH_sim.json``,
-``BENCH_cluster.json``) pin the headline numbers — NTT µs/limb per kernel
-backend, CKKS bootstrap latency, loadgen throughput, multi-process
-scale-out speedup, and simulator cycles/sec — and CI re-measures
+``BENCH_cluster.json``, ``BENCH_nn.json``) pin the headline numbers —
+NTT µs/limb per kernel backend, CKKS bootstrap latency, loadgen
+throughput, multi-process scale-out speedup, simulator cycles/sec, and
+lowered-model (BERT encoder) latency — and CI re-measures
 them on every push, failing when a gated metric regresses by more than
 :data:`REGRESSION_TOLERANCE` (see ``.github/workflows/bench.yml``).
 
@@ -59,7 +60,7 @@ REGRESSION_TOLERANCE = 0.20
 #: interleaved min-of-N timing.
 WALL_TOLERANCE = 0.50
 
-SUITES = ("kernels", "serving", "sim", "cluster")
+SUITES = ("kernels", "serving", "sim", "cluster", "nn")
 
 
 def _metric(value, unit, direction="lower", tolerance=None):
@@ -355,8 +356,71 @@ def bench_sim(quick: bool) -> dict:
     }
 
 
+def bench_nn(quick: bool) -> dict:
+    """Lowered-model latency: the :mod:`repro.nn` serving classes.
+
+    The headline is the BERT encoder block — lowered by the tensor
+    frontend, compiled, and cycle-simulated on cinnamon_4 at the small
+    serving scale (the paper-scale BOOTSTRAP_13 build compiles for
+    minutes and belongs in an experiment run, not a per-push gate).
+    Simulated cycle counts are deterministic, so they keep the tight
+    suite-wide gate; compile/simulate wall times carry WALL_TOLERANCE.
+    A HELR parity probe (full encrypted forward on real limbs vs the
+    numpy reference) guards numeric health: its error is deterministic
+    given the seeded keychain, and the wide gate only trips when noise
+    grows by an order of magnitude.
+    """
+    import repro
+    from repro.nn import (build_helr, encrypted_forward, lower, nn_params,
+                          sample_input)
+    from repro.workloads.serving import nn_mix
+
+    mix = nn_mix("small")
+    metrics = {}
+    context = {"scale": "small", "machine_sim": "cinnamon_4"}
+
+    for name, key in (("nn-bert-encoder", "bert"),
+                      ("nn-resnet20", "resnet"),
+                      ("nn-helr", "helr")):
+        entry = mix[name]
+        program = entry.build()
+        start = time.perf_counter()
+        compiled = repro.compile(program, entry.params,
+                                 machine="cinnamon_4")
+        compile_wall = time.perf_counter() - start
+        result = compiled.simulate("cinnamon_4")   # warm: decode caches
+        rounds = 2 if quick else 3
+        best = min(_interleaved_min(
+            {"sim": lambda c=compiled: c.simulate("cinnamon_4")},
+            rounds).values())
+        metrics[f"{key}_sim_cycles"] = _metric(result.cycles, "cycles")
+        metrics[f"{key}_compile_wall_s"] = _metric(
+            compile_wall, "s", tolerance=WALL_TOLERANCE)
+        metrics[f"{key}_sim_wall_s"] = _metric(
+            best, "s", tolerance=WALL_TOLERANCE)
+        context[key] = {"ops": len(program.ops),
+                        "max_level": entry.params.max_level,
+                        "instructions": result.instructions}
+
+    model = build_helr()
+    lowered = lower(model, nn_params(8))
+    x = sample_input(model)
+    err = float(np.abs(encrypted_forward(lowered, x)
+                       - model.reference(x)).max())
+    metrics["helr_parity_max_abs_err"] = _metric(
+        err, "abs err", tolerance=9.0)
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": "nn",
+        "machine": _machine_info(),
+        "context": context,
+        "metrics": metrics,
+    }
+
+
 _RUNNERS = {"kernels": bench_kernels, "serving": bench_serving,
-            "sim": bench_sim, "cluster": bench_cluster}
+            "sim": bench_sim, "cluster": bench_cluster, "nn": bench_nn}
 
 
 # --------------------------------------------------------------------- #

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""The repro.nn model frontend in one page.
+
+1. Build a model from typed layers (HELR's logistic-regression step),
+   lower it to a Cinnamon DSL program with automatic packing, and run a
+   *real* encrypted forward pass — compiler, ISA emulator, RNS-CKKS
+   limbs — checking it against the plaintext numpy reference.
+2. Lower a BERT encoder block at serving scale, compile it for the
+   Cinnamon-4 machine, and cycle-simulate its latency.
+3. Show the depth ledger: how a deep model schedules bootstraps
+   (Orion-style, before the stages that would underflow the budget).
+
+Run:  python examples/nn_quickstart.py
+"""
+
+import numpy as np
+
+import repro
+from repro.core.ir.bootstrap_graph import BOOTSTRAP_13
+from repro.fhe.params import ArchParams
+from repro.nn import (
+    build_bert_encoder,
+    build_helr,
+    encrypted_forward,
+    lower,
+    nn_params,
+    sample_input,
+)
+from repro.workloads.serving import nn_mix
+
+
+def main():
+    # ------------------------------------------------------------------ #
+    # 1. HELR end to end: model -> lowering -> compile -> emulate.
+    model = build_helr()                       # Linear + degree-7 sigmoid
+    lowered = lower(model, nn_params(levels=8))
+    x = sample_input(model)                    # (batch, features) lanes
+    got = encrypted_forward(lowered, x)
+    want = model.reference(x)
+    print(f"[nn]       {model.name}: {len(lowered.program.ops)} ops, "
+          f"depth {lowered.plan.total_depth}, "
+          f"parity max|err| = {np.abs(got - want).max():.2e}")
+
+    # ------------------------------------------------------------------ #
+    # 2. A BERT encoder block as a serving workload: lower at the small
+    #    scale, compile for Cinnamon-4, and cycle-simulate latency.
+    entry = nn_mix("small")["nn-bert-encoder"]
+    compiled = repro.compile(entry.build(), entry.params,
+                             machine="cinnamon_4")
+    result = compiled.simulate("cinnamon_4")
+    print(f"[serve]    nn-bert-encoder: {result.cycles} cycles "
+          f"({result.milliseconds:.3f} ms on cinnamon_4)")
+
+    # ------------------------------------------------------------------ #
+    # 3. Deep models refresh mid-graph: at the paper scale the encoder's
+    #    depth exceeds BOOTSTRAP_13's steady-state budget, so the
+    #    lowering plans refreshes before the stages that would underflow.
+    deep = lower(build_bert_encoder(), ArchParams(),
+                 bootstrap_plan=BOOTSTRAP_13)
+    print(f"[depth]    paper BERT encoder: depth {deep.plan.total_depth}, "
+          f"{deep.plan.bootstrap_count} bootstraps at stages "
+          f"{sorted(set(deep.plan.refresh_at))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,7 @@ from .backend import (
     set_backend,
     use_backend,
 )
+from .packing import SlotCapacityError
 from .params import ArchParams, CKKSParams, make_params, toy_params
 from .polynomial import RnsPolynomial
 from .ciphertext import Ciphertext
@@ -47,6 +48,7 @@ __all__ = [
     "register_backend",
     "set_backend",
     "use_backend",
+    "SlotCapacityError",
     "ArchParams",
     "CKKSParams",
     "make_params",

@@ -142,8 +142,24 @@ class KeyChain:
         s_src = self._source_poly(purpose, extended)
 
         digits = []
+        zero_pair = None
         for digit in partition:
             digit_primes = [active[i] for i in digit]
+            if not digit_primes:
+                # Modular partitions leave a chip with no limbs when the
+                # level drops below the group size.  An empty digit is
+                # never multiplied in (emission and accumulation skip it),
+                # so a zero pair only keeps ``digits`` aligned with the
+                # partition.
+                if zero_pair is None:
+                    zero = RnsPolynomial(
+                        extended,
+                        np.zeros((len(extended), params.ring_degree),
+                                 dtype=np.uint64),
+                        EVAL)
+                    zero_pair = (zero, zero)
+                digits.append(zero_pair)
+                continue
             q_digit = basis_product(digit_primes)
             q_hat = q_total // q_digit
             g = (q_hat * mod_inv(q_hat % q_digit, q_digit)) % q_total

@@ -41,9 +41,79 @@ def matrix_diagonals(matrix: np.ndarray) -> Dict[int, np.ndarray]:
     return diagonals
 
 
+def pad_matrix_block(matrix: np.ndarray, block: int = None) -> np.ndarray:
+    """Embed a (possibly rectangular) matrix into a ``block x block`` square.
+
+    The pad-and-mask trick for non-square matvecs: zero rows beyond
+    ``rows`` leave the output's tail slots at exactly zero, and zero
+    columns beyond ``cols`` mask out whatever junk the input vector
+    carries past its valid width — so a padded matvec composes safely
+    with other padded layers without explicit mask multiplications.
+
+    ``block`` defaults to the next power of two covering both dimensions
+    (rotation amounts then stay power-of-two friendly).
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError("expected a 2-D matrix")
+    rows, cols = matrix.shape
+    if block is None:
+        block = 1 << max(0, int(math.ceil(math.log2(max(rows, cols)))))
+    if block < max(rows, cols):
+        raise ValueError(
+            f"block {block} cannot hold a {rows}x{cols} matrix")
+    if matrix.shape == (block, block):
+        return matrix
+    padded = np.zeros((block, block), dtype=matrix.dtype)
+    padded[:rows, :cols] = matrix
+    return padded
+
+
+def rect_diagonals(matrix: np.ndarray, block: int = None) -> Dict[int, np.ndarray]:
+    """Generalized diagonals of the block-padded (rectangular) matrix."""
+    return matrix_diagonals(pad_matrix_block(matrix, block))
+
+
+def select_baby_steps(offsets, n: int) -> int:
+    """Rotation-count-minimizing BSGS split for a set of diagonal offsets.
+
+    The classic ``n1 ~ sqrt(n)`` split is optimal for dense matrices, but
+    the structured matrices the :mod:`repro.nn` lowering produces (im2col
+    convolutions, block-diagonal batched linears) populate only a few
+    generalized diagonals.  This picks the power-of-two ``n1`` minimizing
+    the keyswitch count ``|babies != 0| + |giants != 0|`` for the
+    diagonals actually present.
+    """
+    offsets = sorted({int(d) % n for d in offsets})
+    if not offsets:
+        raise ValueError("no diagonal offsets given")
+    best_n1, best_cost = 1, None
+    n1 = 1
+    while n1 <= n:
+        babies = {d % n1 for d in offsets} - {0}
+        giants = {d // n1 for d in offsets} - {0}
+        cost = len(babies) + len(giants)
+        if best_cost is None or cost < best_cost:
+            best_n1, best_cost = n1, cost
+        n1 <<= 1
+    return best_n1
+
+
 def plain_matvec_reference(matrix: np.ndarray, x: np.ndarray) -> np.ndarray:
-    """Oracle for the slot semantics of :func:`bsgs_matvec`."""
-    return matrix @ x
+    """Oracle for the slot semantics of :func:`bsgs_matvec`.
+
+    Works for rectangular matrices too: an ``m x k`` matrix against the
+    first ``k`` entries of ``x`` yields the ``m`` outputs that
+    :func:`bsgs_matvec` places in the leading slots of each block (the
+    padded tail decodes to zero).
+    """
+    matrix = np.asarray(matrix)
+    x = np.asarray(x)
+    cols = matrix.shape[1]
+    if len(x) < cols:
+        raise ValueError(f"input of length {len(x)} shorter than the "
+                         f"{cols} matrix columns")
+    return matrix @ x[:cols]
 
 
 def bsgs_matvec(
@@ -54,6 +124,7 @@ def bsgs_matvec(
     baby_steps: int = None,
     pt_scale: float = None,
     rescales: int = 1,
+    block: int = None,
 ) -> Ciphertext:
     """Homomorphic ``y = M @ x`` over the first ``n`` slots.
 
@@ -63,9 +134,14 @@ def bsgs_matvec(
     makes plain ``np.roll``-style rotation semantics exact.
 
     Either a dense ``matrix`` or a precomputed ``diagonals`` dict may be
-    given.  Uses hoisted rotations for the baby steps — exactly the
-    "multiple rotations on one ciphertext" pattern the Cinnamon compiler
-    optimizes with input-broadcast keyswitching.
+    given.  A rectangular matrix is padded-and-masked into a ``block``-
+    sized square (defaulting to the covering power of two; see
+    :func:`pad_matrix_block`): the result lands in the leading ``rows``
+    slots of each block with an exactly-zero tail, and junk in the input
+    slots past ``cols`` is masked out by the zero pad columns.  Uses
+    hoisted rotations for the baby steps — exactly the "multiple
+    rotations on one ciphertext" pattern the Cinnamon compiler optimizes
+    with input-broadcast keyswitching.
 
     ``pt_scale`` overrides the diagonal encoding scale and ``rescales``
     sets how many limbs the product consumes (bootstrapping's CoeffToSlot
@@ -75,7 +151,10 @@ def bsgs_matvec(
     if diagonals is None:
         if matrix is None:
             raise ValueError("need a matrix or its diagonals")
-        diagonals = matrix_diagonals(np.asarray(matrix, dtype=np.complex128))
+        matrix = np.asarray(matrix, dtype=np.complex128)
+        if block is not None or matrix.shape[0] != matrix.shape[1]:
+            matrix = pad_matrix_block(matrix, block)
+        diagonals = matrix_diagonals(matrix)
     if not diagonals:
         raise ValueError("matrix has no nonzero diagonals")
     n = len(next(iter(diagonals.values())))
@@ -83,7 +162,9 @@ def bsgs_matvec(
     if slots % n:
         raise ValueError(f"matrix dimension {n} must divide slot count {slots}")
 
-    if baby_steps is None:
+    if baby_steps == "auto":
+        baby_steps = select_baby_steps(diagonals, n)
+    elif baby_steps is None:
         baby_steps = 1 << max(0, math.ceil(math.log2(math.sqrt(n))))
     n1 = min(baby_steps, n)
     n2 = math.ceil(n / n1)

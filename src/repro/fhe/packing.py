@@ -11,7 +11,15 @@ benchmarks):
 * **row-major matrices** — for matrix-vector products via rotate-and-sum;
 * **zero-padded prefixes** — for the analytics reductions;
 * **multi-vector batching** — several independent vectors in one
-  ciphertext, with helpers to extract each.
+  ciphertext, with helpers to extract each;
+* **lane frames** — the :mod:`repro.nn` layout: ``lanes`` vectors, each
+  zero-padded into a power-of-two ``block``, concatenated into one frame
+  that is tiled across the slots.
+
+Capacity violations raise the typed :class:`SlotCapacityError` (a
+``ValueError`` subclass) so callers — the :mod:`repro.nn` lowering pass
+in particular — can distinguish "this layer does not fit the ring" from
+generic misuse, instead of silently wrapping or truncating data.
 """
 
 from __future__ import annotations
@@ -21,10 +29,34 @@ from typing import List, Sequence
 import numpy as np
 
 
+class SlotCapacityError(ValueError):
+    """A packed layout does not fit the available plaintext slots.
+
+    Raised by the tile/batch/lane helpers whenever the requested width
+    exceeds the slot count (the failure mode that would otherwise show up
+    as silent wraparound of rotated data).  Carries the offending
+    ``needed``/``available`` counts for diagnostics.
+    """
+
+    def __init__(self, message: str, *, needed: int = None,
+                 available: int = None):
+        super().__init__(message)
+        self.needed = needed
+        self.available = available
+
+
+def _require_capacity(needed: int, slot_count: int, what: str) -> None:
+    if needed > slot_count:
+        raise SlotCapacityError(
+            f"{what} needs {needed} slots but the ring provides "
+            f"{slot_count}", needed=needed, available=slot_count)
+
+
 def tile_vector(values: Sequence[float], slot_count: int) -> np.ndarray:
     """Replicate a vector across the slots (rotation-friendly layout)."""
     values = np.asarray(values)
     n = len(values)
+    _require_capacity(n, slot_count, f"tiled vector of length {n}")
     if slot_count % n:
         raise ValueError(f"vector length {n} must divide {slot_count} slots")
     return np.tile(values, slot_count // n)
@@ -35,8 +67,8 @@ def pad_prefix(values: Sequence[float], slot_count: int,
     """Place a vector in the leading slots, padding the tail with ``fill``."""
     values = np.asarray(values, dtype=np.complex128 if
                         np.iscomplexobj(values) else np.float64)
-    if len(values) > slot_count:
-        raise ValueError(f"{len(values)} values exceed {slot_count} slots")
+    _require_capacity(len(values), slot_count,
+                      f"prefix of {len(values)} values")
     out = np.full(slot_count, fill, dtype=values.dtype)
     out[: len(values)] = values
     return out
@@ -63,8 +95,8 @@ def batch_vectors(vectors: List[Sequence[float]], slot_count: int) -> np.ndarray
         raise ValueError("vector length must be a power of two")
     if any(len(v) != stride for v in vectors):
         raise ValueError("vectors must share a length")
-    if stride * len(vectors) > slot_count:
-        raise ValueError("batch does not fit in the slots")
+    _require_capacity(stride * len(vectors), slot_count,
+                      f"batch of {len(vectors)} x {stride} vectors")
     out = np.zeros(slot_count)
     for i, vec in enumerate(vectors):
         out[i * stride:(i + 1) * stride] = vec
@@ -81,3 +113,68 @@ def batch_mask(index: int, stride: int, slot_count: int) -> np.ndarray:
     mask = np.zeros(slot_count)
     mask[index * stride:(index + 1) * stride] = 1.0
     return mask
+
+
+# --------------------------------------------------------------------------- #
+# Lane frames: the repro.nn layout.
+#
+# A model runs over `lanes` independent vectors (a minibatch of HELR
+# samples, the tokens of a BERT sequence, or a single lane for a CNN
+# image).  Each vector is zero-padded into a power-of-two `block`; the
+# lanes concatenate into a `frame = lanes * block` that is tiled across
+# the slots so global rotations behave like per-frame rolls.
+
+
+def pack_lanes(vectors: Sequence[Sequence[float]], block: int,
+               slot_count: int) -> np.ndarray:
+    """Pack ``lanes`` vectors into padded blocks and tile the frame.
+
+    Each vector (length <= ``block``) occupies the leading slots of its
+    lane; the concatenated frame must divide the slot count so rotations
+    wrap frame-periodically.
+    """
+    vectors = [np.asarray(v) for v in vectors]
+    if not vectors:
+        raise ValueError("no lane vectors given")
+    if block & (block - 1):
+        raise ValueError(f"lane block {block} must be a power of two")
+    widest = max(len(v) for v in vectors)
+    if widest > block:
+        raise SlotCapacityError(
+            f"lane vector of width {widest} exceeds the lane block "
+            f"{block}", needed=widest, available=block)
+    frame = block * len(vectors)
+    _require_capacity(frame, slot_count,
+                      f"frame of {len(vectors)} x {block} lanes")
+    if slot_count % frame:
+        raise ValueError(f"frame {frame} must divide {slot_count} slots")
+    out = np.zeros(frame)
+    for lane, vec in enumerate(vectors):
+        out[lane * block:lane * block + len(vec)] = vec
+    return np.tile(out, slot_count // frame)
+
+
+def unpack_lane(slots: np.ndarray, lane: int, block: int,
+                width: int = None) -> np.ndarray:
+    """Read one lane's (first ``width``) values back out of the frame."""
+    width = block if width is None else width
+    start = lane * block
+    return np.asarray(slots)[start:start + width]
+
+
+def frame_mask(frame: int, indices: Sequence[int], slot_count: int,
+               value: float = 1.0) -> np.ndarray:
+    """A frame-periodic mask: ``value`` at the given in-frame indices.
+
+    The workhorse of the nn lowering's segment reductions (select the
+    segment-start slots of every lane, scaled by ``1/width`` for means).
+    """
+    _require_capacity(frame, slot_count, f"frame of width {frame}")
+    if slot_count % frame:
+        raise ValueError(f"frame {frame} must divide {slot_count} slots")
+    base = np.zeros(frame)
+    for index in indices:
+        if not 0 <= index < frame:
+            raise ValueError(f"mask index {index} outside frame {frame}")
+        base[index] = value
+    return np.tile(base, slot_count // frame)

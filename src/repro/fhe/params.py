@@ -163,10 +163,22 @@ def make_params(
     slack = 8
     below = generate_primes(levels - 1 + slack, prime_bits, ring_degree,
                             exclude=tuple(wide))
-    above = generate_primes(slack, prime_bits + 1, ring_degree,
-                            exclude=tuple(wide) + tuple(below), descending=False)
+    # The greedy ladder consumes above-scale primes about as often as
+    # below-scale ones; a pool capped at `slack` above-scale primes loses
+    # its self-correction on deep chains and S_l drifts doubly
+    # exponentially (overflowing to inf by L ~ 50).  Extra candidates are
+    # strictly farther from the scale than the first `slack`, so shallow
+    # chains keep picking the same primes as before.
+    above = generate_primes(max(slack, levels - 1), prime_bits + 1,
+                            ring_degree, exclude=tuple(wide) + tuple(below),
+                            descending=False)
     pool = below + [p for p in above if p < 2 * scale]
     chain, level_scales = _order_chain_greedily(pool, levels, scale)
+    if max(level_scales) > 2 * scale or min(level_scales) < scale / 2:
+        raise ValueError(
+            f"level-scale ladder drifted off the invariant "
+            f"(levels={levels}, prime_bits={prime_bits}): widen the prime pool"
+        )
     return CKKSParams(
         ring_degree=ring_degree,
         moduli=(q0, *chain),

@@ -1,0 +1,96 @@
+"""repro.nn — a tensor-program frontend for the Cinnamon stack.
+
+An Orion/CHET-style model frontend: typed layers with plaintext numpy
+weights and exact numeric references (:mod:`repro.nn.layers`), a lowering
+pass that selects the slot packing, plans bootstrap placement, and emits
+a :class:`~repro.core.dsl.CinnamonProgram` (:mod:`repro.nn.lower`),
+builders for the paper's evaluation models (:mod:`repro.nn.models`), and
+an end-to-end encrypted executor through the compiler + ISA emulator
+(:mod:`repro.nn.executor`).
+
+Quick start::
+
+    from repro.fhe import make_params
+    from repro.nn import build_helr, encrypted_forward, lower, sample_input
+
+    model = build_helr()
+    params = make_params(ring_degree=256, levels=8)
+    lowered = lower(model, params)
+    x = sample_input(model)
+    assert abs(encrypted_forward(lowered, x) - model.reference(x)).max() < 1e-2
+"""
+
+from .layers import (
+    Conv2d,
+    GlobalAvgPool,
+    Layer,
+    LayerNorm,
+    Linear,
+    Model,
+    PolyActivation,
+    Residual,
+    SelfAttention,
+    Sequential,
+    Softmax,
+    cheb_reference,
+    conv2d_matrix,
+    gelu,
+    relu,
+    sigmoid,
+)
+from .lower import (
+    DepthBudgetError,
+    DepthPlan,
+    DslLowering,
+    LoweredModel,
+    PackingSpec,
+    lower,
+    place_bootstraps,
+    select_packing,
+)
+from .executor import encrypted_forward, nn_params, pack_input, unpack_output
+from .models import (
+    MODEL_NAMES,
+    build_bert_encoder,
+    build_helr,
+    build_model,
+    build_resnet20,
+    sample_input,
+)
+
+__all__ = [
+    "Conv2d",
+    "GlobalAvgPool",
+    "Layer",
+    "LayerNorm",
+    "Linear",
+    "Model",
+    "PolyActivation",
+    "Residual",
+    "SelfAttention",
+    "Sequential",
+    "Softmax",
+    "cheb_reference",
+    "conv2d_matrix",
+    "gelu",
+    "relu",
+    "sigmoid",
+    "DepthBudgetError",
+    "DepthPlan",
+    "DslLowering",
+    "LoweredModel",
+    "PackingSpec",
+    "lower",
+    "place_bootstraps",
+    "select_packing",
+    "encrypted_forward",
+    "nn_params",
+    "pack_input",
+    "unpack_output",
+    "MODEL_NAMES",
+    "build_bert_encoder",
+    "build_helr",
+    "build_model",
+    "build_resnet20",
+    "sample_input",
+]

@@ -1,0 +1,80 @@
+"""End-to-end encrypted execution of lowered models.
+
+The parity path runs the *whole* stack: model -> DSL program
+(:func:`repro.nn.lower.lower`) -> Cinnamon compiler (via the
+``repro.compile`` facade and its :class:`~repro.runtime.CinnamonSession`
+cache) -> ISA emulator on real RNS-CKKS limb data -> decrypt and unpack.
+Nothing is mocked; the only difference from the paper's hardware is that
+the ISA executes on numpy instead of a Cinnamon chip.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..fhe.evaluator import CKKSContext
+from ..fhe.packing import pack_lanes, unpack_lane
+from ..fhe.params import CKKSParams, make_params
+from .lower import LoweredModel, PackingSpec
+
+
+def nn_params(levels: int, ring_degree: int = 256, **kwargs) -> CKKSParams:
+    """Functional parameters sized for deep bootstrap-free model runs.
+
+    ``make_params``' default extension basis covers contiguous
+    ``num_digits`` keyswitch digits (``ceil(levels / num_digits)`` limbs);
+    under the multi-chip modular partition a digit holds up to
+    ``ceil(level / 2)`` limbs, and an extension product smaller than a
+    digit product turns keyswitch noise from negligible into catastrophic.
+    Size the extension basis for the worst digit instead (31-bit extension
+    primes vs <=29-bit chain primes keeps the margin).
+    """
+    kwargs.setdefault("extension_count", (levels + 1) // 2 + 1)
+    return make_params(ring_degree=ring_degree, levels=levels, **kwargs)
+
+
+def pack_input(x: np.ndarray, spec: PackingSpec,
+               slot_count: int) -> np.ndarray:
+    """Lay a ``(lanes, width)`` input out as the model's slot frame."""
+    x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+    if x.shape[0] != spec.lanes:
+        raise ValueError(
+            f"input has {x.shape[0]} lanes but the model packs {spec.lanes}")
+    return pack_lanes(list(x), spec.block, slot_count)
+
+def unpack_output(values: np.ndarray, spec: PackingSpec,
+                  width: int) -> np.ndarray:
+    """Read the ``(lanes, width)`` result back out of decoded slots."""
+    return np.stack([unpack_lane(values, lane, spec.block, width)
+                     for lane in range(spec.lanes)])
+
+
+def encrypted_forward(lowered: LoweredModel, x: np.ndarray,
+                      context: Optional[CKKSContext] = None, *,
+                      machine=2, session=None) -> np.ndarray:
+    """Compile, emulate, and decrypt one encrypted forward pass.
+
+    ``lowered`` must have been produced against functional
+    :class:`~repro.fhe.CKKSParams` (deep enough to run bootstrap-free —
+    :func:`repro.nn.lower.lower` sizes ``input_level`` to the model's
+    exact depth).  Returns the ``(lanes, out_width)`` plaintext result,
+    comparable to ``lowered.model.reference(x)``.
+    """
+    import repro
+
+    params = lowered.params
+    if context is None:
+        context = CKKSContext(params)
+    elif context.params is not params:
+        raise ValueError("context was built for different parameters")
+    compiled = repro.compile(lowered.program, params, machine=machine,
+                             session=session)
+    packed = pack_input(x, lowered.spec, params.slot_count)
+    ct = context.encrypt_values(packed, level=lowered.plan.input_level)
+    outputs = compiled.emulate(
+        {lowered.input_name: ct}, context=context,
+        plaintexts=lowered.bind_plaintexts(params.slot_count))
+    decoded = context.decrypt_values(outputs[lowered.output_name]).real
+    return unpack_output(decoded, lowered.spec, lowered.model.out_width)

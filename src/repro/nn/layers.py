@@ -1,0 +1,546 @@
+"""The :mod:`repro.nn` layer zoo.
+
+Each layer is a plain-numpy object carrying its weights, a
+``reference(x)`` forward that is the *exact* ground truth for the
+encrypted computation (polynomial activations are mirrored as the same
+Chebyshev polynomial, Newton-Raphson refinements as the same iteration —
+so encrypted-vs-reference error measures only CKKS noise, never
+approximation quality), and a ``lower(ctx, h)`` that walks the same
+computation through a lowering builder (see :mod:`repro.nn.lower`).
+
+Conventions:
+
+* ``reference`` takes and returns ``(lanes, width)`` arrays — lanes are
+  HELR batch samples, BERT tokens, or the single lane of a CNN image.
+* Layer widths count *valid* slots; the lane block pads them to a power
+  of two under the pad-and-mask contract (zero tails compose for free).
+* Reductions (LayerNorm, Softmax, attention scores, pooling) require
+  their reduced width to be a power of two (rotate-and-sum trees).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..fhe.polyeval import chebyshev_coefficients
+from .lower import (
+    cheb_interval_map,
+    chebyshev_lower,
+    frame_base_mask,
+    matvec_lower,
+    segment_reduce_broadcast,
+)
+
+
+def cheb_reference(x: np.ndarray, coeffs: Sequence[float],
+                   interval=(-1.0, 1.0)) -> np.ndarray:
+    """The numpy mirror of :func:`chebyshev_lower` — the same polynomial."""
+    lo, hi = interval
+    t = np.asarray(x, dtype=np.float64)
+    if not (math.isclose(lo, -1.0) and math.isclose(hi, 1.0)):
+        scale, shift = cheb_interval_map(interval)
+        t = scale * t + shift
+    return np.polynomial.chebyshev.chebval(t, np.asarray(coeffs))
+
+
+def reciprocal_lower(ctx, h, coeffs, interval, iterations: int):
+    """Seeded Newton-Raphson ``1/z``: ``y <- y * (2 - z*y)``."""
+    y = chebyshev_lower(ctx, h, coeffs, interval)
+    for _ in range(iterations):
+        zy = ctx.mul(h, y)
+        y = ctx.mul(y, ctx.add_const(ctx.neg(zy), 2.0))
+    return y
+
+
+def reciprocal_reference(z, coeffs, interval, iterations: int):
+    y = cheb_reference(z, coeffs, interval)
+    for _ in range(iterations):
+        y = y * (2.0 - z * y)
+    return y
+
+
+class Layer:
+    """Base layer: fixed widths, a reference forward, and a lowering."""
+
+    name: str = "layer"
+    in_width: int = 0
+    out_width: int = 0
+
+    def widths(self) -> List[int]:
+        """Every slot width this layer touches (drives packing selection)."""
+        return [self.in_width, self.out_width]
+
+    def reference(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def lower(self, ctx, h):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return (f"{type(self).__name__}({self.name!r}, "
+                f"{self.in_width}->{self.out_width})")
+
+
+# --------------------------------------------------------------------------- #
+# Linear algebra layers
+
+
+class Linear(Layer):
+    """``y = W @ x + b`` per lane, via a BSGS diagonal matvec (1 level)."""
+
+    def __init__(self, weight: np.ndarray, bias: Optional[np.ndarray] = None,
+                 name: str = "linear"):
+        self.weight = np.asarray(weight, dtype=np.float64)
+        if self.weight.ndim != 2:
+            raise ValueError("Linear weight must be 2-D (out, in)")
+        self.bias = None if bias is None else np.asarray(bias, np.float64)
+        if self.bias is not None and self.bias.shape != (self.weight.shape[0],):
+            raise ValueError("bias must match the output width")
+        self.name = name
+        self.out_width, self.in_width = self.weight.shape
+
+    def reference(self, x):
+        y = np.asarray(x) @ self.weight.T
+        if self.bias is not None:
+            y = y + self.bias
+        return y
+
+    def lower(self, ctx, h):
+        y = matvec_lower(ctx, h, self.weight, self.name)
+        if self.bias is not None:
+            base = np.zeros(ctx.spec.frame)
+            for start in ctx.spec.lane_starts():
+                base[start:start + self.out_width] = self.bias
+            y = ctx.add_vec(y, base, f"{self.name}.b")
+        return y
+
+
+def conv2d_matrix(weight: np.ndarray, height: int, width: int,
+                  stride: int = 1) -> np.ndarray:
+    """The im2col matrix of a 'same'-padded 2-D convolution.
+
+    ``weight`` is ``(out_ch, in_ch, k, k)``; channel-major flattening
+    (``c * H*W + y * W + x``) on both sides.  Lowered as a single
+    rectangular matvec, which is how CHET/Orion-style frontends feed
+    convolutions to the diagonal method.
+    """
+    out_ch, in_ch, k, _ = weight.shape
+    pad = k // 2
+    oh = (height + 2 * pad - k) // stride + 1
+    ow = (width + 2 * pad - k) // stride + 1
+    matrix = np.zeros((out_ch * oh * ow, in_ch * height * width))
+    for co in range(out_ch):
+        for oy in range(oh):
+            for ox in range(ow):
+                row = co * oh * ow + oy * ow + ox
+                for ci in range(in_ch):
+                    for dy in range(k):
+                        for dx in range(k):
+                            iy = oy * stride + dy - pad
+                            ix = ox * stride + dx - pad
+                            if 0 <= iy < height and 0 <= ix < width:
+                                col = ci * height * width + iy * width + ix
+                                matrix[row, col] = weight[co, ci, dy, dx]
+    return matrix
+
+
+class Conv2d(Layer):
+    """'Same'-padded convolution as one im2col matvec (1 level)."""
+
+    def __init__(self, weight: np.ndarray, height: int, width: int,
+                 stride: int = 1, name: str = "conv"):
+        self.weight = np.asarray(weight, dtype=np.float64)
+        if self.weight.ndim != 4:
+            raise ValueError("Conv2d weight must be (out_ch, in_ch, k, k)")
+        self.height, self.width, self.stride = height, width, stride
+        self.name = name
+        self.matrix = conv2d_matrix(self.weight, height, width, stride)
+        self.out_width, self.in_width = self.matrix.shape
+        k = self.weight.shape[2]
+        pad = k // 2
+        self.out_height = (height + 2 * pad - k) // stride + 1
+        self.out_width_px = (width + 2 * pad - k) // stride + 1
+
+    def reference(self, x):
+        return np.asarray(x) @ self.matrix.T
+
+    def lower(self, ctx, h):
+        return matvec_lower(ctx, h, self.matrix, self.name)
+
+
+class GlobalAvgPool(Layer):
+    """Average each channel's spatial block: rotate-and-sum + gather."""
+
+    def __init__(self, channels: int, spatial: int, name: str = "avgpool"):
+        if spatial & (spatial - 1):
+            raise ValueError("spatial size must be a power of two")
+        self.channels, self.spatial = channels, spatial
+        self.name = name
+        self.in_width = channels * spatial
+        self.out_width = channels
+        gather = np.zeros((channels, channels * spatial))
+        for c in range(channels):
+            gather[c, c * spatial] = 1.0 / spatial
+        self.gather = gather
+
+    def reference(self, x):
+        x = np.asarray(x)
+        lanes = x.shape[0]
+        return x.reshape(lanes, self.channels, self.spatial).mean(axis=-1)
+
+    def lower(self, ctx, h):
+        summed = ctx.segment_sum(h, self.spatial)
+        return matvec_lower(ctx, summed, self.gather, self.name)
+
+
+# --------------------------------------------------------------------------- #
+# Polynomial nonlinearities
+
+
+class PolyActivation(Layer):
+    """An elementwise Chebyshev polynomial approximation of ``fn``.
+
+    The reference evaluates the *polynomial* (not ``fn``), so parity
+    tests measure encryption noise only.  Depth: log2(degree)-ish plus
+    one level for the interval's affine map.
+    """
+
+    def __init__(self, fn: Callable[[np.ndarray], np.ndarray], degree: int,
+                 interval, width: int, name: str = "act"):
+        self.coeffs = chebyshev_coefficients(fn, degree, interval)
+        self.interval = tuple(interval)
+        self.degree = degree
+        self.name = name
+        self.in_width = self.out_width = width
+
+    def reference(self, x):
+        return cheb_reference(x, self.coeffs, self.interval)
+
+    def lower(self, ctx, h):
+        return chebyshev_lower(ctx, h, self.coeffs, self.interval)
+
+
+def relu(width: int, degree: int = 4, bound: float = 4.0,
+         name: str = "relu") -> PolyActivation:
+    """Minimax-flavoured polynomial ReLU on ``[-bound, bound]``."""
+    return PolyActivation(lambda x: np.maximum(x, 0.0), degree,
+                          (-bound, bound), width, name=name)
+
+
+def gelu(width: int, degree: int = 7, bound: float = 5.0,
+         name: str = "gelu") -> PolyActivation:
+    fn = lambda x: 0.5 * x * (1.0 + np.tanh(
+        math.sqrt(2.0 / math.pi) * (x + 0.044715 * x ** 3)))
+    return PolyActivation(fn, degree, (-bound, bound), width, name=name)
+
+
+def sigmoid(width: int, degree: int = 7, bound: float = 8.0,
+            name: str = "sigmoid") -> PolyActivation:
+    """HELR's degree-7 logistic approximation."""
+    return PolyActivation(lambda x: 1.0 / (1.0 + np.exp(-x)), degree,
+                          (-bound, bound), width, name=name)
+
+
+# --------------------------------------------------------------------------- #
+# Normalization / softmax
+
+
+class LayerNorm(Layer):
+    """LayerNorm with a Newton-Raphson rsqrt (Orion/BERT-FHE style).
+
+    The inverse square root is a low-degree Chebyshev seed on the
+    expected variance interval refined by ``y <- y*(1.5 - u*y^2)`` with
+    ``u = (var + eps)/2`` (the 0.5 is folded into the reduction mask, so
+    an iteration costs 3 levels instead of 4).  Total depth: 11 with the
+    defaults — sized to fit one bootstrap budget.
+    """
+
+    def __init__(self, width: int, gamma: Optional[np.ndarray] = None,
+                 beta: Optional[np.ndarray] = None, eps: float = 1e-2,
+                 var_interval=(0.05, 4.0), seed_degree: int = 3,
+                 iterations: int = 1, name: str = "ln"):
+        if width & (width - 1):
+            raise ValueError("LayerNorm width must be a power of two")
+        self.in_width = self.out_width = width
+        self.gamma = (np.ones(width) if gamma is None
+                      else np.asarray(gamma, np.float64))
+        self.beta = (np.zeros(width) if beta is None
+                     else np.asarray(beta, np.float64))
+        self.eps = float(eps)
+        lo, hi = var_interval
+        self.u_interval = ((lo + self.eps) / 2.0, (hi + self.eps) / 2.0)
+        self.seed_coeffs = chebyshev_coefficients(
+            lambda u: 1.0 / np.sqrt(2.0 * u), seed_degree, self.u_interval)
+        self.iterations = iterations
+        self.name = name
+
+    def _rsqrt(self, u):
+        y = cheb_reference(u, self.seed_coeffs, self.u_interval)
+        for _ in range(self.iterations):
+            y = y * (1.5 - u * y * y)
+        return y
+
+    def reference(self, x):
+        x = np.asarray(x)
+        mu = x.mean(axis=-1, keepdims=True)
+        c = x - mu
+        u = 0.5 * (np.square(c).mean(axis=-1, keepdims=True) + self.eps)
+        return c * self._rsqrt(u) * self.gamma + self.beta
+
+    def lower(self, ctx, h):
+        w, spec = self.in_width, ctx.spec
+        starts = spec.lane_starts()
+        mu = segment_reduce_broadcast(ctx, h, w, starts, 1.0 / w,
+                                      f"{self.name}.mu")
+        c = ctx.sub(h, mu)
+        sq = ctx.mul(c, c)
+        u = segment_reduce_broadcast(ctx, sq, w, starts, 0.5 / w,
+                                     f"{self.name}.var",
+                                     bias_at_starts=0.5 * self.eps)
+        y = chebyshev_lower(ctx, u, self.seed_coeffs, self.u_interval)
+        for _ in range(self.iterations):
+            yy = ctx.mul(y, y)
+            uyy = ctx.mul(u, yy)
+            y = ctx.mul(y, ctx.add_const(ctx.neg(uyy), 1.5))
+        out = ctx.mul(c, y)
+        gamma_base = np.zeros(spec.frame)
+        beta_base = np.zeros(spec.frame)
+        for start in starts:
+            gamma_base[start:start + w] = self.gamma
+            beta_base[start:start + w] = self.beta
+        out = ctx.mul_vec(out, gamma_base, f"{self.name}.g")
+        return ctx.add_vec(out, beta_base, f"{self.name}.b")
+
+
+class Softmax(Layer):
+    """Per-lane softmax: exp polynomial, slot-sum, Newton-Raphson 1/z."""
+
+    def __init__(self, width: int, exp_degree: int = 5, exp_bound: float = 4.0,
+                 sum_interval=(0.2, 8.0), seed_degree: int = 2,
+                 iterations: int = 1, name: str = "softmax"):
+        if width & (width - 1):
+            raise ValueError("Softmax width must be a power of two")
+        self.in_width = self.out_width = width
+        self.exp_interval = (-exp_bound, exp_bound)
+        self.exp_coeffs = chebyshev_coefficients(
+            np.exp, exp_degree, self.exp_interval)
+        self.sum_interval = tuple(sum_interval)
+        self.seed_coeffs = chebyshev_coefficients(
+            lambda z: 1.0 / z, seed_degree, self.sum_interval)
+        self.iterations = iterations
+        self.name = name
+
+    def reference(self, x):
+        e = cheb_reference(x, self.exp_coeffs, self.exp_interval)
+        z = e.sum(axis=-1, keepdims=True)
+        return e * reciprocal_reference(z, self.seed_coeffs,
+                                        self.sum_interval, self.iterations)
+
+    def lower(self, ctx, h):
+        starts = ctx.spec.lane_starts()
+        e = chebyshev_lower(ctx, h, self.exp_coeffs, self.exp_interval)
+        z = segment_reduce_broadcast(ctx, e, self.in_width, starts, 1.0,
+                                     f"{self.name}.z")
+        y = reciprocal_lower(ctx, z, self.seed_coeffs, self.sum_interval,
+                             self.iterations)
+        return ctx.mul(e, y)
+
+
+# --------------------------------------------------------------------------- #
+# Attention
+
+
+class SelfAttention(Layer):
+    """Multi-head self-attention over the lane (token) dimension.
+
+    Rotation-trick formulation: for each cyclic token offset ``r`` the
+    score diagonal ``s_r = sum_head(q * rot(k, r*block))`` is one
+    Hadamard product plus a per-head segment reduction; softmax runs
+    across the ``r`` ciphertexts (scores centred by their mean over
+    ``r`` — free adds — to keep the exp interval tight, with ``1/seq``
+    folded into the exp coefficients); context is
+    ``(sum_r e_r * rot(v, r*block)) * recip(z)``.  Two internal stage
+    checkpoints bound the depth between refresh opportunities.
+    """
+
+    def __init__(self, d_model: int, num_heads: int, seq: int,
+                 wq: np.ndarray, wk: np.ndarray, wv: np.ndarray,
+                 wo: np.ndarray, exp_degree: int = 5, exp_bound: float = 3.0,
+                 sum_interval=(0.25, 4.0), seed_degree: int = 2,
+                 iterations: int = 1, name: str = "attn"):
+        if d_model % num_heads:
+            raise ValueError("d_model must be divisible by num_heads")
+        self.d_head = d_model // num_heads
+        if self.d_head & (self.d_head - 1):
+            raise ValueError("head width must be a power of two")
+        self.d_model, self.num_heads, self.seq = d_model, num_heads, seq
+        self.in_width = self.out_width = d_model
+        scale = 1.0 / math.sqrt(self.d_head)
+        self.wq = np.asarray(wq, np.float64) * scale
+        self.wk = np.asarray(wk, np.float64)
+        self.wv = np.asarray(wv, np.float64)
+        self.wo = np.asarray(wo, np.float64)
+        self.exp_interval = (-exp_bound, exp_bound)
+        # exp scaled by 1/seq so z = sum_r e_r is O(1); the scaling
+        # cancels in e_r / z.
+        self.exp_coeffs = chebyshev_coefficients(
+            lambda x: np.exp(x) / seq, exp_degree, self.exp_interval)
+        self.sum_interval = tuple(sum_interval)
+        self.seed_coeffs = chebyshev_coefficients(
+            lambda z: 1.0 / z, seed_degree, self.sum_interval)
+        self.iterations = iterations
+        self.name = name
+
+    # -- reference ------------------------------------------------------- #
+
+    def _head_of(self):
+        return np.repeat(np.arange(self.num_heads), self.d_head)
+
+    def reference(self, x):
+        x = np.asarray(x)
+        seq, d = self.seq, self.d_model
+        if x.shape != (seq, d):
+            raise ValueError(f"attention expects ({seq}, {d}) tokens")
+        q = x @ self.wq.T
+        k = x @ self.wk.T
+        v = x @ self.wv.T
+        # s_b[r][t, i] = per-head score of token t against token t+r,
+        # broadcast across the head's slots (the slot semantics of the
+        # segment reduction).
+        s_b = np.zeros((seq, seq, d))
+        for r in range(seq):
+            prod = q * np.roll(k, -r, axis=0)
+            for head in range(self.num_heads):
+                sl = slice(head * self.d_head, (head + 1) * self.d_head)
+                s_b[r][:, sl] = prod[:, sl].sum(axis=-1, keepdims=True)
+        centred = s_b - s_b.mean(axis=0, keepdims=True)
+        e = cheb_reference(centred, self.exp_coeffs, self.exp_interval)
+        z = e.sum(axis=0)
+        y = reciprocal_reference(z, self.seed_coeffs, self.sum_interval,
+                                 self.iterations)
+        context = np.zeros((seq, d))
+        for r in range(seq):
+            context += e[r] * np.roll(v, -r, axis=0)
+        return (context * y) @ self.wo.T
+
+    # -- lowering -------------------------------------------------------- #
+
+    def lower(self, ctx, h):
+        spec = ctx.spec
+        seq, block = self.seq, spec.block
+        if spec.lanes != seq:
+            raise ValueError(
+                f"attention over {seq} tokens needs {seq} lanes, "
+                f"got {spec.lanes}")
+        head_starts = [lane * block + head * self.d_head
+                       for lane in range(seq)
+                       for head in range(self.num_heads)]
+
+        q = matvec_lower(ctx, h, self.wq, f"{self.name}.wq")
+        k = matvec_lower(ctx, h, self.wk, f"{self.name}.wk")
+        v = matvec_lower(ctx, h, self.wv, f"{self.name}.wv")
+        q, k, v = ctx.stage([q, k, v], f"{self.name}:scores")
+
+        scores = []
+        for r in range(seq):
+            kr = ctx.rotate(k, r * block)
+            s = ctx.mul(q, kr)
+            scores.append(segment_reduce_broadcast(
+                ctx, s, self.d_head, head_starts, 1.0,
+                f"{self.name}.s{r}"))
+        total = scores[0]
+        for s in scores[1:]:
+            total = ctx.add(total, s)
+        mean = ctx.mul_const(total, 1.0 / seq)
+        exps = [chebyshev_lower(ctx, ctx.sub(s, mean), self.exp_coeffs,
+                                self.exp_interval)
+                for s in scores]
+        z = exps[0]
+        for e in exps[1:]:
+            z = ctx.add(z, e)
+
+        live = ctx.stage(exps + [v, z], f"{self.name}:mix")
+        exps, v, z = live[:seq], live[seq], live[seq + 1]
+        y = reciprocal_lower(ctx, z, self.seed_coeffs, self.sum_interval,
+                             self.iterations)
+        context = None
+        for r in range(seq):
+            vr = ctx.rotate(v, r * block)
+            term = ctx.mul(exps[r], vr)
+            context = term if context is None else ctx.add(context, term)
+        context = ctx.mul(context, y)
+        return matvec_lower(ctx, context, self.wo, f"{self.name}.wo")
+
+
+# --------------------------------------------------------------------------- #
+# Composition
+
+
+class Sequential(Layer):
+    """Chain layers; each child is a refresh checkpoint."""
+
+    def __init__(self, layers: Sequence[Layer], name: str = "seq"):
+        layers = list(layers)
+        if not layers:
+            raise ValueError("empty Sequential")
+        for prev, nxt in zip(layers, layers[1:]):
+            if prev.out_width != nxt.in_width:
+                raise ValueError(
+                    f"width mismatch: {prev!r} feeds {prev.out_width} "
+                    f"slots into {nxt!r} expecting {nxt.in_width}")
+        self.layers = layers
+        self.name = name
+        self.in_width = layers[0].in_width
+        self.out_width = layers[-1].out_width
+
+    def widths(self):
+        out: List[int] = []
+        for layer in self.layers:
+            out.extend(layer.widths())
+        return out
+
+    def reference(self, x):
+        for layer in self.layers:
+            x = layer.reference(x)
+        return x
+
+    def lower(self, ctx, h):
+        for i, layer in enumerate(self.layers):
+            h = ctx.stage([h], f"{self.name}[{i}]:{layer.name}")
+            h = layer.lower(ctx, h)
+        return h
+
+
+class Residual(Layer):
+    """``x + body(x)`` — the skip rides at its own level; the final add
+    realigns to ``min(skip, branch)`` (modelled exactly by the planner)."""
+
+    def __init__(self, body: Layer, name: str = "residual"):
+        if body.in_width != body.out_width:
+            raise ValueError("residual body must preserve width")
+        self.body = body
+        self.name = name
+        self.in_width = self.out_width = body.in_width
+
+    def widths(self):
+        return self.body.widths()
+
+    def reference(self, x):
+        return np.asarray(x) + self.body.reference(x)
+
+    def lower(self, ctx, h):
+        skip = ctx.residual_enter(h)
+        branch = self.body.lower(ctx, h)
+        return ctx.residual_exit(skip, branch)
+
+
+class Model(Sequential):
+    """A named Sequential with a lane count — the unit the lowering,
+    executor, serving mix, and tuner all consume."""
+
+    def __init__(self, name: str, layers: Sequence[Layer], lanes: int = 1):
+        super().__init__(layers, name=name)
+        self.lanes = lanes

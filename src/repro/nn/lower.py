@@ -1,0 +1,561 @@
+"""Lowering from :mod:`repro.nn` layer graphs to the Cinnamon DSL.
+
+The frontend follows the CHET/Orion recipe: a model is a graph of layers
+with plaintext numpy weights; lowering walks the graph twice with the
+same code path —
+
+1. a **depth trace** (dry run at a very high level) records how many
+   multiplicative levels each stage consumes, without committing to a
+   parameter set;
+2. :func:`place_bootstraps` replays the trace against the real level
+   budget and decides, Orion-style, *before which stages* the live
+   ciphertexts must be refreshed (``remaining depth < stage depth``);
+3. the **emission run** replays the model against a fresh
+   :class:`~repro.core.dsl.CinnamonProgram`, inserting ``bootstrap()``
+   exactly where the plan says.
+
+Because the emitted op structure never depends on absolute levels, the
+dry-run depths are exact for the emission run, and the analytic plan's
+bootstrap count always matches the emitted program — an invariant the
+test suite checks explicitly.
+
+Data layout: every value is a **lane frame** (see
+:func:`repro.fhe.packing.pack_lanes`) — ``lanes`` vectors (batch samples
+for HELR, tokens for BERT, a single lane for CNNs), each padded to a
+power-of-two ``block``, tiled across the slots.  All rotations are
+frame-periodic, so one lowered program is valid for any ring whose slot
+count the frame divides: the same program object serves both functional
+parity runs (small rings) and architectural simulation (N = 64K).
+
+Rectangular weights ride on the pad-and-mask contract of
+:func:`repro.fhe.linear.pad_matrix_block`: zero pad-rows pin each lane's
+tail slots to exactly zero, zero pad-columns mask out junk the previous
+layer left there, so layers compose without explicit cleanup masks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.dsl import CinnamonProgram
+from ..fhe.linear import matrix_diagonals, pad_matrix_block, select_baby_steps
+from ..fhe.packing import SlotCapacityError
+from ..fhe.polyeval import _trim, chebyshev_divmod
+
+DEFAULT_FLOOR = 1
+_DRY_LEVEL = 4096  # dry-run headroom: deeper than any model we lower
+
+
+class DepthBudgetError(ValueError):
+    """The model cannot be scheduled within the available level budget."""
+
+
+# --------------------------------------------------------------------------- #
+# Packing selection
+
+
+@dataclass(frozen=True)
+class PackingSpec:
+    """How a model's tensors map onto the CKKS slots."""
+
+    lanes: int
+    block: int
+
+    @property
+    def frame(self) -> int:
+        return self.lanes * self.block
+
+    @property
+    def layout(self) -> str:
+        """``tiled`` (one lane fills the frame) vs ``batched`` lanes."""
+        return "batched" if self.lanes > 1 else "tiled"
+
+    def lane_starts(self) -> List[int]:
+        return [lane * self.block for lane in range(self.lanes)]
+
+
+def _next_pow2(n: int) -> int:
+    return 1 << max(0, int(math.ceil(math.log2(max(1, n)))))
+
+
+def select_packing(model, slot_count: int) -> PackingSpec:
+    """Choose the lane block for a model: the widest layer width, padded
+    to a power of two.  Raises :class:`SlotCapacityError` when the frame
+    does not fit the ring."""
+    widest = max(model.widths())
+    block = _next_pow2(widest)
+    lanes = getattr(model, "lanes", 1)
+    frame = lanes * block
+    if frame > slot_count:
+        raise SlotCapacityError(
+            f"model {model.name!r} needs a {lanes} x {block} frame "
+            f"({frame} slots) but the ring provides {slot_count}",
+            needed=frame, available=slot_count)
+    return PackingSpec(lanes=lanes, block=block)
+
+
+# --------------------------------------------------------------------------- #
+# Depth traces and bootstrap placement
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One point of the lowering walk that the depth planner models.
+
+    ``stage`` events are refresh opportunities (``live`` = how many
+    ciphertexts would need bootstrapping there); ``enter``/``exit``
+    bracket residual skips, whose final add realigns the carrier level to
+    ``min(skip, branch)``.
+    """
+
+    kind: str    # "stage" | "enter" | "exit"
+    name: str
+    live: int
+    level: int   # dry-run level at this event
+
+
+@dataclass(frozen=True)
+class DepthPlan:
+    """The analytic level schedule for one lowered model."""
+
+    trace: Tuple[TraceEvent, ...]
+    input_level: int
+    output_level: Optional[int]      # bootstrap re-entry level (None: no plan)
+    floor: int
+    refresh_at: frozenset            # stage ordinals preceded by a refresh
+    bootstrap_count: int             # total bootstrap *ops* (sum of live sets)
+    final_level: int                 # carrier level at the output
+
+    @property
+    def total_depth(self) -> int:
+        """Multiplicative depth of the whole model, bootstraps aside."""
+        return self.trace[0].level - self.trace[-1].level
+
+    def stage_names(self) -> List[str]:
+        return [e.name for e in self.trace if e.kind == "stage"]
+
+
+def place_bootstraps(trace: Sequence[TraceEvent], input_level: int,
+                     output_level: Optional[int],
+                     floor: int = DEFAULT_FLOOR) -> DepthPlan:
+    """Replay a dry-run trace against a real budget and pick refreshes.
+
+    Greedy Orion rule: at each stage checkpoint, if finishing the segment
+    up to the next checkpoint would leave the carrier below ``floor``,
+    refresh every live ciphertext first.  Residual markers replay the
+    skip-add's ``min`` exactly, so the predicted trajectory equals the
+    emission run's — which is what makes ``bootstrap_count`` testable
+    against the emitted program.
+    """
+    events = list(trace)
+    if not events or events[0].kind != "stage":
+        raise ValueError("trace must start with a stage event")
+    stage_positions = [i for i, e in enumerate(events) if e.kind == "stage"]
+
+    def advance(level: float, stack: List[float], i0: int, i1: int):
+        """Apply events ``(i0, i1]``: compute deltas plus residual minima."""
+        stack = list(stack)
+        for j in range(i0 + 1, i1 + 1):
+            level -= events[j - 1].level - events[j].level
+            if events[j].kind == "enter":
+                stack.append(level)
+            elif events[j].kind == "exit":
+                level = min(level, stack.pop())
+        return level, stack
+
+    refresh_at = set()
+    bootstrap_count = 0
+    level: float = float(input_level)
+    stack: List[float] = []
+    for ordinal, pos in enumerate(stage_positions):
+        nxt = (stage_positions[ordinal + 1]
+               if ordinal + 1 < len(stage_positions) else pos)
+        end_level, _ = advance(level, stack, pos, nxt)
+        if end_level < floor:
+            if output_level is None:
+                raise DepthBudgetError(
+                    f"stage {events[pos].name!r} needs "
+                    f"{int(level - end_level)} levels but only "
+                    f"{int(level - floor)} remain and no bootstrap plan "
+                    f"was given")
+            retry, _ = advance(float(output_level), stack, pos, nxt)
+            if retry < floor:
+                raise DepthBudgetError(
+                    f"stage {events[pos].name!r} consumes "
+                    f"{int(output_level - retry)} levels — more than the "
+                    f"bootstrap budget {output_level - floor} "
+                    f"(output level {output_level}, floor {floor})")
+            refresh_at.add(ordinal)
+            bootstrap_count += events[pos].live
+            level = float(output_level)
+        level, stack = advance(level, stack, pos, nxt)
+    return DepthPlan(
+        trace=tuple(events), input_level=input_level,
+        output_level=output_level, floor=floor,
+        refresh_at=frozenset(refresh_at), bootstrap_count=bootstrap_count,
+        final_level=int(level))
+
+
+# --------------------------------------------------------------------------- #
+# The lowering builder
+
+
+class DslLowering:
+    """Emits a model walk into a :class:`CinnamonProgram`.
+
+    One class serves both passes: with ``plan=None`` it is the dry run
+    (record the trace, never refresh); with a :class:`DepthPlan` it is
+    the emission run (refresh the live set at the planned stages).
+    Plaintext operands (weights' diagonals, masks, biases, polynomial
+    constants) become *named* program plaintexts whose frame-periodic
+    base values are collected in :attr:`plaintext_values` for binding at
+    emulation time.
+    """
+
+    def __init__(self, spec: PackingSpec, program: CinnamonProgram,
+                 plan: Optional[DepthPlan] = None):
+        self.spec = spec
+        self.program = program
+        self.plan = plan
+        self.trace: List[TraceEvent] = []
+        self.plaintext_values: Dict[str, np.ndarray] = {}
+        self.bootstraps = 0
+        self.rotations = 0
+        self._stage_ordinal = 0
+        self._pt_serial = 0
+
+    # -- checkpoints ----------------------------------------------------- #
+
+    def stage(self, handles, name: str):
+        """Declare a refresh opportunity over the given live set."""
+        hs = list(handles)
+        self.trace.append(TraceEvent(
+            "stage", name, len(hs), min(h.level for h in hs)))
+        if self.plan is not None and \
+                self._stage_ordinal in self.plan.refresh_at:
+            hs = [h.bootstrap() for h in hs]
+            self.bootstraps += len(hs)
+        self._stage_ordinal += 1
+        return hs if len(hs) > 1 else hs[0]
+
+    def residual_enter(self, h):
+        self.trace.append(TraceEvent("enter", "residual", 1, h.level))
+        return h
+
+    def residual_exit(self, skip, branch):
+        out = self.add(skip, branch)
+        self.trace.append(TraceEvent("exit", "residual", 1, out.level))
+        return out
+
+    # -- primitive ops (levels tracked by the DSL recorder) -------------- #
+
+    def add(self, a, b):
+        return a + b
+
+    def sub(self, a, b):
+        return a - b
+
+    def neg(self, a):
+        return -a
+
+    def mul(self, a, b):
+        return a * b
+
+    def add_const(self, h, value: float):
+        return h + float(value)
+
+    def mul_const(self, h, value: float):
+        return h * float(value)
+
+    def _pt(self, values: np.ndarray, tag: str):
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.spec.frame,):
+            raise ValueError(
+                f"plaintext {tag!r} must be one frame "
+                f"({self.spec.frame} values), got {values.shape}")
+        name = f"{tag}.{self._pt_serial}"
+        self._pt_serial += 1
+        self.plaintext_values[name] = values
+        return self.program.plaintext(name)
+
+    def add_vec(self, h, values, tag: str):
+        return h + self._pt(values, tag)
+
+    def mul_vec(self, h, values, tag: str):
+        return h * self._pt(values, tag)
+
+    def rotate(self, h, amount: int):
+        amount = int(amount) % self.spec.frame
+        if amount == 0:
+            return h
+        self.rotations += 1
+        return h.rotate(amount)
+
+    def rotate_many(self, h, amounts):
+        return {k: self.rotate(h, k) for k in amounts}
+
+    def segment_sum(self, h, span: int):
+        """``out[j] = sum_{t<span} in[j+t]`` — rotate-and-sum doubling."""
+        if span & (span - 1):
+            raise ValueError(f"segment span {span} must be a power of two")
+        shift = 1
+        while shift < span:
+            h = self.add(h, self.rotate(h, shift))
+            shift <<= 1
+        return h
+
+
+# --------------------------------------------------------------------------- #
+# Generic math over the builder interface (shared by every pass)
+
+
+def matvec_lower(ctx, h, matrix: np.ndarray, tag: str):
+    """Apply ``matrix`` to every lane: BSGS diagonal matvec, one level.
+
+    The (possibly rectangular) matrix is pad-and-masked into the lane
+    block and replicated over the lanes as a block-diagonal frame matrix;
+    the BSGS split is chosen per-matrix with
+    :func:`repro.fhe.linear.select_baby_steps`.
+    """
+    spec = ctx.spec
+    padded = pad_matrix_block(np.asarray(matrix, dtype=np.float64),
+                              spec.block)
+    if spec.lanes > 1:
+        frame_matrix = np.kron(np.eye(spec.lanes), padded)
+    else:
+        frame_matrix = padded
+    diagonals = matrix_diagonals(frame_matrix)
+    if not diagonals:
+        raise ValueError(f"matrix for {tag!r} has no nonzero entries")
+    n = spec.frame
+    n1 = select_baby_steps(diagonals, n)
+
+    groups: Dict[int, Dict[int, np.ndarray]] = {}
+    for d, diag in diagonals.items():
+        j, i = divmod(d, n1)
+        groups.setdefault(j, {})[i] = np.real(diag)
+    babies = sorted({i for g in groups.values() for i in g})
+    rotated = ctx.rotate_many(h, babies)
+
+    result = None
+    for j in sorted(groups):
+        inner = None
+        for i in sorted(groups[j]):
+            adjusted = np.roll(groups[j][i], j * n1)
+            term = ctx.mul_vec(rotated[i], adjusted, f"{tag}.d{j * n1 + i}")
+            inner = term if inner is None else ctx.add(inner, term)
+        if j:
+            inner = ctx.rotate(inner, j * n1)
+        result = inner if result is None else ctx.add(result, inner)
+    return result
+
+
+def cheb_interval_map(interval) -> Tuple[float, float]:
+    """The affine ``x -> scale*x + shift`` taking ``interval`` to [-1, 1]."""
+    lo, hi = interval
+    return 2.0 / (hi - lo), -(hi + lo) / (hi - lo)
+
+
+def chebyshev_lower(ctx, h, coeffs: Sequence[float], interval=(-1.0, 1.0)):
+    """Builder-generic Han-Ki BSGS Chebyshev evaluation.
+
+    Mirrors :class:`repro.fhe.polyeval.ChebyshevEvaluator` op for op, so
+    the DSL program, the depth trace, and the numpy references (via
+    ``chebval`` — the same polynomial) agree exactly.  Costs one extra
+    level when ``interval`` is not already [-1, 1].
+    """
+    lo, hi = interval
+    if not (math.isclose(lo, -1.0) and math.isclose(hi, 1.0)):
+        scale, shift = cheb_interval_map(interval)
+        h = ctx.mul_const(h, scale)
+        if abs(shift) > 1e-12:
+            h = ctx.add_const(h, shift)
+    coeffs = _trim([float(c) for c in coeffs])
+    degree = len(coeffs) - 1
+    if degree == 0:
+        return ctx.add_const(ctx.mul_const(h, 0.0), coeffs[0])
+
+    baby = 1 << max(1, math.ceil(math.log2(math.sqrt(degree + 1))))
+    table = {1: h}
+    for i in range(2, baby + 1):
+        half, other = i // 2, i - i // 2
+        prod = ctx.mul(table[half], table[other])
+        t_i = ctx.add(prod, prod)
+        if half == other:
+            t_i = ctx.add_const(t_i, -1.0)
+        else:
+            t_i = ctx.sub(t_i, table[other - half])
+        table[i] = t_i
+    g = baby
+    while 2 * g <= degree:
+        prod = ctx.mul(table[g], table[g])
+        doubled = ctx.add(prod, prod)
+        table[2 * g] = ctx.add_const(doubled, -1.0)
+        g *= 2
+
+    def eval_small(cs):
+        acc = None
+        for i in range(1, len(cs)):
+            if cs[i] == 0.0:
+                continue
+            term = ctx.mul_const(table[i], cs[i])
+            acc = term if acc is None else ctx.add(acc, term)
+        if acc is None:
+            acc = ctx.mul_const(table[1], 0.0)
+        if cs[0] != 0.0:
+            acc = ctx.add_const(acc, cs[0])
+        return acc
+
+    def eval_recursive(cs):
+        cs = _trim(cs)
+        d = len(cs) - 1
+        if d < max(baby, 2):
+            return eval_small(cs)
+        giant = baby
+        while 2 * giant <= d:
+            giant *= 2
+        q, r = chebyshev_divmod(cs, giant)
+        prod = ctx.mul(eval_recursive(q), table[giant])
+        if _trim(r) == [0.0]:
+            return prod
+        return ctx.add(prod, eval_recursive(r))
+
+    return eval_recursive(coeffs)
+
+
+def frame_base_mask(frame: int, indices: Sequence[int],
+                    value: float = 1.0) -> np.ndarray:
+    """One frame of a mask: ``value`` at the given in-frame indices."""
+    base = np.zeros(frame)
+    for index in indices:
+        if not 0 <= index < frame:
+            raise ValueError(f"mask index {index} outside frame {frame}")
+        base[index] = value
+    return base
+
+
+def segment_reduce_broadcast(ctx, h, span: int, starts: Sequence[int],
+                             scale: float, tag: str, bias_at_starts=None):
+    """Sum ``span`` consecutive slots from each start, scale, re-broadcast.
+
+    The workhorse of LayerNorm/Softmax/attention reductions: one
+    rotate-and-sum tree, one mask multiply (this is where the level
+    goes), an optional plaintext bias at the segment starts, then a
+    doubling broadcast that replicates each start's value across its
+    segment.  Slots outside the masked segments come back exactly zero,
+    which is what keeps junk in padded lane tails from ever reaching a
+    polynomial evaluation.
+    """
+    frame = ctx.spec.frame
+    t = ctx.segment_sum(h, span)
+    t = ctx.mul_vec(t, frame_base_mask(frame, starts, scale), f"{tag}.mask")
+    if bias_at_starts is not None:
+        t = ctx.add_vec(t, frame_base_mask(frame, starts, bias_at_starts),
+                        f"{tag}.bias")
+    shift = 1
+    while shift < span:
+        t = ctx.add(t, ctx.rotate(t, frame - shift))
+        shift <<= 1
+    return t
+
+
+# --------------------------------------------------------------------------- #
+# Driving a model through a builder
+
+
+def run_model(ctx, model, h):
+    """Walk the model and close the trace with a terminal stage event."""
+    out = model.lower(ctx, h)
+    ctx.stage([out], "output")
+    return out
+
+
+@dataclass
+class LoweredModel:
+    """A model lowered to a :class:`CinnamonProgram` plus its metadata."""
+
+    model: object
+    program: CinnamonProgram
+    params: object
+    spec: PackingSpec
+    plan: DepthPlan
+    plaintext_values: Dict[str, np.ndarray] = field(repr=False)
+    input_name: str = "x"
+    output_name: str = "y"
+
+    @property
+    def rotations(self) -> int:
+        return self.program.count("rotate")
+
+    def bind_plaintexts(self, slot_count: int) -> Dict[str, np.ndarray]:
+        """Tile the frame-periodic plaintext bases out to a ring's slots."""
+        frame = self.spec.frame
+        if slot_count % frame:
+            raise ValueError(
+                f"frame {frame} must divide {slot_count} slots")
+        reps = slot_count // frame
+        return {name: np.tile(base, reps)
+                for name, base in self.plaintext_values.items()}
+
+
+def lower(model, params, *, bootstrap_plan=None, input_level: int = None,
+          floor: int = DEFAULT_FLOOR) -> LoweredModel:
+    """Lower a model to a Cinnamon program for the given parameter set.
+
+    Without ``bootstrap_plan`` the program must fit the parameter chain
+    whole (``input_level`` defaults to exactly the model's depth plus the
+    ``floor`` — the deep-chain functional mode used for parity testing);
+    with a :class:`~repro.core.ir.bootstrap_graph.BootstrapPlan`,
+    ``input_level`` defaults to the plan's output level (steady-state
+    serving) and refreshes are placed automatically wherever the
+    remaining budget runs short.
+    """
+    slot_count = params.slot_count
+    spec = select_packing(model, slot_count)
+
+    # Pass 1: depth trace at a level no real chain reaches.
+    scratch = CinnamonProgram(f"{model.name}-trace", level=_DRY_LEVEL)
+    dry = DslLowering(spec, scratch)
+    run_model(dry, model, scratch.input("x"))
+    trace = dry.trace
+
+    total_depth = trace[0].level - trace[-1].level
+    if bootstrap_plan is None:
+        output_level = None
+        if input_level is None:
+            input_level = total_depth + floor
+        if input_level > params.max_level:
+            raise DepthBudgetError(
+                f"model {model.name!r} needs {input_level} levels but the "
+                f"parameter chain has {params.max_level}; pass a "
+                f"bootstrap_plan or deepen the chain")
+    else:
+        output_level = bootstrap_plan.output_level
+        if bootstrap_plan.top_level > params.max_level:
+            raise DepthBudgetError(
+                f"bootstrap plan {bootstrap_plan.name!r} raises to level "
+                f"{bootstrap_plan.top_level} but the chain has "
+                f"{params.max_level}")
+        if input_level is None:
+            input_level = min(output_level, params.max_level)
+    plan = place_bootstraps(trace, input_level, output_level, floor)
+
+    # Pass 2: emission with the plan's refreshes.
+    program = CinnamonProgram(
+        model.name, level=input_level,
+        bootstrap_output_level=output_level or input_level)
+    emitter = DslLowering(spec, program, plan=plan)
+    out = run_model(emitter, model, program.input("x"))
+    program.output("y", out)
+
+    if emitter.bootstraps != plan.bootstrap_count:
+        raise AssertionError(
+            f"emitted {emitter.bootstraps} bootstraps but the plan "
+            f"scheduled {plan.bootstrap_count}")
+    return LoweredModel(
+        model=model, program=program, params=params, spec=spec, plan=plan,
+        plaintext_values=emitter.plaintext_values)

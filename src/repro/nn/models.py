@@ -1,0 +1,174 @@
+"""Executable builders for the paper's evaluation models.
+
+Reduced-dimension versions of the three workloads Cinnamon evaluates —
+ResNet-20, HELR logistic regression, and a BERT encoder block — built
+from :mod:`repro.nn.layers` with seeded random weights.  "Reduced" means
+smaller images/channel counts/model dims so the functional CKKS parity
+run stays tractable; the *structure* (layer kinds, depth profile,
+rotation patterns) matches the full-size models, which is what the
+architectural simulations care about.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .layers import (
+    Conv2d,
+    GlobalAvgPool,
+    LayerNorm,
+    Linear,
+    Model,
+    Residual,
+    SelfAttention,
+    Sequential,
+    gelu,
+    relu,
+    sigmoid,
+)
+
+MODEL_NAMES = ("nn-helr", "nn-resnet20", "nn-bert-encoder")
+
+
+def build_helr(features: int = 16, batch: int = 8, seed: int = 7) -> Model:
+    """HELR's per-step scoring: one linear + degree-7 sigmoid, batched
+    ``batch`` samples across the lanes."""
+    rng = np.random.default_rng(seed)
+    weight = rng.normal(size=(1, features)) / math.sqrt(features)
+    bias = 0.1 * rng.normal(size=(1,))
+    return Model("nn-helr",
+                 [Linear(weight, bias, name="score"),
+                  sigmoid(1, degree=7, bound=8.0)],
+                 lanes=batch)
+
+
+def build_resnet20(image: int = 8, channels: Sequence[int] = (2, 4, 8),
+                   classes: int = 10, blocks_per_stage: int = 3,
+                   seed: int = 11, relu_degree: int = 4,
+                   relu_bound: float = 4.0) -> Model:
+    """ResNet-20 at reduced dims: 1 stem + 3 stages of ``blocks_per_stage``
+    blocks (first block of stages 2+ is a stride-2 transition without a
+    skip; the rest are residual), global average pool, and a classifier.
+
+    With the defaults this is 19 convolutions + 1 linear — the full
+    ResNet-20 layer count — on an ``image x image`` input.
+
+    Each conv is calibrated on a seeded input batch so pre-activation
+    peaks stay ~1 (the usual batch-norm folding trained FHE ResNets rely
+    on): 20 layers of raw He-initialized convs decay the signal by ~5
+    orders of magnitude, which drops it below the CKKS noise floor.
+    """
+    channels = tuple(channels)
+    rng = np.random.default_rng(seed)
+    calib = np.random.default_rng(seed + 1).uniform(
+        -0.5, 0.5, size=(8, image * image))
+
+    def conv(x_cal, out_ch, in_ch, hw, stride=1, name="conv", target=1.0):
+        fan_in = in_ch * 9
+        w = rng.normal(size=(out_ch, in_ch, 3, 3)) / math.sqrt(fan_in)
+        c = Conv2d(w, hw, hw, stride=stride, name=name)
+        peak = np.abs(c.reference(x_cal)).max()
+        if peak > 0:
+            c = Conv2d(w * (target / peak), hw, hw, stride=stride, name=name)
+        return c, c.reference(x_cal)
+
+    def act(ch: int, hw: int, name: str):
+        return relu(ch * hw * hw, degree=relu_degree, bound=relu_bound,
+                    name=name)
+
+    hw = image
+    layers = []
+
+    def push(layer):
+        nonlocal calib
+        layers.append(layer)
+        calib = layer.reference(calib)
+
+    stem, _ = conv(calib, channels[0], 1, hw, name="stem")
+    push(stem)
+    push(act(channels[0], hw, "stem.relu"))
+    for s, ch in enumerate(channels):
+        for b in range(blocks_per_stage):
+            tag = f"s{s + 1}b{b + 1}"
+            if b == 0 and s > 0:
+                # Stride-2 transition: downsample + channel double, no skip.
+                down, _ = conv(calib, ch, channels[s - 1], hw, stride=2,
+                               name=f"{tag}.down")
+                push(down)
+                hw //= 2
+                push(act(ch, hw, f"{tag}.relu1"))
+                conv2, _ = conv(calib, ch, ch, hw, name=f"{tag}.conv2")
+                push(conv2)
+                push(act(ch, hw, f"{tag}.relu2"))
+            else:
+                conv1, mid = conv(calib, ch, ch, hw, name=f"{tag}.conv1")
+                relu1 = act(ch, hw, f"{tag}.relu1")
+                mid = relu1.reference(mid)
+                conv2, _ = conv(mid, ch, ch, hw, name=f"{tag}.conv2")
+                body = Sequential([conv1, relu1, conv2], name=f"{tag}.body")
+                push(Residual(body, name=f"{tag}"))
+                push(act(ch, hw, f"{tag}.relu2"))
+    spatial = hw * hw
+    pool = GlobalAvgPool(channels[-1], spatial)
+    push(pool)
+    fc = rng.normal(size=(classes, channels[-1])) / math.sqrt(channels[-1])
+    peak = np.abs(calib @ fc.T).max()
+    layers.append(Linear(fc / max(peak, 1e-12), name="classifier"))
+    return Model("nn-resnet20", layers, lanes=1)
+
+
+def build_bert_encoder(d_model: int = 16, seq: int = 4, num_heads: int = 2,
+                       d_ff: int = 32, seed: int = 13) -> Model:
+    """One post-LN BERT encoder block: attention and MLP residual
+    branches, each followed by an approximate LayerNorm."""
+    rng = np.random.default_rng(seed)
+
+    def proj(out_w: int, in_w: int) -> np.ndarray:
+        return rng.normal(size=(out_w, in_w)) / math.sqrt(in_w)
+
+    attn = SelfAttention(
+        d_model, num_heads, seq,
+        wq=proj(d_model, d_model), wk=proj(d_model, d_model),
+        wv=proj(d_model, d_model), wo=proj(d_model, d_model),
+        name="attn")
+    mlp = Sequential(
+        [Linear(proj(d_ff, d_model), 0.1 * rng.normal(size=(d_ff,)),
+                name="ff1"),
+         gelu(d_ff, degree=7, bound=5.0),
+         Linear(proj(d_model, d_ff), 0.1 * rng.normal(size=(d_model,)),
+                name="ff2")],
+        name="mlp")
+    return Model(
+        "nn-bert-encoder",
+        [Residual(attn, name="attn.res"),
+         LayerNorm(d_model, gamma=1.0 + 0.1 * rng.normal(size=(d_model,)),
+                   beta=0.1 * rng.normal(size=(d_model,)), name="ln1"),
+         Residual(mlp, name="mlp.res"),
+         LayerNorm(d_model, gamma=1.0 + 0.1 * rng.normal(size=(d_model,)),
+                   beta=0.1 * rng.normal(size=(d_model,)), name="ln2")],
+        lanes=seq)
+
+
+def build_model(name: str, **overrides) -> Model:
+    """Builder registry keyed by the canonical model names."""
+    builders = {
+        "nn-helr": build_helr,
+        "nn-resnet20": build_resnet20,
+        "nn-bert-encoder": build_bert_encoder,
+    }
+    if name not in builders:
+        raise ValueError(
+            f"unknown nn model {name!r} (expected one of {MODEL_NAMES})")
+    return builders[name](**overrides)
+
+
+def sample_input(model: Model, seed: int = 0,
+                 scale: float = 0.5) -> np.ndarray:
+    """A seeded ``(lanes, in_width)`` input in the models' calibrated
+    range."""
+    rng = np.random.default_rng(seed)
+    return scale * rng.uniform(-1.0, 1.0,
+                               size=(model.lanes, model.in_width))

@@ -12,7 +12,11 @@ Two arrival models:
 
 The request stream samples the four-workload mix of
 :func:`repro.workloads.serving_mix` (bootstrap / ResNet-20 block / HELR
-step / BERT layer), optionally reweighted via ``--mix``.  The run prints
+step / BERT layer), optionally reweighted via ``--mix``.  ``--nn mixed``
+adds the three whole models the :mod:`repro.nn` frontend lowers (HELR,
+reduced ResNet-20, BERT encoder block) as extra classes; ``--nn only``
+replays pure-nn traffic — both compose with ``--cluster``.  The run
+prints
 a throughput/latency report and can dump the full metrics snapshot
 (``--metrics-out``) and the request-level trace (``--trace-out``).
 
@@ -341,6 +345,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--mix", default="",
                         help="weight overrides, e.g. 'bootstrap=2,"
                              "bert-layer=0.5'")
+    parser.add_argument("--nn", choices=("off", "mixed", "only"),
+                        default="off",
+                        help="'mixed' adds the three lowered repro.nn "
+                             "models (HELR / ResNet-20 / BERT encoder) to "
+                             "the kernel mix; 'only' replays pure-nn "
+                             "traffic")
     parser.add_argument("--deadline", type=float, default=None,
                         help="per-request deadline, seconds")
     parser.add_argument("--seed", type=int, default=0)
@@ -403,8 +413,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .. import obs
 
         obs.enable()
-    mix = serving_mix(args.scale,
-                      weights=parse_mix_weights(args.mix) or None)
+    mix_weights = parse_mix_weights(args.mix) or None
+    if args.nn == "only":
+        from ..workloads.serving import nn_mix
+
+        mix = nn_mix(args.scale, weights=mix_weights)
+    else:
+        mix = serving_mix(args.scale, weights=mix_weights,
+                          include_nn=args.nn == "mixed")
     keyvault = None
     if args.cluster > 0:
         from ..cluster import ClusterRouter

@@ -73,6 +73,20 @@ def _activation(name: str, degree: int, level: int, params: ArchParams):
             CompilerOptions())
 
 
+def _nn(name: str, scale: str):
+    # Mirrors repro.workloads.serving.nn_mix: whole lowered models as
+    # tuning targets.  The paper-scale deep models pass BOOTSTRAP_13
+    # explicitly so the oracle's options fingerprint matches the plan
+    # the lowering scheduled against.
+    from ..workloads.serving import nn_mix
+
+    entry = nn_mix(scale)[name]
+    plan = BOOTSTRAP_13 if scale == "paper" and name != "nn-helr" else None
+    options = CompilerOptions(bootstrap_plan=plan) if plan \
+        else CompilerOptions()
+    return entry.build(), entry.params, options
+
+
 _BUILDERS: Dict[Tuple[str, str], Callable] = {
     ("bootstrap", "paper"): _paper_bootstrap,
     ("bootstrap", "small"): _small_bootstrap,
@@ -88,6 +102,12 @@ _BUILDERS: Dict[Tuple[str, str], Callable] = {
         lambda: _matmul("qkv", 48, 12, ArchParams()),
     ("bert-layer", "small"):
         lambda: _matmul("qkv", 8, 6, ArchParams(max_level=16)),
+    ("nn-helr", "paper"): lambda: _nn("nn-helr", "paper"),
+    ("nn-helr", "small"): lambda: _nn("nn-helr", "small"),
+    ("nn-resnet20", "paper"): lambda: _nn("nn-resnet20", "paper"),
+    ("nn-resnet20", "small"): lambda: _nn("nn-resnet20", "small"),
+    ("nn-bert-encoder", "paper"): lambda: _nn("nn-bert-encoder", "paper"),
+    ("nn-bert-encoder", "small"): lambda: _nn("nn-bert-encoder", "small"),
 }
 
 WORKLOAD_NAMES = tuple(sorted({name for name, _ in _BUILDERS}))

@@ -13,7 +13,7 @@ from .compose import KernelSpec, WorkloadSchedule, WorkloadTimer
 from .resnet import resnet20_schedule
 from .helr import helr_schedule
 from .bert import bert_schedule
-from .serving import MixEntry, SMALL_BOOTSTRAP_PLAN, serving_mix
+from .serving import MixEntry, SMALL_BOOTSTRAP_PLAN, nn_mix, serving_mix
 from . import baselines
 
 __all__ = [
@@ -28,6 +28,7 @@ __all__ = [
     "bert_schedule",
     "MixEntry",
     "SMALL_BOOTSTRAP_PLAN",
+    "nn_mix",
     "serving_mix",
     "baselines",
 ]

@@ -14,6 +14,13 @@ Two scales:
 * ``"small"`` — structurally identical miniatures (a real, tiny
   bootstrap plan; low-degree kernels) that compile in milliseconds, for
   tests and CI smoke runs.
+
+Beyond the four dominant kernels, :func:`nn_mix` serves the *whole
+models* the :mod:`repro.nn` frontend lowers — HELR, a reduced
+ResNet-20, a BERT encoder block — as single requests (hundreds to
+thousands of ops each).  ``serving_mix(..., include_nn=True)`` merges
+them into the kernel mix; ``python -m repro.serve.loadgen --nn``
+replays pure-nn traffic.
 """
 
 from __future__ import annotations
@@ -43,13 +50,75 @@ class MixEntry:
     weight: float = 1.0
 
 
+# Small-scale chains for the lowered nn models, sized to each model's
+# analytic depth plus one spare level: compile cost grows with the
+# chain length, so a just-fits chain keeps the smoke mix fast.  A test
+# pins that each model still fits (the depths are deterministic given
+# the builders' seeds).
+NN_SMALL_LEVELS = {"nn-helr": 16, "nn-resnet20": 32, "nn-bert-encoder": 46}
+
+
+def _lowered(build_model, params, plan=None) -> Callable[[], CinnamonProgram]:
+    def build() -> CinnamonProgram:
+        from ..nn import lower  # deferred: keeps the mix import light
+
+        return lower(build_model(), params, bootstrap_plan=plan).program
+    return build
+
+
+def nn_mix(scale: str = "small",
+           weights: Optional[Dict[str, float]] = None
+           ) -> Dict[str, MixEntry]:
+    """Whole lowered models as serving classes, one request per forward.
+
+    * ``"paper"`` — the full builders on the paper chain; ResNet-20 and
+      the BERT encoder refresh via BOOTSTRAP_13, which the server's
+      default compile options expand (the lowering targets the same
+      plan, so steady-state levels agree).
+    * ``"small"`` — bootstrap-free miniatures on just-deep-enough
+      chains that compile in seconds.
+    """
+    from ..nn import build_bert_encoder, build_helr, build_resnet20
+
+    if scale == "paper":
+        params = ArchParams()
+        entries = [
+            MixEntry("nn-helr", _lowered(build_helr, params), params),
+            MixEntry("nn-resnet20",
+                     _lowered(build_resnet20, params, BOOTSTRAP_13), params),
+            MixEntry("nn-bert-encoder",
+                     _lowered(build_bert_encoder, params, BOOTSTRAP_13),
+                     params),
+        ]
+    elif scale == "small":
+        helr = ArchParams(max_level=NN_SMALL_LEVELS["nn-helr"])
+        resnet = ArchParams(max_level=NN_SMALL_LEVELS["nn-resnet20"])
+        bert = ArchParams(max_level=NN_SMALL_LEVELS["nn-bert-encoder"])
+        entries = [
+            MixEntry("nn-helr", _lowered(build_helr, helr), helr),
+            MixEntry("nn-resnet20",
+                     _lowered(lambda: build_resnet20(
+                         image=4, channels=(2, 2, 2), blocks_per_stage=1,
+                         relu_degree=2), resnet), resnet),
+            MixEntry("nn-bert-encoder",
+                     _lowered(lambda: build_bert_encoder(
+                         d_model=8, seq=2, num_heads=2, d_ff=8), bert),
+                     bert),
+        ]
+    else:
+        raise ValueError(f"unknown serving mix scale {scale!r} "
+                         "(expected 'small' or 'paper')")
+    return _weighted(entries, weights)
+
+
 def serving_mix(scale: str = "small",
-                weights: Optional[Dict[str, float]] = None
-                ) -> Dict[str, MixEntry]:
+                weights: Optional[Dict[str, float]] = None,
+                include_nn: bool = False) -> Dict[str, MixEntry]:
     """The four-workload request mix at the given scale.
 
     ``weights`` reweights classes by name (missing names keep 1.0;
-    weight 0 drops the class from the mix).
+    weight 0 drops the class from the mix).  ``include_nn`` merges the
+    three whole-model classes of :func:`nn_mix` into the traffic.
     """
     if scale == "paper":
         params = ArchParams()
@@ -80,6 +149,13 @@ def serving_mix(scale: str = "small",
         raise ValueError(f"unknown serving mix scale {scale!r} "
                          "(expected 'small' or 'paper')")
 
+    if include_nn:
+        entries.extend(nn_mix(scale).values())
+    return _weighted(entries, weights)
+
+
+def _weighted(entries, weights: Optional[Dict[str, float]]
+              ) -> Dict[str, MixEntry]:
     weights = weights or {}
     unknown = set(weights) - {e.name for e in entries}
     if unknown:

@@ -1,0 +1,216 @@
+"""Plaintext reference semantics of the :mod:`repro.nn` layers.
+
+The references are the ground truth the encrypted parity suite compares
+against, so they get their own direct tests: linear algebra against raw
+numpy, the im2col convolution against a hand-rolled spatial loop, and
+the polynomial approximations against the functions they approximate.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Conv2d,
+    GlobalAvgPool,
+    LayerNorm,
+    Linear,
+    Model,
+    Residual,
+    SelfAttention,
+    Sequential,
+    Softmax,
+    cheb_reference,
+    conv2d_matrix,
+    gelu,
+    relu,
+    sigmoid,
+)
+
+
+class TestLinear:
+    def test_matches_numpy(self, rng):
+        w = rng.normal(size=(3, 5))
+        b = rng.normal(size=3)
+        x = rng.normal(size=(4, 5))
+        assert np.allclose(Linear(w, b).reference(x), x @ w.T + b)
+        assert np.allclose(Linear(w).reference(x), x @ w.T)
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            Linear(np.ones(4))
+        with pytest.raises(ValueError):
+            Linear(np.ones((3, 5)), bias=np.ones(5))
+
+
+def direct_conv2d(weight, image, stride=1):
+    """Spatial-loop 'same' convolution oracle, channel-major layout."""
+    out_ch, in_ch, k, _ = weight.shape
+    h, w = image.shape[1:]
+    pad = k // 2
+    oh = (h + 2 * pad - k) // stride + 1
+    ow = (w + 2 * pad - k) // stride + 1
+    out = np.zeros((out_ch, oh, ow))
+    for co in range(out_ch):
+        for oy in range(oh):
+            for ox in range(ow):
+                acc = 0.0
+                for ci in range(in_ch):
+                    for dy in range(k):
+                        for dx in range(k):
+                            iy = oy * stride + dy - pad
+                            ix = ox * stride + dx - pad
+                            if 0 <= iy < h and 0 <= ix < w:
+                                acc += weight[co, ci, dy, dx] * \
+                                    image[ci, iy, ix]
+                out[co, oy, ox] = acc
+    return out
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride", [1, 2])
+    def test_matches_spatial_loop(self, rng, stride):
+        weight = rng.normal(size=(3, 2, 3, 3))
+        image = rng.normal(size=(2, 4, 4))
+        conv = Conv2d(weight, 4, 4, stride=stride)
+        got = conv.reference(image.reshape(1, -1))[0]
+        want = direct_conv2d(weight, image, stride).reshape(-1)
+        assert np.allclose(got, want)
+
+    def test_widths(self, rng):
+        conv = Conv2d(rng.normal(size=(4, 2, 3, 3)), 8, 8, stride=2)
+        assert conv.in_width == 2 * 64
+        assert conv.out_width == 4 * 16
+
+    def test_matrix_shape(self, rng):
+        m = conv2d_matrix(rng.normal(size=(3, 2, 3, 3)), 4, 4)
+        assert m.shape == (3 * 16, 2 * 16)
+
+
+class TestGlobalAvgPool:
+    def test_matches_channel_mean(self, rng):
+        pool = GlobalAvgPool(channels=3, spatial=4)
+        x = rng.normal(size=(2, 12))
+        want = x.reshape(2, 3, 4).mean(axis=-1)
+        assert np.allclose(pool.reference(x), want)
+
+    def test_non_pow2_spatial_rejected(self):
+        with pytest.raises(ValueError):
+            GlobalAvgPool(channels=2, spatial=3)
+
+
+class TestPolyActivations:
+    def test_reference_is_the_chebyshev_polynomial(self, rng):
+        act = relu(8, degree=4, bound=4.0)
+        x = rng.uniform(-4, 4, size=(2, 8))
+        assert np.allclose(act.reference(x),
+                           cheb_reference(x, act.coeffs, act.interval))
+
+    def test_relu_approximates_relu(self, rng):
+        act = relu(8, degree=8, bound=4.0)
+        x = rng.uniform(-4, 4, size=200)
+        assert np.max(np.abs(act.reference(x) - np.maximum(x, 0))) < 0.4
+
+    def test_sigmoid_approximates_sigmoid(self, rng):
+        act = sigmoid(8)
+        x = rng.uniform(-8, 8, size=200)
+        true = 1.0 / (1.0 + np.exp(-x))
+        assert np.max(np.abs(act.reference(x) - true)) < 0.05
+
+    def test_gelu_approximates_gelu(self, rng):
+        act = gelu(8)
+        x = rng.uniform(-3, 3, size=200)
+        true = 0.5 * x * (1 + np.tanh(
+            math.sqrt(2 / math.pi) * (x + 0.044715 * x ** 3)))
+        assert np.max(np.abs(act.reference(x) - true)) < 0.25
+
+
+class TestLayerNorm:
+    def test_approximates_exact_layernorm(self, rng):
+        ln = LayerNorm(16, iterations=2)
+        x = rng.normal(size=(4, 16))
+        mu = x.mean(-1, keepdims=True)
+        sd = np.sqrt(np.square(x - mu).mean(-1, keepdims=True) + ln.eps)
+        assert np.max(np.abs(ln.reference(x) - (x - mu) / sd)) < 0.05
+
+    def test_gamma_beta(self, rng):
+        g = rng.normal(size=8)
+        b = rng.normal(size=8)
+        x = rng.normal(size=(2, 8))
+        plain = LayerNorm(8, iterations=2).reference(x)
+        scaled = LayerNorm(8, gamma=g, beta=b, iterations=2).reference(x)
+        assert np.allclose(scaled, plain * g + b, atol=1e-6)
+
+    def test_non_pow2_width_rejected(self):
+        with pytest.raises(ValueError):
+            LayerNorm(12)
+
+
+class TestSoftmax:
+    def test_approximates_softmax(self, rng):
+        # Inputs chosen so the denominator z = sum(exp) stays inside the
+        # calibrated sum_interval (0.2, 8).
+        sm = Softmax(4, iterations=3, sum_interval=(0.5, 6.0))
+        x = rng.uniform(-1.5, 0.5, size=(4, 4))
+        e = np.exp(x)
+        want = e / e.sum(-1, keepdims=True)
+        got = sm.reference(x)
+        assert np.max(np.abs(got - want)) < 0.06
+        # Elementwise exp error accumulates across the row sum.
+        assert np.max(np.abs(got.sum(-1) - 1.0)) < 0.06 * sm.in_width
+
+
+class TestSelfAttention:
+    @staticmethod
+    def make(rng, d_model=8, seq=4, heads=2):
+        def proj():
+            return rng.normal(size=(d_model, d_model)) / math.sqrt(d_model)
+        return SelfAttention(d_model, heads, seq, wq=proj(), wk=proj(),
+                             wv=proj(), wo=proj(), iterations=2)
+
+    def test_approximates_exact_attention(self, rng):
+        attn = self.make(rng)
+        x = rng.uniform(-0.5, 0.5, size=(4, 8))
+        got = attn.reference(x)
+        # Exact softmax attention with the same (pre-scaled) projections.
+        q, k, v = x @ attn.wq.T, x @ attn.wk.T, x @ attn.wv.T
+        ctx = np.zeros_like(v)
+        for head in range(attn.num_heads):
+            sl = slice(head * attn.d_head, (head + 1) * attn.d_head)
+            s = q[:, sl] @ k[:, sl].T
+            e = np.exp(s - s.max(-1, keepdims=True))
+            ctx[:, sl] = (e / e.sum(-1, keepdims=True)) @ v[:, sl]
+        want = ctx @ attn.wo.T
+        assert np.max(np.abs(got - want)) < 0.15
+
+    def test_shape_validation(self, rng):
+        attn = self.make(rng)
+        with pytest.raises(ValueError, match="tokens"):
+            attn.reference(np.zeros((3, 8)))
+        with pytest.raises(ValueError):
+            SelfAttention(9, 3, 4, *(np.eye(9),) * 4)
+
+
+class TestComposition:
+    def test_sequential_width_mismatch(self, rng):
+        with pytest.raises(ValueError, match="width mismatch"):
+            Sequential([Linear(rng.normal(size=(3, 5))),
+                        Linear(rng.normal(size=(5, 4)))])
+
+    def test_residual_adds_skip(self, rng):
+        w = rng.normal(size=(6, 6))
+        block = Residual(Linear(w))
+        x = rng.normal(size=(2, 6))
+        assert np.allclose(block.reference(x), x + x @ w.T)
+
+    def test_residual_requires_square_body(self, rng):
+        with pytest.raises(ValueError):
+            Residual(Linear(rng.normal(size=(3, 6))))
+
+    def test_model_collects_widths(self, rng):
+        m = Model("m", [Linear(rng.normal(size=(8, 4))), relu(8)], lanes=2)
+        assert m.in_width == 4
+        assert m.out_width == 8
+        assert max(m.widths()) == 8
+        assert m.lanes == 2

@@ -11,7 +11,7 @@ import pytest
 
 EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
 
-FAST = ["keyswitch_comparison.py"]
+FAST = ["keyswitch_comparison.py", "nn_quickstart.py"]
 SLOW = [
     "quickstart.py",
     "encrypted_logreg.py",
