@@ -8,10 +8,15 @@ journal rows over the ``stats`` protocol message and folds them together:
 * **gauges** — summed (queue depths, inflight counts: the cluster value
   of a worker-local level *is* the sum);
 * **histograms** — ``count``/``sum``/``max`` merge exactly; ``mean`` is
-  recomputed from the merged sum/count; ``p50/p95/p99`` become
-  count-weighted averages of the per-worker quantiles (an approximation,
-  flagged by ``"quantiles": "weighted"`` in the merged series — exact
-  cluster quantiles would need the raw reservoirs on the wire).
+  recomputed from the merged sum/count; bucket counts sum elementwise
+  when every side shares the same bounds.  Quantiles merge **exactly**
+  when every contributing side still carries its complete reservoir in
+  the snapshot (``"samples"``, present while ``count`` ≤
+  :data:`~repro.obs.metrics.SNAPSHOT_SAMPLES_MAX`): the reservoirs are
+  concatenated and re-ranked, flagged ``"quantiles": "exact"`` — so
+  small-N cluster p99s match the single-process value.  Larger
+  histograms fall back to count-weighted averages of the per-worker
+  quantiles (an approximation, flagged ``"quantiles": "weighted"``).
 
 Journal rows merge by concatenation: rows are self-describing (schema 6
 stamps each absorbed row with its ``worker``) and already carry the
@@ -24,7 +29,9 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
-_QUANTILES = ("p50", "p95", "p99")
+from repro.obs.metrics import SNAPSHOT_SAMPLES_MAX, quantile_from_sorted
+
+_QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
 
 
 def _series_key(labels: dict) -> Tuple[Tuple[str, str], ...]:
@@ -40,14 +47,45 @@ def merge_histogram_values(values: List[dict]) -> dict:
         "sum": total,
         "mean": total / count if count else 0.0,
         "max": max((v.get("max", 0.0) for v in values), default=0.0),
-        "quantiles": "weighted",
     }
-    for q in _QUANTILES:
-        weighted = [(v.get("count", 0), v[q]) for v in values
-                    if v.get(q) is not None and v.get("count", 0) > 0]
-        weight = sum(c for c, _ in weighted)
-        merged[q] = (sum(c * x for c, x in weighted) / weight
-                     if weight else None)
+    contributing = [v for v in values if v.get("count", 0) > 0]
+
+    bounds = {tuple(v.get("buckets", {}).get("le", ()))
+              for v in contributing}
+    if contributing and len(bounds) == 1 and all(
+            v.get("buckets", {}).get("counts") for v in contributing):
+        le = list(bounds.pop())
+        width = len(le) + 1   # +inf tail
+        counts = [0] * width
+        if all(len(v["buckets"]["counts"]) == width for v in contributing):
+            for v in contributing:
+                for i, c in enumerate(v["buckets"]["counts"]):
+                    counts[i] += c
+            merged["buckets"] = {"le": le, "counts": counts}
+
+    samples: List[float] = []
+    exact = bool(contributing)
+    for v in contributing:
+        carried = v.get("samples")
+        if carried is None or len(carried) != v.get("count", 0):
+            exact = False
+            break
+        samples.extend(carried)
+    if exact:
+        samples.sort()
+        merged["quantiles"] = "exact"
+        for q, frac in _QUANTILES:
+            merged[q] = quantile_from_sorted(samples, frac)
+        if len(samples) <= SNAPSHOT_SAMPLES_MAX:
+            merged["samples"] = samples   # keep nested merges exact too
+    else:
+        merged["quantiles"] = "weighted"
+        for q, _ in _QUANTILES:
+            weighted = [(v.get("count", 0), v[q]) for v in contributing
+                        if v.get(q) is not None]
+            weight = sum(c for c, _ in weighted)
+            merged[q] = (sum(c * x for c, x in weighted) / weight
+                         if weight else None)
     return merged
 
 

@@ -29,6 +29,10 @@ ping       router   heartbeat probe
 pong       worker   heartbeat answer (carries quick queue stats)
 stats      router   request a metrics/trace snapshot
 stats_reply worker  metrics snapshot + journal rows since last ask
+telemetry  worker   periodic delta-encoded metrics sample (blob: JSON
+                    :func:`repro.obs.live.snapshot_delta` payload) —
+                    the streaming feed of the live telemetry store;
+                    the router's ``stats`` poll stays the fallback
 drain      router   stop accepting, finish in-flight, reply ``drained``
 drained    worker   drain complete (carries final journal rows)
 shutdown   router   exit after this frame
@@ -282,6 +286,7 @@ def pack_result(result) -> Tuple[dict, bytes]:
         cache=result.cache,
         cycles=result.cycles,
         error=result.error,
+        cost=result.cost,
     )
     header = {"kind": "result", "request_id": result.request_id,
               "status": str(result.status)}
@@ -290,3 +295,34 @@ def pack_result(result) -> Tuple[dict, bytes]:
 
 def unpack_result(header: dict, blob: bytes):
     return pickle.loads(blob)
+
+
+def pack_telemetry(worker_id: str, seq: int, delta: dict,
+                   unix: float, inflight: int = 0,
+                   queue_depth: int = 0) -> Tuple[dict, bytes]:
+    """Frame one streaming telemetry sample: a JSON (never pickled)
+    :func:`repro.obs.live.snapshot_delta` payload plus instantaneous
+    queue/inflight levels in the header for cheap router-side gauges."""
+    header = {
+        "kind": "telemetry",
+        "worker": worker_id,
+        "seq": int(seq),
+        "unix": unix,
+        "inflight": int(inflight),
+        "queue_depth": int(queue_depth),
+    }
+    blob = json.dumps(delta, separators=(",", ":")).encode("utf-8")
+    return header, blob
+
+
+def unpack_telemetry(header: dict, blob: bytes) -> dict:
+    """Inverse of :func:`pack_telemetry`: the delta snapshot dict."""
+    if not blob:
+        return {}
+    try:
+        delta = json.loads(blob)
+    except ValueError as exc:
+        raise ProtocolError(f"unparseable telemetry blob: {exc}") from exc
+    if not isinstance(delta, dict):
+        raise ProtocolError("telemetry blob is not a JSON object")
+    return delta

@@ -73,7 +73,8 @@ from ..trust.freshness import (DEFAULT_WINDOW_S, EnvelopeMinter,
 from .autoscaler import Autoscaler, AutoscalerState
 from .merge import merge_snapshots
 from .protocol import (ConnectionClosed, ProtocolError, TOKEN_ENV,
-                       pack_submit, recv_frame, send_frame, unpack_result)
+                       pack_submit, recv_frame, send_frame, unpack_result,
+                       unpack_telemetry)
 from .quotas import FairShareQueue, QuotaExceededError, TenantQuota
 from .ring import HashRing
 
@@ -148,7 +149,13 @@ class ClusterRouter:
                  spawn_workers: bool = True,
                  keyvault=None,
                  replay_window_s: float = DEFAULT_WINDOW_S,
-                 chaos_chip_crash: int = 0, chaos_cycle: int = 2000):
+                 chaos_chip_crash: int = 0, chaos_cycle: int = 2000,
+                 slos: Sequence = (), flight_dir=None,
+                 live_status_path=None,
+                 telemetry_interval_s: float = 0.0,
+                 slo_window_scale: float = 1.0,
+                 slo_min_events: int = 10,
+                 slo_cooldown_s: float = 60.0):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.max_retries = max_retries
@@ -270,6 +277,25 @@ class ClusterRouter:
                 labels={"direction": direction})
             for direction in ("up", "down")
         }
+
+        # Live telemetry (repro.obs.live): workers stream delta-encoded
+        # metric samples over CNC1 ``telemetry`` frames into a bounded
+        # time-series store; the monitor loop drives SLO burn-rate
+        # evaluation, the flight recorder, and the status document.
+        self.telemetry_interval_s = telemetry_interval_s
+        self.live = None
+        if slos or flight_dir is not None or live_status_path is not None \
+                or telemetry_interval_s > 0:
+            from ..obs.live import LivePipeline
+
+            self.live = LivePipeline(
+                slos=slos, flight_dir=flight_dir, process="router",
+                recorder=self._recorder, registry=self.metrics,
+                interval_s=max(heartbeat_s, 0.1),
+                window_scale=slo_window_scale,
+                cooldown_s=slo_cooldown_s, min_events=slo_min_events,
+                status_path=live_status_path,
+                workers_fn=self._worker_table)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -394,6 +420,8 @@ class ClusterRouter:
                 worker.retired = True
         if self._cluster_span is not None:
             self._cluster_span.finish()
+        if self.live is not None:
+            self.live.stop(final_tick=True)
         if self._tmpdir is not None:
             self._tmpdir.cleanup()
             self._tmpdir = None
@@ -597,6 +625,9 @@ class ClusterRouter:
             argv += ["--cache-dir", str(self.cache_dir)]
         if self.capacity is not None:
             argv += ["--capacity", str(self.capacity)]
+        if self.telemetry_interval_s > 0:
+            argv += ["--telemetry-interval-s",
+                     str(self.telemetry_interval_s)]
         if tracer().enabled:
             argv += ["--obs"]
         if self.chaos_chip_crash > 0:
@@ -685,10 +716,24 @@ class ClusterRouter:
                     rows = []
                 if rows:
                     self._recorder.absorb(rows, worker=worker.id)
+            elif kind == "telemetry":
+                self._on_telemetry(worker, header, blob)
             elif kind in ("stats_reply", "drained"):
                 self._on_stats(worker, header, blob,
                                drained=kind == "drained")
         self._on_worker_lost(worker)
+
+    def _on_telemetry(self, worker: _Worker, header: dict,
+                      blob: bytes) -> None:
+        if self.live is None:
+            return
+        try:
+            delta = unpack_telemetry(header, blob)
+        except ProtocolError:
+            return
+        if delta:
+            self.live.ingest_delta(worker.id, delta,
+                                   now=header.get("unix"))
 
     def _on_stats(self, worker: _Worker, header: dict, blob: bytes,
                   drained: bool) -> None:
@@ -701,6 +746,10 @@ class ClusterRouter:
             self._recorder.absorb(rows, worker=worker.id)
         worker.snapshot = payload.get("snapshot") or worker.snapshot
         worker.cache = payload.get("cache") or worker.cache
+        if self.live is not None and payload.get("snapshot"):
+            # Poll fallback: cumulative snapshots land in the same store
+            # as the streamed deltas (idempotent — both are absolute).
+            self.live.ingest(worker.id, worker.snapshot)
         waiter = self._stats_waiters.pop(worker.id, None)
         if waiter is not None:
             waiter.set()
@@ -742,7 +791,7 @@ class ClusterRouter:
             attempts=self._attempts.get(request.request_id, 1),
             shard=worker.index, batch_size=result.batch_size,
             cache=result.cache, cycles=result.cycles,
-            error=result.error)
+            error=result.error, cost=result.cost)
         self._queue_wait_h.observe(latency.queue_s)
         self._execute_h.observe(latency.execute_s)
         self._finish(request, final)
@@ -787,6 +836,16 @@ class ClusterRouter:
             detail={"pid": worker.proc.pid,
                     "orphaned_requests": len(orphans),
                     "ring_size": len(self._ring)})
+        if self.live is not None:
+            # Post-mortem bundle first (the worker's last telemetry is
+            # still in the store), then drop the dead source so its
+            # gauges stop contributing to cluster levels.
+            if self.live.flight is not None:
+                self.live.flight.dump(
+                    "worker_death", key=worker.id,
+                    extra={"pid": worker.proc.pid,
+                           "orphaned_requests": len(orphans)})
+            self.live.forget(worker.id)
         # Zero-loss failover: everything in flight on the dead worker
         # goes back through the dispatcher to the ring's survivors.
         for request in orphans:
@@ -820,6 +879,11 @@ class ClusterRouter:
             if now - last_stats >= self.stats_interval_s:
                 last_stats = now
                 self._poll_stats(timeout=0)
+            if self.live is not None:
+                try:
+                    self.live.tick()
+                except Exception:   # pragma: no cover - keep monitoring
+                    pass
 
     def _reap_and_respawn(self) -> None:
         if self._stopping or not self._spawn_enabled:
@@ -951,10 +1015,41 @@ class ClusterRouter:
                         "records": len(doc.get("records", ()))})
         return shipped
 
+    def _bill_tenant(self, request: InferenceRequest,
+                     result: RequestResult) -> None:
+        """Per-tenant cost attribution: every terminal outcome counts a
+        request; executed ones also bill their cost rollup (schema 8)."""
+        m = self.metrics
+        tenant = request.tenant
+        m.counter("cluster_tenant_requests_total",
+                  "Requests by tenant and terminal status.",
+                  labels={"tenant": tenant,
+                          "status": result.status.value}).inc()
+        cost = result.cost or {}
+        if not cost:
+            return
+        m.counter("cluster_tenant_sim_cycles_total",
+                  "Simulated accelerator cycles billed to the tenant.",
+                  labels={"tenant": tenant}).inc(
+                      cost.get("sim_cycles", 0) or 0)
+        m.counter("cluster_tenant_bootstraps_total",
+                  "Bootstrap operations billed to the tenant.",
+                  labels={"tenant": tenant}).inc(
+                      cost.get("bootstraps", 0) or 0)
+        m.counter("cluster_tenant_bytes_total",
+                  "HBM + network bytes moved for the tenant.",
+                  labels={"tenant": tenant}).inc(
+                      cost.get("bytes", 0) or 0)
+        m.counter("cluster_tenant_compile_seconds_total",
+                  "Compile wall seconds billed (cache misses only).",
+                  labels={"tenant": tenant}).inc(
+                      cost.get("compile_s", 0.0) or 0.0)
+
     def _finish(self, request: InferenceRequest,
                 result: RequestResult) -> None:
         self._requests_total[result.status].inc()
         self._latency_h.observe(result.latency.total_s)
+        self._bill_tenant(request, result)
         tr = tracer()
         for span in (request.queue_span, request.span):
             if span is not None:
@@ -969,7 +1064,8 @@ class ClusterRouter:
                 attempts=result.attempts, batch_size=result.batch_size,
                 cache=result.cache, seconds=result.latency.total_s,
                 queue_s=result.latency.queue_s,
-                execute_s=result.latency.execute_s)
+                execute_s=result.latency.execute_s,
+                tenant=request.tenant, cost=result.cost)
         self._attempts.pop(request.request_id, None)
         with self._pending_cond:
             handle = self._handles.pop(request.request_id, None)
@@ -1014,6 +1110,15 @@ class ClusterRouter:
 
     def worker_ids(self) -> List[str]:
         return [w.id for w in self._live_workers()]
+
+    def _worker_table(self) -> List[dict]:
+        """Fleet rows for the live status document (obs top)."""
+        with self._lock:
+            workers = list(self._workers.values())
+        return [{"id": w.id, "index": w.index, "pid": w.proc.pid,
+                 "live": w.live, "draining": w.draining,
+                 "dead": w.dead, "pending": len(w.pending)}
+                for w in workers]
 
     def cache_stats(self) -> dict:
         """Summed compile-cache counters across worker processes."""

@@ -14,7 +14,11 @@ socket closes or a ``shutdown`` frame arrives:
   rows recorded since the previous ask (a cursor, so nothing is ever
   shipped twice or lost);
 * ``drain`` stops accepting new submits, waits out the in-flight jobs,
-  and answers ``drained`` with the final stats payload.
+  and answers ``drained`` with the final stats payload;
+* with ``--telemetry-interval-s N``, a daemon thread additionally
+  *pushes* delta-encoded metric samples (``telemetry`` frames) every N
+  seconds — the streaming feed of the router's live telemetry store
+  (:mod:`repro.obs.live`); the ``stats`` poll remains the fallback.
 
 Trace propagation: a ``submit`` carrying ``trace_id``/``parent_span_id``
 executes under a re-hydrated :class:`~repro.obs.tracing.Span`, so the
@@ -68,15 +72,17 @@ from ..obs import tracing
 from ..obs.metrics import default_registry
 from ..resilience.faults import FaultSchedule, MachineFaultError
 from ..runtime.session import CinnamonSession, CompileJob
-from ..serve.request import LatencyBreakdown, RequestResult, RequestStatus
+from ..serve.request import (LatencyBreakdown, RequestResult,
+                             RequestStatus, cost_rollup)
 from ..sim.config import degraded_machine
 from ..trust.errors import (FreshnessError, ReplayError, StaleKeyError,
                             UnknownKeyError)
 from ..trust.freshness import FreshnessEnvelope, ReplayGuard
 from ..trust.keyvault import KeyVault, REVOKED
 from .protocol import (ConnectionClosed, FrameTimeout, PROTOCOL_VERSION,
-                       ProtocolError, TOKEN_ENV, pack_result, recv_frame,
-                       send_frame, unpack_submit)
+                       ProtocolError, TOKEN_ENV, pack_result,
+                       pack_telemetry, recv_frame, send_frame,
+                       unpack_submit)
 
 #: How many in-process degrade-ladder recoveries one submit may consume
 #: before its chip fault surfaces as a FAILED result.
@@ -93,7 +99,8 @@ class ClusterWorker:
                  read_timeout_s: float = 5.0,
                  liveness_timeout_s: float = 15.0,
                  reconnect_attempts: int = 5,
-                 chaos_chip_crash: int = 0, chaos_cycle: int = 2000):
+                 chaos_chip_crash: int = 0, chaos_cycle: int = 2000,
+                 telemetry_interval_s: float = 0.0):
         self.worker_id = worker_id
         self.host = host
         self.port = port
@@ -127,6 +134,14 @@ class ClusterWorker:
         # so the fault re-arms until it actually lands.
         self._chaos_lock = threading.Lock()
         self._chaos_remaining = chaos_chip_crash
+        # Streaming telemetry (repro.obs.live): a daemon thread pushes
+        # delta-encoded metric samples every interval; 0 disables it
+        # (the router's stats poll remains the fallback feed).
+        self.telemetry_interval_s = telemetry_interval_s
+        self._telemetry_seq = 0
+        self._last_telemetry: Optional[dict] = None
+        self._telemetry_stop = threading.Event()
+        self._telemetry_thread: Optional[threading.Thread] = None
         self._metrics = default_registry()
         self._submits_total = self._metrics.counter(
             "cluster_worker_submits_total",
@@ -152,6 +167,11 @@ class ClusterWorker:
         """
         if not self._connect():
             return 1
+        if self.telemetry_interval_s > 0:
+            self._telemetry_thread = threading.Thread(
+                target=self._telemetry_loop, daemon=True,
+                name=f"telemetry-{self.worker_id}")
+            self._telemetry_thread.start()
         try:
             while True:
                 try:
@@ -178,6 +198,7 @@ class ClusterWorker:
                 if not self._handle(header, blob):
                     return 0
         finally:
+            self._telemetry_stop.set()
             self._pool.shutdown(wait=False)
             try:
                 self._sock.close()
@@ -411,7 +432,9 @@ class ClusterWorker:
                                          total_s=done - started),
                 attempts=attempts, shard=None, batch_size=1,
                 cache=job_result.cache,
-                cycles=sim.cycles if sim is not None else None)
+                cycles=sim.cycles if sim is not None else None,
+                cost=cost_rollup(program, job_result.cache,
+                                 job_result.compiled, sim))
         except Exception as exc:
             result = RequestResult(
                 request_id=request_id, name=name,
@@ -430,12 +453,14 @@ class ClusterWorker:
         res_header, res_blob = pack_result(result)
         res_header["worker_id"] = self.worker_id
         try:
-            self._send(res_header, res_blob)
-            # Ship journal rows eagerly behind every result: any request
-            # whose result the router holds also has its compile/simulate
-            # trace rows router-side, so a later SIGKILL of this process
-            # cannot orphan an already-answered trace.
+            # Ship journal rows eagerly *ahead of* every result: any
+            # request whose result the router holds also has its
+            # compile/simulate trace rows router-side, so a SIGKILL of
+            # this process can never orphan an already-answered trace.
+            # (A kill between the two frames loses only the result, and
+            # the router's failover path re-runs the request.)
             self._ship_journal()
+            self._send(res_header, res_blob)
         except OSError:
             pass  # router died; its failover path re-runs the request
 
@@ -451,6 +476,32 @@ class ClusterWorker:
         res_header["worker_id"] = self.worker_id
         res_header["retryable"] = retryable
         self._send(res_header, res_blob)
+
+    # ------------------------------------------------------------------ #
+    # Streaming telemetry
+
+    def _telemetry_loop(self) -> None:
+        """Push a delta-encoded metrics sample every interval.  A send
+        that fails (router briefly gone, socket mid-reconnect) is
+        dropped — the next interval's delta still reflects the full
+        cumulative state, and the router's stats poll backstops any
+        gap."""
+        from ..obs.live.timeseries import snapshot_delta
+
+        while not self._telemetry_stop.wait(self.telemetry_interval_s):
+            snapshot = self._metrics.snapshot()
+            delta = snapshot_delta(self._last_telemetry, snapshot)
+            self._last_telemetry = snapshot
+            if not delta:
+                continue
+            self._telemetry_seq += 1
+            header, blob = pack_telemetry(
+                self.worker_id, self._telemetry_seq, delta, time.time(),
+                inflight=self._inflight)
+            try:
+                self._send(header, blob)
+            except (OSError, ValueError):
+                pass
 
     # ------------------------------------------------------------------ #
     # Stats / journal shipping
@@ -520,6 +571,10 @@ def main(argv=None) -> int:
                              "(chaos testing)")
     parser.add_argument("--chaos-cycle", type=int, default=2000,
                         help="simulated cycle at which a chaos chip dies")
+    parser.add_argument("--telemetry-interval-s", type=float, default=0.0,
+                        help="push delta-encoded metric samples to the "
+                             "router every N seconds (0 = disabled; the "
+                             "router's stats poll is the fallback)")
     parser.add_argument("--obs", action="store_true",
                         help="enable repro.obs span tracing in-process")
     args = parser.parse_args(argv)
@@ -533,7 +588,8 @@ def main(argv=None) -> int:
         read_timeout_s=args.read_timeout_s,
         liveness_timeout_s=args.liveness_timeout_s,
         chaos_chip_crash=args.chaos_chip_crash,
-        chaos_cycle=args.chaos_cycle)
+        chaos_cycle=args.chaos_cycle,
+        telemetry_interval_s=args.telemetry_interval_s)
     return worker.run()
 
 

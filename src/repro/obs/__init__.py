@@ -56,3 +56,24 @@ __all__ = [
     "tracer",
     "utilization_summary",
 ]
+
+# Live-telemetry names (repro.obs.live) resolve lazily (PEP 562): the
+# pipeline pulls in the cluster merge helpers, which plain journal
+# analysis and the hot serve path never need.
+_LIVE_ATTRS = frozenset({
+    "Alert", "BURN_WINDOWS", "FlightRecorder", "LivePipeline", "SLO",
+    "SLOEngine", "TimeSeriesStore", "apply_delta",
+    "render_snapshot_prometheus", "snapshot_delta", "tenant_table",
+})
+
+__all__ += sorted(_LIVE_ATTRS)
+
+
+def __getattr__(name):
+    if name in _LIVE_ATTRS:
+        from . import live
+
+        value = getattr(live, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")

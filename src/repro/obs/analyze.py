@@ -174,6 +174,42 @@ def registry_from_journal(document: dict,
             registry.histogram(
                 "serve_execute_seconds", "In-shard execution time."
             ).observe(row.get("execute_s", 0.0) or 0.0)
+            # Schema 8: serve rows carry the tenant and a cost rollup —
+            # replaying them rebuilds the router's per-tenant billing
+            # families offline.
+            tenant = row.get("tenant")
+            if tenant:
+                registry.counter(
+                    "cluster_tenant_requests_total",
+                    "Requests by tenant and terminal status.",
+                    labels={"tenant": tenant,
+                            "status": row.get("status", "?")}).inc()
+                cost = row.get("cost") or {}
+                for metric, field, help_text in (
+                        ("cluster_tenant_sim_cycles_total", "sim_cycles",
+                         "Simulated accelerator cycles billed to the "
+                         "tenant."),
+                        ("cluster_tenant_bootstraps_total", "bootstraps",
+                         "Bootstrap operations billed to the tenant."),
+                        ("cluster_tenant_bytes_total", "bytes",
+                         "HBM + network bytes moved for the tenant."),
+                        ("cluster_tenant_compile_seconds_total",
+                         "compile_s",
+                         "Compile wall seconds billed (cache misses "
+                         "only).")):
+                    value = cost.get(field, 0) or 0
+                    if value:
+                        registry.counter(
+                            metric, help_text,
+                            labels={"tenant": tenant}).inc(value)
+        elif kind == "alert":
+            # Schema 8: SLO burn-rate alerts journaled by the live
+            # telemetry pipeline (repro.obs.live).
+            registry.counter(
+                "obs_slo_alerts_total",
+                "SLO burn-rate alerts fired.",
+                labels={"slo": row.get("slo", "?"),
+                        "severity": row.get("severity", "?")}).inc()
         elif kind == "recovery":
             registry.counter(
                 "runtime_recoveries_total",
@@ -219,7 +255,10 @@ def check(document: dict) -> List[str]:
     """Cross-layer invariants over a journal; returns problem strings
     (empty = healthy).  Checked:
 
-    * every row carries a ``trace_id``/``span_id`` (schema 5);
+    * every row carries a ``trace_id``/``span_id`` (schema 5) — except
+      ``kind:"alert"`` rows (schema 8), which are fleet-scoped SLO
+      events fired by the live monitor loop, not part of any request's
+      trace;
     * every *successful* serve row's trace also contains at least one
       compile row (hit or miss) and at least one simulate row — i.e. the
       request's execution really was traced end-to-end.  (Rejected and
@@ -231,6 +270,8 @@ def check(document: dict) -> List[str]:
         problems.append(f"journal schema {schema} < 5: rows predate "
                         "trace-id stamping")
     for index, row in enumerate(document.get("jobs", ())):
+        if row.get("kind") == "alert":
+            continue
         if not row.get("trace_id") or not row.get("span_id"):
             problems.append(
                 f"row {index} ({row.get('kind', '?')}:"

@@ -40,6 +40,11 @@ CYCLE_BUCKETS = (1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9)
 #: the sample representative without unbounded memory.
 RESERVOIR_SIZE = 4096
 
+#: Snapshots carry the raw reservoir only while it is still *exact*
+#: (every observation is in it) and small enough for the wire; beyond
+#: this the cluster merge falls back to count-weighted quantiles.
+SNAPSHOT_SAMPLES_MAX = 512
+
 LabelSet = Tuple[Tuple[str, str], ...]
 
 
@@ -52,6 +57,18 @@ def _labels_text(key: LabelSet, extra: str = "") -> str:
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def quantile_from_sorted(samples: List[float], q: float) -> Optional[float]:
+    """Quantile of a *sorted* sample list — the one nearest-rank formula
+    shared by :meth:`Histogram.quantile`, the cluster merge, and the live
+    time-series windows, so single-process and merged values agree."""
+    if not samples:
+        return None
+    if len(samples) == 1:
+        return samples[0]
+    idx = min(len(samples) - 1, int(q * (len(samples) - 1) + 0.5))
+    return samples[idx]
 
 
 class Counter:
@@ -154,13 +171,7 @@ class Histogram:
         0.0; a single-sample reservoir returns that sample for every q.
         """
         with self._lock:
-            if not self._reservoir:
-                return None
-            if len(self._reservoir) == 1:
-                return self._reservoir[0]
-            idx = min(len(self._reservoir) - 1,
-                      int(q * (len(self._reservoir) - 1) + 0.5))
-            return self._reservoir[idx]
+            return quantile_from_sorted(self._reservoir, q)
 
     @property
     def count(self) -> int:
@@ -196,7 +207,10 @@ class Histogram:
         with self._lock:
             count, total = self._count, self._sum
             maximum = self._max
-        return {
+            counts = list(self._counts)
+            samples = (list(self._reservoir)
+                       if 0 < count <= SNAPSHOT_SAMPLES_MAX else None)
+        value = {
             "count": count,
             "sum": total,
             "mean": total / count if count else 0.0,
@@ -204,7 +218,11 @@ class Histogram:
             "p50": self.quantile(0.50),
             "p95": self.quantile(0.95),
             "p99": self.quantile(0.99),
+            "buckets": {"le": list(self.buckets), "counts": counts},
         }
+        if samples is not None:
+            value["samples"] = samples
+        return value
 
 
 class MetricsRegistry:

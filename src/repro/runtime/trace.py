@@ -124,7 +124,13 @@ from ..obs.tracing import current_span
 #:    tampered artifacts detected+quarantined, stale/revoked key
 #:    rejections, replayed or reordered request envelopes, key
 #:    rotations and manifest replications).
-TRACE_SCHEMA_VERSION = 7
+#: 8: live telemetry (repro.obs.live): added ``kind == "alert"`` entries
+#:    (SLO burn-rate alerts: which objective, severity, burn rate over
+#:    which long/short window pair, bad fraction vs. error budget);
+#:    serve entries gain ``tenant`` and an optional per-request ``cost``
+#:    rollup (``sim_cycles``/``bootstraps``/``bytes``/``compile_s``)
+#:    feeding the ``cluster_tenant_*`` attribution counters.
+TRACE_SCHEMA_VERSION = 8
 
 
 class TraceRecorder:
@@ -140,9 +146,27 @@ class TraceRecorder:
     def __init__(self):
         self._lock = threading.Lock()
         self._jobs: List[dict] = []
+        self._listeners: List = []
         self.created_unix = time.time()
 
     # ------------------------------------------------------------------ #
+
+    def add_listener(self, fn) -> None:
+        """Register ``fn(row_dict)`` to observe every appended/absorbed
+        row — the live flight recorder's tap.  Listener errors never
+        break the recording path."""
+        with self._lock:
+            self._listeners.append(fn)
+
+    def _notify(self, rows) -> None:
+        with self._lock:
+            listeners = list(self._listeners)
+        for fn in listeners:
+            for row in rows:
+                try:
+                    fn(row)
+                except Exception:   # pragma: no cover - defensive
+                    pass
 
     def record_compile(self, *, job: str, key: str, cache: str,
                        seconds: float,
@@ -264,12 +288,17 @@ class TraceRecorder:
                      shard: Optional[int], attempts: int, batch_size: int,
                      cache: Optional[str], seconds: float,
                      queue_s: float = 0.0, batch_s: float = 0.0,
-                     execute_s: float = 0.0) -> dict:
+                     execute_s: float = 0.0, tenant: str = "default",
+                     cost: Optional[dict] = None) -> dict:
         """One serving-layer request outcome (see :mod:`repro.serve`).
 
         Schema 5 splits the wall time: ``queue_s`` (admission queue),
         ``batch_s`` (coalescing window), ``execute_s`` (inside the
-        shard); ``seconds`` stays end-to-end.
+        shard); ``seconds`` stays end-to-end.  Schema 8 adds ``tenant``
+        and the per-request ``cost`` rollup (``sim_cycles`` /
+        ``bootstraps`` / ``bytes`` / ``compile_s``) so offline journal
+        replay reconstructs the same ``cluster_tenant_*`` attribution
+        the live pipeline maintains.
         """
         entry = {
             "job": job,
@@ -284,8 +313,37 @@ class TraceRecorder:
             "queue_s": queue_s,
             "batch_s": batch_s,
             "execute_s": execute_s,
+            "tenant": tenant,
+        }
+        if cost is not None:
+            entry["cost"] = dict(cost)
+        self._append(entry)
+        return entry
+
+    def record_alert(self, *, slo: str, severity: str, burn_rate: float,
+                     long_window_s: float, short_window_s: float,
+                     bad_fraction: float, objective: float,
+                     threshold: float, message: str = "") -> dict:
+        """One SLO burn-rate alert (schema 8): which objective breached,
+        at what severity, the burn rate over the fired long/short window
+        pair, and the observed bad fraction vs. the error budget."""
+        entry = {
+            "job": slo,
+            "kind": "alert",
+            "slo": slo,
+            "severity": severity,
+            "burn_rate": burn_rate,
+            "long_window_s": long_window_s,
+            "short_window_s": short_window_s,
+            "bad_fraction": bad_fraction,
+            "objective": objective,
+            "threshold": threshold,
+            "message": message,
         }
         self._append(entry)
+        default_registry().counter(
+            "obs_slo_alerts_total", "SLO burn-rate alerts fired.",
+            labels={"slo": slo, "severity": severity}).inc()
         return entry
 
     def record_cluster(self, *, event: str, worker: Optional[str] = None,
@@ -352,12 +410,15 @@ class TraceRecorder:
         this recorder.  Rows keep their own ``trace_id``/``span_id`` —
         they were recorded under the request's propagated span in the
         worker — and gain a ``worker`` attribution (schema 6)."""
+        stamped = []
         with self._lock:
             for row in rows:
                 row = dict(row)
                 if worker is not None:
                     row.setdefault("worker", worker)
                 self._jobs.append(row)
+                stamped.append(row)
+        self._notify(stamped)
 
     def _append(self, entry: dict) -> None:
         # Stamp the active repro.obs span (if any) so rows from every
@@ -368,6 +429,7 @@ class TraceRecorder:
             entry.setdefault("span_id", span.span_id)
         with self._lock:
             self._jobs.append(entry)
+        self._notify((entry,))
 
     # ------------------------------------------------------------------ #
 

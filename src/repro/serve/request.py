@@ -120,6 +120,9 @@ class RequestResult:
     sim: Optional[SimulationResult] = None
     compiled: object = None
     error: Optional[str] = None
+    #: Per-request cost rollup for tenant attribution (schema 8):
+    #: ``{"sim_cycles", "bootstraps", "bytes", "compile_s"}``.
+    cost: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -137,7 +140,28 @@ class RequestResult:
             "cache": self.cache,
             "cycles": self.cycles,
             "error": self.error,
+            "cost": self.cost,
         }
+
+
+def cost_rollup(program, cache: Optional[str], compiled, sim) -> dict:
+    """Per-request cost attribution (schema 8): simulated cycles,
+    bootstrap count, HBM+network bytes moved, and compile wall — the
+    latter only on cache misses, so a hit is not billed for the compile
+    some earlier request already paid for.  Shared by the cluster worker
+    and the single-process server so both paths bill identically."""
+    bootstraps = sum(1 for op in getattr(program, "ops", None) or ()
+                     if getattr(op, "opcode", None) == "bootstrap")
+    stats = getattr(compiled, "compile_stats", None)
+    compile_s = (float(getattr(stats, "total_seconds", 0.0) or 0.0)
+                 if cache == "miss" else 0.0)
+    return {
+        "sim_cycles": int(sim.cycles) if sim is not None else 0,
+        "bootstraps": bootstraps,
+        "bytes": (int(sim.hbm_bytes + sim.network_bytes)
+                  if sim is not None else 0),
+        "compile_s": compile_s,
+    }
 
 
 class RequestHandle:

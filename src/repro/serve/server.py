@@ -53,7 +53,7 @@ from .metrics import MetricsRegistry
 from .queue import AdmissionQueue, Empty, QueueClosedError, \
     QueueSaturatedError
 from .request import InferenceRequest, LatencyBreakdown, RequestHandle, \
-    RequestResult, RequestStatus
+    RequestResult, RequestStatus, cost_rollup
 
 #: Buckets for the batch-size histogram (requests per dispatched batch).
 BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64)
@@ -102,7 +102,12 @@ class CinnamonServer:
                  = None, metrics: Optional[MetricsRegistry] = None,
                  seed: int = 0, max_recoveries: int = 2,
                  watchdog_s: Optional[float] = None,
-                 tuned: bool = False, tuning_db=None):
+                 tuned: bool = False, tuning_db=None,
+                 slos: Sequence = (), flight_dir=None,
+                 live_status_path=None,
+                 slo_window_scale: float = 1.0,
+                 slo_min_events: int = 10,
+                 slo_cooldown_s: float = 60.0):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.num_workers = num_workers
@@ -199,6 +204,21 @@ class CinnamonServer:
             "serve_batch_size", "Requests per dispatched batch.",
             buckets=BATCH_SIZE_BUCKETS)
 
+        # Live telemetry (repro.obs.live): a background tick thread
+        # evaluates SLO burn rates against this registry, rings the
+        # flight recorder, and rewrites the status document.
+        self.live = None
+        if slos or flight_dir is not None or live_status_path is not None:
+            from ..obs.live import LivePipeline
+
+            self.live = LivePipeline(
+                slos=slos, flight_dir=flight_dir, process="server",
+                recorder=self._recorder, registry=self.metrics,
+                window_scale=slo_window_scale,
+                cooldown_s=slo_cooldown_s, min_events=slo_min_events,
+                status_path=live_status_path,
+                snapshot_fn=self.metrics_snapshot)
+
     # ------------------------------------------------------------------ #
     # Lifecycle
 
@@ -210,6 +230,8 @@ class CinnamonServer:
             target=self._dispatch_loop, name="cinnamon-dispatcher",
             daemon=True)
         self._dispatcher.start()
+        if self.live is not None:
+            self.live.start()
         return self
 
     def __enter__(self) -> "CinnamonServer":
@@ -256,6 +278,8 @@ class CinnamonServer:
             self._dispatcher.join(timeout=10)
         for shard in self._shards:
             shard.executor.shutdown(wait=drain)
+        if self.live is not None:
+            self.live.stop(final_tick=True)
 
     # ------------------------------------------------------------------ #
     # Admission
@@ -520,10 +544,41 @@ class CinnamonServer:
     # ------------------------------------------------------------------ #
     # Resolution
 
+    def _bill_tenant(self, request: InferenceRequest,
+                     result: RequestResult) -> None:
+        """Per-tenant cost attribution (schema 8) — the same families
+        the cluster router bills, so ``obs top`` reads either."""
+        m = self.metrics
+        tenant = request.tenant
+        m.counter("cluster_tenant_requests_total",
+                  "Requests by tenant and terminal status.",
+                  labels={"tenant": tenant,
+                          "status": result.status.value}).inc()
+        cost = result.cost or {}
+        if not cost:
+            return
+        m.counter("cluster_tenant_sim_cycles_total",
+                  "Simulated accelerator cycles billed to the tenant.",
+                  labels={"tenant": tenant}).inc(
+                      cost.get("sim_cycles", 0) or 0)
+        m.counter("cluster_tenant_bootstraps_total",
+                  "Bootstrap operations billed to the tenant.",
+                  labels={"tenant": tenant}).inc(
+                      cost.get("bootstraps", 0) or 0)
+        m.counter("cluster_tenant_bytes_total",
+                  "HBM + network bytes moved for the tenant.",
+                  labels={"tenant": tenant}).inc(
+                      cost.get("bytes", 0) or 0)
+        m.counter("cluster_tenant_compile_seconds_total",
+                  "Compile wall seconds billed (cache misses only).",
+                  labels={"tenant": tenant}).inc(
+                      cost.get("compile_s", 0.0) or 0.0)
+
     def _finish(self, request: InferenceRequest, result: RequestResult,
                 dispatched: bool) -> None:
         self._requests_total[result.status].inc()
         self._latency_h.observe(result.latency.total_s)
+        self._bill_tenant(request, result)
         # Close whatever request spans are still open (a timeout can
         # resolve a request while its queue/batch span is live), then
         # journal the outcome under the root span so the serve row joins
@@ -543,7 +598,8 @@ class CinnamonServer:
                 cache=result.cache, seconds=result.latency.total_s,
                 queue_s=result.latency.queue_s,
                 batch_s=result.latency.batch_s,
-                execute_s=result.latency.execute_s)
+                execute_s=result.latency.execute_s,
+                tenant=request.tenant, cost=result.cost)
         with self._pending_cond:
             handle = self._handles.pop(request.request_id, None)
             if dispatched:
@@ -573,7 +629,9 @@ class CinnamonServer:
             status=RequestStatus.OK, latency=latency, attempts=attempts,
             shard=shard, batch_size=batch_size, cache=job_result.cache,
             cycles=sim.cycles if sim is not None else None, sim=sim,
-            compiled=job_result.compiled)
+            compiled=job_result.compiled,
+            cost=cost_rollup(request.program, job_result.cache,
+                             job_result.compiled, sim))
         self._finish(request, result, dispatched=True)
 
     def _resolve_timeout(self, request, now: float, *, stage: str,

@@ -52,7 +52,38 @@ class TestHistograms:
         assert value["sum"] == pytest.approx(1.6)
         assert value["mean"] == pytest.approx(0.4)
         assert value["max"] == pytest.approx(1.0)
-        assert value["quantiles"] == "weighted"
+        # Both sides still carry their complete reservoirs, so the merge
+        # re-ranks the concatenated samples instead of approximating.
+        assert value["quantiles"] == "exact"
+
+    def test_small_n_quantiles_match_single_process(self):
+        """Regression: few-sample cluster p99 == single-process p99.
+
+        Split the same observations across two workers; the merged
+        quantiles must equal a single registry observing all of them
+        (the old count-weighted interpolation got p99 wrong by ~2x
+        whenever one worker caught the tail)."""
+        observations = [0.01, 0.02, 0.05, 0.1, 0.1, 0.2, 0.4, 3.0]
+        direct = MetricsRegistry()
+        for value in observations:
+            direct.histogram("lat", "d").observe(value)
+        expected = direct.snapshot()["lat"]["series"][0]["value"]
+
+        merged = merge_snapshots([snapshot_with(hist=observations[:3]),
+                                  snapshot_with(hist=observations[3:])])
+        value = merged["lat"]["series"][0]["value"]
+        assert value["quantiles"] == "exact"
+        for q in ("p50", "p95", "p99"):
+            assert value[q] == pytest.approx(expected[q]), q
+        assert value["buckets"] == expected["buckets"]
+
+    def test_exact_merge_carries_samples_for_nesting(self):
+        once = merge_snapshots([snapshot_with(hist=[0.1]),
+                                snapshot_with(hist=[2.0])])
+        twice = merge_snapshots([once, snapshot_with(hist=[5.0])])
+        value = twice["lat"]["series"][0]["value"]
+        assert value["quantiles"] == "exact"
+        assert value["p99"] == pytest.approx(5.0)
 
     def test_weighted_quantiles(self):
         values = [{"count": 3, "sum": 3.0, "max": 2.0, "p50": 1.0,

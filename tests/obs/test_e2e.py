@@ -8,6 +8,7 @@ from the trace journal alone.
 """
 
 import json
+import time
 from types import SimpleNamespace
 
 import pytest
@@ -57,6 +58,50 @@ def traced(tmp_path_factory):
                            chrome_path=str(chrome_path))
 
 
+@pytest.fixture(scope="module", params=["server", "cluster"])
+def backend_journal(request, tmp_path_factory):
+    """The same 3-request workload journaled by both serving backends:
+    the in-process server and a 2-worker cluster router with live
+    telemetry streaming and a deliberately tight SLO (so the merged
+    journal carries ``kind:"alert"`` rows and still checks clean)."""
+    out = tmp_path_factory.mktemp(f"obs-e2e-{request.param}")
+    journal_path = out / "journal.json"
+    enable(reset=True)
+    try:
+        requests = [_request("ra", 1), _request("rb", 1), _request("rc", 2)]
+        if request.param == "server":
+            results = serve_requests(requests, num_workers=2,
+                                     trace_out=str(journal_path))
+            with open(journal_path) as handle:
+                document = json.load(handle)
+        else:
+            from repro.cluster import ClusterRouter
+
+            router = ClusterRouter(
+                num_workers=2, heartbeat_s=0.2,
+                telemetry_interval_s=0.2,
+                slos=["latency:0.000001:99:lat"],
+                slo_window_scale=1.0 / 600.0, slo_min_events=3,
+                slo_cooldown_s=5.0)
+            router.start()
+            assert router.wait_ready(timeout=120)
+            handles = [router.submit(r) for r in requests]
+            results = [h.result(timeout=120) for h in handles]
+            assert all(r.ok for r in results), \
+                [r.error for r in results]
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline and not router.live.alerts:
+                time.sleep(0.1)
+            document = router.trace()
+            router.shutdown(drain=False)
+            journal_path.write_text(json.dumps(document))
+    finally:
+        disable()
+    return SimpleNamespace(backend=request.param, results=results,
+                           document=document,
+                           journal_path=str(journal_path))
+
+
 class TestOneTraceId:
     def test_all_requests_served(self, traced):
         assert [r.status.value for r in traced.results] == ["ok"] * 3
@@ -90,17 +135,43 @@ class TestOneTraceId:
                 parent = by_id[span.parent_id]
                 assert parent.trace_id == span.trace_id
 
-    def test_journal_rows_join_on_trace_id(self, traced):
-        assert traced.document["schema"] >= 5
-        assert check(traced.document) == []
-        table = trace_table(traced.document)
-        assert len(table) == 3
-        for split in table.values():
+    def test_journal_rows_join_on_trace_id(self, backend_journal):
+        document = backend_journal.document
+        assert document["schema"] >= 5
+        assert check(document) == []
+        table = trace_table(document)
+        # The cluster router adds membership traces (job=w*); every
+        # *request* trace joins fully either way.
+        served = {k: v for k, v in table.items()
+                  if v["job"] in ("ra", "rb", "rc")}
+        assert len(served) == 3
+        for split in served.values():
             assert split["status"] == "ok"
             assert split["compile"] > 0.0
             assert split["sim"] > 0.0
             assert split["total_s"] >= split["compile"] + split["sim"] \
                 - 1e-6
+
+    def test_serve_rows_carry_tenant_and_cost(self, backend_journal):
+        serve_rows = [r for r in backend_journal.document["jobs"]
+                      if r["kind"] == "serve"]
+        assert len(serve_rows) == 3
+        assert all(r.get("tenant") == "default" for r in serve_rows)
+        costed = [r["cost"] for r in serve_rows if r.get("cost")]
+        assert costed, "no serve row carries a cost rollup"
+        assert all(c["sim_cycles"] > 0 for c in costed)
+
+    def test_cluster_journal_carries_live_alert_rows(self,
+                                                    backend_journal):
+        if backend_journal.backend != "cluster":
+            pytest.skip("live alert rows stream from the cluster router")
+        alerts = [r for r in backend_journal.document["jobs"]
+                  if r["kind"] == "alert"]
+        assert alerts, "tight SLO did not page during the run"
+        assert alerts[0]["slo"] == "lat"
+        assert alerts[0]["severity"] in ("page", "warn")
+        # ... and their presence keeps the journal check-clean
+        # (asserted for both backends in the join test above).
 
 
 class TestChromeExport:
@@ -153,33 +224,36 @@ class TestChromeExport:
 
 
 class TestCli:
-    def test_report_prints_critical_path(self, traced, capsys):
-        assert obs_main([traced.journal_path]) == 0
+    def test_report_prints_critical_path(self, backend_journal, capsys):
+        assert obs_main([backend_journal.journal_path]) == 0
         out = capsys.readouterr().out
-        assert "3 trace(s)" in out
+        traces = len(trace_table(backend_journal.document))
+        assert f"{traces} trace(s)" in out
         for phase in ("queue", "batch", "compile", "sim", "recovery"):
             assert phase in out
         assert "utilization" in out
 
-    def test_single_trace_by_prefix(self, traced, capsys):
-        trace_id = next(iter(trace_table(traced.document)))
-        assert obs_main([traced.journal_path,
+    def test_single_trace_by_prefix(self, backend_journal, capsys):
+        trace_id = next(iter(trace_table(backend_journal.document)))
+        assert obs_main([backend_journal.journal_path,
                          "--trace-id", trace_id[:8]]) == 0
         out = capsys.readouterr().out
         assert "1 trace(s)" in out
         assert trace_id in out
 
-    def test_check_passes_on_healthy_journal(self, traced, capsys):
-        assert obs_main([traced.journal_path, "--check"]) == 0
+    def test_check_passes_on_healthy_journal(self, backend_journal,
+                                             capsys):
+        assert obs_main([backend_journal.journal_path, "--check"]) == 0
         assert "OK" in capsys.readouterr().out
 
-    def test_check_fails_on_unstamped_rows(self, traced, tmp_path,
-                                           capsys):
-        doctored = dict(traced.document)
+    def test_check_fails_on_unstamped_rows(self, backend_journal,
+                                           tmp_path, capsys):
+        doctored = dict(backend_journal.document)
         doctored["jobs"] = [
             {k: v for k, v in row.items()
              if k not in ("trace_id", "span_id")}
-            for row in traced.document["jobs"]
+            for row in backend_journal.document["jobs"]
+            if row["kind"] != "alert"   # alert rows are never stamped
         ]
         path = tmp_path / "doctored.json"
         path.write_text(json.dumps(doctored))
@@ -187,9 +261,10 @@ class TestCli:
         assert "missing trace_id" in capsys.readouterr().out
 
     def test_check_fails_when_a_serve_trace_has_no_children(
-            self, traced, tmp_path, capsys):
-        doctored = dict(traced.document)
-        doctored["jobs"] = [row for row in traced.document["jobs"]
+            self, backend_journal, tmp_path, capsys):
+        doctored = dict(backend_journal.document)
+        doctored["jobs"] = [row
+                            for row in backend_journal.document["jobs"]
                             if row["kind"] == "serve"]
         path = tmp_path / "orphans.json"
         path.write_text(json.dumps(doctored))
@@ -198,20 +273,71 @@ class TestCli:
         assert "no compile-or-cache child" in out
         assert "no simulate child" in out
 
-    def test_prometheus_textfile_from_journal(self, traced, tmp_path,
-                                              capsys):
+    def test_prometheus_textfile_from_journal(self, backend_journal,
+                                              tmp_path, capsys):
         prom = tmp_path / "metrics.prom"
-        assert obs_main([traced.journal_path,
+        assert obs_main([backend_journal.journal_path,
                          "--prom-out", str(prom)]) == 0
         text = prom.read_text()
         assert "runtime_compile_requests_total" in text
         assert "runtime_simulations_total" in text
         assert 'serve_requests_total{status="ok"} 3' in text
+        # schema 8: tenant attribution replays from the journal alone
+        assert 'cluster_tenant_requests_total' in text
+        assert 'tenant="default"' in text
 
-    def test_registry_replay_matches_row_counts(self, traced):
-        registry = registry_from_journal(traced.document)
+    def test_registry_replay_matches_row_counts(self, backend_journal):
+        document = backend_journal.document
+        registry = registry_from_journal(document)
         snap = registry.snapshot()
         compiles = sum(s["value"] for s in
                        snap["runtime_compile_requests_total"]["series"])
-        assert compiles == sum(1 for r in traced.document["jobs"]
+        assert compiles == sum(1 for r in document["jobs"]
                                if r["kind"] == "compile")
+        tenant_requests = sum(
+            s["value"] for s in
+            snap["cluster_tenant_requests_total"]["series"])
+        assert tenant_requests == sum(1 for r in document["jobs"]
+                                      if r["kind"] == "serve")
+        if backend_journal.backend == "cluster":
+            alerts = snap.get("obs_slo_alerts_total", {}).get("series", ())
+            assert sum(s["value"] for s in alerts) == sum(
+                1 for r in document["jobs"] if r["kind"] == "alert")
+
+
+class TestSchemaBackCompat:
+    """Journals written before schema 8 (no tenant/cost/alert rows)
+    stay fully analyzable — the committed fixture is a real v7 run."""
+
+    FIXTURE = __file__.rsplit("/", 1)[0] + "/fixtures/journal_v7.json"
+
+    def test_fixture_is_v7_without_live_fields(self):
+        with open(self.FIXTURE) as handle:
+            document = json.load(handle)
+        assert document["schema"] == 7
+        for row in document["jobs"]:
+            assert "tenant" not in row
+            assert "cost" not in row
+            assert row["kind"] != "alert"
+
+    def test_check_accepts_v7(self, capsys):
+        assert obs_main([self.FIXTURE, "--check"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_report_renders_v7(self, capsys):
+        assert obs_main([self.FIXTURE]) == 0
+        assert "trace(s)" in capsys.readouterr().out
+
+    def test_registry_replay_without_tenant_rows(self):
+        with open(self.FIXTURE) as handle:
+            document = json.load(handle)
+        registry = registry_from_journal(document)
+        snap = registry.snapshot()
+        serves = sum(1 for r in document["jobs"] if r["kind"] == "serve")
+        assert serves > 0
+        total = sum(s["value"] for s in
+                    snap["serve_requests_total"]["series"])
+        assert total == serves
+        # No tenant attribution can be synthesized from v7 rows.
+        assert "cluster_tenant_requests_total" not in snap
+        assert "obs_slo_alerts_total" not in snap
